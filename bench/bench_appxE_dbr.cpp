@@ -1,0 +1,119 @@
+// Appx E: violations of destination-based routing.
+//
+// Methodology mirroring the paper: spoofed RR pings to destinations reveal
+// adjacent reverse-hop pairs (R, R'); for each pair we re-probe R directly
+// (spoofed as the same source) and check whether R' is again the next hop.
+// Load balancers are excused by sending multiple probes to R: if they
+// return several different next hops, the "violation" is randomized load
+// balancing, which Reverse Traceroute tolerates (Fig 10).
+//
+// Paper: 6.6% of (hop, source) pairs violate destination-based routing;
+// only 1.3% cause an AS-path deviation (the kind that could affect
+// revtr 2.0's AS-level accuracy).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "core/revtr.h"
+#include "eval/harness.h"
+
+using namespace revtr;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  const auto max_pairs =
+      static_cast<std::size_t>(flags.get_int("pairs", 1500));
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Appx E: destination-based routing violations", setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  util::Rng rng(setup.seed * 41 + 3);
+  const auto vps = lab.topo.vantage_points();
+  const std::vector<topology::HostId> vp_pool(vps.begin(), vps.end());
+
+  util::Fraction violations;      // Of tested (R, R', S) tuples.
+  util::Fraction as_deviations;   // Of tested tuples.
+  std::size_t load_balancers = 0;
+
+  std::vector<topology::HostId> dests;
+  for (const auto& host : lab.topo.hosts()) {
+    if (host.rr_responsive && !host.is_vantage_point) {
+      dests.push_back(host.id);
+    }
+  }
+  rng.shuffle(dests);
+
+  for (const auto dest : dests) {
+    if (violations.total >= max_pairs) break;
+    const topology::HostId source = rng.pick(vp_pool);
+    const auto source_addr = lab.topo.host(source).addr;
+    // Try a few vantage points until one reveals at least two reverse hops.
+    std::vector<net::Ipv4Addr> reverse;
+    for (int attempt = 0; attempt < 5 && reverse.size() < 2; ++attempt) {
+      const auto probe = lab.prober.rr_ping(
+          rng.pick(vp_pool), lab.topo.host(dest).addr, source_addr);
+      if (!probe.responded) continue;
+      reverse = core::RevtrEngine::extract_reverse_hops(
+          probe.slots, lab.topo.host(dest).addr);
+    }
+    if (reverse.size() < 2) continue;
+
+    for (std::size_t i = 0; i + 1 < reverse.size(); ++i) {
+      const auto r = reverse[i];
+      const auto r_next = reverse[i + 1];
+      if (r.is_private() || r_next.is_private()) continue;
+
+      // Re-probe R (spoofed as S) several times; collect next hops. The
+      // response must contain R's own stamp as the delimiter — routers
+      // that answer with a loopback or private alias cannot be aligned
+      // reliably and are excluded, as in the paper's methodology.
+      std::set<net::Ipv4Addr> next_hops;
+      for (int attempt = 0; attempt < 6; ++attempt) {
+        const auto recheck =
+            lab.prober.rr_ping(rng.pick(vp_pool), r, source_addr);
+        if (!recheck.responded) continue;
+        const auto self = std::find(recheck.slots.rbegin(),
+                                    recheck.slots.rend(), r);
+        if (self == recheck.slots.rend() || self == recheck.slots.rbegin()) {
+          continue;  // No stamp, or no room for a reverse hop.
+        }
+        next_hops.insert(*(self.base()));
+      }
+      if (next_hops.empty()) continue;
+      if (next_hops.contains(r_next)) {
+        violations.tally(false);
+        as_deviations.tally(false);
+        continue;
+      }
+      if (next_hops.size() > 1) {
+        // Randomized load balancing: both paths are valid (Fig 10).
+        ++load_balancers;
+        continue;
+      }
+      violations.tally(true);
+      // Does the deviation change the AS-level path?
+      const auto as_expected = lab.ip2as.lookup(r_next);
+      const auto as_observed = lab.ip2as.lookup(*next_hops.begin());
+      as_deviations.tally(as_expected && as_observed &&
+                          *as_expected != *as_observed);
+    }
+  }
+
+  util::TextTable table({"Metric", "Value"});
+  table.add_row(
+      {"(hop, source) tuples tested", util::cell_count(violations.total)});
+  table.add_row({"violating destination-based routing",
+                 util::cell_percent(violations.value())});
+  table.add_row({"causing an AS-path deviation",
+                 util::cell_percent(as_deviations.value())});
+  table.add_row({"excused as load balancers",
+                 util::cell_count(load_balancers)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: 6.6%% of tuples violate destination-based routing (excluding\n"
+      "load balancing); only 1.3%% deviate at the AS level. This is why\n"
+      "Insight 1.1's hop-by-hop stitching is sound in practice.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared scaffolding for the experiment benches.
+//
+// Every bench binary regenerates one of the paper's tables or figures
+// (DESIGN.md §3). Campaign sizes are scaled down from the paper's
+// Internet-scale runs so a full sweep finishes in minutes on one core;
+// flags (--ases, --vps, --revtrs, --seed, ...) let you scale up.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/revtr.h"
+#include "eval/harness.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace revtr::bench {
+
+struct BenchSetup {
+  topology::TopologyConfig topo;
+  std::uint64_t seed = 7;
+  std::size_t revtrs = 300;      // Reverse traceroutes per experiment.
+  std::size_t atlas_size = 60;   // Atlas traceroutes per source.
+  std::size_t sources = 4;       // Sources (M-Lab-like sites) to use.
+};
+
+inline BenchSetup parse_setup(const util::Flags& flags) {
+  BenchSetup setup;
+  setup.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  setup.topo.seed = setup.seed;
+  setup.topo.num_ases =
+      static_cast<std::size_t>(flags.get_int("ases", 800));
+  setup.topo.num_vps = static_cast<std::size_t>(flags.get_int("vps", 30));
+  setup.topo.num_vps_2016 =
+      static_cast<std::size_t>(flags.get_int("vps2016", 10));
+  setup.topo.num_probe_hosts =
+      static_cast<std::size_t>(flags.get_int("probes", 250));
+  setup.revtrs = static_cast<std::size_t>(flags.get_int("revtrs", 300));
+  setup.atlas_size =
+      static_cast<std::size_t>(flags.get_int("atlas", 60));
+  setup.sources = static_cast<std::size_t>(flags.get_int("sources", 4));
+  return setup;
+}
+
+inline void print_header(const std::string& title, const BenchSetup& setup) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "topology: %zu ASes, %zu VPs, %zu probe hosts, seed %llu | "
+      "%zu revtrs, atlas %zu, %zu sources\n\n",
+      setup.topo.num_ases, setup.topo.num_vps, setup.topo.num_probe_hosts,
+      static_cast<unsigned long long>(setup.seed), setup.revtrs,
+      setup.atlas_size, setup.sources);
+}
+
+inline void warn_unknown_flags(const util::Flags& flags) {
+  for (const auto& name : flags.unknown()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", name.c_str());
+  }
+}
+
+}  // namespace revtr::bench

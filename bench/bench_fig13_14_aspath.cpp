@@ -1,0 +1,117 @@
+// Fig 13 + Fig 14 (Appx G.2): asymmetry vs AS-path structure.
+//
+//  * Fig 13: CDF of AS-path lengths for all pairs, and for symmetric vs
+//    asymmetric pairs whose path traverses a tier-1. Paper: symmetric
+//    paths are shorter; most 5+ AS paths are asymmetric.
+//  * Fig 14: probability that each forward AS hop also appears on the
+//    reverse path, by relative position, per path length. Paper: hops in
+//    the middle are most often asymmetric, with a bias toward the source
+//    (M-Lab) side.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "asymmetry.h"
+#include "bench_common.h"
+
+using namespace revtr;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  auto setup = bench::parse_setup(flags);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Fig 13/14: asymmetry vs AS-path structure", setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto campaign = bench::run_asymmetry_campaign(lab, setup);
+  std::printf("complete bidirectional pairs: %zu\n\n",
+              campaign.pairs.size());
+
+  auto is_tier1_path = [&](const std::vector<topology::Asn>& path) {
+    for (const auto asn : path) {
+      if (lab.topo.has_as(asn) &&
+          lab.topo.as_node(asn).tier == topology::AsTier::kTier1) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  util::Distribution len_all, len_sym_t1, len_asym_t1;
+  // Fig 14: per path length (3..6 AS hops), per relative position bucket.
+  constexpr std::size_t kBuckets = 10;
+  struct Positional {
+    std::array<util::Fraction, kBuckets> buckets;
+  };
+  std::map<std::size_t, Positional> by_length;
+
+  for (const auto& pair : campaign.pairs) {
+    const auto len = pair.forward_as.size();
+    if (len < 2) continue;
+    len_all.add(static_cast<double>(len));
+    const bool symmetric = pair.forward_as == pair.reverse_as;
+    if (is_tier1_path(pair.forward_as)) {
+      (symmetric ? len_sym_t1 : len_asym_t1)
+          .add(static_cast<double>(len));
+    }
+    if (len >= 3 && len <= 6) {
+      const auto matches =
+          eval::positional_matches(pair.forward_as, pair.reverse_as);
+      auto& positional = by_length[len];
+      for (std::size_t i = 0; i < matches.size(); ++i) {
+        const auto bucket = std::min(
+            kBuckets - 1, i * kBuckets / std::max<std::size_t>(len - 1, 1));
+        positional.buckets[bucket].tally(matches[i]);
+      }
+    }
+  }
+
+  // --- Fig 13: CDF of AS-path lengths. ---
+  auto cdf_series = [](const std::string& name,
+                       const util::Distribution& dist) {
+    util::Series series;
+    series.name = name;
+    for (const double len : {2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}) {
+      series.xs.push_back(len);
+      series.ys.push_back(dist.empty() ? 0 : dist.cdf_at(len));
+    }
+    return series;
+  };
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 13: CDF of AS-path length",
+                  {cdf_series("symmetric paths through tier-1s", len_sym_t1),
+                   cdf_series("all paths", len_all),
+                   cdf_series("asymmetric paths through tier-1s",
+                              len_asym_t1)},
+                  3)
+                  .c_str());
+  if (!len_sym_t1.empty() && !len_asym_t1.empty()) {
+    std::printf("median AS-path length: symmetric %.1f vs asymmetric %.1f\n\n",
+                len_sym_t1.median(), len_asym_t1.median());
+  }
+
+  // --- Fig 14: positional match probability. ---
+  std::vector<util::Series> positional_series;
+  for (const auto& [len, positional] : by_length) {
+    util::Series series;
+    series.name = std::to_string(len) + " hops";
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (positional.buckets[b].total == 0) continue;
+      series.xs.push_back(static_cast<double>(b) / (kBuckets - 1));
+      series.ys.push_back(positional.buckets[b].value());
+    }
+    positional_series.push_back(std::move(series));
+  }
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 14: P(forward AS hop also on reverse path) by "
+                  "relative position (0 = source side)",
+                  positional_series, 3)
+                  .c_str());
+  std::printf(
+      "paper: symmetric paths are shorter; mid-path hops are the most\n"
+      "asymmetric, biased toward the M-Lab (source) side.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Fig 5a: accuracy of reverse traceroutes against direct traceroutes.
+//
+// For every measured pair we compare the reverse traceroute to a direct
+// traceroute from the destination: the fraction of direct hops also seen in
+// the reverse path, at AS granularity, router granularity (with the
+// incomplete alias knowledge of Appx B.1), and router-optimistic (hops that
+// allow no alias resolution count as matches). A forward-RR baseline shows
+// how much of the apparent router-level mismatch is just the difficulty of
+// aligning RR and traceroute addresses even for a *correct* path.
+//
+// Paper results: 92.3% of revtr 2.0 paths match the direct AS path exactly
+// (+6.1% missing-hop-only) vs 81.8% for revtr 1.0; median router-level
+// match 67% for revtr 2.0 vs 60% for forward RR.
+#include <cstdio>
+
+#include "ablation.h"
+#include "bench_common.h"
+
+using namespace revtr;
+
+namespace {
+
+util::Series ccdf_series(const std::string& name,
+                         const util::Distribution& dist) {
+  util::Series series;
+  series.name = name;
+  for (const double x : util::linspace(0.0, 1.0, 21)) {
+    series.xs.push_back(x);
+    series.ys.push_back(dist.ccdf_at(x));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Fig 5a: accuracy vs direct traceroute", setup);
+
+  auto chain = bench::table4_chain();
+  bench::AblationConfig revtr1 = chain.front();
+  bench::AblationConfig revtr2 = chain.back();
+  revtr1.record_accuracy = true;
+  revtr2.record_accuracy = true;
+  const auto r1 = bench::run_ablation(setup, revtr1);
+  const auto r2 = bench::run_ablation(setup, revtr2);
+
+  struct Summary {
+    util::Distribution router, router_optimistic, as_level;
+    std::size_t exact = 0, missing = 0, mismatch = 0, total = 0;
+  };
+  auto summarize = [](const bench::AblationResult& result) {
+    Summary summary;
+    for (const auto& path : result.paths) {
+      if (!path.metrics.has_truth) continue;
+      ++summary.total;
+      summary.router.add(path.metrics.router_fraction);
+      summary.router_optimistic.add(
+          path.metrics.router_optimistic_fraction);
+      summary.as_level.add(path.metrics.as_fraction);
+      switch (path.metrics.as_match) {
+        case eval::AsMatch::kExact:
+          ++summary.exact;
+          break;
+        case eval::AsMatch::kMissingHops:
+          ++summary.missing;
+          break;
+        case eval::AsMatch::kMismatch:
+          ++summary.mismatch;
+          break;
+      }
+    }
+    return summary;
+  };
+  const Summary s1 = summarize(r1);
+  const Summary s2 = summarize(r2);
+
+  // --- Forward Record Route baseline (correct-by-construction path). ---
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto requests = bench::make_requests(lab, setup);
+  util::Rng alias_rng(setup.seed + 3);
+  const auto midar = alias::midar_like_aliases(lab.topo, alias_rng);
+  const alias::SnmpResolver snmp(lab.topo);
+  const eval::HopMatcher matcher(&midar, &snmp);
+  util::Distribution fwd_router, fwd_as;
+  for (const auto& [dest, source] : requests.pairs) {
+    const auto dest_addr = lab.topo.host(dest).addr;
+    const auto rr = lab.prober.rr_ping(source, dest_addr);
+    if (!rr.responded) continue;
+    // Require the RR to have recorded the full forward path.
+    if (std::find(rr.slots.begin(), rr.slots.end(), dest_addr) ==
+        rr.slots.end()) {
+      continue;
+    }
+    const auto trace = lab.prober.traceroute(source, dest_addr);
+    if (!trace.reached) continue;
+    const auto hops = trace.responsive_hops();
+    fwd_router.add(eval::fraction_hops_matched(hops, rr.slots, matcher));
+    const auto trace_as = lab.ip2as.as_path(hops);
+    const auto rr_as = lab.ip2as.as_path(rr.slots);
+    std::size_t matched = 0;
+    for (const auto asn : trace_as) {
+      if (std::find(rr_as.begin(), rr_as.end(), asn) != rr_as.end()) {
+        ++matched;
+      }
+    }
+    fwd_as.add(trace_as.empty() ? 0.0
+                                : static_cast<double>(matched) /
+                                      static_cast<double>(trace_as.size()));
+  }
+
+  util::TextTable table({"Line", "pairs", "median fraction matched"});
+  table.add_row({"revtr 2.0 AS", util::cell_count(s2.total),
+                 util::cell(s2.as_level.empty() ? 0 : s2.as_level.median())});
+  table.add_row({"revtr 1.0 AS", util::cell_count(s1.total),
+                 util::cell(s1.as_level.empty() ? 0 : s1.as_level.median())});
+  table.add_row({"Forward RR AS", util::cell_count(fwd_as.count()),
+                 util::cell(fwd_as.empty() ? 0 : fwd_as.median())});
+  table.add_row({"revtr 2.0 router", util::cell_count(s2.total),
+                 util::cell(s2.router.empty() ? 0 : s2.router.median())});
+  table.add_row({"revtr 1.0 router", util::cell_count(s1.total),
+                 util::cell(s1.router.empty() ? 0 : s1.router.median())});
+  table.add_row({"Forward RR router", util::cell_count(fwd_router.count()),
+                 util::cell(fwd_router.empty() ? 0 : fwd_router.median())});
+  table.add_row(
+      {"revtr 2.0 router optimistic", util::cell_count(s2.total),
+       util::cell(s2.router_optimistic.empty()
+                      ? 0
+                      : s2.router_optimistic.median())});
+  std::printf("%s\n", table.render().c_str());
+
+  util::TextTable as_table(
+      {"System", "AS exact", "AS missing-only", "AS mismatch"});
+  auto as_row = [&](const char* label, const Summary& s) {
+    const double total = s.total == 0 ? 1.0 : static_cast<double>(s.total);
+    as_table.add_row({label, util::cell_percent(s.exact / total),
+                      util::cell_percent(s.missing / total),
+                      util::cell_percent(s.mismatch / total)});
+  };
+  as_row("revtr 2.0", s2);
+  as_row("revtr 1.0", s1);
+  std::printf("%s\n", as_table.render().c_str());
+
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 5a: CCDF of fraction of direct hops also seen",
+                  {ccdf_series("revtr2.0-AS", s2.as_level),
+                   ccdf_series("revtr1.0-AS", s1.as_level),
+                   ccdf_series("fwd-RR-AS", fwd_as),
+                   ccdf_series("revtr2.0-router", s2.router),
+                   ccdf_series("revtr1.0-router", s1.router),
+                   ccdf_series("fwd-RR-router", fwd_router),
+                   ccdf_series("revtr2.0-router-optimistic",
+                               s2.router_optimistic)},
+                  3)
+                  .c_str());
+  std::printf(
+      "paper: revtr 2.0 AS-exact 92.3%% (+6.1%% missing-only) vs revtr 1.0\n"
+      "81.8%%; router-level limited by alias incompleteness, as shown by the\n"
+      "forward-RR control line sitting close to revtr 2.0.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Fig 6: comparison of techniques for selecting record-route VPs (§5.3).
+//   (a) reverse hops uncovered by the first batch, batch sizes 1/3/5;
+//   (b) reverse hops uncovered by the first batch (size 3) per technique;
+//   (c) number of spoofing VPs tried before a reverse hop is found.
+//
+// Paper: batch size 3 is the sweet spot; revtr 2.0 uncovers 4+ hops for
+// 50% of prefixes (20% for revtr 1.0) and tries 10+ VPs for <5% of
+// prefixes (28% for revtr 1.0 / Global).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "vpsurvey.h"
+
+using namespace revtr;
+
+namespace {
+
+util::Series hops_ccdf(const std::string& name,
+                       const util::Distribution& dist) {
+  util::Series series;
+  series.name = name;
+  for (int hops = 0; hops <= 8; ++hops) {
+    series.xs.push_back(hops);
+    series.ys.push_back(dist.ccdf_at(hops));
+  }
+  return series;
+}
+
+util::Series tried_ccdf(const std::string& name,
+                        const util::Distribution& dist) {
+  util::Series series;
+  series.name = name;
+  for (const double tried : {1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
+    series.xs.push_back(tried);
+    series.ys.push_back(dist.ccdf_at(tried));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  const auto max_prefixes =
+      static_cast<std::size_t>(flags.get_int("prefixes", 400));
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Fig 6: record-route VP selection comparison", setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto survey = bench::run_vp_survey(lab, setup, max_prefixes);
+  std::printf("prefixes surveyed: %zu\n\n", survey.prefixes.size());
+
+  std::vector<const vpselect::PrefixPlan*> plans;
+  for (const auto& entry : survey.prefixes) plans.push_back(&entry.plan);
+  const auto global_order = vpselect::global_vp_order(plans);
+  const auto global_attempts = bench::order_to_attempts(global_order);
+
+  // --- (a) batch size sweep on the revtr 2.0 ingress plan. ---
+  util::Distribution batch1, batch3, batch5, optimal_hops;
+  // --- (b) techniques at batch size 3. ---
+  util::Distribution ingress3, revtr1_3, global3;
+  // --- (c) spoofers tried until success. ---
+  util::Distribution ingress_tried, revtr1_tried, global_tried;
+
+  for (const auto& entry : survey.prefixes) {
+    const auto ingress_attempts = vpselect::attempt_plan(entry.plan);
+    const auto revtr1_attempts =
+        bench::order_to_attempts(vpselect::revtr1_vp_order(entry.plan));
+
+    batch1.add(static_cast<double>(
+        bench::first_batch_hops(entry, ingress_attempts, 1)));
+    batch3.add(static_cast<double>(
+        bench::first_batch_hops(entry, ingress_attempts, 3)));
+    batch5.add(static_cast<double>(
+        bench::first_batch_hops(entry, ingress_attempts, 5)));
+
+    // Optimal: the closest in-range VP's reveal.
+    std::size_t best = 0;
+    const bench::VpProbe* closest = nullptr;
+    for (const auto& [vp, probe] : entry.probes) {
+      if (!probe.in_range()) continue;
+      if (closest == nullptr || probe.distance < closest->distance) {
+        closest = &probe;
+      }
+    }
+    if (closest != nullptr) best = closest->reverse_hops;
+    optimal_hops.add(static_cast<double>(best));
+
+    ingress3.add(static_cast<double>(
+        bench::first_batch_hops(entry, ingress_attempts, 3)));
+    revtr1_3.add(static_cast<double>(
+        bench::first_batch_hops(entry, revtr1_attempts, 3)));
+    global3.add(static_cast<double>(
+        bench::first_batch_hops(entry, global_attempts, 3)));
+
+    ingress_tried.add(static_cast<double>(
+        bench::spoofers_tried(entry, ingress_attempts, 3)));
+    revtr1_tried.add(static_cast<double>(
+        bench::spoofers_tried(entry, revtr1_attempts, 3)));
+    global_tried.add(static_cast<double>(
+        bench::spoofers_tried(entry, global_attempts, 3)));
+  }
+
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 6a: CCDF of reverse hops uncovered by first batch",
+                  {hops_ccdf("optimal", optimal_hops),
+                   hops_ccdf("batch-of-5", batch5),
+                   hops_ccdf("batch-of-3", batch3),
+                   hops_ccdf("batch-of-1", batch1)},
+                  3)
+                  .c_str());
+
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 6b: CCDF of hops uncovered by first batch (size 3)",
+                  {hops_ccdf("optimal", optimal_hops),
+                   hops_ccdf("ingress (revtr 2.0)", ingress3),
+                   hops_ccdf("revtr 1.0", revtr1_3),
+                   hops_ccdf("global", global3)},
+                  3)
+                  .c_str());
+
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 6c: CCDF of spoofing VPs tried",
+                  {tried_ccdf("ingress (revtr 2.0)", ingress_tried),
+                   tried_ccdf("revtr 1.0", revtr1_tried),
+                   tried_ccdf("global", global_tried)},
+                  3)
+                  .c_str());
+
+  util::TextTable table({"Metric", "ingress", "revtr 1.0", "global"});
+  table.add_row({"P(4+ hops in first batch of 3)",
+                 util::cell(ingress3.ccdf_at(4)),
+                 util::cell(revtr1_3.ccdf_at(4)),
+                 util::cell(global3.ccdf_at(4))});
+  table.add_row({"P(10+ spoofers tried)",
+                 util::cell(ingress_tried.ccdf_at(10)),
+                 util::cell(revtr1_tried.ccdf_at(10)),
+                 util::cell(global_tried.ccdf_at(10))});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: revtr 2.0 uncovers 4+ hops for ~50%% of prefixes (vs 20%% for\n"
+      "revtr 1.0) and tries 10+ VPs for <5%% of prefixes (vs 28%%).\n");
+  return 0;
+}

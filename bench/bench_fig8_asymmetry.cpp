@@ -1,0 +1,89 @@
+// Fig 8(a) + Fig 12: Internet path asymmetry at scale (§6.2, Appx G.1).
+//
+// CCDF of the fraction of forward-traceroute hops also present on the
+// reverse traceroute, at AS and router granularity; Fig 12 repeats the
+// analysis restricted to reverse paths with no symmetry assumptions.
+//
+// Paper: only 53% of paths symmetric at AS granularity; at router
+// granularity half the reverse paths contain <28% of the forward routers.
+#include <cstdio>
+
+#include "asymmetry.h"
+#include "bench_common.h"
+
+using namespace revtr;
+
+namespace {
+
+util::Series ccdf_series(const std::string& name,
+                         const util::Distribution& dist) {
+  util::Series series;
+  series.name = name;
+  for (const double x : util::linspace(0.0, 1.0, 21)) {
+    series.xs.push_back(x);
+    series.ys.push_back(dist.ccdf_at(x));
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  auto setup = bench::parse_setup(flags);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Fig 8a / Fig 12: path asymmetry at scale", setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto campaign = bench::run_asymmetry_campaign(lab, setup);
+  std::printf("complete bidirectional pairs: %zu of %zu attempted\n\n",
+              campaign.pairs.size(), campaign.attempted);
+
+  util::Distribution as_all, router_all, as_pure, router_pure;
+  util::Fraction as_symmetric, as_symmetric_pure, edit_symmetric;
+  for (const auto& pair : campaign.pairs) {
+    as_all.add(pair.as_fraction);
+    router_all.add(pair.router_fraction);
+    as_symmetric.tally(pair.as_fraction >= 1.0);
+    // Appx G.3: the stricter de Vries definition (edit distance == 0).
+    edit_symmetric.tally(
+        eval::as_path_edit_distance(pair.forward_as, pair.reverse_as) == 0);
+    if (pair.symmetry_assumptions == 0) {
+      as_pure.add(pair.as_fraction);
+      router_pure.add(pair.router_fraction);
+      as_symmetric_pure.tally(pair.as_fraction >= 1.0);
+    }
+  }
+
+  util::TextTable table({"Metric", "all pairs", "no-assumption pairs"});
+  table.add_row({"pairs", util::cell_count(as_all.count()),
+                 util::cell_count(as_pure.count())});
+  table.add_row({"AS-symmetric fraction", util::cell(as_symmetric.value()),
+                 util::cell(as_symmetric_pure.value())});
+  table.add_row(
+      {"median router-level overlap",
+       util::cell(router_all.empty() ? 0 : router_all.median()),
+       util::cell(router_pure.empty() ? 0 : router_pure.median())});
+  table.add_row({"AS-symmetric, edit-distance defn (Appx G.3)",
+                 util::cell(edit_symmetric.value()), "-"});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 8a: CCDF of fraction of forward hops on reverse path",
+                  {ccdf_series("AS", as_all),
+                   ccdf_series("router", router_all)},
+                  3)
+                  .c_str());
+  std::printf(
+      "%s\n",
+      util::render_figure(
+          "Fig 12: same, restricted to paths without symmetry assumptions",
+          {ccdf_series("AS", as_pure), ccdf_series("router", router_pure)},
+          3)
+          .c_str());
+  std::printf(
+      "paper: 53%% of paths symmetric at AS granularity, far fewer at\n"
+      "router granularity; Fig 12 (no assumptions) is within ~3%% of Fig 8.\n");
+  return 0;
+}

@@ -1,0 +1,327 @@
+// Fig 9 (Appx D.2): traceroute atlas design study.
+//  (a) mean fraction of reverse-traceroute hops short-circuited by the
+//      atlas vs atlas size, random vs greedy-optimal selection;
+//  (b) convergence of the daily replacement policy toward the optimal
+//      atlas over refresh iterations;
+//  (c) stability of the savings as the number of reverse traceroutes grows;
+//  (d) fraction of reverse traceroutes that intersect a stale traceroute
+//      over 24 hours of route churn.
+//
+// Paper: 20% of the traceroutes give ~93% of the optimal savings; random
+// selection converges to optimal in ~5 iterations; savings are stable in
+// the number of reverse traceroutes; only ~0.7% of reverse traceroutes
+// intersect a stale traceroute within a day.
+#include <cstdio>
+#include <unordered_set>
+
+#include "atlas/atlas.h"
+#include "bench_common.h"
+#include "eval/harness.h"
+
+using namespace revtr;
+
+namespace {
+
+using atlas::AtlasTraceroute;
+
+std::unordered_set<net::Ipv4Addr> covered_set(
+    const std::vector<AtlasTraceroute>& pool,
+    const std::vector<std::size_t>& selected) {
+  std::unordered_set<net::Ipv4Addr> covered;
+  for (const auto index : selected) {
+    for (const auto hop : pool[index].hops) covered.insert(hop);
+  }
+  return covered;
+}
+
+double mean_savings(const std::vector<AtlasTraceroute>& revtrs,
+                    const std::unordered_set<net::Ipv4Addr>& covered) {
+  if (revtrs.empty()) return 0;
+  double sum = 0;
+  for (const auto& tr : revtrs) {
+    // Walk from the far end (destination side) as a reverse traceroute
+    // would: hops are ordered probe->source already.
+    sum += atlas::intersected_fraction(tr.hops, covered);
+  }
+  return sum / static_cast<double>(revtrs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  const double churn_per_hour = flags.get_double("churn", 0.01);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Fig 9: atlas size, convergence, and staleness",
+                      setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto vps = lab.topo.vantage_points();
+  const std::size_t sources = std::min(setup.sources, vps.size());
+  util::Rng rng(setup.seed * 17 + 29);
+
+  // --- Collect the traceroute pools: every probe host -> each source,
+  // split half/half into atlas pool and simulated reverse traceroutes. ---
+  struct SourcePool {
+    topology::HostId source;
+    std::vector<AtlasTraceroute> atlas_pool;
+    std::vector<AtlasTraceroute> revtr_pool;
+  };
+  std::vector<SourcePool> pools;
+  for (std::size_t s = 0; s < sources; ++s) {
+    SourcePool pool;
+    pool.source = vps[s];
+    const auto source_addr = lab.topo.host(pool.source).addr;
+    std::vector<topology::HostId> probes(lab.topo.probe_hosts().begin(),
+                                         lab.topo.probe_hosts().end());
+    rng.shuffle(probes);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const auto trace = lab.prober.traceroute(probes[i], source_addr);
+      if (!trace.reached) continue;
+      AtlasTraceroute tr;
+      tr.probe = probes[i];
+      tr.hops = trace.responsive_hops();
+      ((i % 2 == 0) ? pool.atlas_pool : pool.revtr_pool)
+          .push_back(std::move(tr));
+    }
+    pools.push_back(std::move(pool));
+  }
+
+  // --- (a) savings vs atlas size, random vs optimal. ---
+  std::printf("== Fig 9a: savings vs atlas size ==\n");
+  util::Series random_series{"random", {}, {}};
+  util::Series optimal_series{"optimal", {}, {}};
+  util::Series optimal_revtr_series{"optimal-revtr", {}, {}};
+  for (const double frac : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    double random_sum = 0, optimal_sum = 0, optimal_revtr_sum = 0;
+    for (const auto& pool : pools) {
+      const auto k = static_cast<std::size_t>(
+          frac * static_cast<double>(pool.atlas_pool.size()));
+      // Random selection.
+      std::vector<std::size_t> indices(pool.atlas_pool.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+      rng.shuffle(indices);
+      indices.resize(k);
+      random_sum +=
+          mean_savings(pool.revtr_pool, covered_set(pool.atlas_pool, indices));
+      // Greedy optimal, weighted by the atlas pool itself.
+      optimal_sum += mean_savings(
+          pool.revtr_pool,
+          covered_set(pool.atlas_pool,
+                      atlas::greedy_optimal_selection(pool.atlas_pool, k)));
+      // Oracle: selection from the atlas pool, weighted by the reverse
+      // traceroutes that will be measured (upper bound).
+      optimal_revtr_sum += mean_savings(
+          pool.revtr_pool,
+          covered_set(pool.atlas_pool,
+                      atlas::greedy_optimal_selection(
+                          pool.atlas_pool, k, pool.revtr_pool)));
+    }
+    const double n = static_cast<double>(pools.size());
+    random_series.xs.push_back(frac);
+    random_series.ys.push_back(random_sum / n);
+    optimal_series.xs.push_back(frac);
+    optimal_series.ys.push_back(optimal_sum / n);
+    optimal_revtr_series.xs.push_back(frac);
+    optimal_revtr_series.ys.push_back(optimal_revtr_sum / n);
+  }
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 9a: mean fraction of hops intersected (x = atlas "
+                  "fraction of pool)",
+                  {optimal_series, optimal_revtr_series, random_series}, 3)
+                  .c_str());
+
+  // --- (b) refresh-policy convergence. ---
+  std::printf("== Fig 9b: convergence of the replacement policy ==\n");
+  util::Series convergence{"random++ (daily replacement)", {}, {}};
+  double optimal_baseline = 0;
+  {
+    double sum = 0;
+    for (const auto& pool : pools) {
+      const auto k = pool.atlas_pool.size() / 5;
+      sum += mean_savings(
+          pool.revtr_pool,
+          covered_set(pool.atlas_pool,
+                      atlas::greedy_optimal_selection(pool.atlas_pool, k)));
+    }
+    optimal_baseline = sum / static_cast<double>(pools.size());
+  }
+  {
+    // Per source: keep a working set of k indices; per iteration, evaluate
+    // against a random batch of reverse traceroutes, keep the useful
+    // traceroutes, replace the rest at random.
+    std::vector<std::vector<std::size_t>> working(pools.size());
+    for (std::size_t p = 0; p < pools.size(); ++p) {
+      const auto k = pools[p].atlas_pool.size() / 5;
+      std::vector<std::size_t> indices(pools[p].atlas_pool.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+      rng.shuffle(indices);
+      indices.resize(k);
+      working[p] = indices;
+    }
+    for (int iteration = 0; iteration <= 12; ++iteration) {
+      double sum = 0;
+      for (std::size_t p = 0; p < pools.size(); ++p) {
+        const auto& pool = pools[p];
+        const auto covered = covered_set(pool.atlas_pool, working[p]);
+        sum += mean_savings(pool.revtr_pool, covered);
+
+        // Which atlas traceroutes were actually used by a random batch?
+        std::unordered_set<std::size_t> useful;
+        for (std::size_t r = 0; r < pool.revtr_pool.size(); ++r) {
+          const auto& revtr = pool.revtr_pool[rng.below(
+              pool.revtr_pool.size())];
+          // First covered hop; attribute to the first traceroute with it.
+          for (const auto hop : revtr.hops) {
+            if (!covered.contains(hop)) continue;
+            for (const auto index : working[p]) {
+              const auto& hops = pool.atlas_pool[index].hops;
+              if (std::find(hops.begin(), hops.end(), hop) != hops.end()) {
+                useful.insert(index);
+                break;
+              }
+            }
+            break;
+          }
+        }
+        // Keep the useful, replace the rest.
+        const std::size_t k = working[p].size();
+        std::vector<std::size_t> next(useful.begin(), useful.end());
+        std::vector<std::size_t> fresh;
+        for (std::size_t i = 0; i < pool.atlas_pool.size(); ++i) {
+          if (!useful.contains(i)) fresh.push_back(i);
+        }
+        rng.shuffle(fresh);
+        for (std::size_t i = 0; next.size() < k && i < fresh.size(); ++i) {
+          next.push_back(fresh[i]);
+        }
+        working[p] = std::move(next);
+      }
+      convergence.xs.push_back(iteration);
+      convergence.ys.push_back(sum / static_cast<double>(pools.size()));
+    }
+  }
+  util::Series optimal_line{"optimal", convergence.xs, {}};
+  optimal_line.ys.assign(convergence.xs.size(), optimal_baseline);
+  std::printf("%s\n", util::render_figure(
+                          "Fig 9b: mean savings per refresh iteration",
+                          {convergence, optimal_line}, 3)
+                          .c_str());
+
+  // --- (c) savings vs number of reverse traceroutes. ---
+  std::printf("== Fig 9c: savings vs number of reverse traceroutes ==\n");
+  std::vector<util::Series> by_size;
+  for (const double frac : {0.2, 0.6, 1.0}) {
+    util::Series series;
+    series.name = "atlas fraction " + util::cell(frac, 1);
+    for (const std::size_t count : {5u, 10u, 20u, 50u, 100u, 200u}) {
+      double sum = 0;
+      std::size_t total = 0;
+      for (const auto& pool : pools) {
+        const auto k = static_cast<std::size_t>(
+            frac * static_cast<double>(pool.atlas_pool.size()));
+        std::vector<std::size_t> indices(pool.atlas_pool.size());
+        for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+        util::Rng local(setup.seed + 1);
+        local.shuffle(indices);
+        indices.resize(k);
+        const auto covered = covered_set(pool.atlas_pool, indices);
+        for (std::size_t r = 0; r < count && r < pool.revtr_pool.size();
+             ++r) {
+          sum += atlas::intersected_fraction(pool.revtr_pool[r].hops,
+                                             covered);
+          ++total;
+        }
+      }
+      if (total == 0) continue;
+      series.xs.push_back(static_cast<double>(count));
+      series.ys.push_back(sum / static_cast<double>(total));
+    }
+    by_size.push_back(std::move(series));
+  }
+  std::printf("%s\n",
+              util::render_figure("Fig 9c: mean savings vs #revtrs (x = "
+                                  "reverse traceroutes intersected)",
+                                  by_size, 3)
+                  .c_str());
+
+  // --- (d) staleness over a day of churn. ---
+  std::printf("== Fig 9d: staleness under churn ==\n");
+  util::Series stale_missing{"cumulative, intersection vanished", {}, {}};
+  util::Series stale_aspath{"cumulative, AS path after changed", {}, {}};
+  std::uint64_t intersections = 0, gone = 0, as_changed = 0;
+  for (int hour = 1; hour <= 24; ++hour) {
+    lab.bgp.set_epoch(static_cast<std::uint32_t>(hour), churn_per_hour * hour);
+    for (const auto& pool : pools) {
+      const auto source_addr = lab.topo.host(pool.source).addr;
+      for (int burst = 0; burst < 5; ++burst) {
+      // A fresh "reverse traceroute" measured under the churned routes.
+      const auto& sim_revtr =
+          pool.revtr_pool[rng.below(pool.revtr_pool.size())];
+      const auto fresh_revtr =
+          lab.prober.traceroute(sim_revtr.probe, source_addr);
+      if (!fresh_revtr.reached) continue;
+      const auto fresh_hops = fresh_revtr.responsive_hops();
+      // Intersect against the (epoch-0) atlas pool.
+      for (const auto hop : fresh_hops) {
+        const AtlasTraceroute* hit = nullptr;
+        std::size_t hit_index = 0;
+        for (const auto& tr : pool.atlas_pool) {
+          const auto it = std::find(tr.hops.begin(), tr.hops.end(), hop);
+          if (it != tr.hops.end()) {
+            hit = &tr;
+            hit_index = static_cast<std::size_t>(it - tr.hops.begin());
+            break;
+          }
+        }
+        if (hit == nullptr) continue;
+        ++intersections;
+        // Re-measure the atlas traceroute under current routes.
+        const auto fresh_atlas =
+            lab.prober.traceroute(hit->probe, source_addr);
+        const auto now_hops = fresh_atlas.responsive_hops();
+        const auto now_it =
+            std::find(now_hops.begin(), now_hops.end(), hop);
+        if (now_it == now_hops.end()) {
+          ++gone;
+        } else {
+          const std::vector<net::Ipv4Addr> old_suffix(
+              hit->hops.begin() + static_cast<long>(hit_index),
+              hit->hops.end());
+          const std::vector<net::Ipv4Addr> new_suffix(now_it,
+                                                      now_hops.end());
+          if (lab.ip2as.as_path(old_suffix) !=
+              lab.ip2as.as_path(new_suffix)) {
+            ++as_changed;
+          }
+        }
+        break;
+      }
+      }
+    }
+    const double denom =
+        intersections == 0 ? 1.0 : static_cast<double>(intersections);
+    stale_missing.xs.push_back(hour);
+    stale_missing.ys.push_back(static_cast<double>(gone) / denom);
+    stale_aspath.xs.push_back(hour);
+    stale_aspath.ys.push_back(static_cast<double>(as_changed) / denom);
+  }
+  std::printf("%s\n",
+              util::render_figure(
+                  "Fig 9d: fraction of intersections stale (x = hour)",
+                  {stale_missing, stale_aspath}, 4)
+                  .c_str());
+  std::printf("intersections tested: %llu, vanished: %llu, AS-path "
+              "changed: %llu\n",
+              static_cast<unsigned long long>(intersections),
+              static_cast<unsigned long long>(gone),
+              static_cast<unsigned long long>(as_changed));
+  std::printf(
+      "\npaper: 1000 random traceroutes per source give ~93%% of the optimal\n"
+      "5000 (9a); the replacement policy converges in ~5 iterations (9b);\n"
+      "savings stay flat as load grows (9c); <1%% of reverse traceroutes\n"
+      "intersect a stale traceroute within a day (9d).\n");
+  return 0;
+}

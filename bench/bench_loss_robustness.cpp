@@ -1,0 +1,71 @@
+// Robustness ablation (DESIGN.md §5): how does random probe loss degrade
+// revtr 2.0's coverage, accuracy, probe budget, and latency?
+//
+// Not a paper figure — the deployed system inevitably lives with loss, and
+// this sweep shows where the design's redundancy (batched spoofed probes,
+// backup VPs per ingress, the symmetry fallback) starts to give out.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+using namespace revtr;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Ablation: coverage/accuracy under random probe loss",
+                      setup);
+
+  util::TextTable table({"loss rate", "coverage", "AS exact-or-missing",
+                         "probes/revtr", "median latency (s)"});
+  for (const double loss : {0.0, 0.01, 0.03, 0.10, 0.25}) {
+    eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+    lab.network.set_loss_rate(loss);
+    const auto source = lab.topo.vantage_points()[0];
+    lab.bootstrap_source(source, setup.atlas_size);
+    lab.precompute_all_ingresses();
+    lab.prober.reset_counters();
+
+    util::SimClock clock;
+    util::Distribution latency;
+    std::size_t complete = 0, attempted = 0, as_ok = 0, with_truth = 0;
+    const auto probes = lab.topo.probe_hosts();
+    for (std::size_t i = 0; i < setup.revtrs && i < probes.size(); ++i) {
+      ++attempted;
+      const auto result = lab.engine.measure(probes[i], source, clock);
+      latency.add(result.span.seconds());
+      if (!result.complete()) continue;
+      ++complete;
+      const auto direct =
+          lab.prober.traceroute(probes[i], lab.topo.host(source).addr);
+      if (!direct.reached) continue;
+      ++with_truth;
+      const auto match = eval::compare_as_paths(
+          lab.ip2as.as_path(direct.responsive_hops()),
+          lab.ip2as.as_path(result.ip_hops()));
+      as_ok += match != eval::AsMatch::kMismatch;
+    }
+    const auto counters = lab.prober.counters();
+    table.add_row(
+        {util::cell_percent(loss, 0),
+         util::cell_percent(attempted == 0
+                                ? 0.0
+                                : static_cast<double>(complete) / attempted),
+         util::cell_percent(with_truth == 0
+                                ? 0.0
+                                : static_cast<double>(as_ok) / with_truth),
+         util::cell(attempted == 0
+                        ? 0.0
+                        : static_cast<double>(counters.total()) / attempted,
+                    1),
+         util::cell(latency.empty() ? 0.0 : latency.median(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: coverage and accuracy degrade gracefully to ~10%%\n"
+      "loss (redundant VPs and the symmetry fallback absorb failures) and\n"
+      "collapse beyond it, while probes and latency per path climb.\n");
+  return 0;
+}

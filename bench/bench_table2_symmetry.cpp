@@ -1,0 +1,147 @@
+// Table 2: how often the penultimate traceroute hop is also on the reverse
+// path, split by intradomain vs interdomain last link (§4.4).
+//
+// Methodology (mirroring the paper):
+//  * Targets: the /30 partners of SNMPv3-responsive router addresses, so
+//    that "not on the reverse path" can be established reliably.
+//  * For each target, traceroute from a random source to get the
+//    penultimate hop, then reveal true reverse hops with spoofed RR pings.
+//  * Classify the penultimate hop as on-path (alias match), off-path (SNMP
+//    identifier differs from every reverse hop's), or unknown.
+//
+// Paper result: intradomain 0.90 yes/(yes+no), interdomain 0.57.
+#include <cstdio>
+
+#include "alias/alias.h"
+#include "bench_common.h"
+#include "eval/metrics.h"
+
+using namespace revtr;
+
+namespace {
+
+struct Tally {
+  std::uint64_t yes = 0, no = 0, unknown = 0;
+
+  double conditional() const {
+    return yes + no == 0 ? 0.0
+                         : static_cast<double>(yes) /
+                               static_cast<double>(yes + no);
+  }
+  double frac(std::uint64_t part, std::uint64_t total) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(part) / static_cast<double>(total);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  auto setup = bench::parse_setup(flags);
+  const auto max_targets =
+      static_cast<std::size_t>(flags.get_int("targets", 500));
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Table 2: penultimate-hop symmetry by link type",
+                      setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const alias::SnmpResolver snmp(lab.topo);
+  util::Rng rng(setup.seed * 77 + 1);
+
+  // Build the target list: /30 partners of SNMP-responsive addresses that
+  // are themselves probe-able router interfaces.
+  std::vector<net::Ipv4Addr> targets;
+  for (const auto addr : snmp.responsive_addresses()) {
+    const auto partner = alias::p2p_partner(addr);
+    if (lab.topo.interface_at(partner)) targets.push_back(partner);
+  }
+  rng.shuffle(targets);
+  if (targets.size() > max_targets) targets.resize(max_targets);
+  std::printf("targets: %zu (/30 partners of SNMPv3 responders)\n\n",
+              targets.size());
+
+  const auto vps = lab.topo.vantage_points();
+  const std::vector<topology::HostId> vp_pool(vps.begin(), vps.end());
+  // Appx B.1 alias basis: MIDAR-like dataset + SNMPv3 + /30 heuristic.
+  util::Rng alias_rng(setup.seed + 3);
+  const auto midar = alias::midar_like_aliases(lab.topo, alias_rng);
+  const eval::HopMatcher matcher(&midar, &snmp);
+
+  Tally intra, inter;
+  std::size_t evaluated = 0;
+  for (const auto target : targets) {
+    const topology::HostId source = rng.pick(vp_pool);
+    const auto trace =
+        lab.prober.traceroute(source, target);
+    if (!trace.reached || trace.hops.size() < 2) continue;
+    std::optional<net::Ipv4Addr> penultimate;
+    for (std::size_t i = trace.hops.size() - 1; i-- > 0;) {
+      if (trace.hops[i].addr) {
+        penultimate = trace.hops[i].addr;
+        break;
+      }
+    }
+    if (!penultimate) continue;
+
+    // Reveal reverse hops with spoofed RR from up to 6 random VPs.
+    std::vector<net::Ipv4Addr> reverse_hops;
+    const auto sample = rng.sample(vp_pool, 6);
+    for (const auto vp : sample) {
+      const auto probe = lab.prober.rr_ping(vp, target,
+                                            lab.topo.host(source).addr);
+      if (!probe.responded) continue;
+      reverse_hops =
+          core::RevtrEngine::extract_reverse_hops(probe.slots, target);
+      if (!reverse_hops.empty()) break;
+    }
+    if (reverse_hops.empty()) continue;
+    ++evaluated;
+
+    // Classify: on path / off path / unknown.
+    bool on_path = false;
+    for (const auto hop : reverse_hops) {
+      if (matcher.same_router(*penultimate, hop) ||
+          alias::same_p2p_subnet(*penultimate, hop)) {
+        on_path = true;
+        break;
+      }
+    }
+    const bool snmp_known = snmp.responsive(*penultimate);
+
+    const auto as_p = lab.ip2as.lookup(*penultimate);
+    const auto as_t = lab.ip2as.lookup(target);
+    const bool intradomain = as_p && as_t && *as_p == *as_t;
+    Tally& tally = intradomain ? intra : inter;
+    if (on_path) {
+      ++tally.yes;
+    } else if (snmp_known) {
+      ++tally.no;
+    } else {
+      ++tally.unknown;
+    }
+  }
+
+  std::printf("paths with a measured reverse hop: %zu\n\n", evaluated);
+
+  util::TextTable table({"", "Yes", "No", "Unknown", "Yes/(Yes+No)"});
+  auto row = [&](const char* label, const Tally& t) {
+    const std::uint64_t total = t.yes + t.no + t.unknown;
+    table.add_row({label, util::cell(t.frac(t.yes, total)),
+                   util::cell(t.frac(t.no, total)),
+                   util::cell(t.frac(t.unknown, total)),
+                   util::cell(t.conditional())});
+  };
+  Tally all;
+  all.yes = intra.yes + inter.yes;
+  all.no = intra.no + inter.no;
+  all.unknown = intra.unknown + inter.unknown;
+  row("Intradomain", intra);
+  row("Interdomain", inter);
+  row("All", all);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: intradomain 0.90, interdomain 0.57 — the gap justifies Q5's\n"
+      "intradomain-only symmetry assumption.\n");
+  return 0;
+}

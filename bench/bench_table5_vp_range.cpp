@@ -1,0 +1,81 @@
+// Table 5: fraction of BGP prefixes where each technique finds a vantage
+// point within 8 RR hops of the held-out destination (§5.3).
+//
+// Rows: plain ingress inference, + the double-stamp heuristic, + the loop
+// heuristic (= revtr 2.0), revtr 1.0's try-everything order, and the
+// optimal oracle. Paper: 0.65 / 0.70 / 0.71 / 0.72 / 0.72.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "vpsurvey.h"
+
+using namespace revtr;
+
+namespace {
+
+// Does any VP the technique would try sit within 8 RR hops?
+bool technique_finds(const bench::PrefixEval& entry,
+                     const std::vector<vpselect::Attempt>& attempts) {
+  for (const auto& attempt : attempts) {
+    if (const auto* probe = entry.probe_for(attempt.vp)) {
+      if (probe->in_range()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  const auto max_prefixes =
+      static_cast<std::size_t>(flags.get_int("prefixes", 400));
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Table 5: VPs found within 8 RR hops, per technique",
+                      setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto survey = bench::run_vp_survey(lab, setup, max_prefixes);
+  std::printf("prefixes with >= 3 responsive destinations: %zu\n\n",
+              survey.prefixes.size());
+
+  std::vector<const vpselect::PrefixPlan*> plans;
+  for (const auto& entry : survey.prefixes) plans.push_back(&entry.plan);
+  // One global order across all surveyed prefixes.
+  const auto global_order = vpselect::global_vp_order(plans);
+
+  util::Fraction ingress, ingress_dstamp, ingress_loop, revtr1, optimal;
+  for (const auto& entry : survey.prefixes) {
+    ingress.tally(technique_finds(
+        entry, vpselect::attempt_plan(entry.plan_plain)));
+    ingress_dstamp.tally(technique_finds(
+        entry, vpselect::attempt_plan(entry.plan_dstamp)));
+    ingress_loop.tally(
+        technique_finds(entry, vpselect::attempt_plan(entry.plan)));
+    revtr1.tally(technique_finds(
+        entry,
+        bench::order_to_attempts(vpselect::revtr1_vp_order(entry.plan))));
+    // Optimal: any VP at all within range (ground truth over the probes).
+    bool any = false;
+    for (const auto& [vp, probe] : entry.probes) {
+      if (probe.in_range()) any = true;
+    }
+    optimal.tally(any);
+  }
+
+  util::TextTable table({"Technique", "Fraction of BGP prefixes"});
+  table.add_row({"Ingress", util::cell(ingress.value())});
+  table.add_row({"Ingress + double stamp", util::cell(ingress_dstamp.value())});
+  table.add_row(
+      {"Ingress + double stamp + loop (revtr 2.0)",
+       util::cell(ingress_loop.value())});
+  table.add_row({"revtr 1.0", util::cell(revtr1.value())});
+  table.add_row({"Optimal", util::cell(optimal.value())});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper: 0.65 / 0.70 / 0.71 / 0.72 / 0.72 — the heuristics close most\n"
+      "of the gap to revtr 1.0's exhaustive search at a fraction of the\n"
+      "probing cost (Fig 6c).\n");
+  return 0;
+}

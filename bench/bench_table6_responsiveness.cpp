@@ -1,0 +1,132 @@
+// Table 6 + Fig 11 (Appx F): record route responsiveness and reachability.
+//
+// One host per customer prefix is probed with a plain ping and an RR ping
+// from every vantage point, for two vantage point sets: the "2020"-era
+// colo-hosted VPs and the smaller "2016"-era edu-hosted set. Fig 11 is the
+// CDF of the RR distance to the closest VP among RR-responsive hosts.
+//
+// Paper: ~77% ping-responsive, ~57% RR-responsive, ~36% reachable within
+// 8 RR slots; destinations are markedly closer to the 2020 colo VPs (39%
+// within 4 hops vs 16% in 2016).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/revtr.h"
+#include "eval/harness.h"
+#include "vpselect/ingress.h"
+
+using namespace revtr;
+
+namespace {
+
+struct EraStats {
+  std::uint64_t probed = 0;
+  std::uint64_t ping_responsive = 0;
+  std::uint64_t rr_responsive = 0;
+  std::uint64_t rr_reachable_8 = 0;
+  util::Distribution closest_distance;  // Among RR-responsive hosts.
+};
+
+EraStats survey(eval::Lab& lab, std::span<const topology::HostId> vps) {
+  EraStats stats;
+  for (const auto prefix : lab.customer_prefixes()) {
+    const auto hosts = lab.topo.hosts_in_prefix(prefix);
+    if (hosts.empty()) continue;
+    const auto& host = lab.topo.host(hosts.front());
+    ++stats.probed;
+
+    const auto ping = lab.prober.ping(vps.front(), host.addr);
+    if (!ping.responded) continue;
+    ++stats.ping_responsive;
+
+    // RR probe from every VP; track the closest observation.
+    int closest = -1;
+    bool responded = false;
+    for (const auto vp : vps) {
+      const auto rr = lab.prober.rr_ping(vp, host.addr);
+      if (!rr.responded) continue;
+      responded = true;
+      const auto analysis = vpselect::analyze_reach(
+          rr.slots, lab.topo.prefix(prefix).prefix);
+      if (analysis.reach_slot < 0) continue;
+      const int distance = analysis.reach_slot + 1;
+      if (closest < 0 || distance < closest) closest = distance;
+    }
+    if (!responded) continue;
+    ++stats.rr_responsive;
+    if (closest >= 1) {
+      stats.closest_distance.add(closest);
+      if (closest <= 8) ++stats.rr_reachable_8;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  const auto setup = bench::parse_setup(flags);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Table 6 / Fig 11: RR responsiveness & reachability",
+                      setup);
+
+  eval::Lab lab(setup.topo, core::EngineConfig::revtr2(), setup.seed);
+  const auto era2020 = survey(lab, lab.topo.vantage_points());
+  const auto era2016 = survey(lab, lab.topo.vantage_points_2016());
+  // "2020 with 2016 VP count": the first |2016| colo VPs.
+  const auto vps = lab.topo.vantage_points();
+  const std::size_t restricted_count =
+      std::min(lab.topo.vantage_points_2016().size(), vps.size());
+  const auto era2020_restricted =
+      survey(lab, vps.subspan(0, restricted_count));
+
+  util::TextTable table({"", "2016-era (edu VPs)", "2020-era (colo VPs)"});
+  auto pct = [](std::uint64_t part, std::uint64_t total) {
+    return util::cell_percent(
+        total == 0 ? 0.0 : static_cast<double>(part) / total);
+  };
+  table.add_row({"All probed", util::cell_count(era2016.probed),
+                 util::cell_count(era2020.probed)});
+  table.add_row({"Ping responsive",
+                 pct(era2016.ping_responsive, era2016.probed),
+                 pct(era2020.ping_responsive, era2020.probed)});
+  table.add_row({"RR responsive", pct(era2016.rr_responsive, era2016.probed),
+                 pct(era2020.rr_responsive, era2020.probed)});
+  table.add_row({"RR reachable in <= 8 hops",
+                 pct(era2016.rr_reachable_8, era2016.probed),
+                 pct(era2020.rr_reachable_8, era2020.probed)});
+  std::printf("%s\n", table.render().c_str());
+
+  auto cdf_series = [](const std::string& name,
+                       const util::Distribution& dist) {
+    util::Series series;
+    series.name = name;
+    for (int hops = 1; hops <= 9; ++hops) {
+      series.xs.push_back(hops);
+      series.ys.push_back(dist.empty() ? 0 : dist.cdf_at(hops));
+    }
+    return series;
+  };
+  std::printf(
+      "%s\n",
+      util::render_figure(
+          "Fig 11: CDF of RR hops from the closest VP (RR-responsive hosts)",
+          {cdf_series("2020, all VPs", era2020.closest_distance),
+           cdf_series("2020 with 2016-sized VP set",
+                      era2020_restricted.closest_distance),
+           cdf_series("2016, all VPs", era2016.closest_distance)},
+          3)
+          .c_str());
+  if (!era2020.closest_distance.empty() &&
+      !era2016.closest_distance.empty()) {
+    std::printf("within 4 hops: 2020 %.0f%% vs 2016 %.0f%%\n",
+                era2020.closest_distance.cdf_at(4) * 100,
+                era2016.closest_distance.cdf_at(4) * 100);
+  }
+  std::printf(
+      "\npaper: ~77%% ping / ~57%% RR responsive, 36%% reachable within 8;\n"
+      "colo (2020) VPs sit much closer: 39%% of destinations within 4 hops\n"
+      "vs 16%% for the 2016 set (Insight 1.7).\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Shared survey for the §5.3 record-route VP-selection evaluation
+// (Table 5 and Fig 6).
+//
+// For every customer prefix with at least three ping-responsive hosts, two
+// hosts feed ingress discovery and the third is held out for evaluation.
+// Every vantage point sends one spoofed RR ping to the held-out destination
+// (spoofed as a per-prefix source), yielding simultaneously its RR distance
+// and the reverse hops it would uncover — the raw material for all of the
+// §5.3 comparisons.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/revtr.h"
+#include "eval/harness.h"
+#include "vpselect/ingress.h"
+
+namespace revtr::bench {
+
+struct VpProbe {
+  topology::HostId vp = topology::kInvalidId;
+  bool responded = false;
+  int distance = -1;          // RR slots to reach the destination; -1 = out.
+  std::size_t reverse_hops = 0;  // Hops uncovered beyond the destination.
+  std::vector<net::Ipv4Addr> slots;
+
+  bool in_range() const noexcept { return distance >= 1 && distance <= 8; }
+};
+
+struct PrefixEval {
+  topology::PrefixId prefix = topology::kInvalidId;
+  net::Ipv4Addr eval_dest;
+  vpselect::PrefixPlan plan;          // Full heuristics (revtr 2.0).
+  vpselect::PrefixPlan plan_plain;    // No double-stamp, no loop.
+  vpselect::PrefixPlan plan_dstamp;   // Double-stamp only.
+  std::unordered_map<topology::HostId, VpProbe> probes;
+
+  const VpProbe* probe_for(topology::HostId vp) const {
+    const auto it = probes.find(vp);
+    return it == probes.end() ? nullptr : &it->second;
+  }
+};
+
+struct VpSurvey {
+  std::vector<PrefixEval> prefixes;
+};
+
+inline VpSurvey run_vp_survey(eval::Lab& lab, const BenchSetup& setup,
+                              std::size_t max_prefixes) {
+  VpSurvey survey;
+  util::Rng rng(setup.seed * 31 + 9);
+  const auto vps = lab.topo.vantage_points();
+  const std::vector<topology::HostId> vp_pool(vps.begin(), vps.end());
+
+  vpselect::IngressDiscovery::Options plain_options;
+  plain_options.enable_double_stamp = false;
+  plain_options.enable_loop = false;
+  vpselect::IngressDiscovery plain(lab.prober, lab.topo, plain_options);
+  vpselect::IngressDiscovery::Options dstamp_options;
+  dstamp_options.enable_loop = false;
+  vpselect::IngressDiscovery dstamp(lab.prober, lab.topo, dstamp_options);
+
+  for (const auto prefix : lab.customer_prefixes()) {
+    if (survey.prefixes.size() >= max_prefixes) break;
+    // Require >= 3 ping-responsive hosts: two for inference, one held out.
+    std::vector<topology::HostId> responsive;
+    for (const auto host : lab.topo.hosts_in_prefix(prefix)) {
+      if (lab.topo.host(host).ping_responsive) responsive.push_back(host);
+    }
+    if (responsive.size() < 3) continue;
+    const topology::HostId eval_host = responsive[2];
+
+    PrefixEval entry;
+    entry.prefix = prefix;
+    entry.eval_dest = lab.topo.host(eval_host).addr;
+    const topology::HostId exclude[] = {eval_host};
+    entry.plan = lab.ingress.discover(prefix, vps, rng, exclude);
+    entry.plan_plain = plain.discover(prefix, vps, rng, exclude);
+    entry.plan_dstamp = dstamp.discover(prefix, vps, rng, exclude);
+
+    // One spoofed RR probe per VP toward the held-out destination.
+    const topology::HostId source = rng.pick(vp_pool);
+    const net::Ipv4Addr source_addr = lab.topo.host(source).addr;
+    for (const auto vp : vps) {
+      VpProbe probe;
+      probe.vp = vp;
+      const auto result =
+          lab.prober.rr_ping(vp, entry.eval_dest, source_addr);
+      probe.responded = result.responded;
+      if (result.responded) {
+        probe.slots = result.slots;
+        const auto analysis = vpselect::analyze_reach(
+            result.slots, lab.topo.prefix(prefix).prefix);
+        probe.distance =
+            analysis.reach_slot < 0 ? -1 : analysis.reach_slot + 1;
+        probe.reverse_hops = core::RevtrEngine::extract_reverse_hops(
+                                 result.slots, entry.eval_dest)
+                                 .size();
+      }
+      entry.probes[vp] = std::move(probe);
+    }
+    survey.prefixes.push_back(std::move(entry));
+  }
+  return survey;
+}
+
+// Reverse hops uncovered by the first batch of `batch_size` attempts.
+inline std::size_t first_batch_hops(const PrefixEval& entry,
+                                    const std::vector<vpselect::Attempt>& plan,
+                                    std::size_t batch_size) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < plan.size() && i < batch_size; ++i) {
+    if (const auto* probe = entry.probe_for(plan[i].vp)) {
+      best = std::max(best, probe->reverse_hops);
+    }
+  }
+  return best;
+}
+
+// Number of VPs tried (in batches of `batch_size`) before some batch
+// uncovers a reverse hop; all attempts if none ever does.
+inline std::size_t spoofers_tried(const PrefixEval& entry,
+                                  const std::vector<vpselect::Attempt>& plan,
+                                  std::size_t batch_size) {
+  std::size_t tried = 0;
+  std::size_t batch_best = 0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    ++tried;
+    if (const auto* probe = entry.probe_for(plan[i].vp)) {
+      batch_best = std::max(batch_best, probe->reverse_hops);
+    }
+    if ((i + 1) % batch_size == 0 || i + 1 == plan.size()) {
+      if (batch_best > 0) return tried;
+      batch_best = 0;
+    }
+  }
+  return tried;
+}
+
+// Converts a plain VP order into the Attempt shape used above.
+inline std::vector<vpselect::Attempt> order_to_attempts(
+    const std::vector<topology::HostId>& order) {
+  std::vector<vpselect::Attempt> attempts;
+  attempts.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    attempts.push_back(vpselect::Attempt{order[i], net::Ipv4Addr{}, i});
+  }
+  return attempts;
+}
+
+}  // namespace revtr::bench

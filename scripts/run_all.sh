@@ -1,0 +1,9 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table/figure.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build
+for b in build/bench/*; do [ -x "$b" ] && "$b"; done
+for e in build/examples/*; do [ -x "$e" ] && "$e"; done

@@ -1,0 +1,113 @@
+#include "alias/alias.h"
+
+#include "util/rng.h"
+
+namespace revtr::alias {
+
+void AliasStore::add_pair(net::Ipv4Addr a, net::Ipv4Addr b) {
+  parent_.try_emplace(a, a);
+  parent_.try_emplace(b, b);
+  const net::Ipv4Addr ra = find(a);
+  const net::Ipv4Addr rb = find(b);
+  if (ra != rb) parent_[ra] = rb;
+}
+
+void AliasStore::add_set(const std::vector<net::Ipv4Addr>& addrs) {
+  for (std::size_t i = 1; i < addrs.size(); ++i) {
+    add_pair(addrs[0], addrs[i]);
+  }
+  if (addrs.size() == 1) parent_.try_emplace(addrs[0], addrs[0]);
+}
+
+net::Ipv4Addr AliasStore::find(net::Ipv4Addr addr) const {
+  // Path-halving; parent_ is mutable because compression is an internal
+  // optimization invisible to callers.
+  auto it = parent_.find(addr);
+  while (it->second != addr) {
+    const auto grand = parent_.find(it->second);
+    it->second = grand->second;
+    addr = it->second;
+    it = parent_.find(addr);
+  }
+  return addr;
+}
+
+bool AliasStore::knows(net::Ipv4Addr addr) const {
+  return parent_.contains(addr);
+}
+
+bool AliasStore::same_router(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  if (a == b) return true;
+  if (!knows(a) || !knows(b)) return false;
+  return find(a) == find(b);
+}
+
+std::optional<net::Ipv4Addr> AliasStore::representative(
+    net::Ipv4Addr addr) const {
+  if (!knows(addr)) return std::nullopt;
+  return find(addr);
+}
+
+AliasStore ground_truth_aliases(const topology::Topology& topo) {
+  AliasStore store;
+  for (const auto& router : topo.routers()) {
+    store.add_set(topo.router_addresses(router.id));
+  }
+  return store;
+}
+
+AliasStore midar_like_aliases(const topology::Topology& topo, util::Rng& rng,
+                              double router_coverage,
+                              double interface_coverage) {
+  AliasStore store;
+  for (const auto& router : topo.routers()) {
+    if (!rng.chance(router_coverage)) continue;
+    std::vector<net::Ipv4Addr> kept;
+    for (const auto addr : topo.router_addresses(router.id)) {
+      // MIDAR relies on shared IP-ID counters, which private interfaces and
+      // non-responsive routers never expose.
+      if (addr.is_private()) continue;
+      if (rng.chance(interface_coverage)) kept.push_back(addr);
+    }
+    if (kept.size() >= 2) store.add_set(kept);
+  }
+  return store;
+}
+
+SnmpResolver::SnmpResolver(const topology::Topology& topo) : topo_(topo) {}
+
+std::optional<std::uint64_t> SnmpResolver::identifier(
+    net::Ipv4Addr addr) const {
+  const auto owner = topo_.interface_at(addr);
+  if (!owner) return std::nullopt;
+  const auto& router = topo_.router(owner->router);
+  if (!router.snmp_responder) return std::nullopt;
+  // Engine IDs are opaque but stable per device.
+  return util::mix_hash(0x534e4d50, router.id);
+}
+
+std::vector<net::Ipv4Addr> SnmpResolver::responsive_addresses() const {
+  std::vector<net::Ipv4Addr> addrs;
+  for (const auto& router : topo_.routers()) {
+    if (!router.snmp_responder) continue;
+    for (const auto addr : topo_.router_addresses(router.id)) {
+      if (!addr.is_private()) addrs.push_back(addr);
+    }
+  }
+  return addrs;
+}
+
+bool same_p2p_subnet(net::Ipv4Addr a, net::Ipv4Addr b) {
+  if (a == b) return false;
+  return (a.value() >> 2) == (b.value() >> 2) ||  // Same /30.
+         (a.value() >> 1) == (b.value() >> 1);    // Same /31.
+}
+
+net::Ipv4Addr p2p_partner(net::Ipv4Addr addr) {
+  // Within a /30 the two usable addresses are .1 and .2 (offsets 01 and 10).
+  const std::uint32_t base = addr.value() & ~3u;
+  const std::uint32_t offset = addr.value() & 3u;
+  return net::Ipv4Addr(base + (offset == 1 ? 2 : 1));
+}
+
+}  // namespace revtr::alias

@@ -1,0 +1,88 @@
+// Alias resolution: grouping IP addresses into routers (Appx B.1).
+//
+// The paper's accuracy evaluation hinges on alias information being
+// *incomplete*: 75% of mismatched hops "do not allow for alias resolution".
+// We therefore model the real datasets, not just the ground truth:
+//  * AliasStore        - a union-find of addresses known to share a router.
+//  * ground truth      - complete, from the generator (for upper bounds).
+//  * MIDAR-like        - covers only a sampled subset of routers/interfaces,
+//                        like CAIDA ITDK.
+//  * SNMPv3-like       - routers flagged snmp_responder reveal a stable
+//                        identifier on every interface ([17] in the paper);
+//                        used as reliable "not on path" evidence in §4.4.
+//  * /30 heuristic     - two addresses in one /30 (or /31) are opposite ends
+//                        of a point-to-point link; used to match RR hops
+//                        (egress) with traceroute hops (ingress).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace revtr::alias {
+
+// Union-find over addresses; queries never mutate observable state.
+class AliasStore {
+ public:
+  void add_pair(net::Ipv4Addr a, net::Ipv4Addr b);
+  void add_set(const std::vector<net::Ipv4Addr>& addrs);
+
+  // True when both addresses are known and in the same alias set. Unknown
+  // addresses are never aliases of anything ("does not allow resolution").
+  bool same_router(net::Ipv4Addr a, net::Ipv4Addr b) const;
+  bool knows(net::Ipv4Addr addr) const;
+
+  // Canonical representative of the address's alias set, if known.
+  std::optional<net::Ipv4Addr> representative(net::Ipv4Addr addr) const;
+
+  std::size_t known_addresses() const noexcept { return parent_.size(); }
+
+ private:
+  net::Ipv4Addr find(net::Ipv4Addr addr) const;
+
+  mutable std::unordered_map<net::Ipv4Addr, net::Ipv4Addr> parent_;
+};
+
+// Complete alias knowledge from the generator: every interface of every
+// router, including gateways and private aliases.
+AliasStore ground_truth_aliases(const topology::Topology& topo);
+
+// MIDAR-like partial dataset: each router is covered with probability
+// `router_coverage`; covered routers contribute each interface with
+// probability `interface_coverage`. Mirrors ITDK's incompleteness (the
+// paper re-ran MIDAR because 30% of RR addresses were absent from ITDK).
+AliasStore midar_like_aliases(const topology::Topology& topo, util::Rng& rng,
+                              double router_coverage = 0.55,
+                              double interface_coverage = 0.75);
+
+// SNMPv3-style resolver: a responder reveals the same engine identifier on
+// all its interfaces. Returns nullopt for non-responders/unknown addresses.
+class SnmpResolver {
+ public:
+  explicit SnmpResolver(const topology::Topology& topo);
+
+  std::optional<std::uint64_t> identifier(net::Ipv4Addr addr) const;
+  bool responsive(net::Ipv4Addr addr) const {
+    return identifier(addr).has_value();
+  }
+
+  // All known SNMP-responsive interface addresses (the §4.4 dataset basis).
+  std::vector<net::Ipv4Addr> responsive_addresses() const;
+
+ private:
+  const topology::Topology& topo_;
+};
+
+// Point-to-point heuristic: same /30 (or /31) => opposite ends of a link.
+bool same_p2p_subnet(net::Ipv4Addr a, net::Ipv4Addr b);
+
+// The other address of a /30 pair (used to build the §4.4 target list:
+// probing x.x.x.2 likely traverses the router owning x.x.x.1).
+net::Ipv4Addr p2p_partner(net::Ipv4Addr addr);
+
+}  // namespace revtr::alias

@@ -1,0 +1,53 @@
+#include "asmap/bdrmap.h"
+
+namespace revtr::asmap {
+
+BdrmapLite::BdrmapLite(const IpToAs& ip2as) : ip2as_(ip2as) {}
+
+void BdrmapLite::add_path(std::span<const net::Ipv4Addr> hops) {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const auto successor_as = ip2as_.lookup(hops[i + 1]);
+    if (!successor_as) continue;
+    ++votes_[hops[i]][*successor_as];
+  }
+  if (!hops.empty()) {
+    // The final hop has no successor; its own mapping is its best vote.
+    if (const auto own = ip2as_.lookup(hops.back())) {
+      ++votes_[hops.back()][*own];
+    }
+  }
+}
+
+std::optional<topology::Asn> BdrmapLite::router_as(
+    net::Ipv4Addr addr) const {
+  const auto it = votes_.find(addr);
+  if (it == votes_.end()) return ip2as_.lookup(addr);
+  topology::Asn best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [asn, count] : it->second) {
+    if (count > best_count) {
+      best = asn;
+      best_count = count;
+    }
+  }
+  if (best == 0) return ip2as_.lookup(addr);
+  return best;
+}
+
+bool BdrmapLite::intradomain(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  const auto as_a = router_as(a);
+  const auto as_b = router_as(b);
+  return as_a && as_b && *as_a == *as_b;
+}
+
+std::size_t BdrmapLite::remapped_addresses() const {
+  std::size_t remapped = 0;
+  for (const auto& [addr, counts] : votes_) {
+    const auto inferred = router_as(addr);
+    const auto plain = ip2as_.lookup(addr);
+    if (inferred && plain && *inferred != *plain) ++remapped;
+  }
+  return remapped;
+}
+
+}  // namespace revtr::asmap

@@ -1,0 +1,54 @@
+// bdrmap-lite: traceroute-graph-based router-to-AS inference (Appx B.2).
+//
+// The paper evaluated bdrmapit as an alternative to prefix-based IP-to-AS
+// mapping for deciding whether a symmetry-assumption link is intradomain.
+// bdrmapit is an offline algorithm over a traceroute corpus; this is the
+// corresponding lightweight inference: the AS operating the router behind
+// an observed interface is voted on by the origin ASes of the addresses
+// that *follow* it across the corpus (traceroute reveals ingress
+// interfaces, so an interface numbered from the previous AS's space still
+// precedes hops in the operator's own space).
+//
+// The paper found bdrmapit shifted only 0.07% of symmetry assumptions from
+// intradomain to interdomain and 1.5% the other way, and that running it
+// would hold the atlas hostage for ~30 minutes — so revtr 2.0 does not use
+// it. bench_appxB2_bdrmap reproduces that comparison.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "asmap/asmap.h"
+#include "net/ipv4.h"
+#include "topology/topology.h"
+
+namespace revtr::asmap {
+
+class BdrmapLite {
+ public:
+  explicit BdrmapLite(const IpToAs& ip2as);
+
+  // Feeds one measured IP-level path (ordered toward the destination).
+  void add_path(std::span<const net::Ipv4Addr> hops);
+
+  // Inferred operator AS of the router behind `addr`: the majority vote of
+  // successor-hop origin ASes, falling back to prefix-based mapping.
+  std::optional<topology::Asn> router_as(net::Ipv4Addr addr) const;
+
+  // Link classification under the inferred mapping.
+  bool intradomain(net::Ipv4Addr a, net::Ipv4Addr b) const;
+
+  std::size_t observed_addresses() const noexcept { return votes_.size(); }
+  // How many observed addresses end up re-mapped vs. plain prefix mapping.
+  std::size_t remapped_addresses() const;
+
+ private:
+  const IpToAs& ip2as_;
+  // addr -> successor-AS vote counts.
+  std::unordered_map<net::Ipv4Addr,
+                     std::unordered_map<topology::Asn, std::size_t>>
+      votes_;
+};
+
+}  // namespace revtr::asmap

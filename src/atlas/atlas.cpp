@@ -1,0 +1,239 @@
+#include "atlas/atlas.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace revtr::atlas {
+
+namespace {
+using net::Ipv4Addr;
+using topology::HostId;
+}  // namespace
+
+TracerouteAtlas::TracerouteAtlas(probing::Prober& prober,
+                                 const topology::Topology& topo)
+    : prober_(prober), topo_(topo) {}
+
+util::SimClock::Micros TracerouteAtlas::measure_into(
+    SourceAtlas& atlas, HostId source, std::span<const HostId> probes,
+    util::SimClock::Micros now) {
+  const Ipv4Addr source_addr = topo_.host(source).addr;
+  util::SimClock::Micros longest = 0;
+  for (const HostId probe : probes) {
+    const auto result = prober_.traceroute(probe, source_addr);
+    AtlasTraceroute tr;
+    tr.probe = probe;
+    tr.hops = result.responsive_hops();
+    tr.reached_source = result.reached;
+    tr.measured_at = now;
+    atlas.traceroutes.push_back(std::move(tr));
+    // Probe hosts measure concurrently; the build takes as long as the
+    // slowest traceroute (matching the ~15 min bootstrap of Appx A).
+    longest = std::max(longest, result.duration_us);
+  }
+  return longest;
+}
+
+void TracerouteAtlas::index_hops(SourceAtlas& atlas) {
+  atlas.hop_index.clear();
+  for (std::size_t t = 0; t < atlas.traceroutes.size(); ++t) {
+    const auto& hops = atlas.traceroutes[t].hops;
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      // Keep the entry closest to the source so suffixes are shortest and
+      // therefore most conservative.
+      const auto it = atlas.hop_index.find(hops[h]);
+      if (it == atlas.hop_index.end()) {
+        atlas.hop_index[hops[h]] = Intersection{t, h};
+      }
+    }
+  }
+}
+
+util::SimClock::Micros TracerouteAtlas::build(HostId source,
+                                              std::size_t count,
+                                              util::Rng& rng,
+                                              util::SimClock::Micros now) {
+  SourceAtlas& atlas = sources_[source];
+  atlas.traceroutes.clear();
+  atlas.rr_index.clear();
+  const auto probes_span = topo_.probe_hosts();
+  const std::vector<HostId> pool(probes_span.begin(), probes_span.end());
+  const auto chosen = rng.sample(pool, count);
+  const auto duration = measure_into(atlas, source, chosen, now);
+  index_hops(atlas);
+  return duration;
+}
+
+util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
+                                                util::SimClock::Micros now) {
+  SourceAtlas& atlas = sources_.at(source);
+  const std::size_t target = atlas.traceroutes.size();
+
+  // Keep useful probes, re-measuring them; replace the rest.
+  std::vector<HostId> keep;
+  std::unordered_set<HostId> keep_set;
+  for (const auto& tr : atlas.traceroutes) {
+    if (tr.useful) {
+      keep.push_back(tr.probe);
+      keep_set.insert(tr.probe);
+    }
+  }
+  std::vector<HostId> fresh_pool;
+  for (const HostId probe : topo_.probe_hosts()) {
+    if (!keep_set.contains(probe)) fresh_pool.push_back(probe);
+  }
+  const auto fresh =
+      rng.sample(fresh_pool, target > keep.size() ? target - keep.size() : 0);
+
+  atlas.traceroutes.clear();
+  atlas.rr_index.clear();
+  auto duration = measure_into(atlas, source, keep, now);
+  duration = std::max(duration, measure_into(atlas, source, fresh, now));
+  index_hops(atlas);
+  return duration;
+}
+
+void TracerouteAtlas::build_rr_alias_index(HostId source) {
+  SourceAtlas& atlas = sources_.at(source);
+  atlas.rr_index.clear();
+  for (std::size_t t = 0; t < atlas.traceroutes.size(); ++t) {
+    const auto& hops = atlas.traceroutes[t].hops;
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      const auto result = prober_.rr_ping(source, hops[h]);
+      if (!result.responded) continue;
+      // Find the probed hop's own stamp; slots after it lie on the reverse
+      // path toward the source and align with successive traceroute hops.
+      const auto self = std::find(result.slots.begin(), result.slots.end(),
+                                  hops[h]);
+      if (self == result.slots.end()) continue;
+      std::size_t offset = 1;
+      for (auto it = self + 1; it != result.slots.end(); ++it, ++offset) {
+        const std::size_t mapped =
+            std::min(h + offset, hops.size() - 1);
+        // First mapping wins: it is the one farthest from the source, which
+        // yields the longest (and in our alignment, safest) suffix.
+        atlas.rr_index.try_emplace(*it, Intersection{t, mapped});
+      }
+    }
+  }
+}
+
+std::optional<Intersection> TracerouteAtlas::intersect(
+    HostId source, Ipv4Addr addr, bool use_rr_index) const {
+  const auto it = sources_.find(source);
+  if (it == sources_.end()) return std::nullopt;
+  const SourceAtlas& atlas = it->second;
+  if (const auto hit = atlas.hop_index.find(addr);
+      hit != atlas.hop_index.end()) {
+    return hit->second;
+  }
+  if (use_rr_index) {
+    if (const auto hit = atlas.rr_index.find(addr);
+        hit != atlas.rr_index.end()) {
+      return hit->second;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Intersection> TracerouteAtlas::intersect_with_aliases(
+    HostId source, Ipv4Addr addr, const alias::AliasStore& aliases) const {
+  const auto it = sources_.find(source);
+  if (it == sources_.end()) return std::nullopt;
+  if (const auto exact = intersect(source, addr, /*use_rr_index=*/false)) {
+    return exact;
+  }
+  if (!aliases.knows(addr)) return std::nullopt;
+  const SourceAtlas& atlas = it->second;
+  for (const auto& [hop_addr, where] : atlas.hop_index) {
+    if (aliases.same_router(addr, hop_addr)) return where;
+  }
+  return std::nullopt;
+}
+
+std::vector<Ipv4Addr> TracerouteAtlas::suffix_after(
+    HostId source, const Intersection& at) const {
+  const SourceAtlas& atlas = sources_.at(source);
+  const auto& hops = atlas.traceroutes.at(at.traceroute_index).hops;
+  if (at.hop_index + 1 >= hops.size()) return {};
+  return {hops.begin() + static_cast<long>(at.hop_index) + 1, hops.end()};
+}
+
+util::SimClock::Micros TracerouteAtlas::touch(HostId source,
+                                              const Intersection& at,
+                                              util::SimClock::Micros now) {
+  SourceAtlas& atlas = sources_.at(source);
+  auto& tr = atlas.traceroutes.at(at.traceroute_index);
+  tr.useful = true;
+  return now - tr.measured_at;
+}
+
+const std::vector<AtlasTraceroute>& TracerouteAtlas::traceroutes(
+    HostId source) const {
+  static const std::vector<AtlasTraceroute> kEmpty;
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? kEmpty : it->second.traceroutes;
+}
+
+std::size_t TracerouteAtlas::rr_index_size(HostId source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? 0 : it->second.rr_index.size();
+}
+
+std::vector<std::size_t> greedy_optimal_selection(
+    std::span<const AtlasTraceroute> pool, std::size_t k) {
+  return greedy_optimal_selection(pool, k, pool);
+}
+
+std::vector<std::size_t> greedy_optimal_selection(
+    std::span<const AtlasTraceroute> pool, std::size_t k,
+    std::span<const AtlasTraceroute> weight_pool) {
+  // Address weight = summed hops-to-source across the weighting set.
+  std::unordered_map<Ipv4Addr, double> weight;
+  for (const auto& tr : weight_pool) {
+    for (std::size_t h = 0; h < tr.hops.size(); ++h) {
+      weight[tr.hops[h]] +=
+          static_cast<double>(tr.hops.size() - 1 - h);
+    }
+  }
+
+  std::vector<std::size_t> selected;
+  std::unordered_set<Ipv4Addr> covered;
+  std::vector<bool> taken(pool.size(), false);
+  k = std::min(k, pool.size());
+  selected.reserve(k);
+  for (std::size_t round = 0; round < k; ++round) {
+    double best_gain = -1.0;
+    std::size_t best = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (taken[i]) continue;
+      double gain = 0;
+      for (const auto hop : pool[i].hops) {
+        if (!covered.contains(hop)) gain += weight[hop];
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == pool.size()) break;
+    taken[best] = true;
+    selected.push_back(best);
+    for (const auto hop : pool[best].hops) covered.insert(hop);
+  }
+  return selected;
+}
+
+double intersected_fraction(std::span<const Ipv4Addr> path,
+                            const std::unordered_set<Ipv4Addr>& covered) {
+  if (path.empty()) return 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (covered.contains(path[i])) {
+      return static_cast<double>(path.size() - i) /
+             static_cast<double>(path.size());
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace revtr::atlas

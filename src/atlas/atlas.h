@@ -1,0 +1,136 @@
+// Traceroute atlas (design questions Q1 and Q2).
+//
+// Q1: for each Reverse Traceroute source S the system maintains an atlas of
+// traceroutes from distributed probe hosts (RIPE-Atlas-like) toward S,
+// refreshed daily, with traceroutes that proved useless replaced by fresh
+// random ones (Insights 1.4/1.5).
+//
+// Q2: to detect intersections without runtime alias resolution, the system
+// sends background RR pings to every atlas traceroute hop; the reply's RR
+// slots reveal the addresses that same router path exposes to RR probes
+// toward S. A later reverse traceroute that uncovers one of those addresses
+// intersects the atlas at a known hop (Insight 1.6, §4.2, Fig 3).
+//
+// The module also implements the greedy weighted-max-coverage "optimal"
+// atlas selection used as the upper bound in the Appx D.2.1 study (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "alias/alias.h"
+#include "net/ipv4.h"
+#include "probing/prober.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace revtr::atlas {
+
+struct AtlasTraceroute {
+  topology::HostId probe = topology::kInvalidId;
+  // Responsive hops in probe->source order; the source address is last when
+  // the traceroute reached it.
+  std::vector<net::Ipv4Addr> hops;
+  util::SimClock::Micros measured_at = 0;
+  bool reached_source = false;
+  bool useful = false;  // Intersected by some reverse traceroute.
+};
+
+struct Intersection {
+  std::size_t traceroute_index = 0;
+  std::size_t hop_index = 0;
+};
+
+class TracerouteAtlas {
+ public:
+  TracerouteAtlas(probing::Prober& prober, const topology::Topology& topo);
+
+  // Q1: (re)build the atlas for `source` with traceroutes from `count`
+  // random probe hosts. Returns the simulated duration of the build.
+  util::SimClock::Micros build(topology::HostId source, std::size_t count,
+                               util::Rng& rng,
+                               util::SimClock::Micros now = 0);
+
+  // Daily refresh: keep traceroutes marked useful, re-measure them, and
+  // replace the rest with fresh random probe hosts (Appx D.2.1 policy).
+  util::SimClock::Micros refresh(topology::HostId source, util::Rng& rng,
+                                 util::SimClock::Micros now);
+
+  // Q2: issue RR pings from the source to every atlas hop and index the
+  // addresses revealed on the reverse slots.
+  void build_rr_alias_index(topology::HostId source);
+
+  // Exact-address intersection; with use_rr_index also matches addresses
+  // learned by the Q2 background probes.
+  std::optional<Intersection> intersect(topology::HostId source,
+                                        net::Ipv4Addr addr,
+                                        bool use_rr_index) const;
+
+  // revtr 1.0-style intersection through an external alias dataset: the
+  // address intersects if the dataset says it shares a router with a hop.
+  std::optional<Intersection> intersect_with_aliases(
+      topology::HostId source, net::Ipv4Addr addr,
+      const alias::AliasStore& aliases) const;
+
+  // Hops strictly after the intersection, ending at the source.
+  std::vector<net::Ipv4Addr> suffix_after(topology::HostId source,
+                                          const Intersection& at) const;
+
+  // Marks the intersected traceroute as useful (refresh keeps it) and
+  // returns its age relative to `now`.
+  util::SimClock::Micros touch(topology::HostId source, const Intersection& at,
+                               util::SimClock::Micros now);
+
+  const std::vector<AtlasTraceroute>& traceroutes(
+      topology::HostId source) const;
+  bool has_source(topology::HostId source) const {
+    return sources_.contains(source);
+  }
+  std::size_t rr_index_size(topology::HostId source) const;
+
+ private:
+  struct SourceAtlas {
+    std::vector<AtlasTraceroute> traceroutes;
+    // Exact traceroute hop address -> location.
+    std::unordered_map<net::Ipv4Addr, Intersection> hop_index;
+    // Q2: RR-revealed address -> location.
+    std::unordered_map<net::Ipv4Addr, Intersection> rr_index;
+  };
+
+  void index_hops(SourceAtlas& atlas);
+  util::SimClock::Micros measure_into(SourceAtlas& atlas,
+                                      topology::HostId source,
+                                      std::span<const topology::HostId> probes,
+                                      util::SimClock::Micros now);
+
+  probing::Prober& prober_;
+  const topology::Topology& topo_;
+  std::unordered_map<topology::HostId, SourceAtlas> sources_;
+};
+
+// Greedy weighted max-coverage selection over a pool of traceroutes: the
+// weight of an address is the summed distance-to-source over traceroutes
+// containing it (covering far-from-source addresses saves more probing).
+// Returns indices of the selected traceroutes, best first.
+std::vector<std::size_t> greedy_optimal_selection(
+    std::span<const AtlasTraceroute> pool, std::size_t k);
+
+// Variant with the address weights computed from a different traceroute
+// set — the "Optimal revtr" oracle of Fig 9a, which knows the reverse
+// traceroutes that will be measured.
+std::vector<std::size_t> greedy_optimal_selection(
+    std::span<const AtlasTraceroute> pool, std::size_t k,
+    std::span<const AtlasTraceroute> weight_pool);
+
+// Savings metric of Appx D.2.1: the fraction of `path`'s hops (ordered
+// destination->source) that an atlas covering `covered` short-circuits:
+// from the earliest covered hop onward, everything is known.
+double intersected_fraction(std::span<const net::Ipv4Addr> path,
+                            const std::unordered_set<net::Ipv4Addr>& covered);
+
+}  // namespace revtr::atlas

@@ -1,0 +1,36 @@
+#include "core/adjacency.h"
+
+#include <algorithm>
+
+namespace revtr::core {
+
+void AdjacencyMap::add_pair(net::Ipv4Addr a, net::Ipv4Addr b) {
+  if (a == b) return;
+  auto& na = neighbors_[a];
+  if (std::find(na.begin(), na.end(), b) == na.end()) na.push_back(b);
+  auto& nb = neighbors_[b];
+  if (std::find(nb.begin(), nb.end(), a) == nb.end()) nb.push_back(a);
+}
+
+void AdjacencyMap::add_path(std::span<const net::Ipv4Addr> hops) {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    add_pair(hops[i], hops[i + 1]);
+  }
+}
+
+std::vector<net::Ipv4Addr> AdjacencyMap::adjacent_to(
+    net::Ipv4Addr addr, std::size_t limit) const {
+  const auto it = neighbors_.find(addr);
+  if (it == neighbors_.end()) return {};
+  auto result = it->second;
+  if (result.size() > limit) result.resize(limit);
+  return result;
+}
+
+AdjacencyProvider AdjacencyMap::provider(std::size_t limit) const {
+  return [this, limit](net::Ipv4Addr addr) {
+    return adjacent_to(addr, limit);
+  };
+}
+
+}  // namespace revtr::core

@@ -1,0 +1,42 @@
+// Router adjacency knowledge for the IP timestamp technique (§2, Q4).
+//
+// revtr 1.0 tested "adjacencies of the current hop in traceroute topologies"
+// as candidate reverse hops via tsprespec probes. The adjacency data came
+// from public traceroute archives (iPlane, Ark); we build the equivalent map
+// from any collection of measured traceroutes. The Appx D.1 experiment also
+// needs a ground-truth oracle that hands the engine the *true* next reverse
+// hop, so the provider is a std::function the engine consults.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace revtr::core {
+
+using AdjacencyProvider =
+    std::function<std::vector<net::Ipv4Addr>(net::Ipv4Addr current)>;
+
+class AdjacencyMap {
+ public:
+  // Records hop adjacencies (undirected) from a measured path.
+  void add_path(std::span<const net::Ipv4Addr> hops);
+  void add_pair(net::Ipv4Addr a, net::Ipv4Addr b);
+
+  // Neighbors of `addr` seen in the corpus, capped at `limit`.
+  std::vector<net::Ipv4Addr> adjacent_to(net::Ipv4Addr addr,
+                                         std::size_t limit = 16) const;
+
+  std::size_t size() const noexcept { return neighbors_.size(); }
+
+  // Adapter for the engine.
+  AdjacencyProvider provider(std::size_t limit = 16) const;
+
+ private:
+  std::unordered_map<net::Ipv4Addr, std::vector<net::Ipv4Addr>> neighbors_;
+};
+
+}  // namespace revtr::core

@@ -1,0 +1,453 @@
+#include "core/revtr.h"
+
+#include <algorithm>
+
+namespace revtr::core {
+
+namespace {
+using net::Ipv4Addr;
+using topology::HostId;
+
+std::uint64_t cache_key(Ipv4Addr addr, HostId source) {
+  return util::mix_hash(addr.value(), source, 0xcace);
+}
+}  // namespace
+
+std::string to_string(HopSource source) {
+  switch (source) {
+    case HopSource::kDestination:
+      return "destination";
+    case HopSource::kRecordRoute:
+      return "rr";
+    case HopSource::kSpoofedRecordRoute:
+      return "spoofed-rr";
+    case HopSource::kTimestamp:
+      return "timestamp";
+    case HopSource::kAtlasIntersection:
+      return "atlas";
+    case HopSource::kAssumedSymmetric:
+      return "assumed-symmetric";
+    case HopSource::kSuspiciousGap:
+      return "*";
+  }
+  return "?";
+}
+
+std::string to_string(RevtrStatus status) {
+  switch (status) {
+    case RevtrStatus::kComplete:
+      return "complete";
+    case RevtrStatus::kAbortedInterdomainSymmetry:
+      return "aborted-interdomain";
+    case RevtrStatus::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+std::vector<Ipv4Addr> ReverseTraceroute::ip_hops() const {
+  std::vector<Ipv4Addr> addrs;
+  for (const auto& hop : hops) {
+    if (hop.source != HopSource::kSuspiciousGap) addrs.push_back(hop.addr);
+  }
+  return addrs;
+}
+
+EngineConfig EngineConfig::revtr1() {
+  EngineConfig config;
+  config.use_ingress_selection = false;
+  config.use_cache = false;
+  config.use_timestamp = true;
+  config.use_rr_atlas = false;
+  config.allow_interdomain_symmetry = true;
+  config.assume_from_unreachable_traceroute = true;
+  config.flag_suspicious_links = false;
+  return config;
+}
+
+EngineConfig EngineConfig::revtr2() { return EngineConfig{}; }
+
+std::string EngineConfig::name() const {
+  std::string name = use_ingress_selection ? "ingress" : "setcover";
+  name += use_cache ? "+cache" : "";
+  name += use_timestamp ? "+ts" : "";
+  name += use_rr_atlas ? "+rratlas" : "";
+  name += allow_interdomain_symmetry ? "+interdomain" : "";
+  return name;
+}
+
+RevtrEngine::RevtrEngine(probing::Prober& prober,
+                         const topology::Topology& topo,
+                         atlas::TracerouteAtlas& atlas,
+                         vpselect::IngressDiscovery& ingress,
+                         const asmap::IpToAs& ip2as,
+                         const asmap::AsRelationships& relationships,
+                         EngineConfig config, std::uint64_t seed)
+    : prober_(prober),
+      topo_(topo),
+      atlas_(atlas),
+      ingress_(ingress),
+      ip2as_(ip2as),
+      relationships_(relationships),
+      config_(config),
+      rng_(seed) {}
+
+void RevtrEngine::clear_caches() {
+  rr_cache_.clear();
+  tr_cache_.clear();
+}
+
+std::vector<Ipv4Addr> RevtrEngine::extract_reverse_hops(
+    std::span<const Ipv4Addr> slots, Ipv4Addr current) {
+  // The reverse hops are the slots recorded after the probed hop stamped
+  // itself on the way back to the (spoofed) source.
+  for (std::size_t i = slots.size(); i-- > 0;) {
+    if (slots[i] == current) {
+      return {slots.begin() + static_cast<long>(i) + 1, slots.end()};
+    }
+  }
+  // Destination stamped an alias twice (Appx C double-stamp).
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+    if (slots[i] == slots[i + 1]) {
+      return {slots.begin() + static_cast<long>(i) + 2, slots.end()};
+    }
+  }
+  // Loop a ... a: everything after the second `a` is on the reverse path.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    for (std::size_t j = i + 2; j < slots.size(); ++j) {
+      if (slots[i] == slots[j]) {
+        return {slots.begin() + static_cast<long>(j) + 1, slots.end()};
+      }
+    }
+  }
+  return {};
+}
+
+bool RevtrEngine::already_in_path(const ReverseTraceroute& result,
+                                  Ipv4Addr addr) const {
+  for (const auto& hop : result.hops) {
+    if (hop.source != HopSource::kSuspiciousGap && hop.addr == addr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RevtrEngine::append_reverse_hops(ReverseTraceroute& result,
+                                      std::span<const Ipv4Addr> revealed,
+                                      HopSource source, Ipv4Addr& current) {
+  const Ipv4Addr src_addr = topo_.host(source_).addr;
+  bool progressed = false;
+  for (const Ipv4Addr addr : revealed) {
+    if (addr.is_unspecified() || already_in_path(result, addr)) continue;
+    result.hops.push_back(ReverseHop{addr, source});
+    if (addr.is_private()) {
+      result.has_private_hops = true;
+      continue;  // Cannot continue the measurement from private space.
+    }
+    current = addr;
+    progressed = true;
+    if (addr == src_addr) break;  // Reached the source.
+  }
+  return progressed;
+}
+
+bool RevtrEngine::try_atlas(ReverseTraceroute& result, Ipv4Addr current,
+                            util::SimClock& clock) {
+  auto hit = atlas_.intersect(source_, current, config_.use_rr_atlas);
+  if (!hit && aliases_ != nullptr) {
+    hit = atlas_.intersect_with_aliases(source_, current, *aliases_);
+  }
+  if (!hit) return false;
+  const auto age = atlas_.touch(source_, *hit, clock.now());
+  result.intersected_age_us = age;
+  result.used_stale_traceroute = age > config_.cache_ttl;
+  const auto suffix = atlas_.suffix_after(source_, *hit);
+  for (const Ipv4Addr addr : suffix) {
+    if (already_in_path(result, addr)) continue;
+    result.hops.push_back(ReverseHop{addr, HopSource::kAtlasIntersection});
+    if (addr.is_private()) result.has_private_hops = true;
+  }
+  return true;
+}
+
+bool RevtrEngine::try_record_route(ReverseTraceroute& result,
+                                   Ipv4Addr& current, util::SimClock& clock) {
+  const Ipv4Addr src_addr = topo_.host(source_).addr;
+  const std::uint64_t key = cache_key(current, source_);
+
+  if (config_.use_cache) {
+    const auto it = rr_cache_.find(key);
+    if (it != rr_cache_.end() && it->second.expires_at > clock.now()) {
+      return append_reverse_hops(result, it->second.reverse_hops,
+                                 HopSource::kSpoofedRecordRoute, current);
+    }
+  }
+
+  auto remember = [&](const std::vector<Ipv4Addr>& revealed) {
+    if (config_.use_cache) {
+      rr_cache_[key] =
+          RrCacheEntry{revealed, clock.now() + config_.cache_ttl};
+    }
+  };
+
+  // --- Direct RR ping from the source (Fig 1b). ---
+  const auto direct = prober_.rr_ping(source_, current);
+  clock.advance(direct.duration_us);
+  if (direct.responded) {
+    const auto revealed = extract_reverse_hops(direct.slots, current);
+    if (!revealed.empty() &&
+        append_reverse_hops(result, revealed, HopSource::kRecordRoute,
+                            current)) {
+      remember(revealed);
+      return true;
+    }
+  }
+
+  // --- Spoofed RR pings from selected vantage points (Figs 1c/1d). ---
+  const auto prefix = topo_.prefix_of(current);
+  if (!prefix) return false;
+  const vpselect::PrefixPlan* plan = ingress_.plan_for(*prefix);
+  if (plan == nullptr) {
+    // Offline background measurement run on demand; its packets are counted
+    // by the prober but its time is not charged to this request.
+    plan = &ingress_.discover(*prefix, topo_.vantage_points(), rng_);
+  }
+
+  std::vector<vpselect::Attempt> attempts;
+  if (config_.use_ingress_selection) {
+    attempts = vpselect::attempt_plan(*plan, config_.max_per_ingress);
+  } else {
+    // revtr 1.0: try every vantage point in per-prefix set-cover order.
+    const auto order = vpselect::revtr1_vp_order(*plan);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      attempts.push_back(vpselect::Attempt{order[i], Ipv4Addr{}, i});
+    }
+  }
+
+  std::unordered_map<std::size_t, int> rank_failures;
+  std::size_t next = 0;
+  while (next < attempts.size()) {
+    std::vector<Ipv4Addr> revealed;
+    std::size_t sent = 0;
+    while (next < attempts.size() && sent < config_.batch_size) {
+      const auto& attempt = attempts[next++];
+      if (rank_failures[attempt.ingress_rank] >= 5) continue;  // §4.3.
+      const auto probe = prober_.rr_ping(attempt.vp, current, src_addr);
+      ++sent;
+      if (!probe.responded) {
+        ++rank_failures[attempt.ingress_rank];
+        continue;
+      }
+      if (!attempt.expected_ingress.is_unspecified() &&
+          std::find(probe.slots.begin(), probe.slots.end(),
+                    attempt.expected_ingress) == probe.slots.end()) {
+        // Route did not transit the expected ingress; the next-closest VP
+        // for this ingress will be tried in a later batch.
+        ++rank_failures[attempt.ingress_rank];
+      }
+      const auto hops = extract_reverse_hops(probe.slots, current);
+      if (hops.size() > revealed.size()) revealed = hops;
+    }
+    if (sent > 0) {
+      // Spoofed replies land at the source; the controller always waits out
+      // the batch timeout for stragglers (§5.2.4).
+      clock.advance(config_.spoof_batch_timeout);
+      ++result.spoofed_batches;
+    }
+    if (!revealed.empty()) {
+      if (config_.verify_destination_based_routing && revealed.size() >= 2 &&
+          !revealed[0].is_private()) {
+        // Appx E redundancy: confirm the first revealed hop's next hop from
+        // an independent vantage point.
+        const auto vps = topo_.vantage_points();
+        const auto check = prober_.rr_ping(vps[rng_.below(vps.size())],
+                                           revealed[0], src_addr);
+        clock.advance(check.duration_us);
+        if (check.responded) {
+          const auto recheck =
+              extract_reverse_hops(check.slots, revealed[0]);
+          if (!recheck.empty() && recheck.front() != revealed[1]) {
+            result.dbr_suspect = true;
+          }
+        }
+      }
+      if (append_reverse_hops(result, revealed,
+                              HopSource::kSpoofedRecordRoute, current)) {
+        remember(revealed);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool RevtrEngine::try_timestamp(ReverseTraceroute& result, Ipv4Addr& current,
+                                util::SimClock& clock) {
+  if (!adjacencies_) return false;
+  const auto candidates = adjacencies_(current);
+  std::size_t tried = 0;
+  for (const Ipv4Addr adjacent : candidates) {
+    if (tried++ >= config_.max_ts_adjacencies) break;
+    if (adjacent.is_private() || already_in_path(result, adjacent)) continue;
+    const Ipv4Addr prespec[] = {current, adjacent};
+    auto probe = prober_.ts_ping(source_, current, prespec);
+    clock.advance(probe.duration_us);
+    if (!probe.responded) {
+      // Direct TS filtered: retry once spoofed from a vantage point, as the
+      // 2010 system did (Table 4's "Spoof TS" column).
+      const auto vps = topo_.vantage_points();
+      if (!vps.empty()) {
+        probe = prober_.ts_ping(vps[rng_.below(vps.size())], current, prespec,
+                                topo_.host(source_).addr);
+        clock.advance(config_.spoof_batch_timeout / 2);
+      }
+    }
+    if (probe.responded && probe.stamped.size() == 2 && probe.stamped[0] &&
+        probe.stamped[1]) {
+      result.hops.push_back(ReverseHop{adjacent, HopSource::kTimestamp});
+      current = adjacent;
+      return true;
+    }
+  }
+  return false;
+}
+
+RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
+    ReverseTraceroute& result, Ipv4Addr& current, util::SimClock& clock) {
+  const std::uint64_t key = cache_key(current, source_);
+  std::optional<Ipv4Addr> penultimate;
+  bool reached = false;
+
+  const auto it = tr_cache_.find(key);
+  if (config_.use_cache && it != tr_cache_.end() &&
+      it->second.expires_at > clock.now()) {
+    penultimate = it->second.penultimate;
+    reached = it->second.reached;
+  } else {
+    const auto tr = prober_.traceroute(source_, current);
+    clock.advance(tr.duration_us);
+    reached = tr.reached;
+    if (!tr.reached && config_.assume_from_unreachable_traceroute) {
+      // 2010 behaviour: treat the last responsive hop as the next reverse
+      // hop even though the traceroute fell short of the current hop.
+      for (std::size_t i = tr.hops.size(); i-- > 0;) {
+        if (tr.hops[i].addr) {
+          penultimate = tr.hops[i].addr;
+          reached = true;
+          break;
+        }
+      }
+    }
+    if (tr.reached && tr.hops.size() >= 2) {
+      // Last responsive hop before the destination.
+      for (std::size_t i = tr.hops.size() - 1; i-- > 0;) {
+        if (tr.hops[i].addr) {
+          penultimate = tr.hops[i].addr;
+          break;
+        }
+      }
+    } else if (tr.reached && tr.hops.size() == 1) {
+      // The current hop is directly adjacent to the source: the reverse
+      // path is done once we step onto the source itself.
+      penultimate = topo_.host(source_).addr;
+    }
+    if (config_.use_cache) {
+      tr_cache_[key] =
+          TrCacheEntry{penultimate, reached, clock.now() + config_.cache_ttl};
+    }
+  }
+
+  if (!reached || !penultimate) return SymmetryOutcome::kStuck;
+  if (already_in_path(result, *penultimate)) return SymmetryOutcome::kStuck;
+
+  const auto as_p = ip2as_.lookup(*penultimate);
+  const auto as_c = ip2as_.lookup(current);
+  const bool intradomain = as_p && as_c && *as_p == *as_c;
+  if (!intradomain && !config_.allow_interdomain_symmetry) {
+    // Q5: interdomain symmetry is right only ~57% of the time — abort
+    // rather than return an untrustworthy path (Insight 1.10).
+    return SymmetryOutcome::kAborted;
+  }
+  if (!intradomain) result.used_interdomain_symmetry = true;
+  ++result.symmetry_assumptions;
+  result.hops.push_back(
+      ReverseHop{*penultimate, HopSource::kAssumedSymmetric});
+  current = *penultimate;
+  return SymmetryOutcome::kExtended;
+}
+
+void RevtrEngine::finalize_flags(ReverseTraceroute& result) {
+  if (!config_.flag_suspicious_links || !result.complete()) return;
+  const auto addrs = result.ip_hops();
+  const auto as_path = ip2as_.as_path(addrs);
+  const auto suspicious = relationships_.suspicious_links_in(as_path);
+  if (suspicious.empty()) return;
+  result.has_suspicious_gap = true;
+  // Insert a "*" at the IP-level boundary of each suspicious AS pair.
+  for (const std::size_t link : suspicious) {
+    const topology::Asn from_as = as_path[link];
+    const topology::Asn to_as = as_path[link + 1];
+    for (std::size_t h = 0; h + 1 < result.hops.size(); ++h) {
+      if (result.hops[h].source == HopSource::kSuspiciousGap ||
+          result.hops[h + 1].source == HopSource::kSuspiciousGap) {
+        continue;
+      }
+      const auto a = ip2as_.lookup(result.hops[h].addr);
+      const auto b = ip2as_.lookup(result.hops[h + 1].addr);
+      if (a && b && *a == from_as && *b == to_as) {
+        result.hops.insert(
+            result.hops.begin() + static_cast<long>(h) + 1,
+            ReverseHop{Ipv4Addr{}, HopSource::kSuspiciousGap});
+        break;
+      }
+    }
+  }
+}
+
+ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
+                                       util::SimClock& clock) {
+  source_ = source;
+  ReverseTraceroute result;
+  result.destination = destination;
+  result.source = source;
+  result.span.begin = clock.now();
+  const auto counters_before = prober_.counters();
+
+  const Ipv4Addr src_addr = topo_.host(source).addr;
+  Ipv4Addr current = topo_.host(destination).addr;
+  result.hops.push_back(ReverseHop{current, HopSource::kDestination});
+
+  bool decided = false;
+  while (result.hops.size() < config_.max_reverse_hops) {
+    if (current == src_addr) {
+      result.status = RevtrStatus::kComplete;
+      decided = true;
+      break;
+    }
+    if (try_atlas(result, current, clock)) {
+      result.status = RevtrStatus::kComplete;
+      decided = true;
+      break;
+    }
+    if (try_record_route(result, current, clock)) continue;
+    if (config_.use_timestamp && try_timestamp(result, current, clock)) {
+      continue;
+    }
+    const auto outcome = try_symmetry(result, current, clock);
+    if (outcome == SymmetryOutcome::kExtended) continue;
+    result.status = outcome == SymmetryOutcome::kAborted
+                        ? RevtrStatus::kAbortedInterdomainSymmetry
+                        : RevtrStatus::kUnreachable;
+    decided = true;
+    break;
+  }
+  if (!decided) result.status = RevtrStatus::kUnreachable;
+
+  result.span.end = clock.now();
+  result.probes = prober_.counters() - counters_before;
+  finalize_flags(result);
+  return result;
+}
+
+}  // namespace revtr::core

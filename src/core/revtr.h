@@ -1,0 +1,201 @@
+// The Reverse Traceroute engine: the paper's primary contribution.
+//
+// Implements the Fig 2 control flow. Starting from the destination D, the
+// engine repeatedly extends the path toward the source S:
+//   1. If the current hop intersects a traceroute in S's atlas (exactly, via
+//      the Q2 RR index, or — revtr 1.0 style — via external alias data),
+//      adopt the traceroute's suffix and finish.
+//   2. Otherwise try Record Route: a direct RR ping from S, then spoofed RR
+//      pings from the vantage points chosen by Q3 ingress selection
+//      (revtr 2.0) or by the revtr 1.0 set-cover order, in batches of 3,
+//      each batch charging the 10-second spoof timeout (§5.2.4).
+//   3. Optionally (revtr 1.0 / Q4 ablation) test traceroute adjacencies of
+//      the current hop with IP timestamp prespec probes.
+//   4. Otherwise run a forward traceroute to the current hop and assume the
+//      last link is symmetric — unconditionally for revtr 1.0, only when the
+//      link is intradomain for revtr 2.0 (Q5, §4.4); an interdomain link
+//      aborts the measurement instead of risking a wrong path.
+//
+// Config presets reproduce the Table 4 ablation chain:
+//   revtr 2.0 = revtr 1.0 + ingress + cache - TS + RR atlas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "alias/alias.h"
+#include "asmap/asmap.h"
+#include "atlas/atlas.h"
+#include "core/adjacency.h"
+#include "probing/prober.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+#include "vpselect/ingress.h"
+
+namespace revtr::core {
+
+// Where each reverse hop came from; results carry full provenance so users
+// can judge trust hop by hop (the operational requirement of Insight 1.10).
+enum class HopSource : std::uint8_t {
+  kDestination,         // The starting point D.
+  kRecordRoute,         // Direct RR ping from the source.
+  kSpoofedRecordRoute,  // Spoofed RR ping from a vantage point.
+  kTimestamp,           // tsprespec-confirmed adjacency.
+  kAtlasIntersection,   // Suffix of an atlas traceroute.
+  kAssumedSymmetric,    // Penultimate hop of a forward traceroute.
+  kSuspiciousGap,       // Flagged "*": a hop is probably missing here.
+};
+
+std::string to_string(HopSource source);
+
+struct ReverseHop {
+  net::Ipv4Addr addr;  // Unspecified for kSuspiciousGap.
+  HopSource source = HopSource::kDestination;
+};
+
+enum class RevtrStatus : std::uint8_t {
+  kComplete,
+  kAbortedInterdomainSymmetry,  // Q5: refused to guess (revtr 2.0 only).
+  kUnreachable,                 // No technique could make progress.
+};
+
+std::string to_string(RevtrStatus status);
+
+struct ReverseTraceroute {
+  topology::HostId destination = topology::kInvalidId;
+  topology::HostId source = topology::kInvalidId;
+  RevtrStatus status = RevtrStatus::kUnreachable;
+  std::vector<ReverseHop> hops;  // destination ... source order.
+
+  util::SimSpan span;                // Simulated wall-clock of the request.
+  probing::ProbeCounters probes;     // Online packets spent on this request.
+  std::size_t spoofed_batches = 0;   // Each charged the 10 s timeout.
+  std::size_t symmetry_assumptions = 0;
+  bool used_interdomain_symmetry = false;
+  bool has_suspicious_gap = false;   // "*" inserted (§5.2.2 flagging).
+  bool has_private_hops = false;
+  // Appx E: a redundant re-probe observed a different next hop somewhere
+  // on this path (possible destination-based-routing violation).
+  bool dbr_suspect = false;
+  bool used_stale_traceroute = false;
+  util::SimClock::Micros intersected_age_us = 0;
+
+  bool complete() const noexcept { return status == RevtrStatus::kComplete; }
+  // Concrete IP hops in order (skips "*").
+  std::vector<net::Ipv4Addr> ip_hops() const;
+};
+
+struct EngineConfig {
+  bool use_ingress_selection = true;  // Q3 (else revtr 1.0 VP order).
+  bool use_cache = true;              // Reuse RR/traceroute results 24 h.
+  bool use_timestamp = false;         // Q4.
+  bool use_rr_atlas = true;           // Q2 intersection index.
+  bool allow_interdomain_symmetry = false;  // Q5 (revtr 1.0: true).
+  // revtr 1.0 pressed on from the last responsive traceroute hop even when
+  // the traceroute never reached the current hop — part of how it returned
+  // an answer for 100% of requests (and part of why some were wrong).
+  bool assume_from_unreachable_traceroute = false;
+  bool flag_suspicious_links = true;        // §5.2.2 "*" insertion.
+  // Appx E option: re-probe each RR-revealed hop from a second vantage
+  // point and flag the measurement if the next reverse hop disagrees —
+  // catching destination-based-routing violations at the cost of extra
+  // spoofed probes.
+  bool verify_destination_based_routing = false;
+
+  std::size_t batch_size = 3;           // Spoofed RR batch (§5.3).
+  std::size_t max_per_ingress = 5;      // Backup VPs per ingress (§4.3).
+  std::size_t max_ts_adjacencies = 10;  // TS probes per stuck hop.
+  std::size_t max_reverse_hops = 64;
+  util::SimClock::Micros spoof_batch_timeout =
+      10 * util::SimClock::kSecond;  // Empirical timeout (§5.2.4).
+  util::SimClock::Micros cache_ttl = util::SimClock::kDay;
+
+  static EngineConfig revtr1();
+  static EngineConfig revtr2();
+  std::string name() const;
+};
+
+class RevtrEngine {
+ public:
+  RevtrEngine(probing::Prober& prober, const topology::Topology& topo,
+              atlas::TracerouteAtlas& atlas,
+              vpselect::IngressDiscovery& ingress, const asmap::IpToAs& ip2as,
+              const asmap::AsRelationships& relationships,
+              EngineConfig config, std::uint64_t seed = 99);
+
+  // revtr 1.0-style atlas intersection through an alias dataset (used when
+  // the Q2 RR index is disabled). Not owned; may be nullptr.
+  void set_alias_store(const alias::AliasStore* aliases) {
+    aliases_ = aliases;
+  }
+  // Adjacency source for the timestamp technique. Empty = technique skipped.
+  void set_adjacency_provider(AdjacencyProvider provider) {
+    adjacencies_ = std::move(provider);
+  }
+
+  // Measures the reverse path from `destination` back to `source`,
+  // advancing `clock` by the simulated time the measurement takes.
+  ReverseTraceroute measure(topology::HostId destination,
+                            topology::HostId source, util::SimClock& clock);
+
+  const EngineConfig& config() const noexcept { return config_; }
+  void clear_caches();
+
+  // Extracts the reverse hops that follow `current`'s stamp in an RR reply,
+  // using the same double-stamp/loop fallbacks as ingress discovery.
+  // Exposed for unit tests.
+  static std::vector<net::Ipv4Addr> extract_reverse_hops(
+      std::span<const net::Ipv4Addr> slots, net::Ipv4Addr current);
+
+ private:
+  struct RrCacheEntry {
+    std::vector<net::Ipv4Addr> reverse_hops;
+    util::SimClock::Micros expires_at = 0;
+  };
+  struct TrCacheEntry {
+    std::optional<net::Ipv4Addr> penultimate;
+    bool reached = false;
+    util::SimClock::Micros expires_at = 0;
+  };
+
+  // Technique steps; each returns true when it extended the path.
+  bool try_atlas(ReverseTraceroute& result, net::Ipv4Addr current,
+                 util::SimClock& clock);
+  bool try_record_route(ReverseTraceroute& result, net::Ipv4Addr& current,
+                        util::SimClock& clock);
+  bool try_timestamp(ReverseTraceroute& result, net::Ipv4Addr& current,
+                     util::SimClock& clock);
+  // Returns nullopt when the engine must abort (interdomain link, Q5).
+  enum class SymmetryOutcome : std::uint8_t { kExtended, kAborted, kStuck };
+  SymmetryOutcome try_symmetry(ReverseTraceroute& result,
+                               net::Ipv4Addr& current, util::SimClock& clock);
+
+  bool append_reverse_hops(ReverseTraceroute& result,
+                           std::span<const net::Ipv4Addr> revealed,
+                           HopSource source, net::Ipv4Addr& current);
+  void finalize_flags(ReverseTraceroute& result);
+  bool already_in_path(const ReverseTraceroute& result,
+                       net::Ipv4Addr addr) const;
+
+  probing::Prober& prober_;
+  const topology::Topology& topo_;
+  atlas::TracerouteAtlas& atlas_;
+  vpselect::IngressDiscovery& ingress_;
+  const asmap::IpToAs& ip2as_;
+  const asmap::AsRelationships& relationships_;
+  EngineConfig config_;
+  util::Rng rng_;
+
+  const alias::AliasStore* aliases_ = nullptr;
+  AdjacencyProvider adjacencies_;
+
+  topology::HostId source_ = topology::kInvalidId;  // Of the active request.
+  std::unordered_map<std::uint64_t, RrCacheEntry> rr_cache_;
+  std::unordered_map<std::uint64_t, TrCacheEntry> tr_cache_;
+};
+
+}  // namespace revtr::core

@@ -1,0 +1,160 @@
+#include "core/serialize.h"
+
+namespace revtr::core {
+
+namespace {
+
+std::optional<HopSource> hop_source_from_string(const std::string& text) {
+  for (const auto source :
+       {HopSource::kDestination, HopSource::kRecordRoute,
+        HopSource::kSpoofedRecordRoute, HopSource::kTimestamp,
+        HopSource::kAtlasIntersection, HopSource::kAssumedSymmetric,
+        HopSource::kSuspiciousGap}) {
+    if (to_string(source) == text) return source;
+  }
+  return std::nullopt;
+}
+
+std::optional<RevtrStatus> status_from_string(const std::string& text) {
+  for (const auto status :
+       {RevtrStatus::kComplete, RevtrStatus::kAbortedInterdomainSymmetry,
+        RevtrStatus::kUnreachable}) {
+    if (to_string(status) == text) return status;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+util::Json to_json(const ReverseTraceroute& result,
+                   const topology::Topology& topo) {
+  util::Json json = util::Json::object();
+  json["destination"] = topo.host(result.destination).addr.to_string();
+  json["source"] = topo.host(result.source).addr.to_string();
+  json["status"] = to_string(result.status);
+
+  util::Json hops = util::Json::array();
+  for (const auto& hop : result.hops) {
+    util::Json entry = util::Json::object();
+    entry["via"] = to_string(hop.source);
+    if (hop.source != HopSource::kSuspiciousGap) {
+      entry["addr"] = hop.addr.to_string();
+    }
+    hops.push_back(std::move(entry));
+  }
+  json["hops"] = std::move(hops);
+
+  json["latency_us"] = result.span.duration();
+  json["spoofed_batches"] =
+      static_cast<std::int64_t>(result.spoofed_batches);
+  json["symmetry_assumptions"] =
+      static_cast<std::int64_t>(result.symmetry_assumptions);
+
+  util::Json probes = util::Json::object();
+  probes["ping"] = static_cast<std::int64_t>(result.probes.ping);
+  probes["rr"] = static_cast<std::int64_t>(result.probes.rr);
+  probes["spoofed_rr"] = static_cast<std::int64_t>(result.probes.spoofed_rr);
+  probes["ts"] = static_cast<std::int64_t>(result.probes.ts);
+  probes["spoofed_ts"] = static_cast<std::int64_t>(result.probes.spoofed_ts);
+  probes["traceroute_packets"] =
+      static_cast<std::int64_t>(result.probes.traceroute_packets);
+  json["probes"] = std::move(probes);
+
+  util::Json flags = util::Json::object();
+  flags["suspicious_gap"] = result.has_suspicious_gap;
+  flags["private_hops"] = result.has_private_hops;
+  flags["stale_traceroute"] = result.used_stale_traceroute;
+  flags["dbr_suspect"] = result.dbr_suspect;
+  flags["interdomain_symmetry"] = result.used_interdomain_symmetry;
+  json["flags"] = std::move(flags);
+  return json;
+}
+
+std::optional<ReverseTraceroute> reverse_traceroute_from_json(
+    const util::Json& json, const topology::Topology& topo) {
+  if (!json.is_object()) return std::nullopt;
+  ReverseTraceroute result;
+
+  auto host_field = [&](const char* key) -> std::optional<topology::HostId> {
+    const auto* field = json.find(key);
+    if (field == nullptr || !field->is_string()) return std::nullopt;
+    const auto addr = net::Ipv4Addr::parse(field->as_string());
+    if (!addr) return std::nullopt;
+    return topo.host_at(*addr);
+  };
+  const auto destination = host_field("destination");
+  const auto source = host_field("source");
+  if (!destination || !source) return std::nullopt;
+  result.destination = *destination;
+  result.source = *source;
+
+  const auto* status = json.find("status");
+  if (status == nullptr || !status->is_string()) return std::nullopt;
+  const auto parsed_status = status_from_string(status->as_string());
+  if (!parsed_status) return std::nullopt;
+  result.status = *parsed_status;
+
+  const auto* hops = json.find("hops");
+  if (hops == nullptr || !hops->is_array()) return std::nullopt;
+  for (const auto& entry : hops->as_array()) {
+    const auto* via = entry.find("via");
+    if (via == nullptr || !via->is_string()) return std::nullopt;
+    const auto source_kind = hop_source_from_string(via->as_string());
+    if (!source_kind) return std::nullopt;
+    ReverseHop hop;
+    hop.source = *source_kind;
+    if (*source_kind != HopSource::kSuspiciousGap) {
+      const auto* addr = entry.find("addr");
+      if (addr == nullptr || !addr->is_string()) return std::nullopt;
+      const auto parsed = net::Ipv4Addr::parse(addr->as_string());
+      if (!parsed) return std::nullopt;
+      hop.addr = *parsed;
+    }
+    result.hops.push_back(hop);
+  }
+
+  if (const auto* latency = json.find("latency_us");
+      latency != nullptr && latency->is_number()) {
+    result.span.begin = 0;
+    result.span.end = latency->as_int();
+  }
+  if (const auto* batches = json.find("spoofed_batches");
+      batches != nullptr && batches->is_number()) {
+    result.spoofed_batches = static_cast<std::size_t>(batches->as_int());
+  }
+  if (const auto* assumptions = json.find("symmetry_assumptions");
+      assumptions != nullptr && assumptions->is_number()) {
+    result.symmetry_assumptions =
+        static_cast<std::size_t>(assumptions->as_int());
+  }
+  if (const auto* probes = json.find("probes");
+      probes != nullptr && probes->is_object()) {
+    auto count = [&](const char* key) -> std::uint64_t {
+      const auto* field = probes->find(key);
+      return field != nullptr && field->is_number()
+                 ? static_cast<std::uint64_t>(field->as_int())
+                 : 0;
+    };
+    result.probes.ping = count("ping");
+    result.probes.rr = count("rr");
+    result.probes.spoofed_rr = count("spoofed_rr");
+    result.probes.ts = count("ts");
+    result.probes.spoofed_ts = count("spoofed_ts");
+    result.probes.traceroute_packets = count("traceroute_packets");
+  }
+  if (const auto* flags = json.find("flags");
+      flags != nullptr && flags->is_object()) {
+    auto flag = [&](const char* key) {
+      const auto* field = flags->find(key);
+      return field != nullptr && field->is_bool() && field->as_bool();
+    };
+    result.has_suspicious_gap = flag("suspicious_gap");
+    result.has_private_hops = flag("private_hops");
+    result.used_stale_traceroute = flag("stale_traceroute");
+    result.dbr_suspect = flag("dbr_suspect");
+    result.used_interdomain_symmetry = flag("interdomain_symmetry");
+  }
+  return result;
+}
+
+}  // namespace revtr::core

@@ -1,0 +1,35 @@
+// JSON serialization of measurement results.
+//
+// The production system returns reverse traceroutes over REST/gRPC and
+// archives them to cloud storage (Appx A). These converters define the
+// equivalent stable wire format: every hop with address and provenance,
+// the outcome, timing, probe accounting, and the trust flags (§5.2.2).
+#pragma once
+
+#include <optional>
+
+#include "core/revtr.h"
+#include "util/json.h"
+
+namespace revtr::core {
+
+// Stable JSON shape:
+// {
+//   "destination": "1.2.3.4", "source": "5.6.7.8",
+//   "status": "complete",
+//   "hops": [{"addr": "...", "via": "spoofed-rr"}, {"via": "*"}, ...],
+//   "latency_us": 123, "probes": {"rr": 1, "spoofed_rr": 9, ...},
+//   "flags": {"suspicious_gap": false, "private_hops": false,
+//             "stale_traceroute": false, "dbr_suspect": false,
+//             "interdomain_symmetry": false},
+//   "symmetry_assumptions": 0, "spoofed_batches": 2
+// }
+util::Json to_json(const ReverseTraceroute& result,
+                   const topology::Topology& topo);
+
+// Inverse of to_json. Host ids are restored by address lookup in `topo`;
+// returns nullopt on malformed documents or unknown addresses.
+std::optional<ReverseTraceroute> reverse_traceroute_from_json(
+    const util::Json& json, const topology::Topology& topo);
+
+}  // namespace revtr::core

@@ -1,0 +1,136 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace revtr::eval {
+
+HopMatcher::HopMatcher(const alias::AliasStore* aliases,
+                       const alias::SnmpResolver* snmp, Options options)
+    : aliases_(aliases), snmp_(snmp), options_(options) {}
+
+bool HopMatcher::resolvable(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  if (a == b) return true;
+  if (options_.use_p2p_heuristic && alias::same_p2p_subnet(a, b)) return true;
+  if (aliases_ != nullptr && aliases_->knows(a) && aliases_->knows(b)) {
+    return true;
+  }
+  if (snmp_ != nullptr && snmp_->responsive(a) && snmp_->responsive(b)) {
+    return true;
+  }
+  return false;
+}
+
+bool HopMatcher::same_router(net::Ipv4Addr a, net::Ipv4Addr b) const {
+  if (a == b) return true;
+  // Traceroute reveals ingress addresses, RR reveals egress ones; opposite
+  // ends of a /30 are the same link, hence adjacent-or-same device — the
+  // Appx B.1 point-to-point rule.
+  if (options_.use_p2p_heuristic && alias::same_p2p_subnet(a, b)) return true;
+  if (aliases_ != nullptr && aliases_->same_router(a, b)) return true;
+  if (snmp_ != nullptr) {
+    const auto ia = snmp_->identifier(a);
+    const auto ib = snmp_->identifier(b);
+    if (ia && ib && *ia == *ib) return true;
+  }
+  if (options_.optimistic && !resolvable(a, b)) return true;
+  return false;
+}
+
+bool HopMatcher::hop_in_path(net::Ipv4Addr hop,
+                             std::span<const net::Ipv4Addr> path) const {
+  for (const auto other : path) {
+    if (same_router(hop, other)) return true;
+  }
+  return false;
+}
+
+double fraction_hops_matched(std::span<const net::Ipv4Addr> reference,
+                             std::span<const net::Ipv4Addr> candidate,
+                             const HopMatcher& matcher) {
+  if (reference.empty()) return 0.0;
+  std::size_t matched = 0;
+  for (const auto hop : reference) {
+    if (matcher.hop_in_path(hop, candidate)) ++matched;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(reference.size());
+}
+
+AsMatch compare_as_paths(std::span<const topology::Asn> direct,
+                         std::span<const topology::Asn> reverse) {
+  if (direct.size() == reverse.size() &&
+      std::equal(direct.begin(), direct.end(), reverse.begin())) {
+    return AsMatch::kExact;
+  }
+  // Subsequence test: every reverse AS appears in the direct path, in
+  // order. Then the reverse path is merely missing hops (§5.2.2: "cases
+  // when the reverse traceroute is incomplete ... rather than wrong").
+  std::size_t d = 0;
+  bool subsequence = true;
+  for (const auto asn : reverse) {
+    while (d < direct.size() && direct[d] != asn) ++d;
+    if (d == direct.size()) {
+      subsequence = false;
+      break;
+    }
+    ++d;
+  }
+  return subsequence ? AsMatch::kMissingHops : AsMatch::kMismatch;
+}
+
+SymmetryResult path_symmetry(std::span<const net::Ipv4Addr> forward,
+                             std::span<const net::Ipv4Addr> reverse,
+                             const HopMatcher& matcher,
+                             const asmap::IpToAs& ip2as) {
+  SymmetryResult result;
+  result.router_fraction = fraction_hops_matched(forward, reverse, matcher);
+
+  const auto forward_as = ip2as.as_path(forward);
+  auto reverse_as = ip2as.as_path(reverse);
+  std::reverse(reverse_as.begin(), reverse_as.end());
+
+  if (forward_as.empty()) return result;
+  std::size_t matched = 0;
+  for (const auto asn : forward_as) {
+    if (std::find(reverse_as.begin(), reverse_as.end(), asn) !=
+        reverse_as.end()) {
+      ++matched;
+    }
+  }
+  result.as_fraction =
+      static_cast<double>(matched) / static_cast<double>(forward_as.size());
+  result.as_symmetric = forward_as == reverse_as;
+  return result;
+}
+
+std::size_t as_path_edit_distance(std::span<const topology::Asn> forward,
+                                  std::span<const topology::Asn> reverse) {
+  const std::size_t n = forward.size();
+  const std::size_t m = reverse.size();
+  std::vector<std::size_t> previous(m + 1), current(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) previous[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    current[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t substitution =
+          previous[j - 1] + (forward[i - 1] == reverse[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1,
+                             substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[m];
+}
+
+std::vector<bool> positional_matches(std::span<const topology::Asn> forward,
+                                     std::span<const topology::Asn> reverse) {
+  std::vector<bool> matches;
+  matches.reserve(forward.size());
+  for (const auto asn : forward) {
+    matches.push_back(std::find(reverse.begin(), reverse.end(), asn) !=
+                      reverse.end());
+  }
+  return matches;
+}
+
+}  // namespace revtr::eval

@@ -1,0 +1,87 @@
+// Evaluation metrics (§5.2.2, §6.2, Appx B/G).
+//
+// Comparing a reverse traceroute against a direct traceroute (the paper's
+// approximate ground truth) requires matching hops across measurement
+// techniques: traceroute reveals ingress interfaces while RR reveals egress
+// interfaces, so exact address equality under-counts. The HopMatcher
+// replicates Appx B.1: exact match, alias datasets (MIDAR-like, SNMPv3),
+// the /30 point-to-point heuristic, and an "optimistic" mode that counts
+// unresolvable hops as matches (the shaded band of Fig 5a).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "alias/alias.h"
+#include "asmap/asmap.h"
+#include "net/ipv4.h"
+
+namespace revtr::eval {
+
+struct MatcherOptions {
+  bool use_p2p_heuristic = true;
+  bool optimistic = false;  // Unresolvable hops count as matches.
+};
+
+class HopMatcher {
+ public:
+  using Options = MatcherOptions;
+
+  HopMatcher(const alias::AliasStore* aliases, const alias::SnmpResolver* snmp,
+             Options options = Options());
+
+  // Can this pair be resolved by any available alias knowledge?
+  bool resolvable(net::Ipv4Addr a, net::Ipv4Addr b) const;
+  bool same_router(net::Ipv4Addr a, net::Ipv4Addr b) const;
+
+  // Whether `hop` matches anything in `path` under the matcher's rules.
+  bool hop_in_path(net::Ipv4Addr hop,
+                   std::span<const net::Ipv4Addr> path) const;
+
+ private:
+  const alias::AliasStore* aliases_;
+  const alias::SnmpResolver* snmp_;
+  Options options_;
+};
+
+// Fraction of `reference` hops also present in `candidate` (Fig 5a's
+// x-axis; also the §6.2 symmetry metric with forward/reverse paths).
+double fraction_hops_matched(std::span<const net::Ipv4Addr> reference,
+                             std::span<const net::Ipv4Addr> candidate,
+                             const HopMatcher& matcher);
+
+// AS-level comparison of a measured reverse path against the direct path.
+enum class AsMatch {
+  kExact,        // Identical AS sequences.
+  kMissingHops,  // Reverse path is a subsequence: hops missing, none wrong.
+  kMismatch,     // The reverse path contains an AS not on the direct path.
+};
+
+AsMatch compare_as_paths(std::span<const topology::Asn> direct,
+                         std::span<const topology::Asn> reverse);
+
+// §6.2 asymmetry summary for one bidirectional pair.
+struct SymmetryResult {
+  double router_fraction = 0;  // Fraction of forward hops on reverse path.
+  double as_fraction = 0;
+  bool as_symmetric = false;  // Same AS sets traversed, same order.
+};
+
+SymmetryResult path_symmetry(std::span<const net::Ipv4Addr> forward,
+                             std::span<const net::Ipv4Addr> reverse,
+                             const HopMatcher& matcher,
+                             const asmap::IpToAs& ip2as);
+
+// Per-position probability helper for Fig 14: index -> matched flags.
+std::vector<bool> positional_matches(std::span<const topology::Asn> forward,
+                                     std::span<const topology::Asn> reverse);
+
+// Appx G.3: de Vries et al. quantify asymmetry as the *edit distance*
+// between the forward AS path and the reversed reverse AS path — a stricter
+// notion than the hop-overlap fraction the paper (and path_symmetry above)
+// uses, which is why they report 87% asymmetric where the paper finds 47%.
+std::size_t as_path_edit_distance(std::span<const topology::Asn> forward,
+                                  std::span<const topology::Asn> reverse);
+
+}  // namespace revtr::eval

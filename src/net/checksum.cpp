@@ -1,0 +1,20 @@
+#include "net/checksum.h"
+
+namespace revtr::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (std::uint32_t{bytes[i]} << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) {
+    sum += std::uint32_t{bytes[i]} << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,22 @@
+// RFC 1071 Internet checksum.
+//
+// Used by the wire codec to fill and verify IPv4 header and ICMP checksums,
+// so serialized probes are byte-accurate replicas of what a raw socket
+// implementation emits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace revtr::net {
+
+// One's-complement sum of 16-bit words (odd trailing byte zero-padded),
+// folded and complemented. A buffer containing a correct checksum field sums
+// to 0xffff before complementing, so verify() checks checksum(b) == 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+inline bool checksum_ok(std::span<const std::uint8_t> bytes) {
+  return internet_checksum(bytes) == 0;
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,123 @@
+#include "net/ip_options.h"
+
+namespace revtr::net {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
+  return (std::uint32_t{bytes[at]} << 24) | (std::uint32_t{bytes[at + 1]} << 16) |
+         (std::uint32_t{bytes[at + 2]} << 8) | std::uint32_t{bytes[at + 3]};
+}
+
+}  // namespace
+
+void RecordRouteOption::encode(std::vector<std::uint8_t>& out) const {
+  out.push_back(kType);
+  out.push_back(kLength);
+  // Pointer is 1-based and points at the first free slot; the first slot
+  // begins at offset 4 (RFC 791 §3.1).
+  out.push_back(static_cast<std::uint8_t>(4 + 4 * used_));
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    put_u32(out, i < used_ ? slots_[i].value() : 0);
+  }
+}
+
+std::optional<RecordRouteOption> RecordRouteOption::decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kLength || bytes[0] != kType) return std::nullopt;
+  const std::uint8_t length = bytes[1];
+  const std::uint8_t pointer = bytes[2];
+  if (length != kLength) return std::nullopt;
+  // Valid pointers: 4, 8, ..., 40 (full).
+  if (pointer < 4 || (pointer - 4) % 4 != 0 || pointer > kLength + 1) {
+    return std::nullopt;
+  }
+  RecordRouteOption option;
+  const std::size_t used = (pointer - 4) / 4;
+  if (used > kMaxSlots) return std::nullopt;
+  for (std::size_t i = 0; i < used; ++i) {
+    option.stamp(Ipv4Addr(get_u32(bytes, 3 + 4 * i)));
+  }
+  return option;
+}
+
+TimestampOption TimestampOption::prespecified(
+    std::span<const Ipv4Addr> addrs) {
+  TimestampOption option;
+  for (Ipv4Addr addr : addrs) {
+    if (option.used_ == kMaxEntries) break;
+    option.entries_[option.used_++] = Entry{addr, 0, false};
+  }
+  return option;
+}
+
+std::optional<std::size_t> TimestampOption::next_pending() const noexcept {
+  for (std::size_t i = 0; i < used_; ++i) {
+    if (!entries_[i].stamped) return i;
+  }
+  return std::nullopt;
+}
+
+bool TimestampOption::try_stamp(Ipv4Addr addr,
+                                std::uint32_t timestamp) noexcept {
+  const auto pending = next_pending();
+  if (!pending || entries_[*pending].addr != addr) return false;
+  entries_[*pending].timestamp = timestamp;
+  entries_[*pending].stamped = true;
+  return true;
+}
+
+void TimestampOption::encode(std::vector<std::uint8_t>& out) const {
+  const auto length = static_cast<std::uint8_t>(4 + 8 * used_);
+  out.push_back(kType);
+  out.push_back(length);
+  // Pointer (1-based) to the first pending entry; past the end when done.
+  std::uint8_t pointer = static_cast<std::uint8_t>(length + 1);
+  if (const auto pending = next_pending()) {
+    pointer = static_cast<std::uint8_t>(5 + 8 * *pending);
+  }
+  out.push_back(pointer);
+  out.push_back(static_cast<std::uint8_t>((overflow_ << 4) |
+                                          kFlagPrespecified));
+  for (std::size_t i = 0; i < used_; ++i) {
+    put_u32(out, entries_[i].addr.value());
+    put_u32(out, entries_[i].stamped ? entries_[i].timestamp : 0);
+  }
+}
+
+std::optional<TimestampOption> TimestampOption::decode(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4 || bytes[0] != kType) return std::nullopt;
+  const std::uint8_t length = bytes[1];
+  const std::uint8_t pointer = bytes[2];
+  const std::uint8_t oflw_flags = bytes[3];
+  if ((oflw_flags & 0x0f) != kFlagPrespecified) return std::nullopt;
+  if (length < 4 || (length - 4) % 8 != 0 || bytes.size() < length) {
+    return std::nullopt;
+  }
+  const std::size_t entries = (length - 4) / 8;
+  if (entries > kMaxEntries) return std::nullopt;
+  if (pointer < 5 || pointer > length + 1 || (pointer - 5) % 8 != 0) {
+    return std::nullopt;
+  }
+  TimestampOption option;
+  option.overflow_ = oflw_flags >> 4;
+  const std::size_t stamped_count = (pointer - 5) / 8;
+  for (std::size_t i = 0; i < entries; ++i) {
+    Entry entry;
+    entry.addr = Ipv4Addr(get_u32(bytes, 4 + 8 * i));
+    entry.timestamp = get_u32(bytes, 8 + 8 * i);
+    entry.stamped = i < stamped_count;
+    option.entries_[option.used_++] = entry;
+  }
+  return option;
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,126 @@
+// IPv4 header options used by Reverse Traceroute: Record Route (RFC 791
+// option 7) and Timestamp with prespecified addresses (RFC 791 option 68,
+// flag 3). These carry the paper's two in-band measurement channels
+// (Insight 1.2).
+//
+// Both classes hold the logical state (slots, pointer) and encode/decode the
+// exact wire format so that the simulator manipulates the same structures a
+// raw-socket prober would, and so the parsing corner cases (full options,
+// truncated buffers, misaligned pointers) are testable.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace revtr::net {
+
+// ---------------------------------------------------------------------------
+// Record Route: up to 9 four-byte address slots in a 40-byte option area.
+// Routers stamp the address of the *outgoing* interface as the packet is
+// forwarded; the reply carries the accumulated slots back, which is what lets
+// Reverse Traceroute observe reverse hops (§2).
+// ---------------------------------------------------------------------------
+class RecordRouteOption {
+ public:
+  static constexpr std::size_t kMaxSlots = 9;
+  static constexpr std::uint8_t kType = 7;
+  // 3 header bytes + 9 * 4 address bytes.
+  static constexpr std::uint8_t kLength = 3 + 4 * kMaxSlots;
+
+  RecordRouteOption() = default;
+
+  // Number of stamped slots.
+  std::size_t size() const noexcept { return used_; }
+  bool full() const noexcept { return used_ == kMaxSlots; }
+  bool empty() const noexcept { return used_ == 0; }
+  std::size_t remaining() const noexcept { return kMaxSlots - used_; }
+
+  // Stamp the next free slot. Returns false when the option is full, in
+  // which case routers forward the packet unchanged (per RFC 791).
+  bool stamp(Ipv4Addr addr) noexcept {
+    if (full()) return false;
+    slots_[used_++] = addr;
+    return true;
+  }
+
+  Ipv4Addr slot(std::size_t i) const noexcept { return slots_[i]; }
+  std::span<const Ipv4Addr> entries() const noexcept {
+    return {slots_.data(), used_};
+  }
+  std::vector<Ipv4Addr> to_vector() const {
+    return {slots_.begin(), slots_.begin() + static_cast<long>(used_)};
+  }
+
+  // Wire format: type, length, pointer, then 9 slots (zeros when unused).
+  void encode(std::vector<std::uint8_t>& out) const;
+  static std::optional<RecordRouteOption> decode(
+      std::span<const std::uint8_t> bytes);
+
+  bool operator==(const RecordRouteOption&) const = default;
+
+ private:
+  std::array<Ipv4Addr, kMaxSlots> slots_{};
+  std::size_t used_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Timestamp with prespecified addresses (tsprespec): the sender lists up to
+// four addresses; each listed router fills its timestamp only when it is
+// reached *after* all earlier entries were filled. Reverse Traceroute uses
+// the pair <current hop, adjacency> to test whether the adjacency lies on
+// the reverse path (§2, Fig 1e).
+// ---------------------------------------------------------------------------
+class TimestampOption {
+ public:
+  static constexpr std::size_t kMaxEntries = 4;
+  static constexpr std::uint8_t kType = 68;
+  static constexpr std::uint8_t kFlagPrespecified = 3;
+
+  struct Entry {
+    Ipv4Addr addr;
+    std::uint32_t timestamp = 0;  // Milliseconds since midnight UT.
+    bool stamped = false;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  TimestampOption() = default;
+
+  // Build a prespec query for the given addresses (at most kMaxEntries).
+  static TimestampOption prespecified(std::span<const Ipv4Addr> addrs);
+
+  std::size_t size() const noexcept { return used_; }
+  std::span<const Entry> entries() const noexcept {
+    return {entries_.data(), used_};
+  }
+
+  // Index of the next entry awaiting a stamp, or nullopt when all stamped.
+  std::optional<std::size_t> next_pending() const noexcept;
+
+  // Called by a router owning `addr`: stamps only if `addr` is the next
+  // pending prespecified address. Returns true if a stamp was recorded.
+  bool try_stamp(Ipv4Addr addr, std::uint32_t timestamp) noexcept;
+
+  // True when the prespecified address at position i recorded a timestamp.
+  bool stamped(std::size_t i) const noexcept { return entries_[i].stamped; }
+
+  // Wire format: type, length, pointer, overflow/flags, then entries.
+  void encode(std::vector<std::uint8_t>& out) const;
+  static std::optional<TimestampOption> decode(
+      std::span<const std::uint8_t> bytes);
+
+  bool operator==(const TimestampOption&) const = default;
+
+ private:
+  std::array<Entry, kMaxEntries> entries_{};
+  std::size_t used_ = 0;
+  std::uint8_t overflow_ = 0;
+};
+
+}  // namespace revtr::net

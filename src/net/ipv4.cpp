@@ -1,0 +1,59 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace revtr::net {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out.push_back('.');
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end && octets < 4) {
+    unsigned byte = 0;
+    const auto [next, ec] = std::from_chars(p, end, byte);
+    if (ec != std::errc{} || byte > 255 || next == p) return std::nullopt;
+    value = (value << 8) | byte;
+    ++octets;
+    p = next;
+    if (octets < 4) {
+      if (p >= end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (octets != 4 || p != end) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const auto [next, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(),
+                      length);
+  if (ec != std::errc{} || length > 32 ||
+      next != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(length));
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,119 @@
+// IPv4 address and prefix value types.
+//
+// The whole reproduction is IPv4-only, like the paper (Record Route and
+// Timestamp are IPv4 header options). Addresses are strongly typed wrappers
+// around the host-order 32-bit value; prefixes pair an address with a length
+// and normalize the host bits to zero.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace revtr::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool is_unspecified() const noexcept { return value_ == 0; }
+
+  // RFC 1918 private space. Routers that stamp RR slots with private
+  // addresses are one of the measurement artifacts the paper handles
+  // (§5.2.2), so classification matters to the core algorithm.
+  constexpr bool is_private() const noexcept {
+    return (value_ & 0xff000000u) == 0x0a000000u ||   // 10.0.0.0/8
+           (value_ & 0xfff00000u) == 0xac100000u ||   // 172.16.0.0/12
+           (value_ & 0xffff0000u) == 0xc0a80000u;     // 192.168.0.0/16
+  }
+  constexpr bool is_loopback() const noexcept {
+    return (value_ & 0xff000000u) == 0x7f000000u;     // 127.0.0.0/8
+  }
+
+  std::string to_string() const;
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+  // Host bits below the prefix length are cleared.
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t length) noexcept
+      : addr_(Ipv4Addr(addr.value() & mask_for(length))),
+        length_(length > 32 ? 32 : length) {}
+
+  constexpr Ipv4Addr network() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+  constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & mask()) == addr_.value();
+  }
+  constexpr bool contains(Ipv4Prefix other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  // Number of addresses covered (2^(32-len)); 2^32 saturates to uint64 max.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr Ipv4Addr first_host() const noexcept {
+    // For /31 and /32 the network address itself is usable.
+    return length_ >= 31 ? addr_ : Ipv4Addr(addr_.value() + 1);
+  }
+
+  // The i-th address inside the prefix (no bounds checking beyond size()).
+  constexpr Ipv4Addr at(std::uint64_t i) const noexcept {
+    return Ipv4Addr(addr_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  std::string to_string() const;
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u
+                       : ~std::uint32_t{0} << (32 - (length > 32 ? 32 : length));
+  }
+
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace revtr::net
+
+template <>
+struct std::hash<revtr::net::Ipv4Addr> {
+  std::size_t operator()(revtr::net::Ipv4Addr a) const noexcept {
+    // splitmix-style avalanche; addresses are often sequential.
+    std::uint64_t x = a.value();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+template <>
+struct std::hash<revtr::net::Ipv4Prefix> {
+  std::size_t operator()(revtr::net::Ipv4Prefix p) const noexcept {
+    return std::hash<revtr::net::Ipv4Addr>{}(p.network()) * 31 + p.length();
+  }
+};

@@ -1,0 +1,58 @@
+#include "net/packet.h"
+
+namespace revtr::net {
+
+std::string to_string(IcmpType type) {
+  switch (type) {
+    case IcmpType::kEchoRequest:
+      return "echo-request";
+    case IcmpType::kEchoReply:
+      return "echo-reply";
+    case IcmpType::kTimeExceeded:
+      return "time-exceeded";
+    case IcmpType::kDestUnreachable:
+      return "dest-unreachable";
+  }
+  return "unknown";
+}
+
+Packet make_echo_request(Ipv4Addr src, Ipv4Addr dst, std::uint16_t icmp_id,
+                         std::uint16_t icmp_seq, std::uint8_t ttl) {
+  Packet packet;
+  packet.src = src;
+  packet.dst = dst;
+  packet.ttl = ttl;
+  packet.type = IcmpType::kEchoRequest;
+  packet.icmp_id = icmp_id;
+  packet.icmp_seq = icmp_seq;
+  return packet;
+}
+
+Packet make_echo_reply(const Packet& request, Ipv4Addr replier) {
+  Packet reply;
+  reply.src = replier;
+  reply.dst = request.src;  // Routed to the (possibly spoofed) source.
+  reply.ttl = 64;
+  reply.type = IcmpType::kEchoReply;
+  reply.icmp_id = request.icmp_id;
+  reply.icmp_seq = request.icmp_seq;
+  // RFC 791: the options of the request are reflected into the reply, and
+  // Record Route keeps recording along the reverse path.
+  reply.rr = request.rr;
+  reply.ts = request.ts;
+  return reply;
+}
+
+Packet make_time_exceeded(const Packet& request, Ipv4Addr router_addr) {
+  Packet error;
+  error.src = router_addr;
+  error.dst = request.src;
+  error.ttl = 64;
+  error.type = IcmpType::kTimeExceeded;
+  error.icmp_id = request.icmp_id;
+  error.icmp_seq = request.icmp_seq;
+  error.quoted_dst = request.dst;
+  return error;
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,68 @@
+// ICMP probe/response packet model.
+//
+// This is the unit the simulator forwards and the probing layer consumes.
+// It mirrors what a raw-socket implementation would put on the wire: an IPv4
+// header (source, destination, TTL, options) and an ICMP message. A byte
+// codec in net/wire.h serializes it to the real formats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ip_options.h"
+#include "net/ipv4.h"
+
+namespace revtr::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoRequest,
+  kEchoReply,
+  kTimeExceeded,
+  kDestUnreachable,
+};
+
+std::string to_string(IcmpType type);
+
+struct Packet {
+  Ipv4Addr src;  // May be spoofed: the simulator delivers replies here.
+  Ipv4Addr dst;
+  std::uint8_t ttl = 64;
+  IcmpType type = IcmpType::kEchoRequest;
+
+  // ICMP echo identifier/sequence. Paris traceroute (§Appx E) keeps the
+  // flow-relevant fields constant so per-flow load balancers see one flow.
+  std::uint16_t icmp_id = 0;
+  std::uint16_t icmp_seq = 0;
+
+  std::optional<RecordRouteOption> rr;
+  std::optional<TimestampOption> ts;
+
+  // For ICMP errors: the destination of the packet that triggered the error
+  // (from the quoted header), so the prober can match responses to probes.
+  Ipv4Addr quoted_dst;
+
+  bool has_options() const noexcept { return rr.has_value() || ts.has_value(); }
+
+  // Flow key as a per-flow load balancer would compute it (src, dst,
+  // protocol fields). Direction-sensitive by construction.
+  std::uint64_t flow_key() const noexcept {
+    return (std::uint64_t{src.value()} << 32) ^ dst.value() ^
+           (std::uint64_t{icmp_id} << 16) ^ icmp_seq;
+  }
+};
+
+// Builds an echo request ready to send; callers adjust options/ttl.
+Packet make_echo_request(Ipv4Addr src, Ipv4Addr dst, std::uint16_t icmp_id,
+                         std::uint16_t icmp_seq, std::uint8_t ttl = 64);
+
+// The reply a destination host generates for an echo request. Per RFC 792 /
+// RFC 791 the reply copies the request's IP options (with the RR slots
+// continuing to accumulate on the return path).
+Packet make_echo_reply(const Packet& request, Ipv4Addr replier);
+
+// The ICMP time-exceeded error a router at `router_addr` generates when the
+// TTL of `request` expires.
+Packet make_time_exceeded(const Packet& request, Ipv4Addr router_addr);
+
+}  // namespace revtr::net

@@ -1,0 +1,108 @@
+// Longest-prefix-match binary trie over IPv4 prefixes.
+//
+// Used for BGP prefix resolution (mapping a probe target to its routed
+// prefix), IP-to-AS mapping (Appx B.2), and the forwarding lookups in the
+// simulator. A compressed path would be faster, but a plain binary trie at
+// <= 33 levels is simple, cache-friendly enough at our scales, and easy to
+// reason about; bench_micro_net measures it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace revtr::net {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  // Insert or overwrite the value for an exact prefix.
+  void insert(Ipv4Prefix prefix, Value value) {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.network().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(Node{});  // May reallocate; re-index afterwards.
+        nodes_[node].child[bit] = child;
+      }
+      node = child;
+    }
+    if (!nodes_[node].value.has_value()) ++size_;
+    nodes_[node].value = std::move(value);
+  }
+
+  // Longest-prefix match: the value of the most specific prefix containing
+  // the address, or nullopt when nothing matches.
+  std::optional<Value> lookup(Ipv4Addr addr) const {
+    std::optional<Value> best;
+    std::uint32_t node = 0;
+    const std::uint32_t bits = addr.value();
+    if (nodes_[0].value) best = nodes_[0].value;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+      if (nodes_[node].value) best = nodes_[node].value;
+    }
+    return best;
+  }
+
+  // Longest matching prefix itself together with its value.
+  std::optional<std::pair<Ipv4Prefix, Value>> lookup_prefix(
+      Ipv4Addr addr) const {
+    std::optional<std::pair<Ipv4Prefix, Value>> best;
+    std::uint32_t node = 0;
+    const std::uint32_t bits = addr.value();
+    if (nodes_[0].value) {
+      best = {Ipv4Prefix(addr, 0), *nodes_[0].value};
+    }
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+      if (nodes_[node].value) {
+        best = {Ipv4Prefix(addr, static_cast<std::uint8_t>(depth + 1)),
+                *nodes_[node].value};
+      }
+    }
+    return best;
+  }
+
+  // Exact-prefix fetch (no LPM).
+  std::optional<Value> find(Ipv4Prefix prefix) const {
+    std::uint32_t node = 0;
+    const std::uint32_t bits = prefix.network().value();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[node].child[bit];
+      if (child == 0) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::uint32_t child[2] = {0, 0};
+    std::optional<Value> value;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace revtr::net

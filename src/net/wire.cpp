@@ -1,0 +1,197 @@
+#include "net/wire.h"
+
+#include <stdexcept>
+
+#include "net/checksum.h"
+
+namespace revtr::net {
+
+namespace {
+
+constexpr std::uint8_t kProtocolIcmp = 1;
+constexpr std::uint8_t kIcmpEchoReply = 0;
+constexpr std::uint8_t kIcmpDestUnreachable = 3;
+constexpr std::uint8_t kIcmpEchoRequest = 8;
+constexpr std::uint8_t kIcmpTimeExceeded = 11;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
+  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
+  return (std::uint32_t{b[at]} << 24) | (std::uint32_t{b[at + 1]} << 16) |
+         (std::uint32_t{b[at + 2]} << 8) | std::uint32_t{b[at + 3]};
+}
+
+std::uint8_t icmp_type_code(IcmpType type) {
+  switch (type) {
+    case IcmpType::kEchoRequest:
+      return kIcmpEchoRequest;
+    case IcmpType::kEchoReply:
+      return kIcmpEchoReply;
+    case IcmpType::kTimeExceeded:
+      return kIcmpTimeExceeded;
+    case IcmpType::kDestUnreachable:
+      return kIcmpDestUnreachable;
+  }
+  return kIcmpEchoRequest;
+}
+
+std::optional<IcmpType> icmp_type_from_code(std::uint8_t code) {
+  switch (code) {
+    case kIcmpEchoRequest:
+      return IcmpType::kEchoRequest;
+    case kIcmpEchoReply:
+      return IcmpType::kEchoReply;
+    case kIcmpTimeExceeded:
+      return IcmpType::kTimeExceeded;
+    case kIcmpDestUnreachable:
+      return IcmpType::kDestUnreachable;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_packet(const Packet& packet) {
+  // --- Options area, padded to a 4-byte boundary with EOL (0). ---
+  std::vector<std::uint8_t> options;
+  if (packet.rr) packet.rr->encode(options);
+  if (packet.ts) packet.ts->encode(options);
+  while (options.size() % 4 != 0) options.push_back(0);
+  if (options.size() > 40) {
+    // IPv4 caps the header at 60 bytes (IHL 15): a full Record Route and a
+    // Timestamp option cannot share one packet, which is one reason the
+    // real system issues them separately.
+    throw std::length_error("IP options exceed the 40-byte header budget");
+  }
+
+  const std::size_t header_len = 20 + options.size();
+  const std::uint8_t ihl = static_cast<std::uint8_t>(header_len / 4);
+
+  // --- ICMP message. ---
+  std::vector<std::uint8_t> icmp;
+  icmp.push_back(icmp_type_code(packet.type));
+  icmp.push_back(0);  // code
+  put_u16(icmp, 0);   // checksum placeholder
+  if (packet.type == IcmpType::kEchoRequest ||
+      packet.type == IcmpType::kEchoReply) {
+    put_u16(icmp, packet.icmp_id);
+    put_u16(icmp, packet.icmp_seq);
+  } else {
+    put_u32(icmp, 0);  // unused
+    // Quoted original IPv4 header (20 bytes, no options) + 8 ICMP bytes.
+    icmp.push_back(0x45);
+    icmp.push_back(0);
+    put_u16(icmp, 28);
+    put_u16(icmp, 0);
+    put_u16(icmp, 0);
+    icmp.push_back(1);  // quoted TTL (expired)
+    icmp.push_back(kProtocolIcmp);
+    put_u16(icmp, 0);
+    put_u32(icmp, packet.dst.value());         // quoted src = original sender
+    put_u32(icmp, packet.quoted_dst.value());  // quoted dst
+    icmp.push_back(kIcmpEchoRequest);
+    icmp.push_back(0);
+    put_u16(icmp, 0);
+    put_u16(icmp, packet.icmp_id);
+    put_u16(icmp, packet.icmp_seq);
+  }
+  const std::uint16_t icmp_sum = internet_checksum(icmp);
+  icmp[2] = static_cast<std::uint8_t>(icmp_sum >> 8);
+  icmp[3] = static_cast<std::uint8_t>(icmp_sum);
+
+  // --- IPv4 header. ---
+  std::vector<std::uint8_t> out;
+  out.reserve(header_len + icmp.size());
+  out.push_back(static_cast<std::uint8_t>(0x40 | ihl));
+  out.push_back(0);  // TOS
+  put_u16(out, static_cast<std::uint16_t>(header_len + icmp.size()));
+  put_u16(out, 0);  // identification
+  put_u16(out, 0);  // flags/fragment offset
+  out.push_back(packet.ttl);
+  out.push_back(kProtocolIcmp);
+  put_u16(out, 0);  // header checksum placeholder
+  put_u32(out, packet.src.value());
+  put_u32(out, packet.dst.value());
+  out.insert(out.end(), options.begin(), options.end());
+
+  const std::uint16_t header_sum =
+      internet_checksum({out.data(), header_len});
+  out[10] = static_cast<std::uint8_t>(header_sum >> 8);
+  out[11] = static_cast<std::uint8_t>(header_sum);
+
+  out.insert(out.end(), icmp.begin(), icmp.end());
+  return out;
+}
+
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 28) return std::nullopt;  // 20 IP + 8 ICMP minimum.
+  if ((bytes[0] >> 4) != 4) return std::nullopt;
+  const std::size_t header_len = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
+  if (header_len < 20 || bytes.size() < header_len + 8) return std::nullopt;
+  if (!checksum_ok(bytes.subspan(0, header_len))) return std::nullopt;
+  if (bytes[9] != kProtocolIcmp) return std::nullopt;
+
+  Packet packet;
+  packet.ttl = bytes[8];
+  packet.src = Ipv4Addr(get_u32(bytes, 12));
+  packet.dst = Ipv4Addr(get_u32(bytes, 16));
+
+  // --- Options. ---
+  std::size_t at = 20;
+  while (at < header_len) {
+    const std::uint8_t kind = bytes[at];
+    if (kind == 0) break;  // EOL
+    if (kind == 1) {       // NOP
+      ++at;
+      continue;
+    }
+    if (at + 1 >= header_len) return std::nullopt;
+    const std::uint8_t opt_len = bytes[at + 1];
+    if (opt_len < 2 || at + opt_len > header_len) return std::nullopt;
+    const auto opt = bytes.subspan(at, opt_len);
+    if (kind == RecordRouteOption::kType) {
+      auto rr = RecordRouteOption::decode(opt);
+      if (!rr) return std::nullopt;
+      packet.rr = *rr;
+    } else if (kind == TimestampOption::kType) {
+      auto ts = TimestampOption::decode(opt);
+      if (!ts) return std::nullopt;
+      packet.ts = *ts;
+    }
+    at += opt_len;
+  }
+
+  // --- ICMP. ---
+  const auto icmp = bytes.subspan(header_len);
+  if (!checksum_ok(icmp)) return std::nullopt;
+  const auto type = icmp_type_from_code(icmp[0]);
+  if (!type) return std::nullopt;
+  packet.type = *type;
+  if (*type == IcmpType::kEchoRequest || *type == IcmpType::kEchoReply) {
+    packet.icmp_id = get_u16(icmp, 4);
+    packet.icmp_seq = get_u16(icmp, 6);
+  } else {
+    if (icmp.size() < 8 + 28) return std::nullopt;
+    packet.quoted_dst = Ipv4Addr(get_u32(icmp, 8 + 16));
+    packet.icmp_id = get_u16(icmp, 8 + 24);
+    packet.icmp_seq = get_u16(icmp, 8 + 26);
+  }
+  return packet;
+}
+
+}  // namespace revtr::net

@@ -1,0 +1,26 @@
+// Byte-level codec: Packet <-> IPv4 header + ICMP message.
+//
+// The simulator works on the structured Packet, but this codec proves the
+// model is faithful to the wire: a Packet round-trips through the exact
+// on-the-wire representation (IPv4 header with options padded to a 4-byte
+// boundary, ICMP echo / time-exceeded with checksums). It also backs the
+// encode/decode microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace revtr::net {
+
+// Serializes the packet to IPv4 wire format. Checksums are computed.
+std::vector<std::uint8_t> encode_packet(const Packet& packet);
+
+// Parses a wire buffer back into a Packet. Returns nullopt on malformed
+// input (bad version/IHL, truncated options, checksum mismatch).
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes);
+
+}  // namespace revtr::net

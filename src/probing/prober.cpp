@@ -1,0 +1,158 @@
+#include "probing/prober.h"
+
+namespace revtr::probing {
+
+namespace {
+using net::Ipv4Addr;
+using net::Packet;
+}  // namespace
+
+std::string to_string(ProbeType type) {
+  switch (type) {
+    case ProbeType::kPing:
+      return "ping";
+    case ProbeType::kRecordRoute:
+      return "rr";
+    case ProbeType::kSpoofedRecordRoute:
+      return "spoof-rr";
+    case ProbeType::kTimestamp:
+      return "ts";
+    case ProbeType::kSpoofedTimestamp:
+      return "spoof-ts";
+    case ProbeType::kTraceroute:
+      return "traceroute";
+  }
+  return "?";
+}
+
+ProbeCounters& ProbeCounters::operator+=(const ProbeCounters& other) {
+  ping += other.ping;
+  rr += other.rr;
+  spoofed_rr += other.spoofed_rr;
+  ts += other.ts;
+  spoofed_ts += other.spoofed_ts;
+  traceroute_packets += other.traceroute_packets;
+  traceroutes += other.traceroutes;
+  return *this;
+}
+
+ProbeCounters ProbeCounters::operator-(const ProbeCounters& other) const {
+  ProbeCounters delta;
+  delta.ping = ping - other.ping;
+  delta.rr = rr - other.rr;
+  delta.spoofed_rr = spoofed_rr - other.spoofed_rr;
+  delta.ts = ts - other.ts;
+  delta.spoofed_ts = spoofed_ts - other.spoofed_ts;
+  delta.traceroute_packets = traceroute_packets - other.traceroute_packets;
+  delta.traceroutes = traceroutes - other.traceroutes;
+  return delta;
+}
+
+std::vector<Ipv4Addr> TracerouteResult::responsive_hops() const {
+  std::vector<Ipv4Addr> addrs;
+  for (const auto& hop : hops) {
+    if (hop.addr) addrs.push_back(*hop.addr);
+  }
+  return addrs;
+}
+
+Prober::Prober(sim::Network& network) : network_(network) {}
+
+PingResult Prober::ping(topology::HostId from, Ipv4Addr target) {
+  ++counters_.ping;
+  const auto& sender = topo().host(from);
+  Packet probe = net::make_echo_request(sender.addr, target, next_id(), 1);
+  const auto result = network_.send(probe, from);
+  PingResult out;
+  out.responded = result.answered();
+  out.duration_us = out.responded ? result.rtt_us : kProbeTimeoutUs;
+  return out;
+}
+
+RrProbeResult Prober::rr_ping(topology::HostId from, Ipv4Addr target,
+                              std::optional<Ipv4Addr> spoof_as) {
+  if (spoof_as) {
+    ++counters_.spoofed_rr;
+  } else {
+    ++counters_.rr;
+  }
+  const auto& sender = topo().host(from);
+  const Ipv4Addr src = spoof_as.value_or(sender.addr);
+  Packet probe = net::make_echo_request(src, target, next_id(), 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network_.send(probe, from);
+  RrProbeResult out;
+  out.responded = result.answered() && result.reply->rr.has_value();
+  if (out.responded) {
+    out.slots = result.reply->rr->to_vector();
+    out.duration_us = result.rtt_us;
+  } else {
+    out.duration_us = kProbeTimeoutUs;
+  }
+  return out;
+}
+
+TsProbeResult Prober::ts_ping(topology::HostId from, Ipv4Addr target,
+                              std::span<const Ipv4Addr> prespec,
+                              std::optional<Ipv4Addr> spoof_as) {
+  if (spoof_as) {
+    ++counters_.spoofed_ts;
+  } else {
+    ++counters_.ts;
+  }
+  const auto& sender = topo().host(from);
+  const Ipv4Addr src = spoof_as.value_or(sender.addr);
+  Packet probe = net::make_echo_request(src, target, next_id(), 1);
+  probe.ts = net::TimestampOption::prespecified(prespec);
+  const auto result = network_.send(probe, from);
+  TsProbeResult out;
+  out.responded = result.answered() && result.reply->ts.has_value();
+  if (out.responded) {
+    const auto entries = result.reply->ts->entries();
+    out.stamped.reserve(entries.size());
+    for (const auto& entry : entries) out.stamped.push_back(entry.stamped);
+    out.duration_us = result.rtt_us;
+  } else {
+    out.duration_us = kProbeTimeoutUs;
+  }
+  return out;
+}
+
+TracerouteResult Prober::traceroute(topology::HostId from, Ipv4Addr target) {
+  ++counters_.traceroutes;
+  const auto& sender = topo().host(from);
+  TracerouteResult out;
+  const std::uint16_t flow_id = next_id();  // Constant across TTLs (Paris).
+  for (int ttl = 1; ttl <= kMaxTracerouteTtl; ++ttl) {
+    ++counters_.traceroute_packets;
+    Packet probe = net::make_echo_request(sender.addr, target, flow_id, 7,
+                                          static_cast<std::uint8_t>(ttl));
+    const auto result = network_.send(probe, from);
+    TracerouteHop hop;
+    if (result.answered()) {
+      hop.addr = result.reply->src;
+      hop.rtt_us = result.rtt_us;
+      out.duration_us += result.rtt_us;
+    } else {
+      out.duration_us += kProbeTimeoutUs;
+    }
+    out.hops.push_back(hop);
+    if (result.answered() &&
+        result.reply->type == net::IcmpType::kEchoReply) {
+      out.reached = true;
+      break;
+    }
+    // Three consecutive silent hops usually mean the trace is going
+    // nowhere; real tools stop too rather than burn 30 more probes.
+    if (out.hops.size() >= 3) {
+      const auto n = out.hops.size();
+      if (!out.hops[n - 1].addr && !out.hops[n - 2].addr &&
+          !out.hops[n - 3].addr) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace revtr::probing

@@ -1,0 +1,127 @@
+// Measurement primitives built on the simulator.
+//
+// These are the operations the real system issues from its vantage points:
+// plain pings, RR pings (optionally spoofed), timestamp-prespec queries
+// (optionally spoofed), and Paris traceroute. Every call is accounted by
+// type so Table 4's packet budget can be regenerated, and every result
+// carries a simulated duration that the engine charges to the SimClock.
+//
+// The prober never advances the clock itself: batches of probes are
+// conceptually concurrent, so the caller decides whether durations add up
+// (sequential steps) or max out (parallel batches).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "sim/network.h"
+#include "topology/topology.h"
+#include "util/sim_clock.h"
+
+namespace revtr::probing {
+
+// Table 4 packet categories.
+enum class ProbeType : std::uint8_t {
+  kPing,
+  kRecordRoute,
+  kSpoofedRecordRoute,
+  kTimestamp,
+  kSpoofedTimestamp,
+  kTraceroute,  // Counted per packet (one per TTL tried).
+};
+
+std::string to_string(ProbeType type);
+
+struct ProbeCounters {
+  std::uint64_t ping = 0;
+  std::uint64_t rr = 0;
+  std::uint64_t spoofed_rr = 0;
+  std::uint64_t ts = 0;
+  std::uint64_t spoofed_ts = 0;
+  std::uint64_t traceroute_packets = 0;
+  std::uint64_t traceroutes = 0;
+
+  std::uint64_t total() const noexcept {
+    return ping + rr + spoofed_rr + ts + spoofed_ts + traceroute_packets;
+  }
+  ProbeCounters& operator+=(const ProbeCounters& other);
+  ProbeCounters operator-(const ProbeCounters& other) const;
+};
+
+struct PingResult {
+  bool responded = false;
+  util::SimClock::Micros duration_us = 0;
+};
+
+struct RrProbeResult {
+  bool responded = false;
+  // The nine-slot record as observed in the reply (possibly empty).
+  std::vector<net::Ipv4Addr> slots;
+  util::SimClock::Micros duration_us = 0;
+};
+
+struct TsProbeResult {
+  bool responded = false;
+  // Whether each prespecified address recorded a timestamp.
+  std::vector<bool> stamped;
+  util::SimClock::Micros duration_us = 0;
+};
+
+struct TracerouteHop {
+  std::optional<net::Ipv4Addr> addr;  // nullopt = "*" (no reply).
+  util::SimClock::Micros rtt_us = 0;
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool reached = false;  // Destination answered the final probe.
+  util::SimClock::Micros duration_us = 0;
+
+  // Responsive hop addresses in order (skipping "*").
+  std::vector<net::Ipv4Addr> responsive_hops() const;
+};
+
+class Prober {
+ public:
+  // Unanswered probes are charged this much simulated time.
+  static constexpr util::SimClock::Micros kProbeTimeoutUs =
+      2 * util::SimClock::kSecond;
+  static constexpr int kMaxTracerouteTtl = 40;
+
+  explicit Prober(sim::Network& network);
+
+  PingResult ping(topology::HostId from, net::Ipv4Addr target);
+
+  // RR echo request from `from` to `target`. When `spoof_as` is set the
+  // packet claims that source; the reply is then observed at the host
+  // owning that address (nullopt result slots if the reply never arrives).
+  RrProbeResult rr_ping(topology::HostId from, net::Ipv4Addr target,
+                        std::optional<net::Ipv4Addr> spoof_as = std::nullopt);
+
+  TsProbeResult ts_ping(topology::HostId from, net::Ipv4Addr target,
+                        std::span<const net::Ipv4Addr> prespec,
+                        std::optional<net::Ipv4Addr> spoof_as = std::nullopt);
+
+  // Paris traceroute: constant flow identifiers across TTLs so per-flow
+  // load balancers keep the probes on one path (Appx E).
+  TracerouteResult traceroute(topology::HostId from, net::Ipv4Addr target);
+
+  const ProbeCounters& counters() const noexcept { return counters_; }
+  void reset_counters() { counters_ = ProbeCounters{}; }
+
+  sim::Network& network() noexcept { return network_; }
+  const topology::Topology& topo() const noexcept { return network_.topo(); }
+
+ private:
+  std::uint16_t next_id() noexcept { return ++sequence_; }
+
+  sim::Network& network_;
+  ProbeCounters counters_;
+  std::uint16_t sequence_ = 0;
+};
+
+}  // namespace revtr::probing

@@ -1,0 +1,102 @@
+#include "service/archive.h"
+
+namespace revtr::service {
+
+MeasurementArchive::MeasurementArchive(const topology::Topology& topo)
+    : topo_(topo) {}
+
+void MeasurementArchive::record(const core::ReverseTraceroute& measurement,
+                                util::SimClock::Micros at) {
+  entries_.push_back(Entry{at, measurement});
+}
+
+std::vector<const MeasurementArchive::Entry*> MeasurementArchive::by_source(
+    topology::HostId source) const {
+  std::vector<const Entry*> matches;
+  for (const auto& entry : entries_) {
+    if (entry.measurement.source == source) matches.push_back(&entry);
+  }
+  return matches;
+}
+
+std::vector<const MeasurementArchive::Entry*>
+MeasurementArchive::by_destination(topology::HostId destination) const {
+  std::vector<const Entry*> matches;
+  for (const auto& entry : entries_) {
+    if (entry.measurement.destination == destination) {
+      matches.push_back(&entry);
+    }
+  }
+  return matches;
+}
+
+std::vector<const MeasurementArchive::Entry*> MeasurementArchive::since(
+    util::SimClock::Micros cutoff) const {
+  std::vector<const Entry*> matches;
+  for (const auto& entry : entries_) {
+    if (entry.recorded_at >= cutoff) matches.push_back(&entry);
+  }
+  return matches;
+}
+
+MeasurementArchive::Stats MeasurementArchive::stats() const {
+  Stats stats;
+  stats.total = entries_.size();
+  for (const auto& entry : entries_) {
+    switch (entry.measurement.status) {
+      case core::RevtrStatus::kComplete:
+        ++stats.complete;
+        break;
+      case core::RevtrStatus::kAbortedInterdomainSymmetry:
+        ++stats.aborted;
+        break;
+      case core::RevtrStatus::kUnreachable:
+        ++stats.unreachable;
+        break;
+    }
+    if (entry.measurement.has_suspicious_gap ||
+        entry.measurement.has_private_hops ||
+        entry.measurement.used_stale_traceroute ||
+        entry.measurement.dbr_suspect) {
+      ++stats.flagged;
+    }
+  }
+  return stats;
+}
+
+std::string MeasurementArchive::export_ndjson() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    util::Json line = util::Json::object();
+    line["recorded_at_us"] = entry.recorded_at;
+    line["measurement"] = core::to_json(entry.measurement, topo_);
+    out += line.dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::size_t MeasurementArchive::import_ndjson(std::string_view ndjson) {
+  std::size_t imported = 0;
+  std::size_t start = 0;
+  while (start < ndjson.size()) {
+    auto end = ndjson.find('\n', start);
+    if (end == std::string_view::npos) end = ndjson.size();
+    const auto line = ndjson.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const auto parsed = util::Json::parse(line);
+    if (!parsed) continue;
+    const auto* at = parsed->find("recorded_at_us");
+    const auto* body = parsed->find("measurement");
+    if (at == nullptr || !at->is_number() || body == nullptr) continue;
+    const auto measurement =
+        core::reverse_traceroute_from_json(*body, topo_);
+    if (!measurement) continue;
+    entries_.push_back(Entry{at->as_int(), *measurement});
+    ++imported;
+  }
+  return imported;
+}
+
+}  // namespace revtr::service

@@ -1,0 +1,61 @@
+// Measurement archive (Appx A: "Our system archives both user-driven and
+// NDT-based reverse traceroutes to M-Lab's Google Cloud storage").
+//
+// An append-only store of serialized reverse traceroutes with simple query
+// support and NDJSON import/export — the shape a downstream consumer of the
+// public dataset would read.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/revtr.h"
+#include "core/serialize.h"
+#include "util/sim_clock.h"
+
+namespace revtr::service {
+
+class MeasurementArchive {
+ public:
+  struct Entry {
+    util::SimClock::Micros recorded_at = 0;
+    core::ReverseTraceroute measurement;
+  };
+
+  struct Stats {
+    std::size_t total = 0;
+    std::size_t complete = 0;
+    std::size_t aborted = 0;
+    std::size_t unreachable = 0;
+    std::size_t flagged = 0;  // Any trust flag set.
+  };
+
+  explicit MeasurementArchive(const topology::Topology& topo);
+
+  void record(const core::ReverseTraceroute& measurement,
+              util::SimClock::Micros at);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  std::vector<const Entry*> by_source(topology::HostId source) const;
+  std::vector<const Entry*> by_destination(
+      topology::HostId destination) const;
+  std::vector<const Entry*> since(util::SimClock::Micros cutoff) const;
+
+  Stats stats() const;
+
+  // One JSON document per line, each wrapped as
+  // {"recorded_at_us": N, "measurement": {...}}.
+  std::string export_ndjson() const;
+  // Appends parseable lines; returns how many were imported (malformed
+  // lines are skipped, not fatal — archives outlive code versions).
+  std::size_t import_ndjson(std::string_view ndjson);
+
+ private:
+  const topology::Topology& topo_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace revtr::service

@@ -1,0 +1,165 @@
+#include "service/service.h"
+
+namespace revtr::service {
+
+RevtrService::RevtrService(core::RevtrEngine& engine,
+                           atlas::TracerouteAtlas& atlas,
+                           probing::Prober& prober,
+                           const topology::Topology& topo)
+    : engine_(engine), atlas_(atlas), prober_(prober), topo_(topo) {}
+
+UserId RevtrService::add_user(std::string name, UserLimits limits) {
+  const UserId id = next_user_++;
+  users_[id] = UserState{std::move(name), limits, 0};
+  return id;
+}
+
+bool RevtrService::add_source(topology::HostId host, std::size_t atlas_size,
+                              util::Rng& rng) {
+  SourceRecord record;
+  record.host = host;
+  record.bootstrapped_at = clock_.now();
+
+  // Step 1: verify the candidate source can receive RR packets — an RR ping
+  // from a vantage point must come back with slots (Appx A bootstrap).
+  const auto vps = topo_.vantage_points();
+  for (const topology::HostId vp : vps) {
+    const auto probe = prober_.rr_ping(vp, topo_.host(host).addr);
+    if (probe.responded) {
+      record.receives_rr = true;
+      break;
+    }
+  }
+  if (!record.receives_rr) return false;
+
+  // Step 2: build the traceroute atlas (Q1) and the RR alias index (Q2).
+  const auto build_time = atlas_.build(host, atlas_size, rng, clock_.now());
+  atlas_.build_rr_alias_index(host);
+  record.atlas_size = atlas_.traceroutes(host).size();
+  // The real bootstrap takes ~15 minutes, dominated by RIPE Atlas
+  // scheduling; we charge the measured traceroute time plus that overhead.
+  record.bootstrap_duration =
+      build_time + 14 * util::SimClock::kMinute;
+  clock_.advance(record.bootstrap_duration);
+
+  record.atlas_refreshed_at = clock_.now();
+  sources_[host] = record;
+  return true;
+}
+
+std::optional<ServedMeasurement> RevtrService::request_with_options(
+    UserId user, topology::HostId destination, topology::HostId source,
+    const RequestOptions& options, util::Rng& rng) {
+  const auto user_it = users_.find(user);
+  if (user_it == users_.end()) return std::nullopt;
+  const auto source_it = sources_.find(source);
+  if (source_it == sources_.end()) return std::nullopt;
+  UserState& state = user_it->second;
+  if (state.issued_today >= state.limits.daily_limit) return std::nullopt;
+  ++state.issued_today;
+
+  ServedMeasurement served;
+  SourceRecord& record = source_it->second;
+  if (options.max_atlas_age > 0 &&
+      clock_.now() - record.atlas_refreshed_at > options.max_atlas_age) {
+    atlas_.refresh(source, rng, clock_.now());
+    atlas_.build_rr_alias_index(source);
+    record.atlas_refreshed_at = clock_.now();
+    record.atlas_size = atlas_.traceroutes(source).size();
+    served.atlas_refreshed = true;
+    // An atlas refresh takes ~15 minutes of wall-clock on RIPE Atlas.
+    clock_.advance(15 * util::SimClock::kMinute);
+  }
+
+  served.reverse = engine_.measure(destination, source, clock_);
+  archive(served.reverse);
+  if (options.with_forward_traceroute) {
+    served.forward = prober_.traceroute(
+        source, topo_.host(destination).addr);
+    clock_.advance(served.forward->duration_us);
+  }
+  return served;
+}
+
+std::optional<ServedMeasurement> RevtrService::on_ndt_measurement(
+    topology::HostId client, topology::HostId server) {
+  if (!sources_.contains(server)) return std::nullopt;
+  if (ndt_issued_today_ >= ndt_budget_) {
+    ++ndt_stats_.rejected_load;  // Load shedding: NDT traffic is best-effort.
+    return std::nullopt;
+  }
+  ++ndt_issued_today_;
+  ++ndt_stats_.accepted;
+  ServedMeasurement served;
+  served.reverse = engine_.measure(client, server, clock_);
+  archive(served.reverse);
+  // M-Lab already issues the forward traceroute for every NDT test; our
+  // reverse measurement complements it (Appx A).
+  served.forward = prober_.traceroute(server, topo_.host(client).addr);
+  clock_.advance(served.forward->duration_us);
+  return served;
+}
+
+const SourceRecord* RevtrService::source_record(topology::HostId host) const {
+  const auto it = sources_.find(host);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+std::optional<core::ReverseTraceroute> RevtrService::request(
+    UserId user, topology::HostId destination, topology::HostId source) {
+  const auto user_it = users_.find(user);
+  if (user_it == users_.end()) return std::nullopt;
+  if (!sources_.contains(source)) return std::nullopt;
+  UserState& state = user_it->second;
+  if (state.issued_today >= state.limits.daily_limit) return std::nullopt;
+  ++state.issued_today;
+  auto result = engine_.measure(destination, source, clock_);
+  archive(result);
+  return result;
+}
+
+CampaignStats RevtrService::run_campaign(
+    std::span<const std::pair<topology::HostId, topology::HostId>> pairs,
+    std::size_t parallelism) {
+  CampaignStats stats;
+  stats.requested = pairs.size();
+  const auto counters_before = prober_.counters();
+  for (const auto& [destination, source] : pairs) {
+    const auto result = engine_.measure(destination, source, clock_);
+    archive(result);
+    const double latency = result.span.seconds();
+    stats.latency_seconds.add(latency);
+    stats.busy_seconds += latency;
+    switch (result.status) {
+      case core::RevtrStatus::kComplete:
+        ++stats.completed;
+        break;
+      case core::RevtrStatus::kAbortedInterdomainSymmetry:
+        ++stats.aborted;
+        break;
+      case core::RevtrStatus::kUnreachable:
+        ++stats.unreachable;
+        break;
+    }
+  }
+  stats.probes = prober_.counters() - counters_before;
+  stats.duration_seconds =
+      stats.busy_seconds / static_cast<double>(std::max<std::size_t>(
+                               parallelism, 1));
+  return stats;
+}
+
+void RevtrService::daily_refresh(util::Rng& rng) {
+  clock_.advance(util::SimClock::kDay);
+  for (auto& [host, record] : sources_) {
+    atlas_.refresh(host, rng, clock_.now());
+    atlas_.build_rr_alias_index(host);
+    record.atlas_size = atlas_.traceroutes(host).size();
+    record.atlas_refreshed_at = clock_.now();
+  }
+  for (auto& [id, user] : users_) user.issued_today = 0;
+  ndt_issued_today_ = 0;
+  engine_.clear_caches();
+}
+
+}  // namespace revtr::service

@@ -1,0 +1,166 @@
+// Operating Reverse Traceroute as a service (Appx A).
+//
+// The paper's deployment is open to external users: users register, add
+// their own hosts as sources (a ~15-minute bootstrap builds the source's
+// traceroute atlas and Q2 RR index and verifies the source can receive RR
+// packets), and issue rate-limited measurement requests. This module models
+// that operational layer on top of the engine, including the batch campaign
+// driver whose simulated-time accounting backs the throughput and latency
+// numbers (§5.1, §5.2.4, Fig 5c).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/revtr.h"
+#include "service/archive.h"
+#include "util/sim_clock.h"
+#include "util/stats.h"
+
+namespace revtr::service {
+
+using UserId = std::uint32_t;
+
+struct UserLimits {
+  std::size_t max_parallel = 8;
+  std::size_t daily_limit = 100000;
+};
+
+struct SourceRecord {
+  topology::HostId host = topology::kInvalidId;
+  bool receives_rr = false;
+  util::SimClock::Micros bootstrapped_at = 0;
+  util::SimClock::Micros bootstrap_duration = 0;
+  util::SimClock::Micros atlas_refreshed_at = 0;
+  std::size_t atlas_size = 0;
+};
+
+// Per-request tuning knobs the real API exposes (Appx A): how stale the
+// atlas may be, and whether to bundle a forward traceroute.
+struct RequestOptions {
+  // 0 = accept any staleness. Otherwise the source's atlas is refreshed
+  // before measuring if it is older than this.
+  util::SimClock::Micros max_atlas_age = 0;
+  bool with_forward_traceroute = false;
+};
+
+struct ServedMeasurement {
+  core::ReverseTraceroute reverse;
+  std::optional<probing::TracerouteResult> forward;
+  bool atlas_refreshed = false;  // Request triggered an atlas refresh.
+};
+
+struct CampaignStats {
+  std::size_t requested = 0;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  std::size_t unreachable = 0;
+  probing::ProbeCounters probes;
+  util::Distribution latency_seconds;
+  double busy_seconds = 0;      // Summed measurement latencies.
+  double duration_seconds = 0;  // busy / parallelism.
+
+  double coverage() const noexcept {
+    return requested == 0 ? 0.0
+                          : static_cast<double>(completed) / requested;
+  }
+  double throughput_per_second() const noexcept {
+    return duration_seconds <= 0
+               ? 0.0
+               : static_cast<double>(completed + aborted + unreachable) /
+                     duration_seconds;
+  }
+};
+
+class RevtrService {
+ public:
+  RevtrService(core::RevtrEngine& engine, atlas::TracerouteAtlas& atlas,
+               probing::Prober& prober, const topology::Topology& topo);
+
+  // --- Users (manual registration in the real system). ---
+  UserId add_user(std::string name, UserLimits limits = {});
+  bool known_user(UserId user) const { return users_.contains(user); }
+
+  // --- Sources. ---
+  // Bootstraps `host` as a source: verifies RR packets reach it, builds its
+  // atlas from `atlas_size` probe hosts, and indexes RR aliases (Q2).
+  // Returns false when the host cannot receive RR probes.
+  bool add_source(topology::HostId host, std::size_t atlas_size,
+                  util::Rng& rng);
+  bool is_source(topology::HostId host) const {
+    return sources_.contains(host);
+  }
+  const SourceRecord* source_record(topology::HostId host) const;
+
+  // --- Measurements. ---
+  // On-demand request. Fails (nullopt) on unknown user, unregistered
+  // source, or exceeded daily quota.
+  std::optional<core::ReverseTraceroute> request(UserId user,
+                                                 topology::HostId destination,
+                                                 topology::HostId source);
+
+  // Full-featured request honouring RequestOptions (Appx A API).
+  std::optional<ServedMeasurement> request_with_options(
+      UserId user, topology::HostId destination, topology::HostId source,
+      const RequestOptions& options, util::Rng& rng);
+
+  // --- NDT-triggered measurements (Appx A). ---
+  // When an NDT speed-test client connects to an M-Lab server, the service
+  // opportunistically measures the reverse path from the client. Requests
+  // are accepted only while the per-day NDT budget lasts (load shedding).
+  struct NdtStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_load = 0;
+  };
+  void set_ndt_daily_budget(std::size_t budget) { ndt_budget_ = budget; }
+  std::optional<ServedMeasurement> on_ndt_measurement(
+      topology::HostId client, topology::HostId server);
+  const NdtStats& ndt_stats() const noexcept { return ndt_stats_; }
+
+  // --- Archival (Appx A). Not owned; may be nullptr. Every served
+  // measurement (user-driven, campaign, or NDT) is recorded. ---
+  void set_archive(MeasurementArchive* archive) { archive_ = archive; }
+
+  // Batch campaign: measurements run on `parallelism` concurrent slots; the
+  // campaign duration is the summed busy time divided by the slot count.
+  CampaignStats run_campaign(
+      std::span<const std::pair<topology::HostId, topology::HostId>> pairs,
+      std::size_t parallelism);
+
+  // Daily maintenance: refresh every source's atlas, rebuild RR indexes,
+  // reset user quotas, drop engine caches.
+  void daily_refresh(util::Rng& rng);
+
+  util::SimClock& clock() noexcept { return clock_; }
+  const util::SimClock& clock() const noexcept { return clock_; }
+
+ private:
+  struct UserState {
+    std::string name;
+    UserLimits limits;
+    std::size_t issued_today = 0;
+  };
+
+  core::RevtrEngine& engine_;
+  atlas::TracerouteAtlas& atlas_;
+  probing::Prober& prober_;
+  const topology::Topology& topo_;
+  util::SimClock clock_;
+
+  std::unordered_map<UserId, UserState> users_;
+  std::unordered_map<topology::HostId, SourceRecord> sources_;
+  UserId next_user_ = 1;
+  void archive(const core::ReverseTraceroute& measurement) {
+    if (archive_ != nullptr) archive_->record(measurement, clock_.now());
+  }
+
+  std::size_t ndt_budget_ = 1000;
+  std::size_t ndt_issued_today_ = 0;
+  NdtStats ndt_stats_;
+  MeasurementArchive* archive_ = nullptr;
+};
+
+}  // namespace revtr::service

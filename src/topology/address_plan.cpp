@@ -1,0 +1,43 @@
+#include "topology/address_plan.h"
+
+#include <stdexcept>
+
+namespace revtr::topology {
+
+net::Ipv4Prefix AddressPlan::allocate_customer_prefix() {
+  const std::uint32_t block_size = 1u << (32 - kCustomerPrefixLen);
+  const std::uint32_t base =
+      kCustomerBase + next_customer_block_ * block_size;
+  if (base >= kInfraBase) {
+    throw std::length_error("customer address region exhausted");
+  }
+  ++next_customer_block_;
+  return net::Ipv4Prefix(net::Ipv4Addr(base), kCustomerPrefixLen);
+}
+
+net::Ipv4Prefix AddressPlan::allocate_infra_prefix() {
+  const std::uint32_t block_size = 1u << (32 - kInfraPrefixLen);
+  const std::uint32_t base = kInfraBase + next_infra_block_ * block_size;
+  if (base < kInfraBase || base >= 0xc0000000u) {  // Stop below 192.0.0.0.
+    throw std::length_error("infrastructure address region exhausted");
+  }
+  ++next_infra_block_;
+  return net::Ipv4Prefix(net::Ipv4Addr(base), kInfraPrefixLen);
+}
+
+std::optional<net::Ipv4Addr> AddressPlan::InfraCursor::take_loopback() {
+  const auto capacity = static_cast<std::uint32_t>(prefix.size());
+  const std::uint32_t used_by_p2p = p2p_blocks * 4;
+  if (next_loopback + used_by_p2p >= capacity) return std::nullopt;
+  return prefix.at(next_loopback++);
+}
+
+std::optional<net::Ipv4Addr> AddressPlan::InfraCursor::take_p2p_block() {
+  const auto capacity = static_cast<std::uint32_t>(prefix.size());
+  const std::uint32_t used_by_p2p = (p2p_blocks + 1) * 4;
+  if (next_loopback + used_by_p2p >= capacity) return std::nullopt;
+  ++p2p_blocks;
+  return prefix.at(capacity - used_by_p2p);
+}
+
+}  // namespace revtr::topology

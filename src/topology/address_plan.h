@@ -1,0 +1,62 @@
+// Address allocation for the synthetic Internet.
+//
+// Two regions:
+//  * customer space (1.0.0.0 up):   one /20 per customer prefix; offsets
+//    1-15 reserved for subnet gateway interfaces, hosts from offset 16.
+//  * infrastructure space (100.0.0.0 up): one /18 per AS (growable); router
+//    loopbacks from the bottom, point-to-point /30s from the top.
+//
+// Inter-AS /30s are allocated from *one* side's infrastructure prefix, so a
+// border router can answer with an address that maps to the neighbor AS —
+// the exact artifact that makes ingress discovery non-trivial (Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace revtr::topology {
+
+class AddressPlan {
+ public:
+  static constexpr std::uint8_t kCustomerPrefixLen = 20;
+  static constexpr std::uint8_t kInfraPrefixLen = 18;
+  static constexpr std::uint32_t kCustomerBase = 0x01000000;  // 1.0.0.0
+  static constexpr std::uint32_t kInfraBase = 0x64000000;     // 100.0.0.0
+  // Offsets 1..63 are reserved for per-router gateway interfaces; an AS has
+  // at most a few dozen routers, so slots never need to be reused (reuse
+  // would alias two distinct routers onto one address).
+  static constexpr std::uint32_t kGatewaySlots = 64;
+
+  // Fresh /20 for hosts. Throws std::length_error if the region is full.
+  net::Ipv4Prefix allocate_customer_prefix();
+
+  // Fresh /18 for router infrastructure.
+  net::Ipv4Prefix allocate_infra_prefix();
+
+  // Handle for suballocating inside an infra prefix.
+  struct InfraCursor {
+    net::Ipv4Prefix prefix;
+    std::uint32_t next_loopback = 1;  // Offset of the next loopback.
+    std::uint32_t p2p_blocks = 0;     // /30 blocks taken from the top.
+
+    // nullopt when the prefix is exhausted (caller allocates a new /18).
+    std::optional<net::Ipv4Addr> take_loopback();
+    // Returns the base of a /30; base+1 and base+2 are the interface addrs.
+    std::optional<net::Ipv4Addr> take_p2p_block();
+  };
+
+  // A deterministic RFC 1918 address derived from an id (for routers whose
+  // RR policy stamps private space).
+  static net::Ipv4Addr private_alias(std::uint32_t id) {
+    return net::Ipv4Addr(0x0a000000u | (id & 0x00ffffffu));
+  }
+
+ private:
+  std::uint32_t next_customer_block_ = 0;
+  std::uint32_t next_infra_block_ = 0;
+};
+
+}  // namespace revtr::topology

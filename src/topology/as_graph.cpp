@@ -1,0 +1,188 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace revtr::topology {
+
+namespace {
+
+// Tracks pairs already related so we never create a second (conflicting)
+// relationship between the same two ASes.
+class PairSet {
+ public:
+  bool insert(Asn a, Asn b) {
+    if (a > b) std::swap(a, b);
+    return pairs_.insert((std::uint64_t{a} << 32) | b).second;
+  }
+  bool contains(Asn a, Asn b) const {
+    if (a > b) std::swap(a, b);
+    return pairs_.contains((std::uint64_t{a} << 32) | b);
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> pairs_;
+};
+
+void add_provider(std::vector<AsNode>& ases, PairSet& pairs, AsIndex customer,
+                  AsIndex provider) {
+  if (!pairs.insert(ases[customer].asn, ases[provider].asn)) return;
+  ases[customer].providers.push_back(ases[provider].asn);
+  ases[provider].customers.push_back(ases[customer].asn);
+}
+
+void add_peer(std::vector<AsNode>& ases, PairSet& pairs, AsIndex a,
+              AsIndex b) {
+  if (a == b) return;
+  if (!pairs.insert(ases[a].asn, ases[b].asn)) return;
+  ases[a].peers.push_back(ases[b].asn);
+  ases[b].peers.push_back(ases[a].asn);
+}
+
+// Preferential choice among candidate indices, weighted 1 + #customers so
+// large providers attract more customers (heavy-tailed degree, like the
+// real AS graph whose cone sizes Fig 8b plots against).
+AsIndex preferential_pick(const std::vector<AsNode>& ases,
+                          const std::vector<AsIndex>& candidates,
+                          util::Rng& rng) {
+  std::uint64_t total = 0;
+  for (AsIndex c : candidates) total += 1 + ases[c].customers.size();
+  std::uint64_t roll = rng.below(total);
+  for (AsIndex c : candidates) {
+    const std::uint64_t w = 1 + ases[c].customers.size();
+    if (roll < w) return c;
+    roll -= w;
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+std::vector<AsNode> generate_as_graph(const TopologyConfig& config,
+                                      util::Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(config.num_ases, 3);
+  const std::size_t t1 = std::min(config.num_tier1, n - 2);
+  const std::size_t transit_count = std::min(
+      n - t1 - 1,
+      static_cast<std::size_t>(
+          static_cast<double>(n - t1) * config.transit_fraction));
+
+  std::vector<AsNode> ases(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ases[i].asn = static_cast<Asn>(i + 1);
+    if (i < t1) {
+      ases[i].tier = AsTier::kTier1;
+    } else if (i < t1 + transit_count) {
+      ases[i].tier = AsTier::kTransit;
+    } else {
+      ases[i].tier = AsTier::kStub;
+    }
+  }
+
+  PairSet pairs;
+
+  // Tier-1 clique: settlement-free peering among all tier-1s.
+  for (std::size_t a = 0; a < t1; ++a) {
+    for (std::size_t b = a + 1; b < t1; ++b) {
+      add_peer(ases, pairs, static_cast<AsIndex>(a), static_cast<AsIndex>(b));
+    }
+  }
+
+  // Transits attach below tier-1s / earlier transits.
+  std::vector<AsIndex> upstream_pool;
+  for (std::size_t i = 0; i < t1; ++i) {
+    upstream_pool.push_back(static_cast<AsIndex>(i));
+  }
+  for (std::size_t i = t1; i < t1 + transit_count; ++i) {
+    const auto index = static_cast<AsIndex>(i);
+    const int providers = rng.chance(0.7) ? 2 : 1;
+    for (int p = 0; p < providers; ++p) {
+      add_provider(ases, pairs, index,
+                   preferential_pick(ases, upstream_pool, rng));
+    }
+    upstream_pool.push_back(index);
+  }
+
+  // NREN tagging among transits; NRENs peer widely ("cold potato" networks
+  // that show up disproportionately on asymmetric routes, §6.2).
+  std::vector<AsIndex> transits;
+  for (std::size_t i = t1; i < t1 + transit_count; ++i) {
+    transits.push_back(static_cast<AsIndex>(i));
+  }
+  const auto nren_count = static_cast<std::size_t>(
+      static_cast<double>(transits.size()) * config.nren_fraction + 0.999);
+  for (std::size_t k = 0; k < nren_count && k < transits.size(); ++k) {
+    ases[transits[k]].category = AsCategory::kNren;
+  }
+
+  // Peering among transits.
+  for (AsIndex a : transits) {
+    const double peer_prob = ases[a].category == AsCategory::kNren
+                                 ? std::min(1.0, config.transit_peer_prob * 3)
+                                 : config.transit_peer_prob;
+    for (AsIndex b : transits) {
+      if (b <= a) continue;
+      if (rng.chance(peer_prob / static_cast<double>(transits.size()) * 16)) {
+        add_peer(ases, pairs, a, b);
+      }
+    }
+  }
+
+  // Stubs: 1-2 providers, preferential over transits and tier-1s.
+  std::vector<AsIndex> provider_pool = upstream_pool;
+  for (std::size_t i = t1 + transit_count; i < n; ++i) {
+    const auto index = static_cast<AsIndex>(i);
+    // ~6% of stubs are edu networks, preferring an NREN provider when one
+    // exists (Fig 8b: M-Lab nodes in edu institutions transit NRENs).
+    if (rng.chance(0.06)) {
+      ases[index].category = AsCategory::kEdu;
+      std::vector<AsIndex> nrens;
+      for (AsIndex transit : transits) {
+        if (ases[transit].category == AsCategory::kNren) {
+          nrens.push_back(transit);
+        }
+      }
+      if (!nrens.empty()) {
+        add_provider(ases, pairs, index, rng.pick(nrens));
+      }
+    }
+    if (ases[index].providers.empty() ||
+        rng.chance(config.stub_multihome_prob)) {
+      add_provider(ases, pairs, index,
+                   preferential_pick(ases, provider_pool, rng));
+    }
+    if (rng.chance(config.stub_multihome_prob) &&
+        ases[index].providers.size() < 2) {
+      add_provider(ases, pairs, index,
+                   preferential_pick(ases, provider_pool, rng));
+    }
+  }
+
+  // Colo tagging: the best-connected transits act as colocation facilities
+  // hosting "2020"-era vantage points (Insight 1.7). Tag generously so the
+  // builder always finds enough distinct colo ASes.
+  std::vector<AsIndex> by_degree = transits;
+  std::sort(by_degree.begin(), by_degree.end(), [&](AsIndex a, AsIndex b) {
+    return ases[a].degree() > ases[b].degree();
+  });
+  const std::size_t colo_count =
+      std::min(by_degree.size(), std::max<std::size_t>(config.num_vps, 8));
+  for (std::size_t k = 0; k < colo_count; ++k) {
+    if (ases[by_degree[k]].category == AsCategory::kGeneric) {
+      ases[by_degree[k]].category = AsCategory::kColo;
+    }
+  }
+
+  // AS-wide behaviours.
+  for (auto& node : ases) {
+    node.allows_spoofed_egress = rng.chance(config.vp_as_allows_spoofing);
+    node.filters_ip_options =
+        node.tier == AsTier::kStub && rng.chance(config.as_filters_options);
+    node.source_sensitive = rng.chance(config.as_source_sensitive);
+  }
+
+  return ases;
+}
+
+}  // namespace revtr::topology

@@ -1,0 +1,22 @@
+// AS-level graph generation.
+//
+// Produces the business-relationship structure the routing layer consumes:
+// a tier-1 clique at the top, preferentially-attached transit providers,
+// multihomed stubs, peering among transits, and the NREN/colo/edu category
+// tags used by VP placement and by the Fig 8(b) analysis.
+#pragma once
+
+#include <vector>
+
+#include "topology/config.h"
+#include "topology/types.h"
+#include "util/rng.h"
+
+namespace revtr::topology {
+
+// Generates ASes with relationships and categories filled in. ASN = dense
+// index + 1. Routers/prefixes are attached later by TopologyBuilder.
+std::vector<AsNode> generate_as_graph(const TopologyConfig& config,
+                                      util::Rng& rng);
+
+}  // namespace revtr::topology

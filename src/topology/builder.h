@@ -1,0 +1,19 @@
+// Assembles a complete Topology from a TopologyConfig.
+//
+// Pipeline: AS graph -> per-AS router topologies -> inter-AS border links ->
+// address plan -> hosts -> vantage points / probe hosts -> lookup maps.
+// Everything is driven by the seeded Rng in the config, so identical configs
+// produce identical Internets.
+#pragma once
+
+#include "topology/config.h"
+#include "topology/topology.h"
+
+namespace revtr::topology {
+
+class TopologyBuilder {
+ public:
+  static Topology build(const TopologyConfig& config);
+};
+
+}  // namespace revtr::topology

@@ -1,0 +1,65 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace revtr::util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    if (arg.starts_with("benchmark_")) continue;  // gbench's own flags.
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.contains(name);
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> result;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.contains(name)) result.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace revtr::util

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for bench binaries and examples.
+//
+// Benches accept flags like --ases=2000 --seed=7 --revtrs=5000 so campaign
+// sizes can be scaled without recompiling. Unknown flags are reported, and
+// google-benchmark style flags (--benchmark_*) are passed through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace revtr::util {
+
+class Flags {
+ public:
+  // Parses argv. Flags take the form --name=value or --name (boolean true).
+  // Arguments beginning with --benchmark_ are ignored (left for gbench).
+  Flags(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+
+  bool has(const std::string& name) const;
+
+  // Flags seen that were never queried; useful for catching typos.
+  std::vector<std::string> unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace revtr::util

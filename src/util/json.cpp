@@ -1,0 +1,334 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace revtr::util {
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  return object_[key];
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      if (is_integer_ && other.is_integer_) return integer_ == other.integer_;
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_into(const std::string& text, std::string& out) {
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (is_integer_) {
+        out += std::to_string(integer_);
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", number_);
+        out += buffer;
+      }
+      break;
+    case Type::kString:
+      escape_into(string_, out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        escape_into(key, out);
+        out.push_back(':');
+        value.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run() {
+    auto value = parse_value();
+    skip_whitespace();
+    if (!value || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n':
+        return literal("null") ? std::optional<Json>(Json()) : std::nullopt;
+      case 't':
+        return literal("true") ? std::optional<Json>(Json(true))
+                               : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Json>(Json(false))
+                                : std::nullopt;
+      case '"':
+        return parse_string_value();
+      case '[':
+        return parse_array();
+      case '{':
+        return parse_object();
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          const auto [next, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc{} || next != text_.data() + pos_ + 4) {
+            return std::nullopt;
+          }
+          pos_ += 4;
+          // ASCII-range escapes only (all we ever emit); others become '?'.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // Unterminated string.
+  }
+
+  std::optional<Json> parse_string_value() {
+    auto text = parse_string();
+    if (!text) return std::nullopt;
+    return Json(std::move(*text));
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_integer = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token(text_.substr(start, pos_ - start));
+    if (is_integer) {
+      std::int64_t value = 0;
+      const auto [next, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc{} && next == token.data() + token.size()) {
+        return Json(value);
+      }
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return Json(value);
+  }
+
+  std::optional<Json> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Json result = Json::array();
+    skip_whitespace();
+    if (consume(']')) return result;
+    while (true) {
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      result.push_back(std::move(*value));
+      if (consume(']')) return result;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Json result = Json::object();
+    skip_whitespace();
+    if (consume('}')) return result;
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      result[*key] = std::move(*value);
+      if (consume('}')) return result;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace revtr::util

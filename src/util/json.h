@@ -1,0 +1,101 @@
+// Minimal JSON value, writer, and parser.
+//
+// The real system archives every reverse traceroute (to M-Lab's cloud
+// storage) and serves results over REST/gRPC (Appx A). This self-contained
+// JSON implementation backs the equivalent pieces here: the measurement
+// archive, the CLI output, and round-trip serialization of results. It
+// supports the full JSON grammar except exotic number formats; numbers are
+// stored as double (plus an integer fast path for faithful round trips).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace revtr::util {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber),
+        number_(static_cast<double>(value)),
+        integer_(value),
+        is_integer_(true) {}
+  Json(std::uint64_t value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  std::int64_t as_int() const {
+    return is_integer_ ? integer_ : static_cast<std::int64_t>(number_);
+  }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  // Object access; inserting via [] on a null value promotes it to object.
+  Json& operator[](const std::string& key);
+  const Json* find(const std::string& key) const;
+
+  // Array append; appending to a null value promotes it to array.
+  void push_back(Json value);
+
+  // Compact single-line serialization (strings escaped per RFC 8259).
+  std::string dump() const;
+
+  // Strict parse of a complete JSON document; nullopt on any error.
+  static std::optional<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::int64_t integer_ = 0;
+  bool is_integer_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace revtr::util

@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace revtr::util {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; guard against log(0).
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::pareto(double minimum, double alpha) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return minimum / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+Rng Rng::fork(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the label.
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Rng(splitmix64((*this)() ^ h));
+}
+
+}  // namespace revtr::util

@@ -1,0 +1,158 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic decision in the simulator, the topology generator, and the
+// benchmark harnesses flows from an explicitly seeded Rng so that every test
+// and every experiment is reproducible bit-for-bit (DESIGN.md §4.4). We use
+// xoshiro256** seeded via splitmix64; both are tiny, fast, and have
+// well-understood statistical behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace revtr::util {
+
+// splitmix64 step; used for seeding and for cheap stateless hashing of ids.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Stateless mix of several integers into one hash. Used for deterministic,
+// direction-sensitive routing tiebreaks (DESIGN.md §4.1).
+constexpr std::uint64_t mix_hash(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c = 0) noexcept {
+  return splitmix64(splitmix64(splitmix64(a) ^ b) ^ c);
+}
+
+// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x243f6a8885a308d3ULL) noexcept {
+    reseed(seed);
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Exponentially distributed value with the given mean.
+  double exponential(double mean) noexcept;
+
+  // Pareto-distributed value with the given minimum and shape alpha.
+  double pareto(double minimum, double alpha) noexcept;
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    shuffle(std::span<T>(items));
+  }
+
+  // Sample k distinct elements (order randomized) from the input.
+  template <typename T>
+  std::vector<T> sample(std::span<const T> pool, std::size_t k) {
+    std::vector<T> copy(pool.begin(), pool.end());
+    k = std::min(k, copy.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(copy[i], copy[i + below(copy.size() - i)]);
+    }
+    copy.resize(k);
+    return copy;
+  }
+
+  template <typename T>
+  std::vector<T> sample(const std::vector<T>& pool, std::size_t k) {
+    return sample(std::span<const T>(pool), k);
+  }
+
+  // Pick one element uniformly. pool must be non-empty.
+  template <typename T>
+  const T& pick(std::span<const T> pool) noexcept {
+    return pool[below(pool.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& pool) noexcept {
+    return pool[below(pool.size())];
+  }
+
+  // Derive an independent child generator; used to give each subsystem its
+  // own stream so adding draws in one place does not perturb another.
+  Rng fork(std::string_view label) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace revtr::util

@@ -1,0 +1,59 @@
+// Simulated time for the measurement system.
+//
+// The paper's latency and throughput results (Fig 5c, §5.2.4) hinge on
+// timing behaviour — most notably the 10-second timeout charged per batch of
+// spoofed probes. Wall-clock waits would make the reproduction intractable,
+// so all timing flows through a SimClock that subsystems advance explicitly
+// (DESIGN.md §4.5).
+#pragma once
+
+#include <cstdint>
+
+namespace revtr::util {
+
+// Microsecond-resolution simulated clock.
+class SimClock {
+ public:
+  using Micros = std::int64_t;
+
+  static constexpr Micros kMillisecond = 1000;
+  static constexpr Micros kSecond = 1000 * kMillisecond;
+  static constexpr Micros kMinute = 60 * kSecond;
+  static constexpr Micros kHour = 60 * kMinute;
+  static constexpr Micros kDay = 24 * kHour;
+
+  constexpr SimClock() noexcept = default;
+
+  constexpr Micros now() const noexcept { return now_; }
+  constexpr double now_seconds() const noexcept {
+    return static_cast<double>(now_) / kSecond;
+  }
+
+  constexpr void advance(Micros delta) noexcept {
+    if (delta > 0) now_ += delta;
+  }
+  constexpr void advance_seconds(double seconds) noexcept {
+    advance(static_cast<Micros>(seconds * kSecond));
+  }
+
+  // Move the clock forward to an absolute instant (no-op if in the past).
+  constexpr void advance_to(Micros instant) noexcept {
+    if (instant > now_) now_ = instant;
+  }
+
+ private:
+  Micros now_ = 0;
+};
+
+// A span of simulated time bracketing one measurement, for latency CDFs.
+struct SimSpan {
+  SimClock::Micros begin = 0;
+  SimClock::Micros end = 0;
+
+  constexpr SimClock::Micros duration() const noexcept { return end - begin; }
+  constexpr double seconds() const noexcept {
+    return static_cast<double>(duration()) / SimClock::kSecond;
+  }
+};
+
+}  // namespace revtr::util

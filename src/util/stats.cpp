@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace revtr::util {
+
+void Distribution::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = false;
+}
+
+void Distribution::add_all(std::span<const double> samples) {
+  for (double s : samples) add(s);
+}
+
+double Distribution::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+void Distribution::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::min() const {
+  if (samples_.empty()) throw std::logic_error("Distribution::min on empty");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Distribution::max() const {
+  if (samples_.empty()) throw std::logic_error("Distribution::max on empty");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Distribution::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Distribution::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Distribution::quantile on empty");
+  }
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Distribution::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Distribution::ccdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<double> Distribution::cdf_curve(std::span<const double> xs) const {
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (double x : xs) ys.push_back(cdf_at(x));
+  return ys;
+}
+
+std::vector<double> Distribution::ccdf_curve(
+    std::span<const double> xs) const {
+  std::vector<double> ys;
+  ys.reserve(xs.size());
+  for (double x : xs) ys.push_back(ccdf_at(x));
+  return ys;
+}
+
+std::uint64_t KeyedCounter::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t KeyedCounter::total() const {
+  std::uint64_t acc = 0;
+  for (const auto& [key, n] : counts_) acc += n;
+  return acc;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs;
+  if (n == 0) return xs;
+  if (n == 1) {
+    xs.push_back(lo);
+    return xs;
+  }
+  xs.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(lo + step * static_cast<double>(i));
+  }
+  return xs;
+}
+
+}  // namespace revtr::util

@@ -1,0 +1,86 @@
+// Small statistics toolkit used by the evaluation harnesses.
+//
+// The paper reports CDFs/CCDFs (Figs 5, 6, 8, 9, 11-14), means, medians and
+// simple fractions. Distribution keeps raw samples so arbitrary quantiles and
+// curve points can be extracted; Counter2x2-style tallies back the tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace revtr::util {
+
+// Accumulates scalar samples; quantiles sort lazily.
+class Distribution {
+ public:
+  void add(double sample);
+  void add_all(std::span<const double> samples);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  double min() const;
+  double max() const;
+  double stddev() const;
+
+  // Quantile in [0, 1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  // Fraction of samples <= x (empirical CDF) and > x... (CCDF uses >=
+  // semantics matching the paper's "fraction of pairs with value >= x").
+  double cdf_at(double x) const;
+  double ccdf_at(double x) const;
+
+  // Evaluate the CDF/CCDF at each x in xs; handy for printing curves.
+  std::vector<double> cdf_curve(std::span<const double> xs) const;
+  std::vector<double> ccdf_curve(std::span<const double> xs) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  double sum_ = 0;
+  mutable bool sorted_ = true;
+};
+
+// Ratio counter: fraction of successes over trials, as used all over the
+// evaluation ("x of y paths", Table 2 rows, coverage percentages).
+struct Fraction {
+  std::uint64_t hits = 0;
+  std::uint64_t total = 0;
+
+  void tally(bool hit) noexcept {
+    ++total;
+    hits += hit ? 1 : 0;
+  }
+  double value() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// Keyed tally for grouping results by category (packet type, AS, hop class).
+class KeyedCounter {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
+  std::uint64_t get(const std::string& key) const;
+  std::uint64_t total() const;
+  const std::map<std::string, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+// Evenly spaced grid of x values, for sampling curves.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace revtr::util

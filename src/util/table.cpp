@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace revtr::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string cell(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string cell_percent(double fraction, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return out.str();
+}
+
+std::string cell_count(std::uint64_t n) {
+  // Group digits with commas for readability, matching the paper's tables.
+  std::string digits = std::to_string(n);
+  std::string grouped;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++run;
+  }
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+std::string render_figure(const std::string& title,
+                          const std::vector<Series>& series, int precision) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  out << std::fixed << std::setprecision(precision);
+  for (const auto& s : series) {
+    out << "series: " << s.name << '\n';
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out << "  " << s.xs[i] << ' ' << s.ys[i] << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace revtr::util

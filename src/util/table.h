@@ -1,0 +1,47 @@
+// Plain-text table and curve rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as
+// text: tables render with aligned columns, figures render as "x y ..."
+// series blocks that can be plotted directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace revtr::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; cells are stringified by the caller (see cell() helpers).
+  void add_row(std::vector<std::string> row);
+
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric formatting helpers for table cells.
+std::string cell(double value, int precision = 2);
+std::string cell_percent(double fraction, int precision = 1);
+std::string cell_count(std::uint64_t n);
+
+// A named series of (x, y) points, rendered one point per line.
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+// Render a figure: a title line, then each series as a block.
+std::string render_figure(const std::string& title,
+                          const std::vector<Series>& series,
+                          int precision = 4);
+
+}  // namespace revtr::util

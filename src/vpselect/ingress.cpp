@@ -1,0 +1,312 @@
+#include "vpselect/ingress.h"
+
+#include <algorithm>
+#include <map>
+
+namespace revtr::vpselect {
+
+namespace {
+using net::Ipv4Addr;
+using topology::HostId;
+using topology::PrefixId;
+}  // namespace
+
+ReachAnalysis analyze_reach(std::span<const Ipv4Addr> slots,
+                            const net::Ipv4Prefix& prefix,
+                            bool enable_double_stamp, bool enable_loop) {
+  ReachAnalysis analysis;
+
+  // Direct: first slot inside the destination prefix.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (prefix.contains(slots[i])) {
+      analysis.reach_slot = static_cast<int>(i);
+      analysis.via = ReachAnalysis::Via::kDirect;
+      analysis.candidates.assign(slots.begin(),
+                                 slots.begin() + static_cast<long>(i) + 1);
+      return analysis;
+    }
+  }
+
+  // Double stamp: equal adjacent slots without the destination appearing —
+  // either an alias of the destination or the penultimate hop seen on both
+  // directions. Either way, treat it as the reach point (Appx C).
+  if (enable_double_stamp) {
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+      if (slots[i] == slots[i + 1]) {
+        analysis.reach_slot = static_cast<int>(i);
+        analysis.via = ReachAnalysis::Via::kDoubleStamp;
+        analysis.candidates.assign(slots.begin(),
+                                   slots.begin() + static_cast<long>(i) + 1);
+        return analysis;
+      }
+    }
+  }
+
+  // Loop: a ... a with a loop-free body in between. The packet reached the
+  // destination somewhere inside the body; every address up to the second
+  // `a` is a potential forward-path hop, hence an ingress candidate.
+  if (enable_loop) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      for (std::size_t j = i + 2; j < slots.size(); ++j) {
+        if (slots[i] == slots[j]) {
+          analysis.reach_slot = static_cast<int>(i) + 1;
+          analysis.via = ReachAnalysis::Via::kLoop;
+          for (std::size_t k = 0; k < j; ++k) {
+            if (std::find(analysis.candidates.begin(),
+                          analysis.candidates.end(),
+                          slots[k]) == analysis.candidates.end()) {
+              analysis.candidates.push_back(slots[k]);
+            }
+          }
+          return analysis;
+        }
+      }
+    }
+  }
+
+  return analysis;
+}
+
+std::vector<VpDistance> PrefixPlan::fallback_ranking() const {
+  std::vector<VpDistance> ranking;
+  for (const auto& info : vp_info) {
+    if (!info.in_range()) continue;
+    const double mean = info.mean_distance();
+    if (mean > 8.0) continue;  // Out of useful RR range.
+    ranking.push_back(VpDistance{info.vp, static_cast<int>(mean + 0.5)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const VpDistance& a, const VpDistance& b) {
+              return a.distance != b.distance ? a.distance < b.distance
+                                              : a.vp < b.vp;
+            });
+  return ranking;
+}
+
+IngressDiscovery::IngressDiscovery(probing::Prober& prober,
+                                   const topology::Topology& topo,
+                                   Options options)
+    : prober_(prober), topo_(topo), options_(options) {}
+
+const PrefixPlan* IngressDiscovery::plan_for(PrefixId prefix) const {
+  const auto it = plans_.find(prefix);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+const PrefixPlan& IngressDiscovery::discover(
+    PrefixId prefix, std::span<const HostId> vps, util::Rng& rng,
+    std::span<const HostId> exclude) {
+  PrefixPlan& plan = plans_[prefix];
+  plan = PrefixPlan{};
+  plan.prefix = prefix;
+
+  // Pick survey destinations: ping-responsive hosts of the prefix (the
+  // hitlist view), excluding any caller-reserved hosts. Infrastructure
+  // prefixes have no hosts; there the hitlist entries are responsive router
+  // interfaces.
+  std::vector<Ipv4Addr> dests;
+  for (const HostId host_id : topo_.hosts_in_prefix(prefix)) {
+    if (std::find(exclude.begin(), exclude.end(), host_id) != exclude.end()) {
+      continue;
+    }
+    const auto& host = topo_.host(host_id);
+    if (!host.ping_responsive) continue;
+    dests.push_back(host.addr);
+    if (dests.size() == options_.destinations_per_prefix) break;
+  }
+  if (dests.size() < options_.destinations_per_prefix) {
+    for (const auto addr : topo_.addresses_in_prefix(prefix, 32)) {
+      if (dests.size() >= options_.destinations_per_prefix) break;
+      if (std::find(dests.begin(), dests.end(), addr) != dests.end()) {
+        continue;
+      }
+      const auto owner = topo_.interface_at(addr);
+      if (!owner || !topo_.router(owner->router).responds_ping) continue;
+      dests.push_back(addr);
+    }
+  }
+  if (dests.empty()) return plan;
+
+  const net::Ipv4Prefix& bgp_prefix = topo_.prefix(prefix).prefix;
+
+  // Probe every VP toward each destination; collect reach + candidates.
+  struct VpSurvey {
+    HostId vp;
+    std::vector<Ipv4Addr> candidates;  // Intersection across destinations.
+    std::vector<Ipv4Addr> slots_d1;    // For candidate distances.
+  };
+  std::vector<VpSurvey> surveys;
+
+  for (const HostId vp : vps) {
+    PrefixPlan::VpInfo info;
+    info.vp = vp;
+    std::vector<std::vector<Ipv4Addr>> candidate_sets;
+    std::vector<Ipv4Addr> first_slots;
+    for (std::size_t d = 0; d < dests.size(); ++d) {
+      const auto result = prober_.rr_ping(vp, dests[d]);
+      if (!result.responded) continue;
+      const auto analysis =
+          analyze_reach(result.slots, bgp_prefix,
+                        options_.enable_double_stamp, options_.enable_loop);
+      if (analysis.reach_slot < 0) continue;
+      const int distance = analysis.reach_slot + 1;
+      if (d == 0) {
+        info.dist_d1 = distance;
+        first_slots = result.slots;
+      } else {
+        info.dist_d2 = distance;
+      }
+      candidate_sets.push_back(analysis.candidates);
+    }
+    plan.vp_info.push_back(info);
+    if (candidate_sets.empty()) continue;
+
+    // Ingress candidates must appear on every responding path.
+    std::vector<Ipv4Addr> common = candidate_sets.front();
+    for (std::size_t s = 1; s < candidate_sets.size(); ++s) {
+      std::vector<Ipv4Addr> next;
+      for (const auto addr : common) {
+        if (std::find(candidate_sets[s].begin(), candidate_sets[s].end(),
+                      addr) != candidate_sets[s].end()) {
+          next.push_back(addr);
+        }
+      }
+      common = std::move(next);
+    }
+    if (!common.empty()) {
+      surveys.push_back(VpSurvey{vp, std::move(common),
+                                 std::move(first_slots)});
+    }
+  }
+
+  // Greedy set cover: ingress candidates covering the most uncovered VPs
+  // win; ties break randomly (§4.3).
+  std::map<Ipv4Addr, std::vector<std::size_t>> covering;  // addr -> surveys.
+  for (std::size_t s = 0; s < surveys.size(); ++s) {
+    for (const auto addr : surveys[s].candidates) {
+      covering[addr].push_back(s);
+    }
+  }
+  std::vector<bool> covered(surveys.size(), false);
+  std::size_t remaining = surveys.size();
+  while (remaining > 0) {
+    std::vector<Ipv4Addr> best_addrs;
+    std::size_t best_count = 0;
+    for (const auto& [addr, survey_ids] : covering) {
+      std::size_t count = 0;
+      for (const std::size_t s : survey_ids) count += !covered[s];
+      if (count > best_count) {
+        best_count = count;
+        best_addrs = {addr};
+      } else if (count == best_count && count > 0) {
+        best_addrs.push_back(addr);
+      }
+    }
+    if (best_count == 0) break;
+    const Ipv4Addr chosen = best_addrs[rng.below(best_addrs.size())];
+
+    Ingress ingress;
+    ingress.addr = chosen;
+    for (const std::size_t s : covering[chosen]) {
+      if (covered[s]) continue;
+      covered[s] = true;
+      --remaining;
+      // Distance of this VP to the ingress: position in its observed path.
+      const auto& slots = surveys[s].slots_d1;
+      const auto it = std::find(slots.begin(), slots.end(), chosen);
+      const int distance =
+          it == slots.end() ? 9 : static_cast<int>(it - slots.begin()) + 1;
+      ingress.vps.push_back(VpDistance{surveys[s].vp, distance});
+    }
+    std::sort(ingress.vps.begin(), ingress.vps.end(),
+              [](const VpDistance& a, const VpDistance& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.vp < b.vp;
+              });
+    plan.ingresses.push_back(std::move(ingress));
+  }
+
+  // Greedy picks in decreasing coverage already; keep that order stable.
+  std::stable_sort(plan.ingresses.begin(), plan.ingresses.end(),
+                   [](const Ingress& a, const Ingress& b) {
+                     return a.vps.size() > b.vps.size();
+                   });
+  return plan;
+}
+
+std::vector<Attempt> attempt_plan(const PrefixPlan& plan,
+                                  std::size_t max_per_ingress) {
+  std::vector<Attempt> attempts;
+  if (plan.has_ingresses()) {
+    // Round-robin over ingresses: first the closest VP of each ingress (in
+    // coverage order), then the backups.
+    for (std::size_t round = 0; round < max_per_ingress; ++round) {
+      for (std::size_t rank = 0; rank < plan.ingresses.size(); ++rank) {
+        const auto& ingress = plan.ingresses[rank];
+        if (round >= ingress.vps.size()) continue;
+        attempts.push_back(
+            Attempt{ingress.vps[round].vp, ingress.addr, rank});
+      }
+    }
+    return attempts;
+  }
+  const auto ranking = plan.fallback_ranking();
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    attempts.push_back(Attempt{ranking[i].vp, Ipv4Addr{}, i});
+  }
+  return attempts;
+}
+
+std::vector<HostId> revtr1_vp_order(const PrefixPlan& plan) {
+  // The 2010 system's per-prefix set cover: order by the number of
+  // surveyed destinations each VP can reach. It optimizes coverage, not
+  // proximity — it does not know which in-range VP is *closest*, which is
+  // exactly the weakness Fig 6b exposes.
+  std::vector<PrefixPlan::VpInfo> infos = plan.vp_info;
+  std::sort(infos.begin(), infos.end(),
+            [](const PrefixPlan::VpInfo& a, const PrefixPlan::VpInfo& b) {
+              const int ra = (a.dist_d1 >= 0) + (a.dist_d2 >= 0);
+              const int rb = (b.dist_d1 >= 0) + (b.dist_d2 >= 0);
+              if (ra != rb) return ra > rb;
+              return a.vp < b.vp;
+            });
+  std::vector<HostId> order;
+  order.reserve(infos.size());
+  for (const auto& info : infos) order.push_back(info.vp);
+  return order;
+}
+
+std::vector<HostId> global_vp_order(
+    std::span<const PrefixPlan* const> plans) {
+  std::map<HostId, std::size_t> coverage;
+  for (const PrefixPlan* plan : plans) {
+    if (plan == nullptr) continue;
+    for (const auto& info : plan->vp_info) {
+      coverage.try_emplace(info.vp, 0);
+      if (info.in_range()) ++coverage[info.vp];
+    }
+  }
+  std::vector<std::pair<HostId, std::size_t>> ranked(coverage.begin(),
+                                                     coverage.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::vector<HostId> order;
+  order.reserve(ranked.size());
+  for (const auto& [vp, count] : ranked) order.push_back(vp);
+  return order;
+}
+
+std::optional<VpDistance> optimal_vp(const PrefixPlan& plan) {
+  std::optional<VpDistance> best;
+  for (const auto& info : plan.vp_info) {
+    if (!info.in_range()) continue;
+    const int distance = static_cast<int>(info.mean_distance() + 0.5);
+    if (!best || distance < best->distance) {
+      best = VpDistance{info.vp, distance};
+    }
+  }
+  return best;
+}
+
+}  // namespace revtr::vpselect

@@ -1,0 +1,157 @@
+// Record Route vantage point selection (design question Q3, §4.3).
+//
+// Offline, the system probes two destinations in every BGP prefix from every
+// vantage point with RR pings and extracts *ingress candidates*: addresses
+// appearing on both paths, up to and including the first address inside the
+// destination prefix. Two heuristics rescue prefixes whose destinations do
+// not stamp RR packets (Appx C): the double-stamp rule and the loop rule.
+// A greedy set cover then picks ingresses that cover the vantage points;
+// each ingress keeps its VPs ranked by RR distance, closest first.
+//
+// Online, revtr 2.0 probes a destination only from the closest VP per
+// ingress, in batches of 3, ordered by ingress coverage — this is the main
+// source of the paper's probe savings (Insight 1.8, Table 4).
+//
+// The module also implements the evaluation baselines of §5.3: the revtr 1.0
+// per-prefix set cover, the Global ranking, and the Optimal (closest-VP)
+// oracle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "probing/prober.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace revtr::vpselect {
+
+// Result of one offline RR probe from a VP toward a destination.
+struct RrReach {
+  bool responded = false;
+  // 1-based number of RR slots consumed to reach the destination prefix
+  // (the "RR distance"); -1 when the probe shows no evidence of reaching.
+  int reach_distance = -1;
+  std::vector<net::Ipv4Addr> slots;
+
+  bool in_range() const noexcept { return reach_distance >= 0; }
+};
+
+// Analyzes one RR reply against the destination prefix, applying the
+// Appx C heuristics. Exposed for direct unit testing.
+//  * direct: a slot address inside the prefix.
+//  * double-stamp: equal adjacent slots (destination alias stamped twice).
+//  * loop: pattern a ... a; the packet reached the destination in between.
+struct ReachAnalysis {
+  int reach_slot = -1;  // Index of the reach point, -1 if unreached.
+  enum class Via : std::uint8_t { kNone, kDirect, kDoubleStamp, kLoop } via =
+      Via::kNone;
+  // Candidate ingress addresses: slots up to and including the reach point
+  // (for loops: the loop body).
+  std::vector<net::Ipv4Addr> candidates;
+};
+
+ReachAnalysis analyze_reach(std::span<const net::Ipv4Addr> slots,
+                            const net::Ipv4Prefix& prefix,
+                            bool enable_double_stamp = true,
+                            bool enable_loop = true);
+
+struct VpDistance {
+  topology::HostId vp = topology::kInvalidId;
+  int distance = 0;  // RR slots to the ingress (or to the destination).
+};
+
+struct Ingress {
+  net::Ipv4Addr addr;
+  std::vector<VpDistance> vps;  // Closest first.
+};
+
+struct PrefixPlan {
+  topology::PrefixId prefix = topology::kInvalidId;
+  // Chosen ingresses, ordered by number of covering VPs (descending).
+  std::vector<Ingress> ingresses;
+  // Per-VP summary used by the fallback path and the §5.3 baselines.
+  struct VpInfo {
+    topology::HostId vp = topology::kInvalidId;
+    int dist_d1 = -1;
+    int dist_d2 = -1;
+
+    bool in_range() const noexcept { return dist_d1 >= 0 || dist_d2 >= 0; }
+    double mean_distance() const noexcept {
+      if (dist_d1 >= 0 && dist_d2 >= 0) return (dist_d1 + dist_d2) / 2.0;
+      return dist_d1 >= 0 ? dist_d1 : dist_d2;
+    }
+  };
+  std::vector<VpInfo> vp_info;
+
+  bool has_ingresses() const noexcept { return !ingresses.empty(); }
+  // VPs within 8 RR hops ranked by mean distance (fallback ordering).
+  std::vector<VpDistance> fallback_ranking() const;
+};
+
+struct DiscoveryOptions {
+  std::size_t destinations_per_prefix = 2;
+  bool enable_double_stamp = true;
+  bool enable_loop = true;
+};
+
+class IngressDiscovery {
+ public:
+  using Options = DiscoveryOptions;
+
+  IngressDiscovery(probing::Prober& prober, const topology::Topology& topo,
+                   Options options = Options());
+
+  // Runs the offline survey for one prefix; uses the prefix's first
+  // RR-responsive hosts as survey destinations (callers can exclude hosts,
+  // e.g. the evaluation destination, via `exclude`).
+  const PrefixPlan& discover(topology::PrefixId prefix,
+                             std::span<const topology::HostId> vps,
+                             util::Rng& rng,
+                             std::span<const topology::HostId> exclude = {});
+
+  const PrefixPlan* plan_for(topology::PrefixId prefix) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  probing::Prober& prober_;
+  const topology::Topology& topo_;
+  Options options_;
+  std::unordered_map<topology::PrefixId, PrefixPlan> plans_;
+};
+
+// One (vp, expected ingress) probing attempt in the online plan.
+struct Attempt {
+  topology::HostId vp = topology::kInvalidId;
+  net::Ipv4Addr expected_ingress;  // Unspecified for fallback attempts.
+  std::size_t ingress_rank = 0;    // Which ingress this attempt belongs to.
+};
+
+// Flattens a PrefixPlan into the ordered attempt list the engine batches:
+// round-robin over ingresses (by coverage), up to `max_per_ingress` backup
+// VPs each; falls back to the mean-distance ranking when no ingresses.
+std::vector<Attempt> attempt_plan(const PrefixPlan& plan,
+                                  std::size_t max_per_ingress = 5);
+
+// --- §5.3 baselines -------------------------------------------------------
+
+// revtr 1.0: per prefix, order VPs by how many of the prefix's surveyed
+// destinations they can reach within RR range (greedy set cover), then try
+// them all in that order.
+std::vector<topology::HostId> revtr1_vp_order(const PrefixPlan& plan);
+
+// Global: one ranking for all prefixes — VPs ordered by the number of
+// surveyed prefixes they are in range of.
+std::vector<topology::HostId> global_vp_order(
+    std::span<const PrefixPlan* const> plans);
+
+// Optimal oracle: the closest in-range VP for this prefix (by mean
+// distance), or nullopt when no VP is in range.
+std::optional<VpDistance> optimal_vp(const PrefixPlan& plan);
+
+}  // namespace revtr::vpselect

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "alias/alias.h"
+#include "topology/builder.h"
+
+namespace revtr::alias {
+namespace {
+
+using net::Ipv4Addr;
+using topology::Topology;
+using topology::TopologyBuilder;
+using topology::TopologyConfig;
+
+TopologyConfig small_config() {
+  TopologyConfig config;
+  config.seed = 41;
+  config.num_ases = 100;
+  config.num_vps = 6;
+  config.num_vps_2016 = 3;
+  config.num_probe_hosts = 20;
+  return config;
+}
+
+class AliasFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new Topology(TopologyBuilder::build(small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete topo_;
+    topo_ = nullptr;
+  }
+  static Topology* topo_;
+};
+
+Topology* AliasFixture::topo_ = nullptr;
+
+TEST(AliasStore, PairAndTransitivity) {
+  AliasStore store;
+  const Ipv4Addr a(1, 0, 0, 1), b(1, 0, 0, 2), c(1, 0, 0, 3), d(9, 9, 9, 9);
+  store.add_pair(a, b);
+  store.add_pair(b, c);
+  EXPECT_TRUE(store.same_router(a, c));
+  EXPECT_TRUE(store.same_router(c, a));
+  EXPECT_FALSE(store.same_router(a, d));  // d unknown.
+  EXPECT_TRUE(store.same_router(d, d));   // Identity always holds.
+  EXPECT_FALSE(store.knows(d));
+  EXPECT_EQ(store.known_addresses(), 3u);
+}
+
+TEST(AliasStore, SetsMerge) {
+  AliasStore store;
+  store.add_set({Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2)});
+  store.add_set({Ipv4Addr(2, 0, 0, 1), Ipv4Addr(2, 0, 0, 2)});
+  EXPECT_FALSE(store.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1)));
+  store.add_pair(Ipv4Addr(1, 0, 0, 2), Ipv4Addr(2, 0, 0, 2));
+  EXPECT_TRUE(store.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1)));
+}
+
+TEST(AliasStore, RepresentativeConsistent) {
+  AliasStore store;
+  store.add_set({Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2),
+                 Ipv4Addr(1, 0, 0, 3)});
+  const auto r1 = store.representative(Ipv4Addr(1, 0, 0, 1));
+  const auto r2 = store.representative(Ipv4Addr(1, 0, 0, 3));
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_FALSE(store.representative(Ipv4Addr(8, 8, 8, 8)));
+}
+
+TEST_F(AliasFixture, GroundTruthMatchesTopology) {
+  const auto store = ground_truth_aliases(*topo_);
+  for (const auto& router : topo_->routers()) {
+    const auto addrs = topo_->router_addresses(router.id);
+    for (std::size_t i = 1; i < addrs.size(); ++i) {
+      EXPECT_TRUE(store.same_router(addrs[0], addrs[i]));
+    }
+    if (router.id > 50) break;
+  }
+  // Different routers never collide (sample a few; private aliases may
+  // collide by design, so use loopbacks).
+  EXPECT_FALSE(store.same_router(topo_->router(0).loopback,
+                                 topo_->router(1).loopback));
+}
+
+TEST_F(AliasFixture, MidarLikeIsSubsetOfTruth) {
+  util::Rng rng(5);
+  const auto truth = ground_truth_aliases(*topo_);
+  const auto partial = midar_like_aliases(*topo_, rng);
+  EXPECT_LT(partial.known_addresses(), truth.known_addresses());
+  EXPECT_GT(partial.known_addresses(), 0u);
+  // No false positives: everything MIDAR pairs, truth pairs too.
+  std::size_t checked = 0;
+  for (const auto& router : topo_->routers()) {
+    const auto addrs = topo_->router_addresses(router.id);
+    for (std::size_t i = 1; i < addrs.size(); ++i) {
+      if (partial.same_router(addrs[0], addrs[i])) {
+        EXPECT_TRUE(truth.same_router(addrs[0], addrs[i]));
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(AliasFixture, MidarSkipsPrivateAddresses) {
+  util::Rng rng(5);
+  const auto partial = midar_like_aliases(*topo_, rng, 1.0, 1.0);
+  for (const auto& router : topo_->routers()) {
+    if (!router.private_alias.is_unspecified()) {
+      EXPECT_FALSE(partial.knows(router.private_alias));
+    }
+  }
+}
+
+TEST_F(AliasFixture, SnmpIdentifierStablePerRouter) {
+  const SnmpResolver snmp(*topo_);
+  for (const auto& router : topo_->routers()) {
+    const auto addrs = topo_->router_addresses(router.id);
+    std::optional<std::uint64_t> expected;
+    for (const auto addr : addrs) {
+      if (addr.is_private()) continue;
+      const auto id = snmp.identifier(addr);
+      if (router.snmp_responder) {
+        ASSERT_TRUE(id);
+        if (expected) {
+          EXPECT_EQ(*id, *expected);
+        }
+        expected = id;
+      } else {
+        EXPECT_FALSE(id);
+      }
+    }
+  }
+}
+
+TEST_F(AliasFixture, SnmpIdentifiersDifferAcrossRouters) {
+  const SnmpResolver snmp(*topo_);
+  std::optional<std::uint64_t> first;
+  for (const auto& router : topo_->routers()) {
+    if (!router.snmp_responder) continue;
+    const auto id = snmp.identifier(router.loopback);
+    ASSERT_TRUE(id);
+    if (first) {
+      EXPECT_NE(*id, *first);
+      break;
+    }
+    first = id;
+  }
+}
+
+TEST_F(AliasFixture, SnmpResponsiveAddressesNonEmpty) {
+  const SnmpResolver snmp(*topo_);
+  const auto addrs = snmp.responsive_addresses();
+  EXPECT_GT(addrs.size(), 0u);
+  for (const auto addr : addrs) {
+    EXPECT_TRUE(snmp.responsive(addr));
+    EXPECT_FALSE(addr.is_private());
+  }
+}
+
+TEST(P2pHeuristic, SubnetMatching) {
+  EXPECT_TRUE(same_p2p_subnet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2)));
+  EXPECT_FALSE(same_p2p_subnet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 1)));
+  EXPECT_FALSE(same_p2p_subnet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 5)));
+  // /31 neighbours.
+  EXPECT_TRUE(same_p2p_subnet(Ipv4Addr(10, 0, 0, 4), Ipv4Addr(10, 0, 0, 5)));
+}
+
+TEST(P2pHeuristic, PartnerInvolution) {
+  const Ipv4Addr a(10, 0, 0, 1);
+  EXPECT_EQ(p2p_partner(a), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(p2p_partner(p2p_partner(a)), a);
+}
+
+TEST_F(AliasFixture, P2pPartnerOfLinkAddressIsLinkPeer) {
+  for (const auto& link : topo_->links()) {
+    EXPECT_EQ(p2p_partner(link.addr_a), link.addr_b);
+    EXPECT_EQ(p2p_partner(link.addr_b), link.addr_a);
+    if (link.id > 30) break;
+  }
+}
+
+}  // namespace
+}  // namespace revtr::alias

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "atlas/atlas.h"
+#include "eval/harness.h"
+
+namespace revtr::atlas {
+namespace {
+
+using net::Ipv4Addr;
+using topology::HostId;
+
+topology::TopologyConfig small_config() {
+  topology::TopologyConfig config;
+  config.seed = 61;
+  config.num_ases = 150;
+  config.num_vps = 8;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 60;
+  return config;
+}
+
+class AtlasFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lab_ = new eval::Lab(small_config());
+    source_ = lab_->topo.vantage_points()[0];
+    lab_->atlas.build(source_, 30, lab_->rng);
+  }
+  static void TearDownTestSuite() {
+    delete lab_;
+    lab_ = nullptr;
+  }
+  static eval::Lab* lab_;
+  static HostId source_;
+};
+
+eval::Lab* AtlasFixture::lab_ = nullptr;
+HostId AtlasFixture::source_ = topology::kInvalidId;
+
+TEST_F(AtlasFixture, BuildProducesTraceroutes) {
+  const auto& trs = lab_->atlas.traceroutes(source_);
+  EXPECT_EQ(trs.size(), 30u);
+  std::size_t reached = 0;
+  for (const auto& tr : trs) {
+    EXPECT_FALSE(tr.hops.empty());
+    reached += tr.reached_source;
+    if (tr.reached_source) {
+      EXPECT_EQ(tr.hops.back(), lab_->topo.host(source_).addr);
+    }
+  }
+  EXPECT_GT(reached, 20u);  // Sources are always responsive.
+}
+
+TEST_F(AtlasFixture, ExactIntersectionAndSuffix) {
+  const auto& trs = lab_->atlas.traceroutes(source_);
+  // Pick a mid-path hop of some traceroute and intersect on it.
+  for (const auto& tr : trs) {
+    if (tr.hops.size() < 3) continue;
+    const Ipv4Addr mid = tr.hops[tr.hops.size() / 2];
+    const auto hit = lab_->atlas.intersect(source_, mid, false);
+    ASSERT_TRUE(hit);
+    const auto suffix = lab_->atlas.suffix_after(source_, *hit);
+    ASSERT_FALSE(suffix.empty());
+    // The suffix ends at the source when the traceroute reached it.
+    const auto& hit_tr = trs[hit->traceroute_index];
+    if (hit_tr.reached_source) {
+      EXPECT_EQ(suffix.back(), lab_->topo.host(source_).addr);
+    }
+    // The suffix must not contain the intersected address itself.
+    EXPECT_EQ(std::find(suffix.begin(), suffix.end(),
+                        hit_tr.hops[hit->hop_index]),
+              suffix.end());
+    return;
+  }
+  FAIL() << "no traceroute with 3+ hops";
+}
+
+TEST_F(AtlasFixture, NoIntersectionForUnknownAddress) {
+  EXPECT_FALSE(lab_->atlas.intersect(source_, Ipv4Addr(203, 0, 113, 7),
+                                     true));
+  EXPECT_FALSE(lab_->atlas.intersect(lab_->topo.vantage_points()[1],
+                                     Ipv4Addr(1, 0, 0, 20), false));
+}
+
+TEST_F(AtlasFixture, RrIndexAddsIntersections) {
+  lab_->atlas.build_rr_alias_index(source_);
+  EXPECT_GT(lab_->atlas.rr_index_size(source_), 0u);
+
+  // Find an address known only through the RR index.
+  // (Every rr_index key that is not a traceroute hop qualifies: probing it
+  // without the index finds nothing, with the index it intersects.)
+  const auto& trs = lab_->atlas.traceroutes(source_);
+  std::unordered_set<Ipv4Addr> hop_addrs;
+  for (const auto& tr : trs) {
+    for (const auto hop : tr.hops) hop_addrs.insert(hop);
+  }
+  // Probe candidate addresses: RR pings to hops reveal egress interfaces;
+  // scan atlas router links for addresses that intersect via RR only.
+  std::size_t rr_only = 0;
+  for (const auto& link : lab_->topo.links()) {
+    for (const auto addr : {link.addr_a, link.addr_b}) {
+      if (hop_addrs.contains(addr)) continue;
+      if (lab_->atlas.intersect(source_, addr, true)) ++rr_only;
+    }
+  }
+  EXPECT_GT(rr_only, 0u) << "RR index added no new intersection points";
+}
+
+TEST_F(AtlasFixture, AliasIntersectionFindsAliasedHops) {
+  const auto truth = alias::ground_truth_aliases(lab_->topo);
+  const auto& trs = lab_->atlas.traceroutes(source_);
+  for (const auto& tr : trs) {
+    for (const auto hop : tr.hops) {
+      const auto owner = lab_->topo.interface_at(hop);
+      if (!owner) continue;
+      const auto loopback = lab_->topo.router(owner->router).loopback;
+      if (loopback == hop) continue;
+      // The loopback is an alias of a traceroute hop: exact intersection
+      // misses it, alias-based intersection finds it.
+      if (!lab_->atlas.intersect(source_, loopback, false)) {
+        EXPECT_TRUE(
+            lab_->atlas.intersect_with_aliases(source_, loopback, truth));
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "all loopbacks were direct hops";
+}
+
+TEST_F(AtlasFixture, TouchMarksUsefulAndReportsAge) {
+  const auto& trs = lab_->atlas.traceroutes(source_);
+  ASSERT_FALSE(trs.empty());
+  const Ipv4Addr hop = trs[0].hops[0];
+  const auto hit = lab_->atlas.intersect(source_, hop, false);
+  ASSERT_TRUE(hit);
+  const auto age = lab_->atlas.touch(source_, *hit,
+                                     3 * util::SimClock::kHour);
+  EXPECT_EQ(age, 3 * util::SimClock::kHour);
+  EXPECT_TRUE(trs[hit->traceroute_index].useful);
+}
+
+TEST_F(AtlasFixture, RefreshKeepsUsefulProbes) {
+  eval::Lab lab(small_config());
+  const HostId source = lab.topo.vantage_points()[2];
+  lab.atlas.build(source, 20, lab.rng, 0);
+  // Mark a couple of traceroutes useful.
+  const auto& before = lab.atlas.traceroutes(source);
+  std::vector<HostId> useful_probes;
+  for (std::size_t i = 0; i < 3 && i < before.size(); ++i) {
+    lab.atlas.touch(source, Intersection{i, 0}, 0);
+    useful_probes.push_back(before[i].probe);
+  }
+  lab.atlas.refresh(source, lab.rng, util::SimClock::kDay);
+  const auto& after = lab.atlas.traceroutes(source);
+  EXPECT_EQ(after.size(), 20u);
+  for (const HostId probe : useful_probes) {
+    const bool kept = std::any_of(
+        after.begin(), after.end(),
+        [&](const AtlasTraceroute& tr) { return tr.probe == probe; });
+    EXPECT_TRUE(kept) << "useful probe dropped";
+  }
+  for (const auto& tr : after) {
+    EXPECT_EQ(tr.measured_at, util::SimClock::kDay);  // Re-measured.
+    EXPECT_FALSE(tr.useful);                          // Flag reset.
+  }
+}
+
+TEST(GreedySelection, PrefersHighCoverage) {
+  // Three synthetic traceroutes: one long unique path, one subset, one
+  // disjoint short one. Greedy must pick the long one first.
+  AtlasTraceroute a;
+  a.hops = {Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2), Ipv4Addr(1, 0, 0, 3),
+            Ipv4Addr(1, 0, 0, 4)};
+  AtlasTraceroute b;
+  b.hops = {Ipv4Addr(1, 0, 0, 3), Ipv4Addr(1, 0, 0, 4)};
+  AtlasTraceroute c;
+  c.hops = {Ipv4Addr(2, 0, 0, 1), Ipv4Addr(2, 0, 0, 2)};
+  const std::vector<AtlasTraceroute> pool = {b, a, c};
+  const auto selected = greedy_optimal_selection(pool, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 1u);  // `a` covers the most weighted addresses.
+  EXPECT_EQ(selected[1], 2u);  // `c` adds new coverage; `b` adds none.
+}
+
+TEST(GreedySelection, ExternalWeightPoolChangesChoice) {
+  // Two candidate traceroutes; the weight pool only values addresses on
+  // the second, so the oracle variant must pick it first.
+  AtlasTraceroute a;
+  a.hops = {Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2), Ipv4Addr(1, 0, 0, 3)};
+  AtlasTraceroute b;
+  b.hops = {Ipv4Addr(2, 0, 0, 1), Ipv4Addr(2, 0, 0, 2)};
+  AtlasTraceroute wants_b;
+  wants_b.hops = {Ipv4Addr(9, 0, 0, 9), Ipv4Addr(2, 0, 0, 1),
+                  Ipv4Addr(2, 0, 0, 2)};
+  const std::vector<AtlasTraceroute> pool = {a, b};
+  const std::vector<AtlasTraceroute> weights = {wants_b};
+  const auto selected = greedy_optimal_selection(pool, 1, weights);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 1u);
+  // Self-weighted greedy prefers the longer traceroute instead.
+  const auto self_selected = greedy_optimal_selection(pool, 1);
+  ASSERT_EQ(self_selected.size(), 1u);
+  EXPECT_EQ(self_selected[0], 0u);
+}
+
+TEST(GreedySelection, CapsAtPoolSize) {
+  AtlasTraceroute a;
+  a.hops = {Ipv4Addr(1, 0, 0, 1)};
+  const std::vector<AtlasTraceroute> pool = {a};
+  EXPECT_EQ(greedy_optimal_selection(pool, 10).size(), 1u);
+}
+
+TEST(IntersectedFraction, WalksFromFarEnd) {
+  const std::vector<Ipv4Addr> path = {Ipv4Addr(1, 0, 0, 1),
+                                      Ipv4Addr(1, 0, 0, 2),
+                                      Ipv4Addr(1, 0, 0, 3),
+                                      Ipv4Addr(1, 0, 0, 4)};
+  std::unordered_set<Ipv4Addr> covered = {Ipv4Addr(1, 0, 0, 3)};
+  // Hops 3 and 4 are short-circuited: 2 of 4.
+  EXPECT_DOUBLE_EQ(intersected_fraction(path, covered), 0.5);
+  covered.insert(Ipv4Addr(1, 0, 0, 1));
+  EXPECT_DOUBLE_EQ(intersected_fraction(path, covered), 1.0);
+  EXPECT_DOUBLE_EQ(intersected_fraction(path, {}), 0.0);
+  EXPECT_DOUBLE_EQ(intersected_fraction({}, covered), 0.0);
+}
+
+}  // namespace
+}  // namespace revtr::atlas

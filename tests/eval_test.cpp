@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+namespace revtr::eval {
+namespace {
+
+using net::Ipv4Addr;
+using topology::Asn;
+
+topology::TopologyConfig small_config() {
+  topology::TopologyConfig config;
+  config.seed = 95;
+  config.num_ases = 120;
+  config.num_vps = 8;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 30;
+  return config;
+}
+
+// --------------------------------------------------------------------------
+// HopMatcher
+// --------------------------------------------------------------------------
+
+TEST(HopMatcher, ExactAndP2p) {
+  const HopMatcher matcher(nullptr, nullptr);
+  EXPECT_TRUE(matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 1)));
+  // Opposite ends of a /30: the point-to-point rule of Appx B.1.
+  EXPECT_TRUE(matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2)));
+  EXPECT_FALSE(
+      matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1)));
+}
+
+TEST(HopMatcher, P2pCanBeDisabled) {
+  MatcherOptions options;
+  options.use_p2p_heuristic = false;
+  const HopMatcher matcher(nullptr, nullptr, options);
+  EXPECT_FALSE(
+      matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2)));
+}
+
+TEST(HopMatcher, AliasStoreConsulted) {
+  alias::AliasStore store;
+  store.add_pair(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(9, 0, 0, 9));
+  const HopMatcher matcher(&store, nullptr);
+  EXPECT_TRUE(matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(9, 0, 0, 9)));
+  EXPECT_FALSE(
+      matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(8, 0, 0, 8)));
+}
+
+TEST(HopMatcher, OptimisticCountsUnresolvable) {
+  MatcherOptions options;
+  options.optimistic = true;
+  const HopMatcher matcher(nullptr, nullptr, options);
+  // Two unrelated addresses with no alias knowledge: optimistic mode gives
+  // them the benefit of the doubt (upper bound of Fig 5a).
+  EXPECT_TRUE(matcher.same_router(Ipv4Addr(1, 0, 0, 1), Ipv4Addr(8, 0, 0, 8)));
+}
+
+TEST(HopMatcher, SnmpIdentifiersMatch) {
+  eval::Lab lab(small_config());
+  const alias::SnmpResolver snmp(lab.topo);
+  const HopMatcher matcher(nullptr, &snmp);
+  for (const auto& router : lab.topo.routers()) {
+    if (!router.snmp_responder || router.links.empty()) continue;
+    const auto iface =
+        lab.topo.egress_addr(router.id, router.links.front());
+    EXPECT_TRUE(matcher.same_router(router.loopback, iface));
+    return;
+  }
+  GTEST_SKIP();
+}
+
+TEST(FractionHopsMatched, Basics) {
+  const HopMatcher matcher(nullptr, nullptr);
+  const std::vector<Ipv4Addr> reference = {Ipv4Addr(1, 0, 0, 1),
+                                           Ipv4Addr(2, 0, 0, 1),
+                                           Ipv4Addr(3, 0, 0, 1)};
+  const std::vector<Ipv4Addr> candidate = {Ipv4Addr(2, 0, 0, 1),
+                                           Ipv4Addr(9, 0, 0, 1)};
+  EXPECT_NEAR(fraction_hops_matched(reference, candidate, matcher), 1.0 / 3,
+              1e-9);
+  EXPECT_DOUBLE_EQ(fraction_hops_matched(reference, reference, matcher), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_hops_matched({}, candidate, matcher), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// AS path comparison
+// --------------------------------------------------------------------------
+
+TEST(CompareAsPaths, Exact) {
+  const std::vector<Asn> a = {1, 2, 3};
+  EXPECT_EQ(compare_as_paths(a, a), AsMatch::kExact);
+}
+
+TEST(CompareAsPaths, MissingHops) {
+  const std::vector<Asn> direct = {1, 2, 3, 4};
+  const std::vector<Asn> missing = {1, 3, 4};
+  EXPECT_EQ(compare_as_paths(direct, missing), AsMatch::kMissingHops);
+  const std::vector<Asn> empty;
+  EXPECT_EQ(compare_as_paths(direct, empty), AsMatch::kMissingHops);
+}
+
+TEST(CompareAsPaths, Mismatch) {
+  const std::vector<Asn> direct = {1, 2, 3};
+  const std::vector<Asn> wrong = {1, 9, 3};
+  EXPECT_EQ(compare_as_paths(direct, wrong), AsMatch::kMismatch);
+  const std::vector<Asn> out_of_order = {3, 2, 1};
+  EXPECT_EQ(compare_as_paths(direct, out_of_order), AsMatch::kMismatch);
+}
+
+// --------------------------------------------------------------------------
+// Symmetry metrics (§6.2)
+// --------------------------------------------------------------------------
+
+TEST(PathSymmetry, SymmetricPathScoresHigh) {
+  eval::Lab lab(small_config());
+  const HopMatcher matcher(nullptr, nullptr);
+  // Perfectly symmetric toy path.
+  const auto& host_a = lab.topo.host(0);
+  const auto& host_b = lab.topo.host(1);
+  const std::vector<Ipv4Addr> forward = {host_a.addr, host_b.addr};
+  const std::vector<Ipv4Addr> reverse = {host_b.addr, host_a.addr};
+  const auto result = path_symmetry(forward, reverse, matcher, lab.ip2as);
+  EXPECT_DOUBLE_EQ(result.router_fraction, 1.0);
+  EXPECT_GT(result.as_fraction, 0.0);
+}
+
+TEST(PathSymmetry, MeasuredPathsShowAsymmetry) {
+  eval::Lab lab(small_config());
+  const HopMatcher matcher(nullptr, nullptr);
+  const auto vp = lab.topo.vantage_points()[0];
+  const auto probe = lab.topo.probe_hosts()[0];
+  const auto forward = lab.prober.traceroute(
+      vp, lab.topo.host(probe).addr);
+  const auto reverse = lab.prober.traceroute(
+      probe, lab.topo.host(vp).addr);
+  ASSERT_TRUE(forward.reached);
+  ASSERT_TRUE(reverse.reached);
+  const auto result =
+      path_symmetry(forward.responsive_hops(), reverse.responsive_hops(),
+                    matcher, lab.ip2as);
+  EXPECT_GE(result.router_fraction, 0.0);
+  EXPECT_LE(result.router_fraction, 1.0);
+  EXPECT_GE(result.as_fraction, 0.0);
+  EXPECT_LE(result.as_fraction, 1.0);
+}
+
+TEST(EditDistance, KnownValues) {
+  const std::vector<Asn> a = {1, 2, 3};
+  EXPECT_EQ(as_path_edit_distance(a, a), 0u);
+  const std::vector<Asn> sub = {1, 9, 3};
+  EXPECT_EQ(as_path_edit_distance(a, sub), 1u);
+  const std::vector<Asn> ins = {1, 2, 9, 3};
+  EXPECT_EQ(as_path_edit_distance(a, ins), 1u);
+  const std::vector<Asn> del = {1, 3};
+  EXPECT_EQ(as_path_edit_distance(a, del), 1u);
+  const std::vector<Asn> empty;
+  EXPECT_EQ(as_path_edit_distance(a, empty), 3u);
+  EXPECT_EQ(as_path_edit_distance(empty, empty), 0u);
+  const std::vector<Asn> disjoint = {7, 8, 9};
+  EXPECT_EQ(as_path_edit_distance(a, disjoint), 3u);
+}
+
+TEST(EditDistance, StricterThanOverlap) {
+  // Same AS set, different order: overlap-based symmetry says symmetric,
+  // edit distance does not — the Appx G.3 definitional gap.
+  const std::vector<Asn> forward = {1, 2, 3};
+  const std::vector<Asn> reordered = {1, 3, 2};
+  EXPECT_GT(as_path_edit_distance(forward, reordered), 0u);
+}
+
+TEST(PositionalMatches, FlagsPerPosition) {
+  const std::vector<Asn> forward = {1, 2, 3};
+  const std::vector<Asn> reverse = {3, 9, 1};
+  const auto matches = positional_matches(forward, reverse);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_TRUE(matches[0]);
+  EXPECT_FALSE(matches[1]);
+  EXPECT_TRUE(matches[2]);
+}
+
+// --------------------------------------------------------------------------
+// Lab harness
+// --------------------------------------------------------------------------
+
+TEST(Lab, AssemblesAndBootstraps) {
+  eval::Lab lab(small_config());
+  EXPECT_EQ(lab.topo.num_ases(), small_config().num_ases);
+  const auto source = lab.topo.vantage_points()[0];
+  lab.bootstrap_source(source, 15);
+  EXPECT_EQ(lab.atlas.traceroutes(source).size(), 15u);
+  EXPECT_GT(lab.atlas.rr_index_size(source), 0u);
+  const auto dests = lab.responsive_destinations(true);
+  EXPECT_FALSE(dests.empty());
+  for (const auto dest : dests) {
+    EXPECT_TRUE(lab.topo.host(dest).rr_responsive);
+  }
+  const auto prefixes = lab.customer_prefixes();
+  EXPECT_FALSE(prefixes.empty());
+  for (const auto prefix : prefixes) {
+    EXPECT_FALSE(lab.topo.prefix(prefix).infrastructure);
+  }
+}
+
+TEST(Lab, PrecomputeIngressesPopulatesPlans) {
+  eval::Lab lab(small_config());
+  const auto prefixes = lab.customer_prefixes();
+  const std::vector<topology::PrefixId> sample(prefixes.begin(),
+                                               prefixes.begin() + 10);
+  lab.precompute_ingresses(sample);
+  for (const auto prefix : sample) {
+    EXPECT_NE(lab.ingress.plan_for(prefix), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace revtr::eval

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace revtr::util {
+namespace {
+
+TEST(Json, ScalarsDumpAndParse) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json("hello").dump(), "\"hello\"");
+
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_EQ(Json::parse("42")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5")->as_double(), 2.5);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ObjectAndArrayRoundTrip) {
+  Json doc = Json::object();
+  doc["name"] = "revtr";
+  doc["count"] = std::int64_t{3};
+  doc["flags"] = Json::object();
+  doc["flags"]["ok"] = true;
+  Json hops = Json::array();
+  hops.push_back("1.2.3.4");
+  hops.push_back("5.6.7.8");
+  doc["hops"] = std::move(hops);
+
+  const auto text = doc.dump();
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, doc);
+  EXPECT_EQ(parsed->find("name")->as_string(), "revtr");
+  EXPECT_EQ(parsed->find("hops")->as_array().size(), 2u);
+  EXPECT_TRUE(parsed->find("flags")->find("ok")->as_bool());
+  EXPECT_EQ(parsed->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscaping) {
+  const Json value(std::string("a\"b\\c\nd\te"));
+  const auto text = value.dump();
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\nd\te");
+  // Control characters become \u escapes.
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+  EXPECT_EQ(Json::parse("\"\\u0041\"")->as_string(), "A");
+}
+
+TEST(Json, WhitespaceTolerated) {
+  const auto parsed = Json::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null } ");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->find("a")->as_array()[1].as_int(), 2);
+}
+
+TEST(Json, MalformedRejected) {
+  for (const char* bad :
+       {"", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated",
+        "[1] trailing", "{\"a\":1,}", "nan", "--3", "{'a':1}"}) {
+    EXPECT_FALSE(Json::parse(bad)) << bad;
+  }
+}
+
+TEST(Json, NestedDepth) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 50; ++i) deep += "]";
+  const auto parsed = Json::parse(deep);
+  ASSERT_TRUE(parsed);
+  const Json* cursor = &*parsed;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cursor->is_array());
+    cursor = &cursor->as_array()[0];
+  }
+  EXPECT_EQ(cursor->as_int(), 1);
+}
+
+TEST(Json, LargeIntegersExact) {
+  const std::int64_t big = 9007199254740993;  // Above double's exact range.
+  const auto parsed = Json::parse(Json(big).dump());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->as_int(), big);
+}
+
+TEST(JsonFuzz, RandomInputNeverCrashes) {
+  Rng rng(31337);
+  const char alphabet[] = "{}[]\",:0123456789.truefalsn\\ ";
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    const auto length = rng.below(40);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng.below(sizeof alphabet - 1)]);
+    }
+    (void)Json::parse(text);  // Must not crash or hang.
+  }
+}
+
+}  // namespace
+}  // namespace revtr::util

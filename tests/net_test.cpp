@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/ip_options.h"
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/prefix_trie.h"
+#include "net/wire.h"
+
+namespace revtr::net {
+namespace {
+
+// --------------------------------------------------------------------------
+// Ipv4Addr / Ipv4Prefix
+// --------------------------------------------------------------------------
+
+TEST(Ipv4Addr, RoundTripString) {
+  const Ipv4Addr addr(192, 168, 1, 42);
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+  const auto parsed = Ipv4Addr::parse("192.168.1.42");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, addr);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Addr, PrivateClassification) {
+  EXPECT_TRUE(Ipv4Addr(10, 1, 2, 3).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Addr(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(192, 168, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(192, 169, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(8, 8, 8, 8).is_private());
+  EXPECT_TRUE(Ipv4Addr(127, 0, 0, 1).is_loopback());
+}
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  const Ipv4Prefix prefix(Ipv4Addr(10, 1, 2, 200), 24);
+  EXPECT_EQ(prefix.network(), Ipv4Addr(10, 1, 2, 0));
+  EXPECT_EQ(prefix.to_string(), "10.1.2.0/24");
+}
+
+TEST(Ipv4Prefix, Containment) {
+  const Ipv4Prefix p(Ipv4Addr(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 255, 1, 1)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Prefix(Ipv4Addr(10, 2, 0, 0), 16)));
+  EXPECT_FALSE(p.contains(Ipv4Prefix(Ipv4Addr(0, 0, 0, 0), 4)));
+}
+
+TEST(Ipv4Prefix, SizeAndIndexing) {
+  const Ipv4Prefix p(Ipv4Addr(10, 0, 0, 0), 30);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(1), Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(p.first_host(), Ipv4Addr(10, 0, 0, 1));
+  const Ipv4Prefix p31(Ipv4Addr(10, 0, 0, 0), 31);
+  EXPECT_EQ(p31.first_host(), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto p = Ipv4Prefix::parse("203.0.113.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_FALSE(Ipv4Prefix::parse("203.0.113.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("203.0.113.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("banana/8"));
+}
+
+TEST(Ipv4Prefix, ZeroLengthMatchesEverything) {
+  const Ipv4Prefix all(Ipv4Addr(1, 2, 3, 4), 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Addr(0, 0, 0, 0)));
+}
+
+// --------------------------------------------------------------------------
+// PrefixTrie
+// --------------------------------------------------------------------------
+
+TEST(PrefixTrie, LongestPrefixMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 3);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 9, 9)), 2);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 9, 9, 9)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(11, 0, 0, 1)), std::nullopt);
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+TEST(PrefixTrie, LookupPrefixReturnsMatchedLength) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  const auto hit = trie.lookup_prefix(Ipv4Addr(10, 20, 30, 40));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first.length(), 8);
+  EXPECT_EQ(hit->second, 1);
+}
+
+TEST(PrefixTrie, OverwriteKeepsSize) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 9);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 9);
+}
+
+TEST(PrefixTrie, ExactFind) {
+  PrefixTrie<int> trie;
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  EXPECT_EQ(trie.find(*Ipv4Prefix::parse("10.1.0.0/16")), 2);
+  EXPECT_EQ(trie.find(*Ipv4Prefix::parse("10.0.0.0/8")), std::nullopt);
+}
+
+TEST(PrefixTrie, HostRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(1, 2, 3, 4), 32), 7);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 2, 3, 4)), 7);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 2, 3, 5)), std::nullopt);
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(0, 0, 0, 0), 0), 99);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(8, 8, 8, 8)), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 1);
+}
+
+// --------------------------------------------------------------------------
+// RecordRouteOption
+// --------------------------------------------------------------------------
+
+TEST(RecordRoute, StampsUpToNine) {
+  RecordRouteOption rr;
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(rr.stamp(Ipv4Addr(1, 1, 1, static_cast<std::uint8_t>(i))));
+  }
+  EXPECT_TRUE(rr.full());
+  EXPECT_FALSE(rr.stamp(Ipv4Addr(9, 9, 9, 9)));
+  EXPECT_EQ(rr.size(), 9u);
+  EXPECT_EQ(rr.remaining(), 0u);
+}
+
+TEST(RecordRoute, WireRoundTrip) {
+  RecordRouteOption rr;
+  rr.stamp(Ipv4Addr(10, 0, 0, 1));
+  rr.stamp(Ipv4Addr(10, 0, 0, 2));
+  std::vector<std::uint8_t> bytes;
+  rr.encode(bytes);
+  ASSERT_EQ(bytes.size(), RecordRouteOption::kLength);
+  EXPECT_EQ(bytes[0], 7);        // Type.
+  EXPECT_EQ(bytes[1], 39);       // Length.
+  EXPECT_EQ(bytes[2], 4 + 8);    // Pointer past two slots.
+  const auto decoded = RecordRouteOption::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, rr);
+}
+
+TEST(RecordRoute, DecodeRejectsMalformed) {
+  RecordRouteOption rr;
+  rr.stamp(Ipv4Addr(10, 0, 0, 1));
+  std::vector<std::uint8_t> bytes;
+  rr.encode(bytes);
+
+  auto truncated = bytes;
+  truncated.resize(10);
+  EXPECT_FALSE(RecordRouteOption::decode(truncated));
+
+  auto bad_type = bytes;
+  bad_type[0] = 68;
+  EXPECT_FALSE(RecordRouteOption::decode(bad_type));
+
+  auto bad_pointer = bytes;
+  bad_pointer[2] = 5;  // Misaligned.
+  EXPECT_FALSE(RecordRouteOption::decode(bad_pointer));
+
+  auto bad_length = bytes;
+  bad_length[1] = 11;
+  EXPECT_FALSE(RecordRouteOption::decode(bad_length));
+}
+
+TEST(RecordRoute, FullOptionDecodes) {
+  RecordRouteOption rr;
+  for (int i = 1; i <= 9; ++i) {
+    rr.stamp(Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i)));
+  }
+  std::vector<std::uint8_t> bytes;
+  rr.encode(bytes);
+  EXPECT_EQ(bytes[2], 40);  // Pointer past the last slot.
+  const auto decoded = RecordRouteOption::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->full());
+  EXPECT_EQ(decoded->slot(8), Ipv4Addr(10, 0, 0, 9));
+}
+
+// --------------------------------------------------------------------------
+// TimestampOption
+// --------------------------------------------------------------------------
+
+TEST(Timestamp, PrespecOrderingEnforced) {
+  const Ipv4Addr a(1, 1, 1, 1), b(2, 2, 2, 2);
+  const Ipv4Addr prespec[] = {a, b};
+  auto ts = TimestampOption::prespecified(prespec);
+  ASSERT_EQ(ts.size(), 2u);
+  // b cannot stamp before a.
+  EXPECT_FALSE(ts.try_stamp(b, 100));
+  EXPECT_TRUE(ts.try_stamp(a, 50));
+  EXPECT_TRUE(ts.try_stamp(b, 100));
+  EXPECT_TRUE(ts.stamped(0));
+  EXPECT_TRUE(ts.stamped(1));
+  EXPECT_FALSE(ts.next_pending());
+}
+
+TEST(Timestamp, CapsAtFourEntries) {
+  std::vector<Ipv4Addr> many(6, Ipv4Addr(1, 2, 3, 4));
+  const auto ts = TimestampOption::prespecified(many);
+  EXPECT_EQ(ts.size(), TimestampOption::kMaxEntries);
+}
+
+TEST(Timestamp, WireRoundTrip) {
+  const Ipv4Addr prespec[] = {Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2)};
+  auto ts = TimestampOption::prespecified(prespec);
+  ts.try_stamp(Ipv4Addr(1, 1, 1, 1), 12345);
+  std::vector<std::uint8_t> bytes;
+  ts.encode(bytes);
+  EXPECT_EQ(bytes[0], 68);
+  EXPECT_EQ(bytes[1], 4 + 16);
+  EXPECT_EQ(bytes[3] & 0x0f, 3);  // Prespec flag.
+  const auto decoded = TimestampOption::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->stamped(0));
+  EXPECT_FALSE(decoded->stamped(1));
+  EXPECT_EQ(decoded->entries()[0].timestamp, 12345u);
+}
+
+TEST(Timestamp, DecodeRejectsWrongFlag) {
+  const Ipv4Addr prespec[] = {Ipv4Addr(1, 1, 1, 1)};
+  auto ts = TimestampOption::prespecified(prespec);
+  std::vector<std::uint8_t> bytes;
+  ts.encode(bytes);
+  bytes[3] = (bytes[3] & 0xf0) | 0x01;  // "timestamps only" flag.
+  EXPECT_FALSE(TimestampOption::decode(bytes));
+}
+
+// --------------------------------------------------------------------------
+// Checksum
+// --------------------------------------------------------------------------
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, BufferWithChecksumSumsToZero) {
+  std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                    0xf4, 0xf5, 0xf6, 0xf7};
+  const std::uint16_t sum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(sum >> 8));
+  data.push_back(static_cast<std::uint8_t>(sum));
+  EXPECT_TRUE(checksum_ok(data));
+}
+
+TEST(Checksum, OddLengthPadded) {
+  const std::uint8_t data[] = {0xff};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xff00));
+}
+
+// --------------------------------------------------------------------------
+// Packet helpers + wire codec
+// --------------------------------------------------------------------------
+
+TEST(Packet, EchoReplyCopiesOptionsAndTargetsSource) {
+  Packet request = make_echo_request(Ipv4Addr(1, 1, 1, 1),
+                                     Ipv4Addr(2, 2, 2, 2), 7, 9);
+  request.rr = RecordRouteOption{};
+  request.rr->stamp(Ipv4Addr(3, 3, 3, 3));
+  const Packet reply = make_echo_reply(request, Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(reply.type, IcmpType::kEchoReply);
+  EXPECT_EQ(reply.dst, request.src);
+  EXPECT_EQ(reply.src, Ipv4Addr(2, 2, 2, 2));
+  ASSERT_TRUE(reply.rr);
+  EXPECT_EQ(reply.rr->size(), 1u);
+  EXPECT_EQ(reply.icmp_id, 7);
+}
+
+TEST(Packet, TimeExceededQuotesDestination) {
+  const Packet request = make_echo_request(Ipv4Addr(1, 1, 1, 1),
+                                           Ipv4Addr(2, 2, 2, 2), 7, 9, 3);
+  const Packet error = make_time_exceeded(request, Ipv4Addr(5, 5, 5, 5));
+  EXPECT_EQ(error.type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(error.src, Ipv4Addr(5, 5, 5, 5));
+  EXPECT_EQ(error.dst, request.src);
+  EXPECT_EQ(error.quoted_dst, request.dst);
+  EXPECT_FALSE(error.rr);
+}
+
+TEST(Packet, FlowKeyDirectionSensitive) {
+  const Packet forward = make_echo_request(Ipv4Addr(1, 1, 1, 1),
+                                           Ipv4Addr(2, 2, 2, 2), 7, 9);
+  const Packet backward = make_echo_request(Ipv4Addr(2, 2, 2, 2),
+                                            Ipv4Addr(1, 1, 1, 1), 7, 9);
+  EXPECT_NE(forward.flow_key(), backward.flow_key());
+}
+
+TEST(Wire, EchoRoundTrip) {
+  Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                    Ipv4Addr(5, 6, 7, 8), 42, 1, 17);
+  const auto bytes = encode_packet(packet);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src, packet.src);
+  EXPECT_EQ(decoded->dst, packet.dst);
+  EXPECT_EQ(decoded->ttl, 17);
+  EXPECT_EQ(decoded->icmp_id, 42);
+  EXPECT_EQ(decoded->type, IcmpType::kEchoRequest);
+  EXPECT_FALSE(decoded->rr);
+}
+
+TEST(Wire, RecordRouteRoundTrip) {
+  Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                    Ipv4Addr(5, 6, 7, 8), 42, 1);
+  packet.rr = RecordRouteOption{};
+  packet.rr->stamp(Ipv4Addr(9, 9, 9, 9));
+  const auto bytes = encode_packet(packet);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_TRUE(decoded->rr);
+  EXPECT_EQ(decoded->rr->size(), 1u);
+  EXPECT_EQ(decoded->rr->slot(0), Ipv4Addr(9, 9, 9, 9));
+  EXPECT_FALSE(decoded->ts);
+}
+
+TEST(Wire, TimestampRoundTrip) {
+  Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                    Ipv4Addr(5, 6, 7, 8), 42, 1);
+  const Ipv4Addr prespec[] = {Ipv4Addr(7, 7, 7, 7)};
+  packet.ts = TimestampOption::prespecified(prespec);
+  const auto bytes = encode_packet(packet);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_TRUE(decoded->ts);
+  EXPECT_EQ(decoded->ts->size(), 1u);
+  EXPECT_FALSE(decoded->rr);
+}
+
+TEST(Wire, CombinedOptionsExceedHeaderBudget) {
+  // RR (39 bytes) + TS cannot share the 40-byte option area; the codec
+  // refuses rather than emitting an invalid IHL.
+  Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                    Ipv4Addr(5, 6, 7, 8), 42, 1);
+  packet.rr = RecordRouteOption{};
+  const Ipv4Addr prespec[] = {Ipv4Addr(7, 7, 7, 7)};
+  packet.ts = TimestampOption::prespecified(prespec);
+  EXPECT_THROW(encode_packet(packet), std::length_error);
+}
+
+TEST(Wire, TimeExceededRoundTrip) {
+  Packet request = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                     Ipv4Addr(5, 6, 7, 8), 42, 3);
+  const Packet error = make_time_exceeded(request, Ipv4Addr(9, 8, 7, 6));
+  const auto bytes = encode_packet(error);
+  const auto decoded = decode_packet(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(decoded->src, Ipv4Addr(9, 8, 7, 6));
+  EXPECT_EQ(decoded->quoted_dst, Ipv4Addr(5, 6, 7, 8));
+  EXPECT_EQ(decoded->icmp_id, 42);
+}
+
+TEST(Wire, CorruptionDetected) {
+  const Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                          Ipv4Addr(5, 6, 7, 8), 42, 1);
+  auto bytes = encode_packet(packet);
+  bytes[14] ^= 0xff;  // Flip a source-address byte.
+  EXPECT_FALSE(decode_packet(bytes));
+}
+
+TEST(Wire, TruncationDetected) {
+  const Packet packet = make_echo_request(Ipv4Addr(1, 2, 3, 4),
+                                          Ipv4Addr(5, 6, 7, 8), 42, 1);
+  auto bytes = encode_packet(packet);
+  bytes.resize(20);
+  EXPECT_FALSE(decode_packet(bytes));
+}
+
+}  // namespace
+}  // namespace revtr::net

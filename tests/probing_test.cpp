@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "probing/prober.h"
+#include "routing/forwarding.h"
+#include "sim/network.h"
+#include "topology/builder.h"
+
+namespace revtr::probing {
+namespace {
+
+using topology::HostId;
+using topology::Topology;
+using topology::TopologyBuilder;
+using topology::TopologyConfig;
+
+TopologyConfig small_config() {
+  TopologyConfig config;
+  config.seed = 33;
+  config.num_ases = 150;
+  config.num_vps = 10;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 40;
+  return config;
+}
+
+class ProbingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new Topology(TopologyBuilder::build(small_config()));
+    bgp_ = new routing::BgpTable(*topo_);
+    intra_ = new routing::IntraRouting(*topo_);
+    plane_ = new routing::ForwardingPlane(*topo_, *bgp_, *intra_);
+    network_ = new sim::Network(*topo_, *plane_, 5);
+  }
+  static void TearDownTestSuite() {
+    delete network_;
+    delete plane_;
+    delete intra_;
+    delete bgp_;
+    delete topo_;
+    network_ = nullptr;
+    plane_ = nullptr;
+    intra_ = nullptr;
+    bgp_ = nullptr;
+    topo_ = nullptr;
+  }
+
+  static HostId responsive_host() {
+    for (const auto& host : topo_->hosts()) {
+      if (!host.is_vantage_point && !host.is_probe_host &&
+          host.rr_responsive && host.stamp == topology::HostStamp::kNormal) {
+        return host.id;
+      }
+    }
+    throw std::logic_error("no responsive host");
+  }
+
+  static Topology* topo_;
+  static routing::BgpTable* bgp_;
+  static routing::IntraRouting* intra_;
+  static routing::ForwardingPlane* plane_;
+  static sim::Network* network_;
+};
+
+Topology* ProbingFixture::topo_ = nullptr;
+routing::BgpTable* ProbingFixture::bgp_ = nullptr;
+routing::IntraRouting* ProbingFixture::intra_ = nullptr;
+routing::ForwardingPlane* ProbingFixture::plane_ = nullptr;
+sim::Network* ProbingFixture::network_ = nullptr;
+
+TEST_F(ProbingFixture, PingCountsAndTimes) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto result = prober.ping(vp, topo_->host(responsive_host()).addr);
+  EXPECT_TRUE(result.responded);
+  EXPECT_GT(result.duration_us, 0);
+  EXPECT_LT(result.duration_us, Prober::kProbeTimeoutUs);
+  EXPECT_EQ(prober.counters().ping, 1u);
+  EXPECT_EQ(prober.counters().total(), 1u);
+}
+
+TEST_F(ProbingFixture, UnansweredProbeChargedTimeout) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  for (const auto& host : topo_->hosts()) {
+    if (!host.ping_responsive) {
+      const auto result = prober.ping(vp, host.addr);
+      EXPECT_FALSE(result.responded);
+      EXPECT_EQ(result.duration_us, Prober::kProbeTimeoutUs);
+      return;
+    }
+  }
+  GTEST_SKIP();
+}
+
+TEST_F(ProbingFixture, RrPingReturnsSlots) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto result = prober.rr_ping(vp, topo_->host(responsive_host()).addr);
+  EXPECT_TRUE(result.responded);
+  EXPECT_FALSE(result.slots.empty());
+  EXPECT_LE(result.slots.size(), 9u);
+  EXPECT_EQ(prober.counters().rr, 1u);
+  EXPECT_EQ(prober.counters().spoofed_rr, 0u);
+}
+
+TEST_F(ProbingFixture, SpoofedRrCountsSeparately) {
+  Prober prober(*network_);
+  HostId spoofer = topology::kInvalidId;
+  for (HostId vp : topo_->vantage_points()) {
+    if (network_->can_spoof(vp)) spoofer = vp;
+  }
+  ASSERT_NE(spoofer, topology::kInvalidId);
+  const HostId source = topo_->vantage_points()[0] == spoofer
+                            ? topo_->vantage_points()[1]
+                            : topo_->vantage_points()[0];
+  const auto result = prober.rr_ping(spoofer,
+                                     topo_->host(responsive_host()).addr,
+                                     topo_->host(source).addr);
+  EXPECT_EQ(prober.counters().spoofed_rr, 1u);
+  EXPECT_EQ(prober.counters().rr, 0u);
+  // Spoofed replies are observed at the source; the call still reports what
+  // the source saw.
+  if (result.responded) {
+    EXPECT_FALSE(result.slots.empty());
+  }
+}
+
+TEST_F(ProbingFixture, TracerouteReachesAndIsOrdered) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto dst = responsive_host();
+  const auto result = prober.traceroute(vp, topo_->host(dst).addr);
+  ASSERT_TRUE(result.reached);
+  ASSERT_GE(result.hops.size(), 2u);
+  // Final hop is the destination itself.
+  ASSERT_TRUE(result.hops.back().addr);
+  EXPECT_EQ(*result.hops.back().addr, topo_->host(dst).addr);
+  // Earlier hops are router interfaces (or silent).
+  for (std::size_t i = 0; i + 1 < result.hops.size(); ++i) {
+    if (result.hops[i].addr) {
+      EXPECT_TRUE(topo_->interface_at(*result.hops[i].addr))
+          << "hop " << i << " is not a router interface";
+    }
+  }
+  EXPECT_EQ(prober.counters().traceroutes, 1u);
+  EXPECT_EQ(prober.counters().traceroute_packets, result.hops.size());
+}
+
+TEST_F(ProbingFixture, TracerouteParisConsistency) {
+  // Two traceroutes from the same host to the same destination follow the
+  // same path (per-flow load balancing, fixed flow id per trace... but the
+  // flow id differs between traces; destinations are the anchor here). We
+  // verify the hop *count* and reached flag are stable, and that a repeated
+  // run with the same prober state is deterministic.
+  const auto vp = topo_->vantage_points()[1];
+  const auto dst = responsive_host();
+  Prober p1(*network_);
+  const auto r1 = p1.traceroute(vp, topo_->host(dst).addr);
+  const auto r2 = p1.traceroute(vp, topo_->host(dst).addr);
+  EXPECT_EQ(r1.reached, r2.reached);
+  EXPECT_EQ(r1.hops.size(), r2.hops.size());
+}
+
+TEST_F(ProbingFixture, TracerouteToUnresponsiveDestinationStops) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  for (const auto& host : topo_->hosts()) {
+    if (!host.ping_responsive) {
+      const auto result = prober.traceroute(vp, host.addr);
+      EXPECT_FALSE(result.reached);
+      EXPECT_LE(result.hops.size(),
+                static_cast<std::size_t>(Prober::kMaxTracerouteTtl));
+      return;
+    }
+  }
+  GTEST_SKIP();
+}
+
+TEST_F(ProbingFixture, TsPingStampsOnPathRouter) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto dst = responsive_host();
+  const auto rr = prober.rr_ping(vp, topo_->host(dst).addr);
+  ASSERT_TRUE(rr.responded);
+  net::Ipv4Addr on_path;
+  for (const auto addr : rr.slots) {
+    if (topo_->interface_at(addr)) {
+      on_path = addr;
+      break;
+    }
+  }
+  if (on_path.is_unspecified()) GTEST_SKIP() << "no mappable hop";
+  const net::Ipv4Addr prespec[] = {on_path};
+  const auto ts = prober.ts_ping(vp, topo_->host(dst).addr, prespec);
+  if (!ts.responded) GTEST_SKIP() << "TS filtered";
+  ASSERT_EQ(ts.stamped.size(), 1u);
+  EXPECT_TRUE(ts.stamped[0]);
+  EXPECT_EQ(prober.counters().ts, 1u);
+}
+
+TEST_F(ProbingFixture, TsPingOffPathAdjacencyNotStamped) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto dst = responsive_host();
+  // Prespecify <destination, bogus-far-away-loopback>: second must stay
+  // unstamped because that router is not after the destination on the path.
+  const auto far_router = topo_->as_at(topo_->num_ases() - 1).routers[0];
+  const net::Ipv4Addr prespec[] = {topo_->host(dst).addr,
+                                   topo_->router(far_router).loopback};
+  const auto ts = prober.ts_ping(vp, topo_->host(dst).addr, prespec);
+  if (!ts.responded) GTEST_SKIP() << "TS filtered";
+  ASSERT_EQ(ts.stamped.size(), 2u);
+  if (ts.stamped[0]) {
+    EXPECT_FALSE(ts.stamped[1]) << "off-path adjacency stamped";
+  }
+}
+
+TEST_F(ProbingFixture, CounterArithmetic) {
+  ProbeCounters a;
+  a.rr = 10;
+  a.spoofed_rr = 5;
+  ProbeCounters b;
+  b.rr = 3;
+  b.traceroute_packets = 7;
+  ProbeCounters sum = a;
+  sum += b;
+  EXPECT_EQ(sum.rr, 13u);
+  EXPECT_EQ(sum.traceroute_packets, 7u);
+  const auto delta = sum - a;
+  EXPECT_EQ(delta.rr, 3u);
+  EXPECT_EQ(delta.spoofed_rr, 0u);
+  EXPECT_EQ(sum.total(), 13u + 5u + 7u);
+}
+
+TEST_F(ProbingFixture, ResetCounters) {
+  Prober prober(*network_);
+  prober.ping(topo_->vantage_points()[0],
+              topo_->host(responsive_host()).addr);
+  EXPECT_GT(prober.counters().total(), 0u);
+  prober.reset_counters();
+  EXPECT_EQ(prober.counters().total(), 0u);
+}
+
+}  // namespace
+}  // namespace revtr::probing

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "service/service.h"
+
+namespace revtr::service {
+namespace {
+
+using topology::HostId;
+
+topology::TopologyConfig small_config() {
+  topology::TopologyConfig config;
+  config.seed = 91;
+  config.num_ases = 150;
+  config.num_vps = 10;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 40;
+  return config;
+}
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lab_ = std::make_unique<eval::Lab>(small_config());
+    service_ = std::make_unique<RevtrService>(lab_->engine, lab_->atlas,
+                                              lab_->prober, lab_->topo);
+  }
+
+  std::unique_ptr<eval::Lab> lab_;
+  std::unique_ptr<RevtrService> service_;
+};
+
+TEST_F(ServiceFixture, AddSourceBootstrapsAtlas) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  EXPECT_TRUE(service_->is_source(source));
+  const auto* record = service_->source_record(source);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->receives_rr);
+  EXPECT_EQ(record->atlas_size, 20u);
+  // Bootstrap takes on the order of 15 minutes (Appx A).
+  EXPECT_GT(record->bootstrap_duration, 10 * util::SimClock::kMinute);
+  EXPECT_GT(lab_->atlas.rr_index_size(source), 0u);
+}
+
+TEST_F(ServiceFixture, OptionFilteredHostCannotBecomeSource) {
+  for (const auto& host : lab_->topo.hosts()) {
+    if (lab_->topo.as_node(host.asn).filters_ip_options &&
+        host.ping_responsive) {
+      EXPECT_FALSE(service_->add_source(host.id, 10, lab_->rng));
+      EXPECT_FALSE(service_->is_source(host.id));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no option-filtering AS generated";
+}
+
+TEST_F(ServiceFixture, RequestRequiresUserAndSource) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  const HostId dest = lab_->topo.probe_hosts()[0];
+  // Unknown user.
+  EXPECT_FALSE(service_->request(42, dest, source));
+  const UserId user = service_->add_user("researcher");
+  // Source not registered yet.
+  EXPECT_FALSE(service_->request(user, dest, source));
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const auto result = service_->request(user, dest, source);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->source, source);
+}
+
+TEST_F(ServiceFixture, DailyQuotaEnforced) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  UserLimits limits;
+  limits.daily_limit = 2;
+  const UserId user = service_->add_user("limited", limits);
+  const HostId dest = lab_->topo.probe_hosts()[0];
+  EXPECT_TRUE(service_->request(user, dest, source));
+  EXPECT_TRUE(service_->request(user, dest, source));
+  EXPECT_FALSE(service_->request(user, dest, source)) << "quota ignored";
+  // A refresh resets the quota.
+  service_->daily_refresh(lab_->rng);
+  EXPECT_TRUE(service_->request(user, dest, source));
+}
+
+TEST_F(ServiceFixture, CampaignStatsAddUp) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 30, lab_->rng));
+  std::vector<std::pair<HostId, HostId>> pairs;
+  const auto dests = lab_->responsive_destinations(true);
+  for (std::size_t i = 0; i < 12 && i < dests.size(); ++i) {
+    pairs.emplace_back(dests[i], source);
+  }
+  const auto stats = service_->run_campaign(pairs, 4);
+  EXPECT_EQ(stats.requested, pairs.size());
+  EXPECT_EQ(stats.completed + stats.aborted + stats.unreachable,
+            pairs.size());
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.probes.total(), 0u);
+  EXPECT_EQ(stats.latency_seconds.count(), pairs.size());
+  EXPECT_NEAR(stats.duration_seconds, stats.busy_seconds / 4.0, 1e-9);
+  EXPECT_GT(stats.throughput_per_second(), 0.0);
+  EXPECT_GT(stats.coverage(), 0.0);
+}
+
+TEST_F(ServiceFixture, RequestOptionsForwardTraceroute) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const UserId user = service_->add_user("researcher");
+  RequestOptions options;
+  options.with_forward_traceroute = true;
+  const auto served = service_->request_with_options(
+      user, lab_->topo.probe_hosts()[0], source, options, lab_->rng);
+  ASSERT_TRUE(served);
+  ASSERT_TRUE(served->forward.has_value());
+  EXPECT_TRUE(served->forward->reached);
+  EXPECT_FALSE(served->atlas_refreshed);
+}
+
+TEST_F(ServiceFixture, RequestOptionsStalenessTriggersRefresh) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const UserId user = service_->add_user("researcher");
+  // Age the atlas by a day, then demand hour-fresh data.
+  service_->clock().advance(util::SimClock::kDay);
+  RequestOptions options;
+  options.max_atlas_age = util::SimClock::kHour;
+  const auto served = service_->request_with_options(
+      user, lab_->topo.probe_hosts()[1], source, options, lab_->rng);
+  ASSERT_TRUE(served);
+  EXPECT_TRUE(served->atlas_refreshed);
+  // A second fresh request must not refresh again.
+  const auto again = service_->request_with_options(
+      user, lab_->topo.probe_hosts()[2], source, options, lab_->rng);
+  ASSERT_TRUE(again);
+  EXPECT_FALSE(again->atlas_refreshed);
+}
+
+TEST_F(ServiceFixture, RequestOptionsHonorsQuota) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  UserLimits limits;
+  limits.daily_limit = 1;
+  const UserId user = service_->add_user("limited", limits);
+  RequestOptions options;
+  EXPECT_TRUE(service_->request_with_options(
+      user, lab_->topo.probe_hosts()[0], source, options, lab_->rng));
+  EXPECT_FALSE(service_->request_with_options(
+      user, lab_->topo.probe_hosts()[0], source, options, lab_->rng));
+}
+
+TEST_F(ServiceFixture, NdtMeasurementsBudgeted) {
+  const HostId server = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(server, 20, lab_->rng));
+  service_->set_ndt_daily_budget(3);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto served = service_->on_ndt_measurement(
+        lab_->topo.probe_hosts()[i], server);
+    if (served) {
+      ++accepted;
+      EXPECT_TRUE(served->forward.has_value());  // M-Lab forward traceroute.
+    }
+  }
+  EXPECT_EQ(accepted, 3u);
+  EXPECT_EQ(service_->ndt_stats().accepted, 3u);
+  EXPECT_EQ(service_->ndt_stats().rejected_load, 3u);
+  // The budget resets at the daily refresh.
+  service_->daily_refresh(lab_->rng);
+  EXPECT_TRUE(service_->on_ndt_measurement(lab_->topo.probe_hosts()[0],
+                                           server));
+}
+
+TEST_F(ServiceFixture, NdtToUnregisteredServerRejected) {
+  EXPECT_FALSE(service_->on_ndt_measurement(
+      lab_->topo.probe_hosts()[0], lab_->topo.vantage_points()[1]));
+}
+
+TEST_F(ServiceFixture, DailyRefreshAdvancesClockAndKeepsAtlas) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const auto before = service_->clock().now();
+  service_->daily_refresh(lab_->rng);
+  EXPECT_GE(service_->clock().now(), before + util::SimClock::kDay);
+  EXPECT_EQ(lab_->atlas.traceroutes(source).size(), 20u);
+  for (const auto& tr : lab_->atlas.traceroutes(source)) {
+    EXPECT_GE(tr.measured_at, before);
+  }
+}
+
+}  // namespace
+}  // namespace revtr::service

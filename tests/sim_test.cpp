@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "routing/forwarding.h"
+#include "sim/network.h"
+#include "topology/builder.h"
+
+namespace revtr::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Packet;
+using topology::HostId;
+using topology::Topology;
+using topology::TopologyBuilder;
+using topology::TopologyConfig;
+
+TopologyConfig small_config() {
+  TopologyConfig config;
+  config.seed = 21;
+  config.num_ases = 150;
+  config.num_vps = 10;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 40;
+  return config;
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topo_ = new Topology(TopologyBuilder::build(small_config()));
+    bgp_ = new routing::BgpTable(*topo_);
+    intra_ = new routing::IntraRouting(*topo_);
+    plane_ = new routing::ForwardingPlane(*topo_, *bgp_, *intra_);
+  }
+  static void TearDownTestSuite() {
+    delete plane_;
+    delete intra_;
+    delete bgp_;
+    delete topo_;
+    plane_ = nullptr;
+    intra_ = nullptr;
+    bgp_ = nullptr;
+    topo_ = nullptr;
+  }
+
+  Network make_network() { return Network(*topo_, *plane_, 3); }
+
+  // A destination host guaranteed responsive with the given stamp policy.
+  static HostId find_host(bool rr_responsive,
+                          topology::HostStamp stamp =
+                              topology::HostStamp::kNormal) {
+    for (const auto& host : topo_->hosts()) {
+      if (host.is_vantage_point || host.is_probe_host) continue;
+      if (host.ping_responsive && host.rr_responsive == rr_responsive &&
+          host.stamp == stamp) {
+        return host.id;
+      }
+    }
+    throw std::logic_error("no matching host");
+  }
+
+  static Topology* topo_;
+  static routing::BgpTable* bgp_;
+  static routing::IntraRouting* intra_;
+  static routing::ForwardingPlane* plane_;
+};
+
+Topology* SimFixture::topo_ = nullptr;
+routing::BgpTable* SimFixture::bgp_ = nullptr;
+routing::IntraRouting* SimFixture::intra_ = nullptr;
+routing::ForwardingPlane* SimFixture::plane_ = nullptr;
+
+TEST_F(SimFixture, PingResponsiveHostAnswers) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  const auto result = network.send(probe, vp);
+  ASSERT_TRUE(result.answered());
+  EXPECT_EQ(result.reply->type, net::IcmpType::kEchoReply);
+  EXPECT_EQ(result.reply->src, topo_->host(dst).addr);
+  EXPECT_EQ(result.reply->dst, topo_->host(vp).addr);
+  EXPECT_GT(result.rtt_us, 0);
+}
+
+TEST_F(SimFixture, UnresponsiveHostSilent) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  for (const auto& host : topo_->hosts()) {
+    if (!host.ping_responsive) {
+      Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                            host.addr, 1, 1);
+      EXPECT_FALSE(network.send(probe, vp).answered());
+      return;
+    }
+  }
+  GTEST_SKIP() << "all hosts responsive in this topology";
+}
+
+TEST_F(SimFixture, RrUnresponsiveHostAnswersPingOnly) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/false);
+  Packet ping = net::make_echo_request(topo_->host(vp).addr,
+                                       topo_->host(dst).addr, 1, 1);
+  EXPECT_TRUE(network.send(ping, vp).answered());
+  Packet rr_probe = ping;
+  rr_probe.rr = net::RecordRouteOption{};
+  EXPECT_FALSE(network.send(rr_probe, vp).answered());
+}
+
+TEST_F(SimFixture, RecordRouteAccumulatesHops) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network.send(probe, vp);
+  ASSERT_TRUE(result.answered());
+  ASSERT_TRUE(result.reply->rr);
+  EXPECT_GT(result.reply->rr->size(), 0u);
+}
+
+TEST_F(SimFixture, NormalHostStampsItsOwnAddress) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(true, topology::HostStamp::kNormal);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network.send(probe, vp);
+  ASSERT_TRUE(result.answered());
+  const auto slots = result.reply->rr->to_vector();
+  // Unless the forward path ate all nine slots, the destination address
+  // must appear.
+  if (!result.reply->rr->full() ||
+      std::find(slots.begin(), slots.end(), topo_->host(dst).addr) !=
+          slots.end()) {
+    EXPECT_NE(std::find(slots.begin(), slots.end(), topo_->host(dst).addr),
+              slots.end());
+  }
+}
+
+TEST_F(SimFixture, DoubleStampHostStampsAliasTwice) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  HostId dst;
+  try {
+    dst = find_host(true, topology::HostStamp::kDoubleStamp);
+  } catch (const std::logic_error&) {
+    GTEST_SKIP() << "no double-stamp host generated";
+  }
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network.send(probe, vp);
+  ASSERT_TRUE(result.answered());
+  const auto slots = result.reply->rr->to_vector();
+  const auto alias = topo_->host(dst).alias;
+  int adjacent_doubles = 0;
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+    if (slots[i] == alias && slots[i + 1] == alias) ++adjacent_doubles;
+  }
+  if (!result.reply->rr->full()) {
+    EXPECT_EQ(adjacent_doubles, 1);
+    // And the probed destination address itself never appears.
+    EXPECT_EQ(std::find(slots.begin(), slots.end(), topo_->host(dst).addr),
+              slots.end());
+  }
+}
+
+TEST_F(SimFixture, SpoofedProbeReplyArrivesAtSpoofedSource) {
+  auto network = make_network();
+  // Find a VP that may spoof.
+  HostId spoofer = topology::kInvalidId;
+  for (HostId vp : topo_->vantage_points()) {
+    if (network.can_spoof(vp)) {
+      spoofer = vp;
+      break;
+    }
+  }
+  ASSERT_NE(spoofer, topology::kInvalidId);
+  const HostId source = topo_->vantage_points()[0] == spoofer
+                            ? topo_->vantage_points()[1]
+                            : topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(source).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network.send(probe, spoofer);
+  ASSERT_TRUE(result.answered());
+  // The reply lands at `source`, not at the spoofing VP.
+  EXPECT_EQ(result.reply->dst, topo_->host(source).addr);
+}
+
+TEST_F(SimFixture, NonVantageHostsCannotSpoof) {
+  auto network = make_network();
+  const HostId ordinary = topo_->probe_hosts()[0];
+  EXPECT_FALSE(network.can_spoof(ordinary));
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(net::Ipv4Addr(1, 2, 3, 4),
+                                        topo_->host(dst).addr, 1, 1);
+  EXPECT_FALSE(network.send(probe, ordinary).answered());
+}
+
+TEST_F(SimFixture, TtlExpiryYieldsTimeExceededFromIngressInterface) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1, 2);
+  const auto result = network.send(probe, vp);
+  if (!result.answered()) {
+    GTEST_SKIP() << "hop 2 router is traceroute-silent";
+  }
+  EXPECT_EQ(result.reply->type, net::IcmpType::kTimeExceeded);
+  EXPECT_EQ(result.reply->quoted_dst, topo_->host(dst).addr);
+  // The source must be a known interface address.
+  EXPECT_TRUE(topo_->interface_at(result.reply->src).has_value());
+}
+
+TEST_F(SimFixture, TtlOneExpiresAtFirstRouter) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1, 1);
+  const auto result = network.send(probe, vp);
+  if (!result.answered()) {
+    GTEST_SKIP() << "access router is traceroute-silent";
+  }
+  EXPECT_EQ(result.reply->type, net::IcmpType::kTimeExceeded);
+  const auto owner = topo_->interface_at(result.reply->src);
+  ASSERT_TRUE(owner);
+  EXPECT_EQ(owner->router, topo_->host(vp).attachment);
+}
+
+TEST_F(SimFixture, SufficientTtlDelivers) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1, 64);
+  const auto result = network.send(probe, vp);
+  ASSERT_TRUE(result.answered());
+  EXPECT_EQ(result.reply->type, net::IcmpType::kEchoReply);
+}
+
+TEST_F(SimFixture, RouterInterfaceAnswersPing) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  // Find a responsive router and probe its loopback.
+  for (const auto& router : topo_->routers()) {
+    if (!router.responds_ping || !router.responds_options) continue;
+    if (topo_->as_node(router.asn).filters_ip_options) continue;
+    Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                          router.loopback, 1, 1);
+    probe.rr = net::RecordRouteOption{};
+    const auto result = network.send(probe, vp);
+    if (!result.answered()) continue;  // Path artifacts possible; try next.
+    EXPECT_EQ(result.reply->type, net::IcmpType::kEchoReply);
+    return;
+  }
+  FAIL() << "no router answered";
+}
+
+TEST_F(SimFixture, RepliesTraverseReversePathStamps) {
+  // A spoofed RR probe from a VP near the destination must reveal hops on
+  // the reverse path toward the source: slots recorded after the
+  // destination's position belong to the D->S direction.
+  auto network = make_network();
+  HostId spoofer = topology::kInvalidId;
+  for (HostId vp : topo_->vantage_points()) {
+    if (network.can_spoof(vp)) spoofer = vp;
+  }
+  ASSERT_NE(spoofer, topology::kInvalidId);
+  const HostId source = topo_->vantage_points()[0] == spoofer
+                            ? topo_->vantage_points()[1]
+                            : topo_->vantage_points()[0];
+  // Probe a destination in the spoofer's own AS so the forward path is
+  // short and reverse slots remain.
+  HostId dst = topology::kInvalidId;
+  for (const auto& host : topo_->hosts()) {
+    if (host.asn == topo_->host(spoofer).asn && host.rr_responsive &&
+        host.stamp == topology::HostStamp::kNormal && !host.is_vantage_point) {
+      dst = host.id;
+      break;
+    }
+  }
+  if (dst == topology::kInvalidId) GTEST_SKIP() << "no in-AS destination";
+  Packet probe = net::make_echo_request(topo_->host(source).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  const auto result = network.send(probe, spoofer);
+  ASSERT_TRUE(result.answered());
+  const auto slots = result.reply->rr->to_vector();
+  const auto dst_it =
+      std::find(slots.begin(), slots.end(), topo_->host(dst).addr);
+  ASSERT_NE(dst_it, slots.end()) << "destination did not stamp";
+  EXPECT_GT(slots.end() - dst_it, 1) << "no reverse hops revealed";
+}
+
+TEST_F(SimFixture, OptionFilteringAsDropsRrProbes) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  for (const auto& host : topo_->hosts()) {
+    if (!topo_->as_node(host.asn).filters_ip_options) continue;
+    if (!host.ping_responsive) continue;
+    Packet ping = net::make_echo_request(topo_->host(vp).addr, host.addr,
+                                         1, 1);
+    const auto plain = network.send(ping, vp);
+    Packet rr_probe = ping;
+    rr_probe.rr = net::RecordRouteOption{};
+    const auto with_options = network.send(rr_probe, vp);
+    EXPECT_FALSE(with_options.answered());
+    (void)plain;  // Plain ping may or may not succeed; options never do.
+    return;
+  }
+  GTEST_SKIP() << "no option-filtering AS generated";
+}
+
+TEST_F(SimFixture, TimestampPrespecStampsInOrder) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  // First discover the path with RR to learn an on-path router address.
+  Packet rr_probe = net::make_echo_request(topo_->host(vp).addr,
+                                           topo_->host(dst).addr, 1, 1);
+  rr_probe.rr = net::RecordRouteOption{};
+  const auto rr_result = network.send(rr_probe, vp);
+  ASSERT_TRUE(rr_result.answered());
+  const auto slots = rr_result.reply->rr->to_vector();
+  net::Ipv4Addr on_path;
+  for (const auto addr : slots) {
+    if (topo_->interface_at(addr)) {
+      on_path = addr;
+      break;
+    }
+  }
+  if (on_path.is_unspecified()) GTEST_SKIP() << "no mappable RR hop";
+
+  const net::Ipv4Addr prespec[] = {on_path};
+  Packet ts_probe = net::make_echo_request(topo_->host(vp).addr,
+                                           topo_->host(dst).addr, 1, 2);
+  ts_probe.ts = net::TimestampOption::prespecified(prespec);
+  const auto ts_result = network.send(ts_probe, vp);
+  if (!ts_result.answered()) GTEST_SKIP() << "destination drops TS";
+  ASSERT_TRUE(ts_result.reply->ts);
+  EXPECT_TRUE(ts_result.reply->ts->stamped(0));
+}
+
+TEST_F(SimFixture, DeterministicReplay) {
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  probe.rr = net::RecordRouteOption{};
+  auto n1 = make_network();
+  auto n2 = make_network();
+  const auto r1 = n1.send(probe, vp);
+  const auto r2 = n2.send(probe, vp);
+  ASSERT_EQ(r1.answered(), r2.answered());
+  if (r1.answered()) {
+    EXPECT_EQ(r1.reply->rr->to_vector(), r2.reply->rr->to_vector());
+    EXPECT_EQ(r1.rtt_us, r2.rtt_us);
+  }
+}
+
+TEST_F(SimFixture, PacketsForwardedGrows) {
+  auto network = make_network();
+  const HostId vp = topo_->vantage_points()[0];
+  const HostId dst = find_host(/*rr_responsive=*/true);
+  const auto before = network.packets_forwarded();
+  Packet probe = net::make_echo_request(topo_->host(vp).addr,
+                                        topo_->host(dst).addr, 1, 1);
+  network.send(probe, vp);
+  EXPECT_GT(network.packets_forwarded(), before);
+  EXPECT_EQ(network.probes_injected(), 1u);
+}
+
+}  // namespace
+}  // namespace revtr::sim

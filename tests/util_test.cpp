@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace revtr::util {
+namespace {
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto copy = v;
+  rng.shuffle(copy);
+  EXPECT_NE(copy, v);  // Astronomically unlikely to be identity.
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SampleDistinct) {
+  Rng rng(23);
+  std::vector<int> pool(100);
+  for (int i = 0; i < 100; ++i) pool[i] = i;
+  const auto picked = rng.sample(pool, 10);
+  EXPECT_EQ(picked.size(), 10u);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleMoreThanPoolReturnsAll) {
+  Rng rng(29);
+  std::vector<int> pool = {1, 2, 3};
+  const auto picked = rng.sample(pool, 10);
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(31);
+  Rng a = parent.fork("alpha");
+  Rng b = parent.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, ParetoAboveMinimum) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(MixHash, DirectionSensitive) {
+  EXPECT_NE(mix_hash(1, 2, 3), mix_hash(2, 1, 3));
+  EXPECT_EQ(mix_hash(1, 2, 3), mix_hash(1, 2, 3));
+}
+
+// --------------------------------------------------------------------------
+// Distribution
+// --------------------------------------------------------------------------
+
+TEST(Distribution, BasicMoments) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) d.add(x);
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_DOUBLE_EQ(d.median(), 2.5);
+}
+
+TEST(Distribution, QuantileInterpolates) {
+  Distribution d;
+  for (double x : {0.0, 10.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+}
+
+TEST(Distribution, QuantileOnEmptyThrows) {
+  Distribution d;
+  EXPECT_THROW(d.quantile(0.5), std::logic_error);
+  EXPECT_THROW(d.min(), std::logic_error);
+}
+
+TEST(Distribution, CdfAndCcdf) {
+  Distribution d;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ccdf_at(2.0), 0.75);  // Samples >= 2.
+  EXPECT_DOUBLE_EQ(d.ccdf_at(3.1), 0.0);
+}
+
+TEST(Distribution, AddAfterQuantileStillSorted) {
+  Distribution d;
+  d.add(5.0);
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.median(), 3.0);
+  d.add(0.0);  // Invalidates sort; must re-sort lazily.
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.median(), 1.0);
+}
+
+TEST(Distribution, StddevKnownValue) {
+  Distribution d;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) d.add(x);
+  EXPECT_NEAR(d.stddev(), 2.138, 0.001);  // Sample stddev.
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MonotoneAndBounded) {
+  Distribution d;
+  Rng rng(101);
+  for (int i = 0; i < 500; ++i) d.add(rng.uniform() * 100);
+  const double q = GetParam();
+  const double v = d.quantile(q);
+  EXPECT_GE(v, d.min());
+  EXPECT_LE(v, d.max());
+  if (q >= 0.05) {
+    EXPECT_LE(d.quantile(q - 0.05), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.95, 0.99, 1.0));
+
+TEST(Fraction, TallyAndValue) {
+  Fraction f;
+  EXPECT_DOUBLE_EQ(f.value(), 0.0);
+  f.tally(true);
+  f.tally(false);
+  f.tally(true);
+  f.tally(true);
+  EXPECT_EQ(f.hits, 3u);
+  EXPECT_EQ(f.total, 4u);
+  EXPECT_DOUBLE_EQ(f.value(), 0.75);
+}
+
+TEST(KeyedCounter, AddAndTotal) {
+  KeyedCounter c;
+  c.add("a");
+  c.add("a", 2);
+  c.add("b", 5);
+  EXPECT_EQ(c.get("a"), 3u);
+  EXPECT_EQ(c.get("b"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+  EXPECT_EQ(c.total(), 8u);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto xs = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(Linspace, DegenerateSizes) {
+  EXPECT_TRUE(linspace(0, 1, 0).empty());
+  const auto one = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+// --------------------------------------------------------------------------
+// SimClock
+// --------------------------------------------------------------------------
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(SimClock::kSecond);
+  EXPECT_EQ(clock.now(), SimClock::kSecond);
+  clock.advance(-5);  // Negative deltas ignored.
+  EXPECT_EQ(clock.now(), SimClock::kSecond);
+  clock.advance_to(SimClock::kSecond / 2);  // Cannot go backwards.
+  EXPECT_EQ(clock.now(), SimClock::kSecond);
+  clock.advance_to(3 * SimClock::kSecond);
+  EXPECT_EQ(clock.now(), 3 * SimClock::kSecond);
+}
+
+TEST(SimClock, SecondsConversion) {
+  SimClock clock;
+  clock.advance_seconds(2.5);
+  EXPECT_DOUBLE_EQ(clock.now_seconds(), 2.5);
+}
+
+TEST(SimSpan, Duration) {
+  SimSpan span{SimClock::kSecond, 4 * SimClock::kSecond};
+  EXPECT_EQ(span.duration(), 3 * SimClock::kSecond);
+  EXPECT_DOUBLE_EQ(span.seconds(), 3.0);
+}
+
+// --------------------------------------------------------------------------
+// TextTable / figures
+// --------------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Each line has the same structure: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(Cells, Formatting) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell_percent(0.123, 1), "12.3%");
+  EXPECT_EQ(cell_count(1234567), "1,234,567");
+  EXPECT_EQ(cell_count(42), "42");
+  EXPECT_EQ(cell_count(0), "0");
+}
+
+TEST(Figures, RenderSeries) {
+  Series s{"line", {1, 2}, {0.5, 0.25}};
+  const std::string out = render_figure("Fig X", {s});
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("series: line"), std::string::npos);
+  EXPECT_NE(out.find("1.0000 0.5000"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Flags
+// --------------------------------------------------------------------------
+
+TEST(Flags, ParsesTypes) {
+  const char* argv[] = {"prog", "--ases=100", "--rate=0.5", "--verbose",
+                        "--name=test", "--off=false"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_int("ases", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0), 0.5);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("off", true));
+  EXPECT_EQ(flags.get_string("name", ""), "test");
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+}
+
+TEST(Flags, IgnoresBenchmarkFlags) {
+  const char* argv[] = {"prog", "--benchmark_filter=all", "--x=1"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.has("benchmark_filter"));
+  EXPECT_EQ(flags.get_int("x", 0), 1);
+}
+
+TEST(Flags, ReportsUnknown) {
+  const char* argv[] = {"prog", "--typo=1", "--used=2"};
+  Flags flags(3, const_cast<char**>(argv));
+  (void)flags.get_int("used", 0);
+  const auto unknown = flags.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace revtr::util

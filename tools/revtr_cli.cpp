@@ -1,0 +1,233 @@
+// revtr_cli — command-line front end to the whole system.
+//
+//   revtr_cli <command> [--ases=N --seed=N ...]
+//
+// Commands:
+//   topology   summarize the generated Internet
+//   measure    one reverse traceroute (--dest=K --source=K [--json])
+//   campaign   batch measurement run (--revtrs=N --parallel=K
+//              [--archive=FILE] writes an NDJSON archive)
+//   atlas      show a source's traceroute atlas (--source=K)
+//   ingress    show a prefix's ingress plan (--prefix=K)
+//
+// Everything runs against the simulated Internet; the same binary on the
+// real system would differ only in the probing backend.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/serialize.h"
+#include "eval/harness.h"
+#include "service/archive.h"
+#include "service/service.h"
+#include "util/flags.h"
+
+using namespace revtr;
+
+namespace {
+
+topology::TopologyConfig config_from(const util::Flags& flags) {
+  topology::TopologyConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  config.num_ases = static_cast<std::size_t>(flags.get_int("ases", 400));
+  config.num_vps = static_cast<std::size_t>(flags.get_int("vps", 20));
+  config.num_probe_hosts =
+      static_cast<std::size_t>(flags.get_int("probes", 150));
+  return config;
+}
+
+int cmd_topology(eval::Lab& lab) {
+  std::size_t tier1 = 0, transit = 0, stub = 0, nren = 0, colo = 0;
+  for (const auto& node : lab.topo.ases()) {
+    switch (node.tier) {
+      case topology::AsTier::kTier1:
+        ++tier1;
+        break;
+      case topology::AsTier::kTransit:
+        ++transit;
+        break;
+      case topology::AsTier::kStub:
+        ++stub;
+        break;
+    }
+    nren += node.category == topology::AsCategory::kNren;
+    colo += node.category == topology::AsCategory::kColo;
+  }
+  std::size_t interdomain_links = 0;
+  for (const auto& link : lab.topo.links()) {
+    interdomain_links += link.interdomain;
+  }
+  std::printf("ASes:      %zu (tier-1 %zu, transit %zu, stub %zu; "
+              "%zu NREN, %zu colo)\n",
+              lab.topo.num_ases(), tier1, transit, stub, nren, colo);
+  std::printf("routers:   %zu\n", lab.topo.num_routers());
+  std::printf("links:     %zu (%zu interdomain)\n", lab.topo.num_links(),
+              interdomain_links);
+  std::printf("prefixes:  %zu announced\n", lab.topo.num_prefixes());
+  std::printf("hosts:     %zu (%zu vantage points, %zu probe hosts)\n",
+              lab.topo.num_hosts(), lab.topo.vantage_points().size(),
+              lab.topo.probe_hosts().size());
+  return 0;
+}
+
+int cmd_measure(eval::Lab& lab, const util::Flags& flags) {
+  const auto dest_index =
+      static_cast<std::size_t>(flags.get_int("dest", 0));
+  const auto source_index =
+      static_cast<std::size_t>(flags.get_int("source", 0));
+  const bool as_json = flags.get_bool("json", false);
+  if (source_index >= lab.topo.vantage_points().size() ||
+      dest_index >= lab.topo.probe_hosts().size()) {
+    std::fprintf(stderr, "index out of range\n");
+    return 1;
+  }
+  const auto source = lab.topo.vantage_points()[source_index];
+  const auto dest = lab.topo.probe_hosts()[dest_index];
+  lab.bootstrap_source(source, 50);
+  util::SimClock clock;
+  const auto result = lab.engine.measure(dest, source, clock);
+  if (as_json) {
+    std::printf("%s\n", core::to_json(result, lab.topo).dump().c_str());
+    return 0;
+  }
+  std::printf("reverse traceroute %s -> %s: %s (%.1f s, %llu probes)\n",
+              lab.topo.host(dest).addr.to_string().c_str(),
+              lab.topo.host(source).addr.to_string().c_str(),
+              core::to_string(result.status).c_str(), result.span.seconds(),
+              static_cast<unsigned long long>(result.probes.total()));
+  int index = 0;
+  for (const auto& hop : result.hops) {
+    if (hop.source == core::HopSource::kSuspiciousGap) {
+      std::printf("  %2d  *\n", index++);
+      continue;
+    }
+    const auto asn = lab.ip2as.lookup(hop.addr);
+    std::printf("  %2d  %-15s AS%-6s %s\n", index++,
+                hop.addr.to_string().c_str(),
+                asn ? std::to_string(*asn).c_str() : "?",
+                core::to_string(hop.source).c_str());
+  }
+  return 0;
+}
+
+int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
+  const auto revtrs = static_cast<std::size_t>(flags.get_int("revtrs", 100));
+  const auto parallel =
+      static_cast<std::size_t>(flags.get_int("parallel", 16));
+  const std::string archive_path = flags.get_string("archive", "");
+
+  service::RevtrService svc(lab.engine, lab.atlas, lab.prober, lab.topo);
+  service::MeasurementArchive archive(lab.topo);
+  svc.set_archive(&archive);
+
+  const auto source = lab.topo.vantage_points()[0];
+  if (!svc.add_source(source, 50, lab.rng)) {
+    std::fprintf(stderr, "source bootstrap failed\n");
+    return 1;
+  }
+  std::vector<std::pair<topology::HostId, topology::HostId>> pairs;
+  const auto probes = lab.topo.probe_hosts();
+  for (std::size_t i = 0; i < revtrs; ++i) {
+    pairs.emplace_back(probes[i % probes.size()], source);
+  }
+  const auto stats = svc.run_campaign(pairs, parallel);
+  std::printf("campaign: %zu requested, %zu complete (%.0f%%), "
+              "%zu aborted, %zu unreachable\n",
+              stats.requested, stats.completed, stats.coverage() * 100,
+              stats.aborted, stats.unreachable);
+  std::printf("latency: median %.1f s, p90 %.1f s; modelled throughput "
+              "%.1f revtr/s on %zu slots\n",
+              stats.latency_seconds.median(),
+              stats.latency_seconds.quantile(0.9),
+              stats.throughput_per_second(), parallel);
+  std::printf("probes: %llu total (%llu spoofed RR)\n",
+              static_cast<unsigned long long>(stats.probes.total()),
+              static_cast<unsigned long long>(stats.probes.spoofed_rr));
+  const auto archive_stats = archive.stats();
+  std::printf("archive: %zu measurements, %zu flagged\n",
+              archive_stats.total, archive_stats.flagged);
+  if (!archive_path.empty()) {
+    std::ofstream out(archive_path);
+    out << archive.export_ndjson();
+    std::printf("archive written to %s\n", archive_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_atlas(eval::Lab& lab, const util::Flags& flags) {
+  const auto source_index =
+      static_cast<std::size_t>(flags.get_int("source", 0));
+  if (source_index >= lab.topo.vantage_points().size()) {
+    std::fprintf(stderr, "index out of range\n");
+    return 1;
+  }
+  const auto source = lab.topo.vantage_points()[source_index];
+  lab.bootstrap_source(source, static_cast<std::size_t>(
+                                   flags.get_int("size", 50)));
+  const auto& traceroutes = lab.atlas.traceroutes(source);
+  std::printf("atlas for %s: %zu traceroutes, %zu RR-learned addresses\n",
+              lab.topo.host(source).addr.to_string().c_str(),
+              traceroutes.size(), lab.atlas.rr_index_size(source));
+  util::Distribution lengths;
+  std::size_t reached = 0;
+  for (const auto& tr : traceroutes) {
+    lengths.add(static_cast<double>(tr.hops.size()));
+    reached += tr.reached_source;
+  }
+  if (!lengths.empty()) {
+    std::printf("hops per traceroute: median %.0f, max %.0f; "
+                "%zu reached the source\n",
+                lengths.median(), lengths.max(), reached);
+  }
+  return 0;
+}
+
+int cmd_ingress(eval::Lab& lab, const util::Flags& flags) {
+  const auto prefix_index =
+      static_cast<std::size_t>(flags.get_int("prefix", 0));
+  const auto prefixes = lab.customer_prefixes();
+  if (prefix_index >= prefixes.size()) {
+    std::fprintf(stderr, "index out of range\n");
+    return 1;
+  }
+  const auto prefix = prefixes[prefix_index];
+  const auto& plan =
+      lab.ingress.discover(prefix, lab.topo.vantage_points(), lab.rng);
+  std::printf("prefix %s (AS%u): %zu ingresses\n",
+              lab.topo.prefix(prefix).prefix.to_string().c_str(),
+              lab.topo.prefix(prefix).origin, plan.ingresses.size());
+  for (const auto& ingress : plan.ingresses) {
+    std::printf("  ingress %-15s covers %zu VPs, closest at %d RR hops\n",
+                ingress.addr.to_string().c_str(), ingress.vps.size(),
+                ingress.vps.empty() ? -1 : ingress.vps.front().distance);
+  }
+  if (!plan.has_ingresses()) {
+    const auto fallback = plan.fallback_ranking();
+    std::printf("  no ingresses; %zu VPs in fallback ranking\n",
+                fallback.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: revtr_cli <topology|measure|campaign|atlas|ingress> "
+                 "[--ases=N --seed=N ...]\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const util::Flags flags(argc, argv);
+  eval::Lab lab(config_from(flags));
+
+  if (command == "topology") return cmd_topology(lab);
+  if (command == "measure") return cmd_measure(lab, flags);
+  if (command == "campaign") return cmd_campaign(lab, flags);
+  if (command == "atlas") return cmd_atlas(lab, flags);
+  if (command == "ingress") return cmd_ingress(lab, flags);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
