@@ -71,7 +71,8 @@ struct AblationResult {
 
   double coverage() const {
     return attempted == 0 ? 0.0
-                          : static_cast<double>(complete) / attempted;
+                          : static_cast<double>(complete) /
+                                static_cast<double>(attempted);
   }
 };
 

@@ -135,9 +135,10 @@ int main(int argc, char** argv) {
       {"System", "AS exact", "AS missing-only", "AS mismatch"});
   auto as_row = [&](const char* label, const Summary& s) {
     const double total = s.total == 0 ? 1.0 : static_cast<double>(s.total);
-    as_table.add_row({label, util::cell_percent(s.exact / total),
-                      util::cell_percent(s.missing / total),
-                      util::cell_percent(s.mismatch / total)});
+    as_table.add_row(
+        {label, util::cell_percent(static_cast<double>(s.exact) / total),
+         util::cell_percent(static_cast<double>(s.missing) / total),
+         util::cell_percent(static_cast<double>(s.mismatch) / total)});
   };
   as_row("revtr 2.0", s2);
   as_row("revtr 1.0", s1);

@@ -52,13 +52,16 @@ int main(int argc, char** argv) {
         {util::cell_percent(loss, 0),
          util::cell_percent(attempted == 0
                                 ? 0.0
-                                : static_cast<double>(complete) / attempted),
+                                : static_cast<double>(complete) /
+                                      static_cast<double>(attempted)),
          util::cell_percent(with_truth == 0
                                 ? 0.0
-                                : static_cast<double>(as_ok) / with_truth),
+                                : static_cast<double>(as_ok) /
+                                      static_cast<double>(with_truth)),
          util::cell(attempted == 0
                         ? 0.0
-                        : static_cast<double>(counters.total()) / attempted,
+                        : static_cast<double>(counters.total()) /
+                              static_cast<double>(attempted),
                     1),
          util::cell(latency.empty() ? 0.0 : latency.median(), 1)});
   }

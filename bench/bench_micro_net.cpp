@@ -57,7 +57,11 @@ void BM_PrefixTrieLookup(benchmark::State& state) {
   util::Rng rng(11);
   std::vector<net::Ipv4Addr> addrs;
   for (int i = 0; i < 1024; ++i) {
-    addrs.push_back(lab.topo.host(rng.below(lab.topo.num_hosts())).addr);
+    addrs.push_back(
+        lab.topo
+            .host(static_cast<topology::HostId>(
+                rng.below(lab.topo.num_hosts())))
+            .addr);
   }
   std::size_t i = 0;
   for (auto _ : state) {

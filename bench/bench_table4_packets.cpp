@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
                    util::cell_count(c.traceroute_packets),
                    util::cell_count(c.total()),
                    util::cell_percent(
-                       baseline == 0 ? 0.0 : c.total() / baseline)});
+                       baseline == 0
+                           ? 0.0
+                           : static_cast<double>(c.total()) / baseline)});
   }
   std::printf("%s\n", table.render().c_str());
 

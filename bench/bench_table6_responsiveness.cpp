@@ -83,8 +83,9 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"", "2016-era (edu VPs)", "2020-era (colo VPs)"});
   auto pct = [](std::uint64_t part, std::uint64_t total) {
-    return util::cell_percent(
-        total == 0 ? 0.0 : static_cast<double>(part) / total);
+    return util::cell_percent(total == 0 ? 0.0
+                                         : static_cast<double>(part) /
+                                               static_cast<double>(total));
   };
   table.add_row({"All probed", util::cell_count(era2016.probed),
                  util::cell_count(era2020.probed)});

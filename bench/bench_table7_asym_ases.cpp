@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
     std::printf(
         "small-cone prevalence: NRENs %.4f vs other small ASes %.4f "
         "(paper: NRENs disproportionately present)\n",
-        nren_prev / nren_n, other_prev / other_n);
+        nren_prev / static_cast<double>(nren_n),
+        other_prev / static_cast<double>(other_n));
   }
   return 0;
 }

@@ -27,7 +27,10 @@ int main(int argc, char** argv) {
   // --- Users (the real system maintains this database manually). ---
   service::UserLimits researcher_limits;
   researcher_limits.daily_limit = 1000;
-  const auto researcher = svc.add_user("researcher", researcher_limits);
+  // The researcher account only demonstrates registration; the campaign API
+  // below is account-less.
+  [[maybe_unused]] const auto researcher =
+      svc.add_user("researcher", researcher_limits);
   service::UserLimits operator_limits;
   operator_limits.daily_limit = 25;
   const auto network_operator = svc.add_user("operator", operator_limits);

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Correctness gate: builds and tests the tree under each hardening config.
+#
+#   1. default  -Werror with extended warnings (-Wconversion -Wshadow
+#               -Wold-style-cast -Wnon-virtual-dtor), full ctest suite —
+#               includes revtr_lint and the wire-codec fuzzer.
+#   2. asan     AddressSanitizer build, full ctest suite.
+#   3. ubsan    UndefinedBehaviorSanitizer with -fno-sanitize-recover=all
+#               (any UB aborts the test), full ctest suite.
+#   4. tsan     ThreadSanitizer; opt-in via REVTR_CHECK_TSAN=1 because the
+#               pipeline is single-threaded today and the extra build is
+#               expensive on small machines.
+#
+# Also runs clang-tidy (config in .clang-tidy) when the binary exists; the
+# default container ships gcc only, so that step is skipped there.
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_config() {
+    name="$1"
+    echo "==> [$name] configure"
+    cmake --preset "$name" >/dev/null
+    echo "==> [$name] build"
+    cmake --build --preset "$name" -j "$JOBS"
+    echo "==> [$name] test"
+    ctest --preset "$name"
+}
+
+run_config default
+run_config asan
+run_config ubsan
+if [ "${REVTR_CHECK_TSAN:-0}" = "1" ]; then
+    run_config tsan
+else
+    echo "==> [tsan] skipped (set REVTR_CHECK_TSAN=1 to enable)"
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy"
+    find src -name '*.cpp' -print0 |
+        xargs -0 clang-tidy -p build --quiet
+else
+    echo "==> clang-tidy skipped (binary not installed; see .clang-tidy)"
+fi
+
+echo "check.sh: all configurations passed"

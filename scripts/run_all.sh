@@ -1,9 +1,10 @@
 #!/bin/sh
 # Build, test, and regenerate every paper table/figure.
+#
+# check.sh is the correctness gate: -Werror build plus ctest under the
+# default, ASan, and UBSan presets (and TSan with REVTR_CHECK_TSAN=1).
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build
+scripts/check.sh
 for b in build/bench/*; do [ -x "$b" ] && "$b"; done
 for e in build/examples/*; do [ -x "$e" ] && "$e"; done

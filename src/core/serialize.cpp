@@ -1,5 +1,7 @@
 #include "core/serialize.h"
 
+#include "util/check.h"
+
 namespace revtr::core {
 
 namespace {
@@ -46,18 +48,18 @@ util::Json to_json(const ReverseTraceroute& result,
 
   json["latency_us"] = result.span.duration();
   json["spoofed_batches"] =
-      static_cast<std::int64_t>(result.spoofed_batches);
+      util::checked_cast<std::int64_t>(result.spoofed_batches);
   json["symmetry_assumptions"] =
-      static_cast<std::int64_t>(result.symmetry_assumptions);
+      util::checked_cast<std::int64_t>(result.symmetry_assumptions);
 
   util::Json probes = util::Json::object();
-  probes["ping"] = static_cast<std::int64_t>(result.probes.ping);
-  probes["rr"] = static_cast<std::int64_t>(result.probes.rr);
-  probes["spoofed_rr"] = static_cast<std::int64_t>(result.probes.spoofed_rr);
-  probes["ts"] = static_cast<std::int64_t>(result.probes.ts);
-  probes["spoofed_ts"] = static_cast<std::int64_t>(result.probes.spoofed_ts);
+  probes["ping"] = util::checked_cast<std::int64_t>(result.probes.ping);
+  probes["rr"] = util::checked_cast<std::int64_t>(result.probes.rr);
+  probes["spoofed_rr"] = util::checked_cast<std::int64_t>(result.probes.spoofed_rr);
+  probes["ts"] = util::checked_cast<std::int64_t>(result.probes.ts);
+  probes["spoofed_ts"] = util::checked_cast<std::int64_t>(result.probes.spoofed_ts);
   probes["traceroute_packets"] =
-      static_cast<std::int64_t>(result.probes.traceroute_packets);
+      util::checked_cast<std::int64_t>(result.probes.traceroute_packets);
   json["probes"] = std::move(probes);
 
   util::Json flags = util::Json::object();
@@ -118,22 +120,27 @@ std::optional<ReverseTraceroute> reverse_traceroute_from_json(
     result.span.begin = 0;
     result.span.end = latency->as_int();
   }
+  // Counts are external input: a negative value is malformed, not a value to
+  // wrap around (the old static_cast turned -1 into 2^64 - 1 probes).
+  auto non_negative = [](const util::Json* field) -> std::uint64_t {
+    const std::int64_t v = field->as_int();
+    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+  };
   if (const auto* batches = json.find("spoofed_batches");
       batches != nullptr && batches->is_number()) {
-    result.spoofed_batches = static_cast<std::size_t>(batches->as_int());
+    result.spoofed_batches =
+        util::checked_cast<std::size_t>(non_negative(batches));
   }
   if (const auto* assumptions = json.find("symmetry_assumptions");
       assumptions != nullptr && assumptions->is_number()) {
     result.symmetry_assumptions =
-        static_cast<std::size_t>(assumptions->as_int());
+        util::checked_cast<std::size_t>(non_negative(assumptions));
   }
   if (const auto* probes = json.find("probes");
       probes != nullptr && probes->is_object()) {
     auto count = [&](const char* key) -> std::uint64_t {
       const auto* field = probes->find(key);
-      return field != nullptr && field->is_number()
-                 ? static_cast<std::uint64_t>(field->as_int())
-                 : 0;
+      return field != nullptr && field->is_number() ? non_negative(field) : 0;
     };
     result.probes.ping = count("ping");
     result.probes.rr = count("rr");

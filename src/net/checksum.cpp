@@ -1,5 +1,7 @@
 #include "net/checksum.h"
 
+#include "util/check.h"
+
 namespace revtr::net {
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
@@ -14,7 +16,8 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
   while (sum >> 16) {
     sum = (sum & 0xffff) + (sum >> 16);
   }
-  return static_cast<std::uint16_t>(~sum & 0xffff);
+  // The fold above leaves a 16-bit value, so the narrowing cannot lose bits.
+  return util::checked_cast<std::uint16_t>(~sum & 0xffff);
 }
 
 }  // namespace revtr::net

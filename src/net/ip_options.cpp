@@ -1,29 +1,31 @@
 #include "net/ip_options.h"
 
+#include "util/check.h"
+
 namespace revtr::net {
 
 namespace {
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
+using util::ByteReader;
+using util::checked_cast;
+using util::truncate_cast;
 
-std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t at) {
-  return (std::uint32_t{bytes[at]} << 24) | (std::uint32_t{bytes[at + 1]} << 16) |
-         (std::uint32_t{bytes[at + 2]} << 8) | std::uint32_t{bytes[at + 3]};
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(truncate_cast<std::uint8_t>(v >> 24));
+  out.push_back(truncate_cast<std::uint8_t>(v >> 16));
+  out.push_back(truncate_cast<std::uint8_t>(v >> 8));
+  out.push_back(truncate_cast<std::uint8_t>(v));
 }
 
 }  // namespace
 
 void RecordRouteOption::encode(std::vector<std::uint8_t>& out) const {
+  REVTR_DCHECK(used_ <= kMaxSlots);
   out.push_back(kType);
   out.push_back(kLength);
   // Pointer is 1-based and points at the first free slot; the first slot
   // begins at offset 4 (RFC 791 §3.1).
-  out.push_back(static_cast<std::uint8_t>(4 + 4 * used_));
+  out.push_back(checked_cast<std::uint8_t>(4 + 4 * used_));
   for (std::size_t i = 0; i < kMaxSlots; ++i) {
     put_u32(out, i < used_ ? slots_[i].value() : 0);
   }
@@ -31,20 +33,23 @@ void RecordRouteOption::encode(std::vector<std::uint8_t>& out) const {
 
 std::optional<RecordRouteOption> RecordRouteOption::decode(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kLength || bytes[0] != kType) return std::nullopt;
-  const std::uint8_t length = bytes[1];
-  const std::uint8_t pointer = bytes[2];
-  if (length != kLength) return std::nullopt;
+  ByteReader reader(bytes);
+  const std::uint8_t type = reader.u8();
+  const std::uint8_t length = reader.u8();
+  const std::uint8_t pointer = reader.u8();
+  if (!reader.ok() || type != kType || length != kLength) return std::nullopt;
+  if (bytes.size() < kLength) return std::nullopt;
   // Valid pointers: 4, 8, ..., 40 (full).
   if (pointer < 4 || (pointer - 4) % 4 != 0 || pointer > kLength + 1) {
     return std::nullopt;
   }
   RecordRouteOption option;
-  const std::size_t used = (pointer - 4) / 4;
+  const std::size_t used = std::size_t{pointer - 4u} / 4;
   if (used > kMaxSlots) return std::nullopt;
   for (std::size_t i = 0; i < used; ++i) {
-    option.stamp(Ipv4Addr(get_u32(bytes, 3 + 4 * i)));
+    option.stamp(Ipv4Addr(reader.u32()));
   }
+  REVTR_DCHECK(reader.ok());  // kLength covers all kMaxSlots addresses.
   return option;
 }
 
@@ -75,17 +80,19 @@ bool TimestampOption::try_stamp(Ipv4Addr addr,
 }
 
 void TimestampOption::encode(std::vector<std::uint8_t>& out) const {
-  const auto length = static_cast<std::uint8_t>(4 + 8 * used_);
+  REVTR_DCHECK(used_ <= kMaxEntries);
+  REVTR_DCHECK(overflow_ <= 0x0f);
+  const auto length = checked_cast<std::uint8_t>(4 + 8 * used_);
   out.push_back(kType);
   out.push_back(length);
   // Pointer (1-based) to the first pending entry; past the end when done.
-  std::uint8_t pointer = static_cast<std::uint8_t>(length + 1);
+  std::uint8_t pointer = checked_cast<std::uint8_t>(length + 1);
   if (const auto pending = next_pending()) {
-    pointer = static_cast<std::uint8_t>(5 + 8 * *pending);
+    pointer = checked_cast<std::uint8_t>(5 + 8 * *pending);
   }
   out.push_back(pointer);
-  out.push_back(static_cast<std::uint8_t>((overflow_ << 4) |
-                                          kFlagPrespecified));
+  out.push_back(checked_cast<std::uint8_t>((overflow_ << 4) |
+                                           kFlagPrespecified));
   for (std::size_t i = 0; i < used_; ++i) {
     put_u32(out, entries_[i].addr.value());
     put_u32(out, entries_[i].stamped ? entries_[i].timestamp : 0);
@@ -94,29 +101,36 @@ void TimestampOption::encode(std::vector<std::uint8_t>& out) const {
 
 std::optional<TimestampOption> TimestampOption::decode(
     std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 4 || bytes[0] != kType) return std::nullopt;
-  const std::uint8_t length = bytes[1];
-  const std::uint8_t pointer = bytes[2];
-  const std::uint8_t oflw_flags = bytes[3];
+  ByteReader reader(bytes);
+  const std::uint8_t type = reader.u8();
+  const std::uint8_t length = reader.u8();
+  const std::uint8_t pointer = reader.u8();
+  const std::uint8_t oflw_flags = reader.u8();
+  if (!reader.ok() || type != kType) return std::nullopt;
   if ((oflw_flags & 0x0f) != kFlagPrespecified) return std::nullopt;
   if (length < 4 || (length - 4) % 8 != 0 || bytes.size() < length) {
     return std::nullopt;
   }
-  const std::size_t entries = (length - 4) / 8;
+  const std::size_t entries = std::size_t{length - 4u} / 8;
   if (entries > kMaxEntries) return std::nullopt;
   if (pointer < 5 || pointer > length + 1 || (pointer - 5) % 8 != 0) {
     return std::nullopt;
   }
   TimestampOption option;
-  option.overflow_ = oflw_flags >> 4;
-  const std::size_t stamped_count = (pointer - 5) / 8;
+  option.overflow_ = checked_cast<std::uint8_t>(oflw_flags >> 4);
+  const std::size_t stamped_count = std::size_t{pointer - 5u} / 8;
   for (std::size_t i = 0; i < entries; ++i) {
     Entry entry;
-    entry.addr = Ipv4Addr(get_u32(bytes, 4 + 8 * i));
-    entry.timestamp = get_u32(bytes, 8 + 8 * i);
+    entry.addr = Ipv4Addr(reader.u32());
+    const std::uint32_t timestamp = reader.u32();
     entry.stamped = i < stamped_count;
+    // Normalize: a pending entry carries no meaningful timestamp, and the
+    // encoder writes 0 there — keeping wire garbage would break the
+    // decode/encode round-trip property the fuzzer enforces.
+    entry.timestamp = entry.stamped ? timestamp : 0;
     option.entries_[option.used_++] = entry;
   }
+  REVTR_DCHECK(reader.ok());  // bytes.size() >= length covers all entries.
   return option;
 }
 

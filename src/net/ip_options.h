@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "util/check.h"
 
 namespace revtr::net {
 
@@ -49,7 +50,10 @@ class RecordRouteOption {
     return true;
   }
 
-  Ipv4Addr slot(std::size_t i) const noexcept { return slots_[i]; }
+  Ipv4Addr slot(std::size_t i) const noexcept {
+    REVTR_DCHECK(i < used_);
+    return slots_[i];
+  }
   std::span<const Ipv4Addr> entries() const noexcept {
     return {slots_.data(), used_};
   }
@@ -108,7 +112,10 @@ class TimestampOption {
   bool try_stamp(Ipv4Addr addr, std::uint32_t timestamp) noexcept;
 
   // True when the prespecified address at position i recorded a timestamp.
-  bool stamped(std::size_t i) const noexcept { return entries_[i].stamped; }
+  bool stamped(std::size_t i) const noexcept {
+    REVTR_DCHECK(i < used_);
+    return entries_[i].stamped;
+  }
 
   // Wire format: type, length, pointer, overflow/flags, then entries.
   void encode(std::vector<std::uint8_t>& out) const;

@@ -2,6 +2,8 @@
 
 #include <charconv>
 
+#include "util/check.h"
+
 namespace revtr::net {
 
 std::string Ipv4Addr::to_string() const {
@@ -53,7 +55,7 @@ std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
       next != len_text.data() + len_text.size()) {
     return std::nullopt;
   }
-  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(length));
+  return Ipv4Prefix(*addr, util::checked_cast<std::uint8_t>(length));
 }
 
 }  // namespace revtr::net

@@ -13,6 +13,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/check.h"
+
 namespace revtr::net {
 
 class Ipv4Addr {
@@ -80,7 +82,8 @@ class Ipv4Prefix {
 
   // The i-th address inside the prefix (no bounds checking beyond size()).
   constexpr Ipv4Addr at(std::uint64_t i) const noexcept {
-    return Ipv4Addr(addr_.value() + static_cast<std::uint32_t>(i));
+    REVTR_DCHECK(i < size());
+    return Ipv4Addr(addr_.value() + util::truncate_cast<std::uint32_t>(i));
   }
 
   std::string to_string() const;

@@ -44,6 +44,10 @@ struct Packet {
 
   bool has_options() const noexcept { return rr.has_value() || ts.has_value(); }
 
+  // Field-wise equality; the wire fuzzer uses it to assert that
+  // decode(encode(p)) is the identity on decodable packets.
+  bool operator==(const Packet&) const = default;
+
   // Flow key as a per-flow load balancer would compute it (src, dst,
   // protocol fields). Direction-sensitive by construction.
   std::uint64_t flow_key() const noexcept {

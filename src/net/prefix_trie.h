@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "util/check.h"
 
 namespace revtr::net {
 
@@ -30,7 +31,7 @@ class PrefixTrie {
       const int bit = (bits >> (31 - depth)) & 1;
       std::uint32_t child = nodes_[node].child[bit];
       if (child == 0) {
-        child = static_cast<std::uint32_t>(nodes_.size());
+        child = util::checked_cast<std::uint32_t>(nodes_.size());
         nodes_.push_back(Node{});  // May reallocate; re-index afterwards.
         nodes_[node].child[bit] = child;
       }
@@ -72,7 +73,7 @@ class PrefixTrie {
       if (child == 0) break;
       node = child;
       if (nodes_[node].value) {
-        best = {Ipv4Prefix(addr, static_cast<std::uint8_t>(depth + 1)),
+        best = {Ipv4Prefix(addr, util::checked_cast<std::uint8_t>(depth + 1)),
                 *nodes_[node].value};
       }
     }

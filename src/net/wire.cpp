@@ -3,10 +3,15 @@
 #include <stdexcept>
 
 #include "net/checksum.h"
+#include "util/check.h"
 
 namespace revtr::net {
 
 namespace {
+
+using util::ByteReader;
+using util::checked_cast;
+using util::truncate_cast;
 
 constexpr std::uint8_t kProtocolIcmp = 1;
 constexpr std::uint8_t kIcmpEchoReply = 0;
@@ -14,25 +19,23 @@ constexpr std::uint8_t kIcmpDestUnreachable = 3;
 constexpr std::uint8_t kIcmpEchoRequest = 8;
 constexpr std::uint8_t kIcmpTimeExceeded = 11;
 
+// IPv4 header geometry (RFC 791).
+constexpr std::size_t kFixedHeaderLen = 20;
+constexpr std::size_t kMinIcmpLen = 8;
+// An ICMP error quotes the original IPv4 header (20 bytes, no options) plus
+// the first 8 bytes of its payload.
+constexpr std::size_t kQuoteLen = 28;
+
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(truncate_cast<std::uint8_t>(v >> 8));
+  out.push_back(truncate_cast<std::uint8_t>(v));
 }
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> b, std::size_t at) {
-  return static_cast<std::uint16_t>((std::uint16_t{b[at]} << 8) | b[at + 1]);
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t at) {
-  return (std::uint32_t{b[at]} << 24) | (std::uint32_t{b[at + 1]} << 16) |
-         (std::uint32_t{b[at + 2]} << 8) | std::uint32_t{b[at + 3]};
+  out.push_back(truncate_cast<std::uint8_t>(v >> 24));
+  out.push_back(truncate_cast<std::uint8_t>(v >> 16));
+  out.push_back(truncate_cast<std::uint8_t>(v >> 8));
+  out.push_back(truncate_cast<std::uint8_t>(v));
 }
 
 std::uint8_t icmp_type_code(IcmpType type) {
@@ -64,7 +67,44 @@ std::optional<IcmpType> icmp_type_from_code(std::uint8_t code) {
   }
 }
 
+std::optional<Packet> fail(DecodeError reason, DecodeError* error) {
+  if (error != nullptr) *error = reason;
+  return std::nullopt;
+}
+
 }  // namespace
+
+std::string_view to_string(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone:
+      return "none";
+    case DecodeError::kTruncated:
+      return "truncated";
+    case DecodeError::kBadVersion:
+      return "bad-version";
+    case DecodeError::kBadHeaderLength:
+      return "bad-header-length";
+    case DecodeError::kBadTotalLength:
+      return "bad-total-length";
+    case DecodeError::kHeaderChecksum:
+      return "header-checksum";
+    case DecodeError::kNotIcmp:
+      return "not-icmp";
+    case DecodeError::kBadOptionLength:
+      return "bad-option-length";
+    case DecodeError::kBadRecordRoute:
+      return "bad-record-route";
+    case DecodeError::kBadTimestamp:
+      return "bad-timestamp";
+    case DecodeError::kIcmpChecksum:
+      return "icmp-checksum";
+    case DecodeError::kBadIcmpType:
+      return "bad-icmp-type";
+    case DecodeError::kTruncatedQuote:
+      return "truncated-quote";
+  }
+  return "unknown";
+}
 
 std::vector<std::uint8_t> encode_packet(const Packet& packet) {
   // --- Options area, padded to a 4-byte boundary with EOL (0). ---
@@ -79,8 +119,8 @@ std::vector<std::uint8_t> encode_packet(const Packet& packet) {
     throw std::length_error("IP options exceed the 40-byte header budget");
   }
 
-  const std::size_t header_len = 20 + options.size();
-  const std::uint8_t ihl = static_cast<std::uint8_t>(header_len / 4);
+  const std::size_t header_len = kFixedHeaderLen + options.size();
+  const auto ihl = checked_cast<std::uint8_t>(header_len / 4);
 
   // --- ICMP message. ---
   std::vector<std::uint8_t> icmp;
@@ -96,7 +136,7 @@ std::vector<std::uint8_t> encode_packet(const Packet& packet) {
     // Quoted original IPv4 header (20 bytes, no options) + 8 ICMP bytes.
     icmp.push_back(0x45);
     icmp.push_back(0);
-    put_u16(icmp, 28);
+    put_u16(icmp, kQuoteLen);
     put_u16(icmp, 0);
     put_u16(icmp, 0);
     icmp.push_back(1);  // quoted TTL (expired)
@@ -111,15 +151,15 @@ std::vector<std::uint8_t> encode_packet(const Packet& packet) {
     put_u16(icmp, packet.icmp_seq);
   }
   const std::uint16_t icmp_sum = internet_checksum(icmp);
-  icmp[2] = static_cast<std::uint8_t>(icmp_sum >> 8);
-  icmp[3] = static_cast<std::uint8_t>(icmp_sum);
+  icmp[2] = truncate_cast<std::uint8_t>(icmp_sum >> 8);
+  icmp[3] = truncate_cast<std::uint8_t>(icmp_sum);
 
   // --- IPv4 header. ---
   std::vector<std::uint8_t> out;
   out.reserve(header_len + icmp.size());
-  out.push_back(static_cast<std::uint8_t>(0x40 | ihl));
+  out.push_back(truncate_cast<std::uint8_t>(0x40 | ihl));
   out.push_back(0);  // TOS
-  put_u16(out, static_cast<std::uint16_t>(header_len + icmp.size()));
+  put_u16(out, checked_cast<std::uint16_t>(header_len + icmp.size()));
   put_u16(out, 0);  // identification
   put_u16(out, 0);  // flags/fragment offset
   out.push_back(packet.ttl);
@@ -131,65 +171,100 @@ std::vector<std::uint8_t> encode_packet(const Packet& packet) {
 
   const std::uint16_t header_sum =
       internet_checksum({out.data(), header_len});
-  out[10] = static_cast<std::uint8_t>(header_sum >> 8);
-  out[11] = static_cast<std::uint8_t>(header_sum);
+  out[10] = truncate_cast<std::uint8_t>(header_sum >> 8);
+  out[11] = truncate_cast<std::uint8_t>(header_sum);
 
   out.insert(out.end(), icmp.begin(), icmp.end());
   return out;
 }
 
-std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 28) return std::nullopt;  // 20 IP + 8 ICMP minimum.
-  if ((bytes[0] >> 4) != 4) return std::nullopt;
-  const std::size_t header_len = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
-  if (header_len < 20 || bytes.size() < header_len + 8) return std::nullopt;
-  if (!checksum_ok(bytes.subspan(0, header_len))) return std::nullopt;
-  if (bytes[9] != kProtocolIcmp) return std::nullopt;
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes,
+                                    DecodeError* error) {
+  if (error != nullptr) *error = DecodeError::kNone;
+
+  // --- Fixed IPv4 header. ---
+  ByteReader header(bytes);
+  const std::uint8_t ver_ihl = header.u8();
+  header.skip(1);  // TOS (not modelled)
+  const std::uint16_t total_len = header.u16();
+  header.skip(4);  // identification + flags/fragment offset (not modelled)
+  const std::uint8_t ttl = header.u8();
+  const std::uint8_t protocol = header.u8();
+  header.skip(2);  // checksum, verified over the whole header below
+  const std::uint32_t src = header.u32();
+  const std::uint32_t dst = header.u32();
+  if (!header.ok()) return fail(DecodeError::kTruncated, error);
+
+  if ((ver_ihl >> 4) != 4) return fail(DecodeError::kBadVersion, error);
+  const std::size_t header_len = std::size_t{ver_ihl & 0x0fu} * 4;
+  if (header_len < kFixedHeaderLen || header_len > bytes.size()) {
+    return fail(DecodeError::kBadHeaderLength, error);
+  }
+  // The total-length field is attacker-controlled: it must cover the header
+  // plus a minimal ICMP message and must not overrun the buffer. Everything
+  // after it (link-layer padding) is ignored.
+  if (total_len < header_len + kMinIcmpLen || total_len > bytes.size()) {
+    return fail(DecodeError::kBadTotalLength, error);
+  }
+  if (!checksum_ok(bytes.subspan(0, header_len))) {
+    return fail(DecodeError::kHeaderChecksum, error);
+  }
+  if (protocol != kProtocolIcmp) return fail(DecodeError::kNotIcmp, error);
 
   Packet packet;
-  packet.ttl = bytes[8];
-  packet.src = Ipv4Addr(get_u32(bytes, 12));
-  packet.dst = Ipv4Addr(get_u32(bytes, 16));
+  packet.ttl = ttl;
+  packet.src = Ipv4Addr(src);
+  packet.dst = Ipv4Addr(dst);
 
-  // --- Options. ---
-  std::size_t at = 20;
-  while (at < header_len) {
-    const std::uint8_t kind = bytes[at];
-    if (kind == 0) break;  // EOL
+  // --- Options. Each option's declared length is validated against the
+  // IHL-declared option area before any bytes are read. ---
+  ByteReader options(bytes.subspan(kFixedHeaderLen,
+                                   header_len - kFixedHeaderLen));
+  while (!options.at_end()) {
+    const std::uint8_t kind = options.peek_u8();
+    if (kind == 0) break;  // EOL: remainder is padding.
     if (kind == 1) {       // NOP
-      ++at;
+      options.skip(1);
       continue;
     }
-    if (at + 1 >= header_len) return std::nullopt;
-    const std::uint8_t opt_len = bytes[at + 1];
-    if (opt_len < 2 || at + opt_len > header_len) return std::nullopt;
-    const auto opt = bytes.subspan(at, opt_len);
+    const std::uint8_t opt_len = options.peek_u8(1);
+    if (options.remaining() < 2 || opt_len < 2 ||
+        opt_len > options.remaining()) {
+      return fail(DecodeError::kBadOptionLength, error);
+    }
+    const auto opt = options.bytes(opt_len);
+    REVTR_DCHECK(options.ok());
     if (kind == RecordRouteOption::kType) {
       auto rr = RecordRouteOption::decode(opt);
-      if (!rr) return std::nullopt;
+      if (!rr) return fail(DecodeError::kBadRecordRoute, error);
       packet.rr = *rr;
     } else if (kind == TimestampOption::kType) {
       auto ts = TimestampOption::decode(opt);
-      if (!ts) return std::nullopt;
+      if (!ts) return fail(DecodeError::kBadTimestamp, error);
       packet.ts = *ts;
     }
-    at += opt_len;
   }
 
   // --- ICMP. ---
-  const auto icmp = bytes.subspan(header_len);
-  if (!checksum_ok(icmp)) return std::nullopt;
-  const auto type = icmp_type_from_code(icmp[0]);
-  if (!type) return std::nullopt;
+  const auto icmp_bytes = bytes.subspan(header_len, total_len - header_len);
+  if (!checksum_ok(icmp_bytes)) return fail(DecodeError::kIcmpChecksum, error);
+  ByteReader icmp(icmp_bytes);
+  const auto type = icmp_type_from_code(icmp.u8());
+  if (!type) return fail(DecodeError::kBadIcmpType, error);
   packet.type = *type;
+  icmp.skip(3);  // code + checksum
   if (*type == IcmpType::kEchoRequest || *type == IcmpType::kEchoReply) {
-    packet.icmp_id = get_u16(icmp, 4);
-    packet.icmp_seq = get_u16(icmp, 6);
+    packet.icmp_id = icmp.u16();
+    packet.icmp_seq = icmp.u16();
+    REVTR_DCHECK(icmp.ok());  // total_len guarantees the 8 ICMP bytes.
   } else {
-    if (icmp.size() < 8 + 28) return std::nullopt;
-    packet.quoted_dst = Ipv4Addr(get_u32(icmp, 8 + 16));
-    packet.icmp_id = get_u16(icmp, 8 + 24);
-    packet.icmp_seq = get_u16(icmp, 8 + 26);
+    icmp.skip(4);   // unused
+    icmp.skip(16);  // quoted header through the quoted source address
+    packet.quoted_dst = Ipv4Addr(icmp.u32());
+    icmp.skip(4);  // quoted ICMP type/code/checksum
+    packet.icmp_id = icmp.u16();
+    packet.icmp_seq = icmp.u16();
+    if (!icmp.ok()) return fail(DecodeError::kTruncatedQuote, error);
   }
   return packet;
 }

@@ -5,22 +5,50 @@
 // on-the-wire representation (IPv4 header with options padded to a 4-byte
 // boundary, ICMP echo / time-exceeded with checksums). It also backs the
 // encode/decode microbenchmarks.
+//
+// decode_packet is a trust boundary: the buffer may come from an arbitrary
+// (adversarial) sender, so every length field is validated against the
+// buffer before use and malformed input is rejected with a DecodeError
+// describing the first violated invariant.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.h"
 
 namespace revtr::net {
 
+// First invariant violated by a rejected buffer, in validation order.
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncated,        // Shorter than a 20-byte IPv4 header.
+  kBadVersion,       // Version nibble != 4.
+  kBadHeaderLength,  // IHL < 5 or the declared header overruns the buffer.
+  kBadTotalLength,   // Total length < header + 8 or overruns the buffer.
+  kHeaderChecksum,   // IPv4 header checksum mismatch.
+  kNotIcmp,          // Protocol field is not ICMP.
+  kBadOptionLength,  // Option length < 2 or overruns the IHL-declared header.
+  kBadRecordRoute,   // Record Route option malformed (length/pointer).
+  kBadTimestamp,     // Timestamp option malformed (length/pointer/flags).
+  kIcmpChecksum,     // ICMP checksum mismatch.
+  kBadIcmpType,      // ICMP type not modelled by Packet.
+  kTruncatedQuote,   // ICMP error without a full quoted header + 8 bytes.
+};
+
+std::string_view to_string(DecodeError error);
+
 // Serializes the packet to IPv4 wire format. Checksums are computed.
 std::vector<std::uint8_t> encode_packet(const Packet& packet);
 
 // Parses a wire buffer back into a Packet. Returns nullopt on malformed
-// input (bad version/IHL, truncated options, checksum mismatch).
-std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes);
+// input; when `error` is non-null it receives the reason (kNone on success).
+// Trailing bytes beyond the declared total length are ignored, mirroring a
+// capture that includes link-layer padding.
+std::optional<Packet> decode_packet(std::span<const std::uint8_t> bytes,
+                                    DecodeError* error = nullptr);
 
 }  // namespace revtr::net

@@ -65,7 +65,8 @@ struct CampaignStats {
 
   double coverage() const noexcept {
     return requested == 0 ? 0.0
-                          : static_cast<double>(completed) / requested;
+                          : static_cast<double>(completed) /
+                                static_cast<double>(requested);
   }
   double throughput_per_second() const noexcept {
     return duration_seconds <= 0

@@ -211,7 +211,7 @@ SendResult Network::send(const Packet& packet, HostId sender) {
   // Random loss applies to the probe/reply as a whole: either direction
   // failing looks the same to the measurer (no answer).
   if (loss_rate_ > 0.0 &&
-      (rng_() >> 11) * 0x1.0p-53 < loss_rate_) {
+      static_cast<double>(rng_() >> 11) * 0x1.0p-53 < loss_rate_) {
     return result;
   }
 

@@ -1,0 +1,145 @@
+// Runtime invariant layer: always-on checks, checked integral narrowing, and
+// a bounds-checked big-endian byte reader.
+//
+// The wire codec sits on the trust boundary between the simulator and
+// adversarial input (a malformed ICMP or Record-Route reply must never
+// corrupt the atlas, §4.2 of the paper), so its invariants are enforced
+// mechanically rather than by convention:
+//
+//   REVTR_CHECK(cond)   — always-on assertion; aborts with file:line.
+//   REVTR_DCHECK(cond)  — debug-only (compiled out under NDEBUG).
+//   checked_cast<T>(v)  — integral narrowing that aborts if v does not fit.
+//   truncate_cast<T>(v) — integral narrowing that *intentionally* wraps
+//                         (byte packing: `truncate_cast<uint8_t>(v >> 8)`),
+//                         spelled out so revtr-lint can ban the unchecked
+//                         static_cast form in src/net/.
+//   ByteReader          — sequential big-endian reader over a span that can
+//                         never read out of bounds; overruns latch ok()==false
+//                         and yield zeros, so decoders check once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+namespace revtr::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) noexcept {
+  std::fprintf(stderr, "REVTR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+#define REVTR_CHECK(cond)                                            \
+  (static_cast<bool>(cond)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::revtr::util::check_failed(#cond, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define REVTR_DCHECK(cond) \
+  static_cast<void>(sizeof(static_cast<bool>(cond) ? 0 : 0))
+#else
+#define REVTR_DCHECK(cond) REVTR_CHECK(cond)
+#endif
+
+// Narrowing conversion that aborts when the value does not fit the target
+// type. Use at trust boundaries where an out-of-range value means a logic
+// bug, not bad input (bad input belongs in std::optional error paths).
+template <typename To, typename From>
+constexpr To checked_cast(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "checked_cast is for integral types only");
+  REVTR_CHECK(std::in_range<To>(value));
+  return static_cast<To>(value);
+}
+
+// Narrowing conversion that keeps only the low bits, on purpose. The spelled
+// name distinguishes deliberate byte packing from accidental truncation.
+template <typename To, typename From>
+constexpr To truncate_cast(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "truncate_cast is for integral types only");
+  return static_cast<To>(value);
+}
+
+// Sequential reader over an immutable byte span. All accessors are bounds
+// checked: reading past the end latches ok() == false and returns zeros
+// (and empty subspans), so a decoder can run its whole happy path and test
+// ok() once, with no way to touch memory outside the span.
+class ByteReader {
+ public:
+  explicit constexpr ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  constexpr bool ok() const noexcept { return ok_; }
+  constexpr std::size_t pos() const noexcept { return pos_; }
+  constexpr std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  constexpr bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  constexpr std::uint8_t u8() noexcept {
+    if (remaining() < 1) return fail();
+    return data_[pos_++];
+  }
+
+  constexpr std::uint16_t u16() noexcept {
+    if (remaining() < 2) return fail();
+    const auto hi = data_[pos_];
+    const auto lo = data_[pos_ + 1];
+    pos_ += 2;
+    return truncate_cast<std::uint16_t>((std::uint16_t{hi} << 8) | lo);
+  }
+
+  constexpr std::uint32_t u32() noexcept {
+    if (remaining() < 4) return fail();
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                            (std::uint32_t{data_[pos_ + 1]} << 16) |
+                            (std::uint32_t{data_[pos_ + 2]} << 8) |
+                            std::uint32_t{data_[pos_ + 3]};
+    pos_ += 4;
+    return v;
+  }
+
+  // Peek without consuming; returns 0 past the end (does not latch failure,
+  // so lookahead on possibly-short input stays cheap to express).
+  constexpr std::uint8_t peek_u8(std::size_t offset = 0) const noexcept {
+    return remaining() > offset ? data_[pos_ + offset] : 0;
+  }
+
+  constexpr void skip(std::size_t n) noexcept {
+    if (remaining() < n) {
+      fail();
+      pos_ = data_.size();
+      return;
+    }
+    pos_ += n;
+  }
+
+  // Consume n bytes and return them; empty span (and ok()==false) on overrun.
+  constexpr std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (remaining() < n) {
+      fail();
+      pos_ = data_.size();
+      return {};
+    }
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+ private:
+  constexpr std::uint8_t fail() noexcept {
+    ok_ = false;
+    return 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace revtr::util

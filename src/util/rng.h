@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.h"
+
 namespace revtr::util {
 
 // splitmix64 step; used for seeding and for cheap stateless hashing of ids.
@@ -67,6 +69,7 @@ class Rng {
 
   // Uniform integer in [0, bound). bound must be > 0.
   std::uint64_t below(std::uint64_t bound) noexcept {
+    REVTR_DCHECK(bound > 0);
     // Lemire's multiply-shift rejection method (unbiased).
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -84,8 +87,15 @@ class Rng {
 
   // Uniform integer in [lo, hi] inclusive.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
-    return lo + static_cast<std::int64_t>(
-                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+    REVTR_DCHECK(lo <= hi);
+    // Width and offset arithmetic stay in uint64 so that extreme bounds
+    // (e.g. lo < 0 <= hi with hi - lo exceeding int64) cannot overflow
+    // signed arithmetic, which would be UB; uint64 -> int64 conversion of
+    // the final value is well-defined two's complement in C++20.
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    const std::uint64_t offset = width == 0 ? (*this)() : below(width);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
   }
 
   // Uniform double in [0, 1).

@@ -62,7 +62,8 @@ struct Fraction {
     hits += hit ? 1 : 0;
   }
   double value() const noexcept {
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
   }
 };
 

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "alias/alias.h"
 #include "topology/builder.h"
@@ -24,16 +25,15 @@ TopologyConfig small_config() {
 class AliasFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    topo_ = new Topology(TopologyBuilder::build(small_config()));
+    topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config()));
   }
   static void TearDownTestSuite() {
-    delete topo_;
-    topo_ = nullptr;
+    topo_.reset();
   }
-  static Topology* topo_;
+  static std::unique_ptr<Topology> topo_;
 };
 
-Topology* AliasFixture::topo_ = nullptr;
+std::unique_ptr<Topology> AliasFixture::topo_;
 
 TEST(AliasStore, PairAndTransitivity) {
   AliasStore store;

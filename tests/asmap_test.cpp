@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "asmap/asmap.h"
 #include "asmap/bdrmap.h"
@@ -26,26 +27,23 @@ TopologyConfig small_config() {
 class AsmapFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    topo_ = new Topology(TopologyBuilder::build(small_config()));
-    ip2as_ = new IpToAs(*topo_);
-    rel_ = new AsRelationships(*topo_);
+    topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config()));
+    ip2as_ = std::make_unique<IpToAs>(*topo_);
+    rel_ = std::make_unique<AsRelationships>(*topo_);
   }
   static void TearDownTestSuite() {
-    delete rel_;
-    delete ip2as_;
-    delete topo_;
-    rel_ = nullptr;
-    ip2as_ = nullptr;
-    topo_ = nullptr;
+    rel_.reset();
+    ip2as_.reset();
+    topo_.reset();
   }
-  static Topology* topo_;
-  static IpToAs* ip2as_;
-  static AsRelationships* rel_;
+  static std::unique_ptr<Topology> topo_;
+  static std::unique_ptr<IpToAs> ip2as_;
+  static std::unique_ptr<AsRelationships> rel_;
 };
 
-Topology* AsmapFixture::topo_ = nullptr;
-IpToAs* AsmapFixture::ip2as_ = nullptr;
-AsRelationships* AsmapFixture::rel_ = nullptr;
+std::unique_ptr<Topology> AsmapFixture::topo_;
+std::unique_ptr<IpToAs> AsmapFixture::ip2as_;
+std::unique_ptr<AsRelationships> AsmapFixture::rel_;
 
 TEST_F(AsmapFixture, HostsMapToTheirAs) {
   for (const auto& host : topo_->hosts()) {

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 
@@ -24,19 +25,18 @@ topology::TopologyConfig small_config() {
 class AtlasFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    lab_ = new eval::Lab(small_config());
+    lab_ = std::make_unique<eval::Lab>(small_config());
     source_ = lab_->topo.vantage_points()[0];
     lab_->atlas.build(source_, 30, lab_->rng);
   }
   static void TearDownTestSuite() {
-    delete lab_;
-    lab_ = nullptr;
+    lab_.reset();
   }
-  static eval::Lab* lab_;
+  static std::unique_ptr<eval::Lab> lab_;
   static HostId source_;
 };
 
-eval::Lab* AtlasFixture::lab_ = nullptr;
+std::unique_ptr<eval::Lab> AtlasFixture::lab_;
 HostId AtlasFixture::source_ = topology::kInvalidId;
 
 TEST_F(AtlasFixture, BuildProducesTraceroutes) {

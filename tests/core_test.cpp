@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 
@@ -79,19 +80,18 @@ TEST(ExtractReverseHops, NothingWithoutDelimiter) {
 class EngineFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    lab_ = new eval::Lab(small_config(), EngineConfig::revtr2());
+    lab_ = std::make_unique<eval::Lab>(small_config(), EngineConfig::revtr2());
     source_ = lab_->topo.vantage_points()[0];
     lab_->bootstrap_source(source_, 50);
   }
   static void TearDownTestSuite() {
-    delete lab_;
-    lab_ = nullptr;
+    lab_.reset();
   }
-  static eval::Lab* lab_;
+  static std::unique_ptr<eval::Lab> lab_;
   static HostId source_;
 };
 
-eval::Lab* EngineFixture::lab_ = nullptr;
+std::unique_ptr<eval::Lab> EngineFixture::lab_;
 HostId EngineFixture::source_ = topology::kInvalidId;
 
 TEST_F(EngineFixture, MeasuresCompletePathsEndingAtSource) {
@@ -271,7 +271,9 @@ TEST_F(EngineFixture, AccuracyAgainstDirectTraceroute) {
     if (match != eval::AsMatch::kMismatch) ++exact_or_missing;
   }
   ASSERT_GT(complete, 5u);
-  EXPECT_GT(static_cast<double>(exact_or_missing) / complete, 0.75);
+  EXPECT_GT(static_cast<double>(exact_or_missing) /
+                static_cast<double>(complete),
+            0.75);
 }
 
 TEST_F(EngineFixture, AtlasCheckedBeforeRecordRoute) {

@@ -1,6 +1,7 @@
 // Cross-module integration tests: route churn, announcement policies,
 // engine failure injection, and whole-stack invariants across seeds.
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 #include <set>
@@ -176,19 +177,18 @@ TEST(NoExport, ShiftsForwardingPlaneCatchment) {
 class FailureFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    lab_ = new eval::Lab(small_config(), core::EngineConfig::revtr2());
+    lab_ = std::make_unique<eval::Lab>(small_config(), core::EngineConfig::revtr2());
     source_ = lab_->topo.vantage_points()[0];
     lab_->bootstrap_source(source_, 40);
   }
   static void TearDownTestSuite() {
-    delete lab_;
-    lab_ = nullptr;
+    lab_.reset();
   }
-  static eval::Lab* lab_;
+  static std::unique_ptr<eval::Lab> lab_;
   static HostId source_;
 };
 
-eval::Lab* FailureFixture::lab_ = nullptr;
+std::unique_ptr<eval::Lab> FailureFixture::lab_;
 HostId FailureFixture::source_ = topology::kInvalidId;
 
 TEST_F(FailureFixture, PingUnresponsiveDestinationFailsCleanly) {

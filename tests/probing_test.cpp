@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 
@@ -28,23 +29,18 @@ TopologyConfig small_config() {
 class ProbingFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    topo_ = new Topology(TopologyBuilder::build(small_config()));
-    bgp_ = new routing::BgpTable(*topo_);
-    intra_ = new routing::IntraRouting(*topo_);
-    plane_ = new routing::ForwardingPlane(*topo_, *bgp_, *intra_);
-    network_ = new sim::Network(*topo_, *plane_, 5);
+    topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config()));
+    bgp_ = std::make_unique<routing::BgpTable>(*topo_);
+    intra_ = std::make_unique<routing::IntraRouting>(*topo_);
+    plane_ = std::make_unique<routing::ForwardingPlane>(*topo_, *bgp_, *intra_);
+    network_ = std::make_unique<sim::Network>(*topo_, *plane_, 5);
   }
   static void TearDownTestSuite() {
-    delete network_;
-    delete plane_;
-    delete intra_;
-    delete bgp_;
-    delete topo_;
-    network_ = nullptr;
-    plane_ = nullptr;
-    intra_ = nullptr;
-    bgp_ = nullptr;
-    topo_ = nullptr;
+    network_.reset();
+    plane_.reset();
+    intra_.reset();
+    bgp_.reset();
+    topo_.reset();
   }
 
   static HostId responsive_host() {
@@ -57,18 +53,18 @@ class ProbingFixture : public ::testing::Test {
     throw std::logic_error("no responsive host");
   }
 
-  static Topology* topo_;
-  static routing::BgpTable* bgp_;
-  static routing::IntraRouting* intra_;
-  static routing::ForwardingPlane* plane_;
-  static sim::Network* network_;
+  static std::unique_ptr<Topology> topo_;
+  static std::unique_ptr<routing::BgpTable> bgp_;
+  static std::unique_ptr<routing::IntraRouting> intra_;
+  static std::unique_ptr<routing::ForwardingPlane> plane_;
+  static std::unique_ptr<sim::Network> network_;
 };
 
-Topology* ProbingFixture::topo_ = nullptr;
-routing::BgpTable* ProbingFixture::bgp_ = nullptr;
-routing::IntraRouting* ProbingFixture::intra_ = nullptr;
-routing::ForwardingPlane* ProbingFixture::plane_ = nullptr;
-sim::Network* ProbingFixture::network_ = nullptr;
+std::unique_ptr<Topology> ProbingFixture::topo_;
+std::unique_ptr<routing::BgpTable> ProbingFixture::bgp_;
+std::unique_ptr<routing::IntraRouting> ProbingFixture::intra_;
+std::unique_ptr<routing::ForwardingPlane> ProbingFixture::plane_;
+std::unique_ptr<sim::Network> ProbingFixture::network_;
 
 TEST_F(ProbingFixture, PingCountsAndTimes) {
   Prober prober(*network_);
@@ -207,7 +203,9 @@ TEST_F(ProbingFixture, TsPingOffPathAdjacencyNotStamped) {
   const auto dst = responsive_host();
   // Prespecify <destination, bogus-far-away-loopback>: second must stay
   // unstamped because that router is not after the destination on the path.
-  const auto far_router = topo_->as_at(topo_->num_ases() - 1).routers[0];
+  const auto far_router =
+      topo_->as_at(static_cast<topology::AsIndex>(topo_->num_ases() - 1))
+          .routers[0];
   const net::Ipv4Addr prespec[] = {topo_->host(dst).addr,
                                    topo_->router(far_router).loopback};
   const auto ts = prober.ts_ping(vp, topo_->host(dst).addr, prespec);

@@ -80,8 +80,10 @@ TEST_P(ShapeSweep, TopologyAndRoutingInvariants) {
   eval::Lab lab(config);
 
   // Universal reachability.
+  const auto dest_step =
+      static_cast<topology::AsIndex>(std::max<std::size_t>(1, ases / 10));
   for (topology::AsIndex dest = 0; dest < lab.topo.num_ases();
-       dest += std::max<std::size_t>(1, ases / 10)) {
+       dest += dest_step) {
     const auto& column = lab.bgp.column(dest);
     for (topology::AsIndex from = 0; from < lab.topo.num_ases(); ++from) {
       if (from == dest) continue;

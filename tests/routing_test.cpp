@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 #include <set>
@@ -31,32 +32,28 @@ TopologyConfig small_config() {
 class RoutingFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    topo_ = new Topology(TopologyBuilder::build(small_config()));
-    bgp_ = new BgpTable(*topo_);
-    intra_ = new IntraRouting(*topo_);
-    plane_ = new ForwardingPlane(*topo_, *bgp_, *intra_);
+    topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config()));
+    bgp_ = std::make_unique<BgpTable>(*topo_);
+    intra_ = std::make_unique<IntraRouting>(*topo_);
+    plane_ = std::make_unique<ForwardingPlane>(*topo_, *bgp_, *intra_);
   }
   static void TearDownTestSuite() {
-    delete plane_;
-    delete intra_;
-    delete bgp_;
-    delete topo_;
-    plane_ = nullptr;
-    intra_ = nullptr;
-    bgp_ = nullptr;
-    topo_ = nullptr;
+    plane_.reset();
+    intra_.reset();
+    bgp_.reset();
+    topo_.reset();
   }
 
-  static Topology* topo_;
-  static BgpTable* bgp_;
-  static IntraRouting* intra_;
-  static ForwardingPlane* plane_;
+  static std::unique_ptr<Topology> topo_;
+  static std::unique_ptr<BgpTable> bgp_;
+  static std::unique_ptr<IntraRouting> intra_;
+  static std::unique_ptr<ForwardingPlane> plane_;
 };
 
-Topology* RoutingFixture::topo_ = nullptr;
-BgpTable* RoutingFixture::bgp_ = nullptr;
-IntraRouting* RoutingFixture::intra_ = nullptr;
-ForwardingPlane* RoutingFixture::plane_ = nullptr;
+std::unique_ptr<Topology> RoutingFixture::topo_;
+std::unique_ptr<BgpTable> RoutingFixture::bgp_;
+std::unique_ptr<IntraRouting> RoutingFixture::intra_;
+std::unique_ptr<ForwardingPlane> RoutingFixture::plane_;
 
 // --------------------------------------------------------------------------
 // BGP

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "core/serialize.h"
 #include "eval/harness.h"
@@ -22,7 +23,7 @@ topology::TopologyConfig small_config() {
 class SerializeFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    lab_ = new eval::Lab(small_config());
+    lab_ = std::make_unique<eval::Lab>(small_config());
     source_ = lab_->topo.vantage_points()[0];
     lab_->bootstrap_source(source_, 30);
     util::SimClock clock;
@@ -32,16 +33,15 @@ class SerializeFixture : public ::testing::Test {
     }
   }
   static void TearDownTestSuite() {
-    delete lab_;
-    lab_ = nullptr;
+    lab_.reset();
     results_.clear();
   }
-  static eval::Lab* lab_;
+  static std::unique_ptr<eval::Lab> lab_;
   static HostId source_;
   static std::vector<core::ReverseTraceroute> results_;
 };
 
-eval::Lab* SerializeFixture::lab_ = nullptr;
+std::unique_ptr<eval::Lab> SerializeFixture::lab_;
 HostId SerializeFixture::source_ = topology::kInvalidId;
 std::vector<core::ReverseTraceroute> SerializeFixture::results_;
 

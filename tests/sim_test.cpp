@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 
@@ -29,20 +30,16 @@ TopologyConfig small_config() {
 class SimFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    topo_ = new Topology(TopologyBuilder::build(small_config()));
-    bgp_ = new routing::BgpTable(*topo_);
-    intra_ = new routing::IntraRouting(*topo_);
-    plane_ = new routing::ForwardingPlane(*topo_, *bgp_, *intra_);
+    topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config()));
+    bgp_ = std::make_unique<routing::BgpTable>(*topo_);
+    intra_ = std::make_unique<routing::IntraRouting>(*topo_);
+    plane_ = std::make_unique<routing::ForwardingPlane>(*topo_, *bgp_, *intra_);
   }
   static void TearDownTestSuite() {
-    delete plane_;
-    delete intra_;
-    delete bgp_;
-    delete topo_;
-    plane_ = nullptr;
-    intra_ = nullptr;
-    bgp_ = nullptr;
-    topo_ = nullptr;
+    plane_.reset();
+    intra_.reset();
+    bgp_.reset();
+    topo_.reset();
   }
 
   Network make_network() { return Network(*topo_, *plane_, 3); }
@@ -61,16 +58,16 @@ class SimFixture : public ::testing::Test {
     throw std::logic_error("no matching host");
   }
 
-  static Topology* topo_;
-  static routing::BgpTable* bgp_;
-  static routing::IntraRouting* intra_;
-  static routing::ForwardingPlane* plane_;
+  static std::unique_ptr<Topology> topo_;
+  static std::unique_ptr<routing::BgpTable> bgp_;
+  static std::unique_ptr<routing::IntraRouting> intra_;
+  static std::unique_ptr<routing::ForwardingPlane> plane_;
 };
 
-Topology* SimFixture::topo_ = nullptr;
-routing::BgpTable* SimFixture::bgp_ = nullptr;
-routing::IntraRouting* SimFixture::intra_ = nullptr;
-routing::ForwardingPlane* SimFixture::plane_ = nullptr;
+std::unique_ptr<Topology> SimFixture::topo_;
+std::unique_ptr<routing::BgpTable> SimFixture::bgp_;
+std::unique_ptr<routing::IntraRouting> SimFixture::intra_;
+std::unique_ptr<routing::ForwardingPlane> SimFixture::plane_;
 
 TEST_F(SimFixture, PingResponsiveHostAnswers) {
   auto network = make_network();

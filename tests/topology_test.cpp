@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 #include <functional>
@@ -26,15 +27,14 @@ TopologyConfig small_config() {
 
 class TopologyFixture : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { topo_ = new Topology(TopologyBuilder::build(small_config())); }
+  static void SetUpTestSuite() { topo_ = std::make_unique<Topology>(TopologyBuilder::build(small_config())); }
   static void TearDownTestSuite() {
-    delete topo_;
-    topo_ = nullptr;
+    topo_.reset();
   }
-  static Topology* topo_;
+  static std::unique_ptr<Topology> topo_;
 };
 
-Topology* TopologyFixture::topo_ = nullptr;
+std::unique_ptr<Topology> TopologyFixture::topo_;
 
 // --------------------------------------------------------------------------
 // AddressPlan
@@ -312,8 +312,9 @@ TEST_F(TopologyFixture, ResponsivenessRatesNearConfig) {
     rr += host.rr_responsive;
   }
   ASSERT_GT(total, 200u);
-  const double ping_rate = static_cast<double>(ping) / total;
-  const double rr_rate = static_cast<double>(rr) / total;
+  const double ping_rate =
+      static_cast<double>(ping) / static_cast<double>(total);
+  const double rr_rate = static_cast<double>(rr) / static_cast<double>(total);
   EXPECT_NEAR(ping_rate, 0.77, 0.08);
   EXPECT_NEAR(rr_rate, 0.58, 0.08);
 }
@@ -391,11 +392,11 @@ TEST(TopologyDeterminism, SameSeedSameTopology) {
   ASSERT_EQ(a.num_routers(), b.num_routers());
   ASSERT_EQ(a.num_links(), b.num_links());
   ASSERT_EQ(a.num_hosts(), b.num_hosts());
-  for (std::size_t i = 0; i < a.num_hosts(); ++i) {
+  for (HostId i = 0; i < a.num_hosts(); ++i) {
     EXPECT_EQ(a.host(i).addr, b.host(i).addr);
     EXPECT_EQ(a.host(i).rr_responsive, b.host(i).rr_responsive);
   }
-  for (std::size_t i = 0; i < a.num_links(); ++i) {
+  for (LinkId i = 0; i < a.num_links(); ++i) {
     EXPECT_EQ(a.link(i).addr_a, b.link(i).addr_a);
     EXPECT_EQ(a.link(i).delay_us, b.link(i).delay_us);
   }
@@ -408,7 +409,7 @@ TEST(TopologyDeterminism, DifferentSeedDifferentTopology) {
   const auto b = TopologyBuilder::build(config);
   // Host behaviour assignments should differ somewhere.
   bool differs = a.num_hosts() != b.num_hosts();
-  for (std::size_t i = 0; !differs && i < a.num_hosts(); ++i) {
+  for (HostId i = 0; !differs && i < a.num_hosts(); ++i) {
     differs = a.host(i).rr_responsive != b.host(i).rr_responsive ||
               a.host(i).attachment != b.host(i).attachment;
   }

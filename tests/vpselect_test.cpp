@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <memory>
 
 #include <algorithm>
 #include <set>
@@ -100,15 +101,14 @@ TEST(AnalyzeReach, HeuristicsCanBeDisabled) {
 
 class VpSelectFixture : public ::testing::Test {
  protected:
-  static void SetUpTestSuite() { lab_ = new eval::Lab(small_config()); }
+  static void SetUpTestSuite() { lab_ = std::make_unique<eval::Lab>(small_config()); }
   static void TearDownTestSuite() {
-    delete lab_;
-    lab_ = nullptr;
+    lab_.reset();
   }
-  static eval::Lab* lab_;
+  static std::unique_ptr<eval::Lab> lab_;
 };
 
-eval::Lab* VpSelectFixture::lab_ = nullptr;
+std::unique_ptr<eval::Lab> VpSelectFixture::lab_;
 
 TEST_F(VpSelectFixture, DiscoveryFindsIngressesForMostPrefixes) {
   std::size_t with_ingress = 0, with_any_vp_in_range = 0, total = 0;

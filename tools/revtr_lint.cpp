@@ -1,0 +1,267 @@
+// revtr-lint: repo-specific invariants that -Wall/-Wextra cannot express.
+//
+// Runs as a normal build target and as a ctest entry (`revtr_lint <repo
+// root>`), so `ctest` alone enforces the rules. The checks are lexical: each
+// file is stripped of comments and string/char literals first, so rule text
+// inside documentation or log messages never trips a rule. A line can opt
+// out of one rule with a trailing comment `lint:allow(<rule>)` — the marker
+// is searched on the *raw* line, keeping suppressions greppable.
+//
+// Rules (see README.md "Correctness tooling" for how to add one):
+//   raw-new-delete   Raw `new`/`delete` anywhere; owners use RAII
+//                    (std::unique_ptr, containers). `= delete` is fine.
+//   narrowing-cast   `static_cast` to a narrow integer type inside src/net/,
+//                    the wire trust boundary; use util::checked_cast (abort
+//                    on loss) or util::truncate_cast (intentional wrap).
+//   header-hygiene   Every header under src/ carries `#pragma once` and
+//                    lives in the `revtr` namespace.
+//   std-endl         `std::endl` in src/ or bench/ (hot paths): it forces a
+//                    flush per line; use '\n'.
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 0 = whole-file finding.
+  std::string rule;
+  std::string message;
+};
+
+bool has_extension(const fs::path& path, std::string_view ext) {
+  return path.extension() == ext;
+}
+
+bool is_source(const fs::path& path) {
+  return has_extension(path, ".cpp") || has_extension(path, ".h");
+}
+
+// Removes comments and the contents of string/char literals while keeping
+// line structure, so later regex passes see only code. This is a lexer-level
+// approximation (no raw strings in this codebase), which is exactly the
+// fidelity a lexical linter wants: cheap and predictable.
+std::string strip_comments_and_literals(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);  // Unterminated; keep line numbers aligned.
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          out.push_back(c);
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream stream(text);
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+bool allows(const std::string& raw_line, std::string_view rule) {
+  const std::string marker = "lint:allow(" + std::string(rule) + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path root) : root_(std::move(root)) {}
+
+  void lint_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report(path, 0, "io", "cannot open file");
+      return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+    const std::string code = strip_comments_and_literals(raw);
+    const auto raw_lines = split_lines(raw);
+    const auto code_lines = split_lines(code);
+
+    const std::string rel = relative_path(path);
+    const bool in_net = rel.rfind("src/net/", 0) == 0;
+    const bool in_src = rel.rfind("src/", 0) == 0;
+    const bool in_hot = in_src || rel.rfind("bench/", 0) == 0;
+
+    if (in_src && has_extension(path, ".h")) check_header(path, code);
+
+    // clang-format off
+    static const std::regex kRawNew(
+        R"((^|[^\w.>])new\s+[\w:<(])");
+    static const std::regex kRawDelete(
+        R"((^|[^\w])delete(\s*\[\s*\])?\s+[\w:*(])");
+    static const std::regex kNarrowingCast(
+        R"(static_cast<\s*(std::)?(u?int(8|16|32)_t|(un)?signed\s+char|char|short|(un)?signed\s+short)\s*>)");
+    static const std::regex kStdEndl(R"(std\s*::\s*endl)");
+    // clang-format on
+
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      const std::string& line = code_lines[i];
+      const std::string& raw_line = i < raw_lines.size() ? raw_lines[i] : line;
+      const std::size_t lineno = i + 1;
+
+      if (std::regex_search(line, kRawNew) && !allows(raw_line, "raw-new-delete")) {
+        report(path, lineno, "raw-new-delete",
+               "raw new; use std::make_unique or a container");
+      }
+      if (std::regex_search(line, kRawDelete) &&
+          !allows(raw_line, "raw-new-delete")) {
+        report(path, lineno, "raw-new-delete",
+               "raw delete; owners must use RAII");
+      }
+      if (in_net && std::regex_search(line, kNarrowingCast) &&
+          !allows(raw_line, "narrowing-cast")) {
+        report(path, lineno, "narrowing-cast",
+               "unchecked narrowing static_cast in src/net/; use "
+               "util::checked_cast or util::truncate_cast");
+      }
+      if (in_hot && std::regex_search(line, kStdEndl) &&
+          !allows(raw_line, "std-endl")) {
+        report(path, lineno, "std-endl",
+               "std::endl flushes per line; use '\\n'");
+      }
+    }
+  }
+
+  int finish() const {
+    if (violations_.empty()) {
+      std::printf("revtr-lint: ok (%zu files)\n", files_checked_);
+      return 0;
+    }
+    for (const auto& v : violations_) {
+      if (v.line == 0) {
+        std::fprintf(stderr, "%s: [%s] %s\n", v.file.c_str(), v.rule.c_str(),
+                     v.message.c_str());
+      } else {
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                     v.rule.c_str(), v.message.c_str());
+      }
+    }
+    std::fprintf(stderr, "revtr-lint: %zu violation(s) in %zu files\n",
+                 violations_.size(), files_checked_);
+    return 1;
+  }
+
+  void note_file() { ++files_checked_; }
+
+ private:
+  void check_header(const fs::path& path, const std::string& code) {
+    if (code.find("#pragma once") == std::string::npos) {
+      report(path, 0, "header-hygiene", "missing #pragma once");
+    }
+    static const std::regex kRevtrNamespace(R"(namespace\s+revtr\b)");
+    if (!std::regex_search(code, kRevtrNamespace)) {
+      report(path, 0, "header-hygiene",
+             "public header must declare the revtr namespace");
+    }
+  }
+
+  std::string relative_path(const fs::path& path) const {
+    return fs::relative(path, root_).generic_string();
+  }
+
+  void report(const fs::path& path, std::size_t line, std::string rule,
+              std::string message) {
+    violations_.push_back(Violation{relative_path(path), line, std::move(rule),
+                                    std::move(message)});
+  }
+
+  fs::path root_;
+  std::vector<Violation> violations_;
+  std::size_t files_checked_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: revtr_lint <repo-root>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "revtr_lint: not a directory: %s\n", argv[1]);
+    return 2;
+  }
+
+  Linter linter(root);
+  for (const char* dir : {"src", "tests", "bench", "tools", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !is_source(entry.path())) continue;
+      linter.note_file();
+      linter.lint_file(entry.path());
+    }
+  }
+  return linter.finish();
+}
