@@ -3,13 +3,20 @@
 #
 #   1. default  -Werror with extended warnings (-Wconversion -Wshadow
 #               -Wold-style-cast -Wnon-virtual-dtor), full ctest suite —
-#               includes revtr_lint and the wire-codec fuzzer.
-#   2. asan     AddressSanitizer build, full ctest suite.
+#               includes revtr_lint (with the layering analyzer), the
+#               wire-codec fuzzer, and the revtr_mc model-checker sweep.
+#   2. asan     AddressSanitizer build, full ctest suite (the revtr_mc
+#               state sweep under ASan is the deepest memory check we run).
 #   3. ubsan    UndefinedBehaviorSanitizer with -fno-sanitize-recover=all
 #               (any UB aborts the test), full ctest suite.
 #   4. tsan     ThreadSanitizer; opt-in via REVTR_CHECK_TSAN=1 because the
 #               pipeline is single-threaded today and the extra build is
 #               expensive on small machines.
+#
+# --quick: inner-loop mode — default preset only, and only the fast
+# correctness tiers: revtr_lint (lint + layering + self-test) and the unit
+# tests, skipping the fuzzer and the model-checker sweep. Use before a
+# commit when the full multi-preset gate is too slow; CI runs the full one.
 #
 # Also runs clang-tidy (config in .clang-tidy) when the binary exists; the
 # default container ships gcc only, so that step is skipped there.
@@ -17,6 +24,13 @@ set -eu
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+    esac
+done
 
 run_config() {
     name="$1"
@@ -27,6 +41,20 @@ run_config() {
     echo "==> [$name] test"
     ctest --preset "$name"
 }
+
+if [ "$QUICK" = "1" ]; then
+    echo "==> [default] configure"
+    cmake --preset default >/dev/null
+    echo "==> [default] build"
+    cmake --build --preset default -j "$JOBS"
+    echo "==> [default] lint + layering"
+    ./build/tools/revtr_lint --self-test
+    ./build/tools/revtr_lint .
+    echo "==> [default] unit tests (no fuzzer, no model-checker sweep)"
+    ctest --preset default -E 'wire_fuzz|revtr_mc'
+    echo "check.sh: quick gate passed (full gate: scripts/check.sh)"
+    exit 0
+fi
 
 run_config default
 run_config asan

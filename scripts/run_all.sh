@@ -2,9 +2,16 @@
 # Build, test, and regenerate every paper table/figure.
 #
 # check.sh is the correctness gate: -Werror build plus ctest under the
-# default, ASan, and UBSan presets (and TSan with REVTR_CHECK_TSAN=1).
+# default, ASan, and UBSan presets (and TSan with REVTR_CHECK_TSAN=1),
+# including the revtr_mc model-checker sweep and the layering analyzer.
+# REVTR_QUICK=1 downgrades it to the fast gate (lint + layering + unit
+# tests) for inner-loop runs.
 set -e
 cd "$(dirname "$0")/.."
-scripts/check.sh
+if [ "${REVTR_QUICK:-0}" = "1" ]; then
+    scripts/check.sh --quick
+else
+    scripts/check.sh
+fi
 for b in build/bench/*; do [ -x "$b" ] && "$b"; done
 for e in build/examples/*; do [ -x "$e" ] && "$e"; done

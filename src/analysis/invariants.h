@@ -1,0 +1,72 @@
+// Machine-readable invariant catalog for reverse traceroute results.
+//
+// The catalog states, as executable checks, the correctness claims the paper
+// makes about every returned measurement (see DESIGN.md "Invariant
+// catalog"):
+//   I1 kLoopFree / kTerminates — returned paths are loop-free, start at the
+//      destination, and (when complete) terminate at the source (§2).
+//   I2 kProvenance — every ReverseHop's HopSource is justified by a probe or
+//      atlas entry that actually occurred in the trace (Insight 1.10).
+//   I3 kBudget — probe counts charged to the request exactly match the
+//      probes the prober emitted in the request's window, online and
+//      offline separately (Table 4 accounting).
+//   I4 kInterdomainSymmetry — configs with Q5 enabled (revtr 2.0) never
+//      emit kAssumedSymmetric across an interdomain link; they abort (§4.4).
+//   I5 kOracle — reported by analysis/oracle.h: accepted hops diverge from
+//      the simulator's ground-truth reverse route only in the error modes
+//      the paper permits.
+//
+// tools/revtr_mc runs this catalog over an exhaustive (topology × preset ×
+// fault schedule) grid; tests/analysis_test.cpp runs it on single cases.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asmap/asmap.h"
+#include "core/revtr.h"
+#include "probing/prober.h"
+#include "topology/topology.h"
+
+namespace revtr::analysis {
+
+enum class InvariantId : std::uint8_t {
+  kLoopFree,
+  kTerminates,
+  kProvenance,
+  kBudget,
+  kInterdomainSymmetry,
+  kOracle,
+};
+inline constexpr std::size_t kNumInvariants = 6;
+
+std::string to_string(InvariantId id);
+
+struct Violation {
+  InvariantId id = InvariantId::kLoopFree;
+  std::string detail;
+};
+
+struct CheckContext {
+  const topology::Topology* topo = nullptr;
+  const asmap::IpToAs* ip2as = nullptr;
+  const core::EngineConfig* config = nullptr;
+  // Probes emitted during this request (ProbeLog::since(mark)).
+  std::span<const probing::ProbeEvent> window;
+  // Engine-lifetime probes, for justifying cache replays and atlas suffixes
+  // measured before the request started.
+  std::span<const probing::ProbeEvent> lifetime;
+  // I3 needs `window` to hold exactly this request's probes. Callers that
+  // cannot window precisely (e.g. the service validator, where atlas
+  // refreshes and bundled forward traceroutes interleave) disable it and
+  // leave budget checking to the exhaustive tools/revtr_mc sweep.
+  bool check_budget = true;
+};
+
+// Runs invariants I1–I4 against one result. Empty return = all hold.
+std::vector<Violation> check_result(const core::ReverseTraceroute& result,
+                                    const CheckContext& ctx);
+
+}  // namespace revtr::analysis

@@ -1,0 +1,78 @@
+// Explicit-state model checker over (topology × preset × fault schedule).
+//
+// Enumerates tiny synthetic topologies (3–8 routers, deterministic seed
+// grid), crosses them with the Table 4 config-preset ablation chain and a
+// set of fault schedules (spoof loss, rate-limited RR, stale atlas entries,
+// filtered VPs), runs the engine on every state, and checks the invariant
+// catalog (analysis/invariants.h) plus the differential oracle
+// (analysis/oracle.h) on the result. tools/revtr_mc is the CLI driver; the
+// default grid explores >10,000 states in seconds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/invariants.h"
+#include "core/revtr.h"
+#include "topology/config.h"
+
+namespace revtr::analysis {
+
+// One fault schedule applied to a state: network loss plus targeted
+// suppression implemented through the prober's fault policy.
+struct FaultSchedule {
+  const char* name = "none";
+  double loss_rate = 0.0;
+  // All spoofed probes vanish (the sender's provider started filtering).
+  bool drop_spoofed = false;
+  // >0: each target answers at most this many option-carrying probes
+  // (ICMP rate limiting of the RR/TS slow path).
+  std::uint32_t rr_rate_limit = 0;
+  // Age the atlas past the cache TTL before measuring.
+  bool stale_atlas = false;
+  // >0: every k-th vantage point is filtered (its probes vanish).
+  std::uint32_t filtered_vp_stride = 0;
+};
+
+std::span<const FaultSchedule> default_fault_schedules();
+
+struct PresetSpec {
+  const char* name = "";
+  core::EngineConfig config;
+};
+std::span<const PresetSpec> default_presets();
+
+struct ShapeSpec {
+  const char* name = "";
+  topology::TopologyConfig config;
+};
+std::span<const ShapeSpec> default_shapes();
+
+struct CheckerOptions {
+  std::size_t max_states = 0;  // 0 = the full grid.
+  std::size_t seeds_per_shape = 15;
+  std::uint64_t oracle_salts = 8;
+  std::size_t max_reported = 20;  // Violation details kept verbatim.
+};
+
+struct CheckerSummary {
+  std::size_t states = 0;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  std::size_t unreachable = 0;
+  std::size_t oracle_pairs = 0;
+  std::size_t oracle_permitted = 0;
+  std::size_t total_violations = 0;
+  std::array<std::size_t, kNumInvariants> by_invariant{};
+  std::vector<std::string> samples;  // First max_reported violation details.
+
+  bool ok() const noexcept { return total_violations == 0; }
+};
+
+CheckerSummary run_model_checker(const CheckerOptions& options = {});
+
+}  // namespace revtr::analysis

@@ -1,0 +1,97 @@
+#include "analysis/oracle.h"
+
+#include <optional>
+#include <unordered_set>
+
+namespace revtr::analysis {
+
+namespace {
+using net::Ipv4Addr;
+using topology::RouterId;
+
+std::optional<RouterId> router_of(const topology::Topology& topo,
+                                  Ipv4Addr addr) {
+  if (const auto host = topo.host_at(addr)) {
+    return topo.host(*host).attachment;
+  }
+  if (const auto iface = topo.interface_at(addr)) return iface->router;
+  return std::nullopt;
+}
+
+// Union of the routers any ECMP branch could place on the route from
+// `from` back to the source.
+std::unordered_set<RouterId> feasible_routers(const sim::Network& network,
+                                              Ipv4Addr from, Ipv4Addr to,
+                                              std::uint64_t salts) {
+  std::unordered_set<RouterId> routers;
+  for (std::uint64_t salt = 0; salt < salts; ++salt) {
+    for (const bool options : {false, true}) {
+      for (const RouterId r :
+           network.ground_truth_path(from, to, salt, options)) {
+        routers.insert(r);
+      }
+    }
+  }
+  return routers;
+}
+
+}  // namespace
+
+OracleReport check_against_truth(const core::ReverseTraceroute& result,
+                                 const sim::Network& network,
+                                 std::uint64_t salts) {
+  OracleReport report;
+  if (!result.complete()) return report;  // Only accepted paths are claims.
+  const auto& topo = network.topo();
+  const Ipv4Addr src_addr = topo.host(result.source).addr;
+
+  const core::ReverseHop* from = nullptr;
+  for (const auto& hop : result.hops) {
+    if (hop.source == core::HopSource::kSuspiciousGap ||
+        hop.addr.is_unspecified()) {
+      continue;
+    }
+    if (from == nullptr) {  // The destination endpoint itself.
+      from = &hop;
+      continue;
+    }
+    const auto from_router = router_of(topo, from->addr);
+    const auto hop_router = router_of(topo, hop.addr);
+    if (!from_router || !hop_router) {
+      ++report.unresolved;
+      if (!hop.addr.is_private()) from = &hop;
+      continue;
+    }
+    ++report.pairs_checked;
+    const auto feasible =
+        feasible_routers(network, from->addr, src_addr, salts);
+    if (feasible.contains(*hop_router)) {
+      ++report.on_true_path;
+    } else {
+      switch (hop.source) {
+        case core::HopSource::kAssumedSymmetric:
+        case core::HopSource::kAtlasIntersection:
+        case core::HopSource::kTimestamp:
+          ++report.permitted_divergences;
+          break;
+        case core::HopSource::kDestination:
+        case core::HopSource::kRecordRoute:
+        case core::HopSource::kSpoofedRecordRoute:
+        case core::HopSource::kSuspiciousGap:
+          report.violations.push_back(Violation{
+              InvariantId::kOracle,
+              "hop " + hop.addr.to_string() + " (" +
+                  core::to_string(hop.source) + ") after " +
+                  from->addr.to_string() +
+                  " is on no ECMP-feasible reverse route to " +
+                  src_addr.to_string()});
+          break;
+      }
+    }
+    // Continue from hops the engine itself continued from.
+    if (!hop.addr.is_private()) from = &hop;
+  }
+  return report;
+}
+
+}  // namespace revtr::analysis

@@ -1,0 +1,46 @@
+// Differential oracle: accepted paths vs. simulator ground truth (I5).
+//
+// The simulator can walk the forwarding plane without measuring, so unlike
+// the real paper we know the true reverse route. The oracle re-derives, for
+// every consecutive hop pair (a -> b) of an accepted path, the set of
+// routers ECMP could place on the route from a back to the source, and
+// checks that b sits on it. Divergence is a violation only for
+// RR-measured hops — those are direct observations of the reverse path
+// (Insight 1.3) and must be on it. The paper's explicitly permitted error
+// modes stay permitted and are only counted:
+//   * kAssumedSymmetric — an intradomain symmetry guess may be wrong (§4.4
+//     accepts this residual error; Q5 only bans the interdomain case);
+//   * kAtlasIntersection — the adopted suffix is a real measured path to S,
+//     but possibly not the one this destination's packets ride (§4.2);
+//   * kTimestamp — tsprespec proves the adjacency answered, not that the
+//     reverse path transits it (§2 of the 2010 design).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/invariants.h"
+#include "core/revtr.h"
+#include "sim/network.h"
+
+namespace revtr::analysis {
+
+struct OracleReport {
+  std::vector<Violation> violations;  // id == InvariantId::kOracle.
+  std::size_t pairs_checked = 0;
+  std::size_t on_true_path = 0;
+  // Hops off the ground-truth path whose technique the paper permits to err.
+  std::size_t permitted_divergences = 0;
+  // Hops whose address resolves to no router (private aliases etc.).
+  std::size_t unresolved = 0;
+};
+
+// Checks one accepted (complete) result against the simulator's ground
+// truth. `salts` is how many per-packet/per-flow seeds to union into the
+// ECMP-feasible path set.
+OracleReport check_against_truth(const core::ReverseTraceroute& result,
+                                 const sim::Network& network,
+                                 std::uint64_t salts = 8);
+
+}  // namespace revtr::analysis

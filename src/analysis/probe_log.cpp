@@ -1,0 +1,35 @@
+#include "analysis/probe_log.h"
+
+namespace revtr::analysis {
+
+probing::ProbeCounters ProbeLog::tally(
+    std::span<const probing::ProbeEvent> events, bool offline) {
+  probing::ProbeCounters counters;
+  for (const auto& event : events) {
+    if (event.offline != offline) continue;
+    switch (event.type) {
+      case probing::ProbeType::kPing:
+        ++counters.ping;
+        break;
+      case probing::ProbeType::kRecordRoute:
+        ++counters.rr;
+        break;
+      case probing::ProbeType::kSpoofedRecordRoute:
+        ++counters.spoofed_rr;
+        break;
+      case probing::ProbeType::kTimestamp:
+        ++counters.ts;
+        break;
+      case probing::ProbeType::kSpoofedTimestamp:
+        ++counters.spoofed_ts;
+        break;
+      case probing::ProbeType::kTraceroute:
+        counters.traceroute_packets += event.packets;
+        ++counters.traceroutes;
+        break;
+    }
+  }
+  return counters;
+}
+
+}  // namespace revtr::analysis

@@ -1,0 +1,50 @@
+// Probe event log: the trace side of the invariant catalog.
+//
+// A ProbeLog attached to a Prober records every probe the system emits,
+// engine-lifetime. The invariant checks (analysis/invariants.h) replay a
+// measurement's claims against this record: every ReverseHop provenance must
+// be justified by an event that actually happened, and every packet charged
+// to a budget must be tallied here exactly once. Attach the log before
+// bootstrapping a source so cache replays and atlas suffixes can be traced
+// back to their original measurement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "probing/prober.h"
+
+namespace revtr::analysis {
+
+class ProbeLog final : public probing::ProbeObserver {
+ public:
+  void on_probe(const probing::ProbeEvent& event) override {
+    events_.push_back(event);
+  }
+
+  const std::vector<probing::ProbeEvent>& events() const noexcept {
+    return events_;
+  }
+  // Position bookmark; pair with since() to window one request's probes.
+  std::size_t mark() const noexcept { return events_.size(); }
+  std::span<const probing::ProbeEvent> since(std::size_t from) const {
+    return std::span<const probing::ProbeEvent>(events_).subspan(
+        from < events_.size() ? from : events_.size());
+  }
+  std::span<const probing::ProbeEvent> lifetime() const {
+    return {events_.data(), events_.size()};
+  }
+  void clear() { events_.clear(); }
+
+  // Counters implied by the events with the given offline flag — a second,
+  // independent accounting the budget invariant compares against the
+  // Prober's own counters.
+  static probing::ProbeCounters tally(
+      std::span<const probing::ProbeEvent> events, bool offline);
+
+ private:
+  std::vector<probing::ProbeEvent> events_;
+};
+
+}  // namespace revtr::analysis

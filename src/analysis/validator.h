@@ -1,0 +1,61 @@
+// Paranoid-mode validator for the service layer.
+//
+// Re-checks every measurement the service serves against the invariant
+// catalog and counts violations instead of failing the request — operators
+// alarm on a nonzero counter. Budget accounting (I3) is left to
+// tools/revtr_mc, the only place where request probe windows are exact; in
+// the service, atlas refreshes and bundled forward traceroutes interleave
+// with the measurement.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "analysis/invariants.h"
+#include "analysis/probe_log.h"
+
+namespace revtr::analysis {
+
+class ResultValidator {
+ public:
+  ResultValidator(const topology::Topology& topo, const asmap::IpToAs& ip2as,
+                  const core::EngineConfig& config, const ProbeLog& log)
+      : topo_(&topo), ip2as_(&ip2as), config_(&config), log_(&log) {}
+
+  void check(const core::ReverseTraceroute& result) {
+    ++checked_;
+    CheckContext ctx;
+    ctx.topo = topo_;
+    ctx.ip2as = ip2as_;
+    ctx.config = config_;
+    ctx.lifetime = log_->lifetime();
+    ctx.check_budget = false;
+    for (auto& violation : check_result(result, ctx)) {
+      violations_.push_back(std::move(violation));
+    }
+  }
+
+  // Adapter for RevtrService::set_inspector. The validator must outlive the
+  // service's use of the returned callable.
+  std::function<void(const core::ReverseTraceroute&)> inspector() {
+    return [this](const core::ReverseTraceroute& result) { check(result); };
+  }
+
+  std::size_t checked() const noexcept { return checked_; }
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  bool clean() const noexcept { return violations_.empty(); }
+
+ private:
+  const topology::Topology* topo_;
+  const asmap::IpToAs* ip2as_;
+  const core::EngineConfig* config_;
+  const ProbeLog* log_;
+  std::size_t checked_ = 0;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace revtr::analysis

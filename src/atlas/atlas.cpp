@@ -18,6 +18,9 @@ util::SimClock::Micros TracerouteAtlas::measure_into(
     SourceAtlas& atlas, HostId source, std::span<const HostId> probes,
     util::SimClock::Micros now) {
   const Ipv4Addr source_addr = topo_.host(source).addr;
+  // Atlas construction is maintenance traffic, not part of any request's
+  // online budget (Table 4 separates the two).
+  const probing::Prober::OfflineScope offline(prober_);
   util::SimClock::Micros longest = 0;
   for (const HostId probe : probes) {
     const auto result = prober_.traceroute(probe, source_addr);
@@ -37,6 +40,10 @@ util::SimClock::Micros TracerouteAtlas::measure_into(
 void TracerouteAtlas::index_hops(SourceAtlas& atlas) {
   atlas.hop_index.clear();
   for (std::size_t t = 0; t < atlas.traceroutes.size(); ++t) {
+    // Traceroutes that never reached the source are kept (refresh may retry
+    // their probes) but must not be intersected: adopting their suffix
+    // yields a "complete" path that stops short of the source.
+    if (!atlas.traceroutes[t].reached_source) continue;
     const auto& hops = atlas.traceroutes[t].hops;
     for (std::size_t h = 0; h < hops.size(); ++h) {
       // Keep the entry closest to the source so suffixes are shortest and
@@ -96,7 +103,11 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
 void TracerouteAtlas::build_rr_alias_index(HostId source) {
   SourceAtlas& atlas = sources_.at(source);
   atlas.rr_index.clear();
+  // RR-alias indexing is offline work like the atlas build itself (Q2 runs
+  // during source bootstrap, not per request).
+  const probing::Prober::OfflineScope offline(prober_);
   for (std::size_t t = 0; t < atlas.traceroutes.size(); ++t) {
+    if (!atlas.traceroutes[t].reached_source) continue;
     const auto& hops = atlas.traceroutes[t].hops;
     for (std::size_t h = 0; h < hops.size(); ++h) {
       const auto result = prober_.rr_ping(source, hops[h]);
@@ -108,11 +119,16 @@ void TracerouteAtlas::build_rr_alias_index(HostId source) {
       if (self == result.slots.end()) continue;
       std::size_t offset = 1;
       for (auto it = self + 1; it != result.slots.end(); ++it, ++offset) {
-        const std::size_t mapped =
-            std::min(h + offset, hops.size() - 1);
+        // Clamping slots that align past the traceroute tail onto the final
+        // hop used to register the source's own aliases here; the adopted
+        // suffix was empty, so the engine declared paths "complete" at an
+        // RR alias that is not the source. Map only slots that align
+        // strictly before the final (source) hop, so every adopted suffix
+        // still terminates at the source.
+        if (h + offset + 1 >= hops.size()) break;
         // First mapping wins: it is the one farthest from the source, which
         // yields the longest (and in our alignment, safest) suffix.
-        atlas.rr_index.try_emplace(*it, Intersection{t, mapped});
+        atlas.rr_index.try_emplace(*it, Intersection{t, h + offset});
       }
     }
   }
@@ -178,6 +194,13 @@ const std::vector<AtlasTraceroute>& TracerouteAtlas::traceroutes(
 std::size_t TracerouteAtlas::rr_index_size(HostId source) const {
   const auto it = sources_.find(source);
   return it == sources_.end() ? 0 : it->second.rr_index.size();
+}
+
+const std::unordered_map<Ipv4Addr, Intersection>&
+TracerouteAtlas::rr_index_entries(HostId source) const {
+  static const std::unordered_map<Ipv4Addr, Intersection> kEmpty;
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? kEmpty : it->second.rr_index;
 }
 
 std::vector<std::size_t> greedy_optimal_selection(

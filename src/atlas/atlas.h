@@ -92,6 +92,10 @@ class TracerouteAtlas {
     return sources_.contains(source);
   }
   std::size_t rr_index_size(topology::HostId source) const;
+  // Q2 index contents, exposed so validation tooling and tests can assert
+  // structural properties (every entry's suffix must reach the source).
+  const std::unordered_map<net::Ipv4Addr, Intersection>& rr_index_entries(
+      topology::HostId source) const;
 
  private:
   struct SourceAtlas {

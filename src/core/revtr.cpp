@@ -180,14 +180,15 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
     const auto it = rr_cache_.find(key);
     if (it != rr_cache_.end() && it->second.expires_at > clock.now()) {
       return append_reverse_hops(result, it->second.reverse_hops,
-                                 HopSource::kSpoofedRecordRoute, current);
+                                 it->second.source, current);
     }
   }
 
-  auto remember = [&](const std::vector<Ipv4Addr>& revealed) {
+  auto remember = [&](const std::vector<Ipv4Addr>& revealed,
+                      HopSource how) {
     if (config_.use_cache) {
       rr_cache_[key] =
-          RrCacheEntry{revealed, clock.now() + config_.cache_ttl};
+          RrCacheEntry{revealed, how, clock.now() + config_.cache_ttl};
     }
   };
 
@@ -199,7 +200,7 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
     if (!revealed.empty() &&
         append_reverse_hops(result, revealed, HopSource::kRecordRoute,
                             current)) {
-      remember(revealed);
+      remember(revealed, HopSource::kRecordRoute);
       return true;
     }
   }
@@ -209,8 +210,11 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
   if (!prefix) return false;
   const vpselect::PrefixPlan* plan = ingress_.plan_for(*prefix);
   if (plan == nullptr) {
-    // Offline background measurement run on demand; its packets are counted
-    // by the prober but its time is not charged to this request.
+    // Offline background measurement run on demand: neither its time nor
+    // its packets are charged to this request's online budget (Table 4
+    // counts surveys separately); measure() reports the packets in
+    // offline_probes instead.
+    const probing::Prober::OfflineScope offline(prober_);
     plan = &ingress_.discover(*prefix, topo_.vantage_points(), rng_);
   }
 
@@ -274,7 +278,7 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
       }
       if (append_reverse_hops(result, revealed,
                               HopSource::kSpoofedRecordRoute, current)) {
-        remember(revealed);
+        remember(revealed, HopSource::kSpoofedRecordRoute);
         return true;
       }
     }
@@ -413,6 +417,7 @@ ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
   result.source = source;
   result.span.begin = clock.now();
   const auto counters_before = prober_.counters();
+  const auto offline_before = prober_.offline_counters();
 
   const Ipv4Addr src_addr = topo_.host(source).addr;
   Ipv4Addr current = topo_.host(destination).addr;
@@ -445,7 +450,9 @@ ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
   if (!decided) result.status = RevtrStatus::kUnreachable;
 
   result.span.end = clock.now();
-  result.probes = prober_.counters() - counters_before;
+  result.offline_probes = prober_.offline_counters() - offline_before;
+  result.probes =
+      (prober_.counters() - counters_before) - result.offline_probes;
   finalize_flags(result);
   return result;
 }

@@ -73,6 +73,9 @@ struct ReverseTraceroute {
 
   util::SimSpan span;                // Simulated wall-clock of the request.
   probing::ProbeCounters probes;     // Online packets spent on this request.
+  // Background packets triggered by this request (on-demand ingress
+  // discovery); Table 4 accounts these separately from the online budget.
+  probing::ProbeCounters offline_probes;
   std::size_t spoofed_batches = 0;   // Each charged the 10 s timeout.
   std::size_t symmetry_assumptions = 0;
   bool used_interdomain_symmetry = false;
@@ -154,6 +157,10 @@ class RevtrEngine {
  private:
   struct RrCacheEntry {
     std::vector<net::Ipv4Addr> reverse_hops;
+    // How the cached hops were originally measured. Replays must keep the
+    // original provenance: a direct-RR hop must not resurface labelled as
+    // spoofed (Insight 1.10 — users judge trust hop by hop).
+    HopSource source = HopSource::kSpoofedRecordRoute;
     util::SimClock::Micros expires_at = 0;
   };
   struct TrCacheEntry {

@@ -62,6 +62,14 @@ util::Json to_json(const ReverseTraceroute& result,
       util::checked_cast<std::int64_t>(result.probes.traceroute_packets);
   json["probes"] = std::move(probes);
 
+  if (result.offline_probes.total() > 0) {
+    util::Json offline = util::Json::object();
+    offline["rr"] = util::checked_cast<std::int64_t>(result.offline_probes.rr);
+    offline["traceroute_packets"] = util::checked_cast<std::int64_t>(
+        result.offline_probes.traceroute_packets);
+    json["offline_probes"] = std::move(offline);
+  }
+
   util::Json flags = util::Json::object();
   flags["suspicious_gap"] = result.has_suspicious_gap;
   flags["private_hops"] = result.has_private_hops;
@@ -148,6 +156,15 @@ std::optional<ReverseTraceroute> reverse_traceroute_from_json(
     result.probes.ts = count("ts");
     result.probes.spoofed_ts = count("spoofed_ts");
     result.probes.traceroute_packets = count("traceroute_packets");
+  }
+  if (const auto* offline = json.find("offline_probes");
+      offline != nullptr && offline->is_object()) {
+    auto count = [&](const char* key) -> std::uint64_t {
+      const auto* field = offline->find(key);
+      return field != nullptr && field->is_number() ? non_negative(field) : 0;
+    };
+    result.offline_probes.rr = count("rr");
+    result.offline_probes.traceroute_packets = count("traceroute_packets");
   }
   if (const auto* flags = json.find("flags");
       flags != nullptr && flags->is_object()) {

@@ -58,30 +58,89 @@ std::vector<Ipv4Addr> TracerouteResult::responsive_hops() const {
 
 Prober::Prober(sim::Network& network) : network_(network) {}
 
+void Prober::charge(ProbeType type) {
+  const auto bump = [type](ProbeCounters& c) {
+    switch (type) {
+      case ProbeType::kPing:
+        ++c.ping;
+        break;
+      case ProbeType::kRecordRoute:
+        ++c.rr;
+        break;
+      case ProbeType::kSpoofedRecordRoute:
+        ++c.spoofed_rr;
+        break;
+      case ProbeType::kTimestamp:
+        ++c.ts;
+        break;
+      case ProbeType::kSpoofedTimestamp:
+        ++c.spoofed_ts;
+        break;
+      case ProbeType::kTraceroute:
+        ++c.traceroute_packets;
+        break;
+    }
+  };
+  bump(counters_);
+  if (offline()) bump(offline_counters_);
+}
+
+void Prober::charge_traceroute_head() {
+  ++counters_.traceroutes;
+  if (offline()) ++offline_counters_.traceroutes;
+}
+
+bool Prober::vetoed(ProbeEvent& event) {
+  if (!fault_policy_) return false;
+  if (!fault_policy_(event)) return false;
+  event.suppressed = true;
+  return true;
+}
+
 PingResult Prober::ping(topology::HostId from, Ipv4Addr target) {
-  ++counters_.ping;
+  charge(ProbeType::kPing);
+  ProbeEvent event;
+  event.type = ProbeType::kPing;
+  event.from = from;
+  event.target = target;
+  event.offline = offline();
+  PingResult out;
+  if (vetoed(event)) {
+    out.duration_us = kProbeTimeoutUs;
+    notify(event);
+    return out;
+  }
   const auto& sender = topo().host(from);
   Packet probe = net::make_echo_request(sender.addr, target, next_id(), 1);
   const auto result = network_.send(probe, from);
-  PingResult out;
   out.responded = result.answered();
   out.duration_us = out.responded ? result.rtt_us : kProbeTimeoutUs;
+  event.responded = out.responded;
+  notify(event);
   return out;
 }
 
 RrProbeResult Prober::rr_ping(topology::HostId from, Ipv4Addr target,
                               std::optional<Ipv4Addr> spoof_as) {
-  if (spoof_as) {
-    ++counters_.spoofed_rr;
-  } else {
-    ++counters_.rr;
+  charge(spoof_as ? ProbeType::kSpoofedRecordRoute : ProbeType::kRecordRoute);
+  ProbeEvent event;
+  event.type =
+      spoof_as ? ProbeType::kSpoofedRecordRoute : ProbeType::kRecordRoute;
+  event.from = from;
+  event.target = target;
+  event.spoof_as = spoof_as;
+  event.offline = offline();
+  RrProbeResult out;
+  if (vetoed(event)) {
+    out.duration_us = kProbeTimeoutUs;
+    notify(event);
+    return out;
   }
   const auto& sender = topo().host(from);
   const Ipv4Addr src = spoof_as.value_or(sender.addr);
   Packet probe = net::make_echo_request(src, target, next_id(), 1);
   probe.rr = net::RecordRouteOption{};
   const auto result = network_.send(probe, from);
-  RrProbeResult out;
   out.responded = result.answered() && result.reply->rr.has_value();
   if (out.responded) {
     out.slots = result.reply->rr->to_vector();
@@ -89,23 +148,34 @@ RrProbeResult Prober::rr_ping(topology::HostId from, Ipv4Addr target,
   } else {
     out.duration_us = kProbeTimeoutUs;
   }
+  event.responded = out.responded;
+  event.slots = out.slots;
+  notify(event);
   return out;
 }
 
 TsProbeResult Prober::ts_ping(topology::HostId from, Ipv4Addr target,
                               std::span<const Ipv4Addr> prespec,
                               std::optional<Ipv4Addr> spoof_as) {
-  if (spoof_as) {
-    ++counters_.spoofed_ts;
-  } else {
-    ++counters_.ts;
+  charge(spoof_as ? ProbeType::kSpoofedTimestamp : ProbeType::kTimestamp);
+  ProbeEvent event;
+  event.type = spoof_as ? ProbeType::kSpoofedTimestamp : ProbeType::kTimestamp;
+  event.from = from;
+  event.target = target;
+  event.spoof_as = spoof_as;
+  event.offline = offline();
+  event.prespec.assign(prespec.begin(), prespec.end());
+  TsProbeResult out;
+  if (vetoed(event)) {
+    out.duration_us = kProbeTimeoutUs;
+    notify(event);
+    return out;
   }
   const auto& sender = topo().host(from);
   const Ipv4Addr src = spoof_as.value_or(sender.addr);
   Packet probe = net::make_echo_request(src, target, next_id(), 1);
   probe.ts = net::TimestampOption::prespecified(prespec);
   const auto result = network_.send(probe, from);
-  TsProbeResult out;
   out.responded = result.answered() && result.reply->ts.has_value();
   if (out.responded) {
     const auto entries = result.reply->ts->entries();
@@ -115,16 +185,21 @@ TsProbeResult Prober::ts_ping(topology::HostId from, Ipv4Addr target,
   } else {
     out.duration_us = kProbeTimeoutUs;
   }
+  event.responded = out.responded;
+  event.stamped = out.stamped;
+  notify(event);
   return out;
 }
 
 TracerouteResult Prober::traceroute(topology::HostId from, Ipv4Addr target) {
-  ++counters_.traceroutes;
+  charge_traceroute_head();
   const auto& sender = topo().host(from);
   TracerouteResult out;
   const std::uint16_t flow_id = next_id();  // Constant across TTLs (Paris).
+  std::uint64_t packets = 0;
   for (int ttl = 1; ttl <= kMaxTracerouteTtl; ++ttl) {
-    ++counters_.traceroute_packets;
+    charge(ProbeType::kTraceroute);
+    ++packets;
     Packet probe = net::make_echo_request(sender.addr, target, flow_id, 7,
                                           static_cast<std::uint8_t>(ttl));
     const auto result = network_.send(probe, from);
@@ -151,6 +226,18 @@ TracerouteResult Prober::traceroute(topology::HostId from, Ipv4Addr target) {
         break;
       }
     }
+  }
+  if (observer_ != nullptr) {
+    ProbeEvent event;
+    event.type = ProbeType::kTraceroute;
+    event.from = from;
+    event.target = target;
+    event.offline = offline();
+    event.responded = !out.responsive_hops().empty();
+    event.packets = packets;
+    event.tr_hops = out.responsive_hops();
+    event.tr_reached = out.reached;
+    notify(event);
   }
   return out;
 }

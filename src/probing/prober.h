@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -51,6 +52,42 @@ struct ProbeCounters {
   ProbeCounters& operator+=(const ProbeCounters& other);
   ProbeCounters operator-(const ProbeCounters& other) const;
 };
+
+// One probe as emitted by the Prober, with its observed outcome. This is the
+// ground-truth record the analysis layer (tools/revtr_mc) checks reverse
+// traceroutes against: every ReverseHop must be justified by some event, and
+// every packet charged to a request budget must appear here exactly once.
+struct ProbeEvent {
+  ProbeType type = ProbeType::kPing;
+  topology::HostId from = topology::kInvalidId;
+  net::Ipv4Addr target;
+  std::optional<net::Ipv4Addr> spoof_as;
+  bool responded = false;
+  bool offline = false;    // Sent inside an OfflineScope (background survey).
+  bool suppressed = false;  // Dropped by the fault policy before injection.
+  std::uint64_t packets = 1;  // Traceroute: one event, many packets.
+  std::vector<net::Ipv4Addr> slots;    // RR reply slots.
+  std::vector<net::Ipv4Addr> prespec;  // TS prespecified addresses.
+  std::vector<bool> stamped;           // TS stamps observed.
+  std::vector<net::Ipv4Addr> tr_hops;  // Traceroute responsive hops in order.
+  bool tr_reached = false;
+};
+
+// Passive tap on every probe the Prober emits. Observers must not issue
+// probes from the callback (no re-entrancy).
+class ProbeObserver {
+ public:
+  virtual ~ProbeObserver() = default;
+  virtual void on_probe(const ProbeEvent& event) = 0;
+};
+
+// Fault injection for the model checker: consulted before a probe is
+// injected (type/from/target/spoof_as/offline are filled in, outcome fields
+// are not). Returning true makes the probe vanish — it is still charged to
+// the counters, exactly like a probe lost in the network. Traceroutes are
+// not subject to fault policies (the schedules model RR/TS filtering and
+// spoof loss, which do not affect plain TTL-limited probes).
+using FaultPolicy = std::function<bool(const ProbeEvent&)>;
 
 struct PingResult {
   bool responded = false;
@@ -111,17 +148,59 @@ class Prober {
   TracerouteResult traceroute(topology::HostId from, net::Ipv4Addr target);
 
   const ProbeCounters& counters() const noexcept { return counters_; }
-  void reset_counters() { counters_ = ProbeCounters{}; }
+  void reset_counters() {
+    counters_ = ProbeCounters{};
+    offline_counters_ = ProbeCounters{};
+  }
+
+  // Subset of counters() sent while an OfflineScope was active: background
+  // measurement (ingress surveys, atlas builds/refreshes) that Table 4
+  // accounts separately from per-request budgets.
+  const ProbeCounters& offline_counters() const noexcept {
+    return offline_counters_;
+  }
+
+  // Marks probes issued during its lifetime as offline/background. Nests.
+  class OfflineScope {
+   public:
+    explicit OfflineScope(Prober& prober) : prober_(prober) {
+      ++prober_.offline_depth_;
+    }
+    ~OfflineScope() { --prober_.offline_depth_; }
+    OfflineScope(const OfflineScope&) = delete;
+    OfflineScope& operator=(const OfflineScope&) = delete;
+
+   private:
+    Prober& prober_;
+  };
+
+  // Observer outlives the prober's use of it; pass nullptr to detach.
+  void set_observer(ProbeObserver* observer) noexcept { observer_ = observer; }
+  void set_fault_policy(FaultPolicy policy) {
+    fault_policy_ = std::move(policy);
+  }
 
   sim::Network& network() noexcept { return network_; }
   const topology::Topology& topo() const noexcept { return network_.topo(); }
 
  private:
   std::uint16_t next_id() noexcept { return ++sequence_; }
+  bool offline() const noexcept { return offline_depth_ > 0; }
+  void charge(ProbeType type);
+  void charge_traceroute_head();
+  // Consults the fault policy; on a drop marks the event suppressed.
+  bool vetoed(ProbeEvent& event);
+  void notify(const ProbeEvent& event) {
+    if (observer_ != nullptr) observer_->on_probe(event);
+  }
 
   sim::Network& network_;
   ProbeCounters counters_;
+  ProbeCounters offline_counters_;
   std::uint16_t sequence_ = 0;
+  int offline_depth_ = 0;
+  ProbeObserver* observer_ = nullptr;
+  FaultPolicy fault_policy_;
 };
 
 }  // namespace revtr::probing

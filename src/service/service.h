@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -125,6 +126,14 @@ class RevtrService {
   // measurement (user-driven, campaign, or NDT) is recorded. ---
   void set_archive(MeasurementArchive* archive) { archive_ = archive; }
 
+  // --- Validation. Every served measurement is also handed to this
+  // inspector before archival (paranoid mode: analysis::ResultValidator
+  // re-checks the invariant catalog and counts violations). ---
+  using ResultInspector = std::function<void(const core::ReverseTraceroute&)>;
+  void set_inspector(ResultInspector inspector) {
+    inspector_ = std::move(inspector);
+  }
+
   // Batch campaign: measurements run on `parallelism` concurrent slots; the
   // campaign duration is the summed busy time divided by the slot count.
   CampaignStats run_campaign(
@@ -155,6 +164,7 @@ class RevtrService {
   std::unordered_map<topology::HostId, SourceRecord> sources_;
   UserId next_user_ = 1;
   void archive(const core::ReverseTraceroute& measurement) {
+    if (inspector_) inspector_(measurement);
     if (archive_ != nullptr) archive_->record(measurement, clock_.now());
   }
 
@@ -162,6 +172,7 @@ class RevtrService {
   std::size_t ndt_issued_today_ = 0;
   NdtStats ndt_stats_;
   MeasurementArchive* archive_ = nullptr;
+  ResultInspector inspector_;
 };
 
 }  // namespace revtr::service

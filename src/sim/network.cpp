@@ -23,6 +23,42 @@ bool Network::can_spoof(HostId sender) const {
          topo_.as_node(host.asn).allows_spoofed_egress;
 }
 
+std::vector<RouterId> Network::ground_truth_path(Ipv4Addr from, Ipv4Addr to,
+                                                 std::uint64_t salt,
+                                                 bool has_options) const {
+  std::vector<RouterId> path;
+  RouterId current = kInvalidId;
+  if (const auto host = topo_.host_at(from)) {
+    current = topo_.host(*host).attachment;
+  } else if (const auto iface = topo_.interface_at(from)) {
+    current = iface->router;
+  } else {
+    return path;
+  }
+
+  routing::PacketContext ctx;
+  ctx.src = from;
+  ctx.dst = to;
+  ctx.flow_key = salt;
+  ctx.has_options = has_options;
+  ctx.packet_salt = salt * 0x9e3779b97f4a7c15ULL + 1;
+
+  for (int hop = 0; hop < kHopLimit; ++hop) {
+    path.push_back(current);
+    const auto decision = plane_.decide(current, ctx);
+    switch (decision.kind) {
+      case routing::Decision::Kind::kForwardLink:
+        current = decision.next_router;
+        break;
+      case routing::Decision::Kind::kDeliverHost:
+      case routing::Decision::Kind::kDeliverRouter:
+      case routing::Decision::Kind::kDrop:
+        return path;
+    }
+  }
+  return path;  // Hop limit: forwarding loop; callers see the repetition.
+}
+
 void Network::stamp_rr(Packet& packet, const Router& router,
                        Ipv4Addr arrival_addr, Ipv4Addr egress_addr) const {
   if (!packet.rr || packet.rr->full()) return;

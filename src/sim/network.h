@@ -56,6 +56,18 @@ class Network {
   // address it does not own.
   bool can_spoof(topology::HostId sender) const;
 
+  // Router-level path a packet sourced at `from` would take toward `to`,
+  // without side effects (no counters, no loss, no option processing).
+  // `salt` seeds per-packet load balancing so callers can enumerate the
+  // ECMP-feasible path set; `has_options` matches the forwarding plane's
+  // slow-path treatment of optioned packets. `from`/`to` may be host or
+  // router-interface addresses; returns empty when `from` resolves to
+  // neither. This is the oracle's ground truth — the truth the real paper
+  // could not observe (§2).
+  std::vector<topology::RouterId> ground_truth_path(
+      net::Ipv4Addr from, net::Ipv4Addr to, std::uint64_t salt = 0,
+      bool has_options = false) const;
+
   // Random per-probe loss: with probability `rate` the probe (or its
   // reply) vanishes. Measurement systems must tolerate this; the
   // loss-robustness bench sweeps it.

@@ -100,6 +100,10 @@ const PrefixPlan& IngressDiscovery::discover(
   plan = PrefixPlan{};
   plan.prefix = prefix;
 
+  // The survey is offline measurement (Q3): its probes must never appear in
+  // a request's online budget, whichever caller triggers it.
+  const probing::Prober::OfflineScope offline(prober_);
+
   // Pick survey destinations: ping-responsive hosts of the prefix (the
   // hitlist view), excluding any caller-reserved hosts. Infrastructure
   // prefixes have no hosts; there the hitlist entries are responsive router

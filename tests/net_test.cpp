@@ -136,6 +136,62 @@ TEST(PrefixTrie, DefaultRoute) {
   EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 1);
 }
 
+TEST(PrefixTrie, EmptyTrieLookups) {
+  const PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), std::nullopt);
+  EXPECT_EQ(trie.lookup_prefix(Ipv4Addr(10, 0, 0, 1)), std::nullopt);
+  EXPECT_EQ(trie.find(Ipv4Prefix(Ipv4Addr(0, 0, 0, 0), 0)), std::nullopt);
+  EXPECT_EQ(trie.find(Ipv4Prefix(Ipv4Addr(10, 0, 0, 1), 32)), std::nullopt);
+}
+
+// The /0 and /32 boundaries together: a default route, a host route, and a
+// covering /8 must resolve by specificity, and lookup_prefix must report the
+// matched length at both extremes.
+TEST(PrefixTrie, BoundaryPrefixesCoexist) {
+  PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(0, 0, 0, 0), 0), 0);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 1, 2, 3), 32), 32);
+  EXPECT_EQ(trie.size(), 3u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 32);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 4)), 8);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(192, 0, 2, 1)), 0);
+
+  const auto host = trie.lookup_prefix(Ipv4Addr(10, 1, 2, 3));
+  ASSERT_TRUE(host);
+  EXPECT_EQ(host->first.length(), 32);
+  const auto fallback = trie.lookup_prefix(Ipv4Addr(192, 0, 2, 1));
+  ASSERT_TRUE(fallback);
+  EXPECT_EQ(fallback->first.length(), 0);
+
+  // Exact find distinguishes the nested prefixes; it never falls back.
+  EXPECT_EQ(trie.find(Ipv4Prefix(Ipv4Addr(10, 1, 2, 3), 32)), 32);
+  EXPECT_EQ(trie.find(Ipv4Prefix(Ipv4Addr(0, 0, 0, 0), 0)), 0);
+  EXPECT_EQ(trie.find(*Ipv4Prefix::parse("10.1.0.0/16")), std::nullopt);
+}
+
+TEST(PrefixTrie, OverlappingInsertsResolveBySpecificity) {
+  PrefixTrie<int> trie;
+  // Insert from most to least specific so insertion order cannot matter.
+  trie.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 24);
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 8);
+  // A sibling /24 under the same /16 must not shadow its neighbor.
+  trie.insert(*Ipv4Prefix::parse("10.1.3.0/24"), 243);
+  EXPECT_EQ(trie.size(), 4u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 1)), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 3, 1)), 243);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 4, 1)), 16);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 2, 0, 1)), 8);
+  // Overwriting the middle prefix leaves the nested ones untouched.
+  trie.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 160);
+  EXPECT_EQ(trie.size(), 4u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 4, 1)), 160);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 1)), 24);
+}
+
 // --------------------------------------------------------------------------
 // RecordRouteOption
 // --------------------------------------------------------------------------

@@ -132,6 +132,29 @@ TEST_F(SerializeFixture, ArchiveNdjsonRoundTrip) {
   }
 }
 
+// The online/offline probe split (Table 4 accounting) must survive the
+// round trip; offline_probes is emitted only when nonzero.
+TEST_F(SerializeFixture, OfflineProbesRoundTrip) {
+  auto result = results_[0];
+  result.offline_probes = probing::ProbeCounters{};
+  result.offline_probes.rr = 17;
+  result.offline_probes.traceroute_packets = 42;
+  const auto json = core::to_json(result, lab_->topo);
+  const auto restored = core::reverse_traceroute_from_json(json, lab_->topo);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored->offline_probes.rr, 17u);
+  EXPECT_EQ(restored->offline_probes.traceroute_packets, 42u);
+
+  auto none = results_[0];
+  none.offline_probes = probing::ProbeCounters{};
+  EXPECT_EQ(core::to_json(none, lab_->topo).find("offline_probes"), nullptr);
+  const auto restored_none =
+      core::reverse_traceroute_from_json(core::to_json(none, lab_->topo),
+                                         lab_->topo);
+  ASSERT_TRUE(restored_none);
+  EXPECT_EQ(restored_none->offline_probes.total(), 0u);
+}
+
 TEST_F(SerializeFixture, ArchiveImportSkipsGarbageLines) {
   service::MeasurementArchive archive(lab_->topo);
   archive.record(results_[0], 1);

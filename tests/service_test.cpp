@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/validator.h"
 #include "eval/harness.h"
 #include "service/service.h"
 
@@ -175,6 +176,30 @@ TEST_F(ServiceFixture, NdtMeasurementsBudgeted) {
 TEST_F(ServiceFixture, NdtToUnregisteredServerRejected) {
   EXPECT_FALSE(service_->on_ndt_measurement(
       lab_->topo.probe_hosts()[0], lab_->topo.vantage_points()[1]));
+}
+
+// Paranoid mode: every served measurement flows through the inspector hook
+// before archival, where analysis::ResultValidator re-checks the invariant
+// catalog (budget excluded — the service interleaves maintenance probes).
+TEST_F(ServiceFixture, InspectorValidatesEveryServedMeasurement) {
+  analysis::ProbeLog log;
+  lab_->prober.set_observer(&log);
+  analysis::ResultValidator validator(lab_->topo, lab_->ip2as,
+                                      lab_->engine.config(), log);
+  service_->set_inspector(validator.inspector());
+
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const UserId user = service_->add_user("auditor");
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service_->request(user, lab_->topo.probe_hosts()[i], source));
+  }
+  EXPECT_EQ(validator.checked(), 3u);
+  for (const auto& violation : validator.violations()) {
+    ADD_FAILURE() << analysis::to_string(violation.id) << ": "
+                  << violation.detail;
+  }
+  EXPECT_TRUE(validator.clean());
 }
 
 TEST_F(ServiceFixture, DailyRefreshAdvancesClockAndKeepsAtlas) {

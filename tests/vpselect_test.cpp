@@ -244,5 +244,39 @@ TEST_F(VpSelectFixture, DiscoveredDistancesAgreeWithTopologyScale) {
   EXPECT_GT(close.value(), 0.1);
 }
 
+// Degenerate survey inputs: no vantage points at all, and a network that
+// drops every probe. Discovery must produce an empty-but-usable plan (no
+// ingresses, empty fallback, empty attempt list, no optimal VP) rather than
+// crash or fabricate coverage.
+TEST_F(VpSelectFixture, DiscoveryWithZeroResponsiveVpsYieldsEmptyPlan) {
+  const auto prefixes = lab_->customer_prefixes();
+
+  // No VPs provided.
+  {
+    const auto& plan = lab_->ingress.discover(prefixes[5], {}, lab_->rng);
+    EXPECT_FALSE(plan.has_ingresses());
+    EXPECT_TRUE(plan.vp_info.empty());
+    EXPECT_TRUE(plan.fallback_ranking().empty());
+    EXPECT_TRUE(attempt_plan(plan).empty());
+    EXPECT_FALSE(optimal_vp(plan));
+    EXPECT_TRUE(revtr1_vp_order(plan).empty());
+  }
+
+  // VPs exist but every probe is lost: nobody responds, nobody is in range.
+  {
+    lab_->network.set_loss_rate(1.0);
+    const auto& plan = lab_->ingress.discover(
+        prefixes[6], lab_->topo.vantage_points(), lab_->rng);
+    lab_->network.set_loss_rate(0.0);
+    EXPECT_FALSE(plan.has_ingresses());
+    for (const auto& info : plan.vp_info) {
+      EXPECT_FALSE(info.in_range());
+    }
+    EXPECT_TRUE(plan.fallback_ranking().empty());
+    EXPECT_TRUE(attempt_plan(plan).empty());
+    EXPECT_FALSE(optimal_vp(plan));
+  }
+}
+
 }  // namespace
 }  // namespace revtr::vpselect

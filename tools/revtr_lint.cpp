@@ -17,11 +17,36 @@
 //                    lives in the `revtr` namespace.
 //   std-endl         `std::endl` in src/ or bench/ (hot paths): it forces a
 //                    flush per line; use '\n'.
+//   layering         src/ include edges must follow the module DAG below:
+//                    a module may include only strictly lower-ranked
+//                    modules (or itself). Cycles are therefore impossible;
+//                    a generic cycle detector still runs as a backstop.
+//   enum-switch-default
+//                    A switch in src/ whose cases name qualified
+//                    enumerators (`case Foo::kBar:`) must not carry a
+//                    `default:` label: it would swallow new enumerators
+//                    that -Wswitch would otherwise force every switch to
+//                    handle (pins HopSource/RevtrStatus exhaustiveness).
+//
+// Module DAG (rank order; an include edge must point strictly downward):
+//   util(0) → net(1) → topology(2) → routing(3) → sim(4) → probing(5)
+//   → alias(6), asmap(6) → atlas(7), vpselect(7) → core(8) → analysis(9)
+//   → eval(10), service(10)
+// tools/, tests/, bench/ and examples/ sit on top and may include anything.
+//
+// `revtr_lint --self-test` exercises both accept and reject paths of the
+// layering and enum-switch rules on synthetic inputs; it is registered in
+// ctest so the analyzer itself cannot silently rot.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -130,6 +155,130 @@ bool allows(const std::string& raw_line, std::string_view rule) {
   return raw_line.find(marker) != std::string::npos;
 }
 
+// --- Layering. -------------------------------------------------------------
+
+// The module DAG, as ranks. An include edge src/<A>/… → "<B>/…" is legal
+// iff A == B or rank[B] < rank[A]. Adding a module under src/ requires
+// adding it here, which forces a layering decision in review.
+const std::map<std::string, int, std::less<>>& module_ranks() {
+  static const std::map<std::string, int, std::less<>> kRanks = {
+      {"util", 0},  {"net", 1},      {"topology", 2}, {"routing", 3},
+      {"sim", 4},   {"probing", 5},  {"alias", 6},    {"asmap", 6},
+      {"atlas", 7}, {"vpselect", 7}, {"core", 8},     {"analysis", 9},
+      {"eval", 10}, {"service", 10},
+  };
+  return kRanks;
+}
+
+// Module of a repo-relative path, or "" when the file is not under a
+// src/<module>/ directory (tools, tests, bench sit above the DAG).
+std::string module_of(const std::string& rel) {
+  constexpr std::string_view kPrefix = "src/";
+  if (rel.rfind(kPrefix, 0) != 0) return "";
+  const std::size_t slash = rel.find('/', kPrefix.size());
+  if (slash == std::string::npos) return "";
+  return rel.substr(kPrefix.size(), slash - kPrefix.size());
+}
+
+// Generic cycle finder over the collected module graph. With strictly
+// decreasing ranks a cycle cannot pass the rank check, so this only fires
+// if the rank table itself is edited into an inconsistency — or in the
+// self-test, which feeds it synthetic graphs.
+std::optional<std::vector<std::string>> find_cycle(
+    const std::set<std::pair<std::string, std::string>>& edges) {
+  std::map<std::string, std::vector<std::string>> adjacent;
+  for (const auto& [from, to] : edges) adjacent[from].push_back(to);
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::optional<std::vector<std::string>> cycle;
+
+  const std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = Color::kGray;
+        stack.push_back(node);
+        for (const auto& next : adjacent[node]) {
+          const Color c = color.count(next) ? color[next] : Color::kWhite;
+          if (c == Color::kGray) {
+            // Slice the stack from the first occurrence of `next`.
+            std::vector<std::string> path;
+            bool in_cycle = false;
+            for (const auto& n : stack) {
+              if (n == next) in_cycle = true;
+              if (in_cycle) path.push_back(n);
+            }
+            path.push_back(next);
+            cycle = std::move(path);
+            return true;
+          }
+          if (c == Color::kWhite && visit(next)) return true;
+        }
+        stack.pop_back();
+        color[node] = Color::kBlack;
+        return false;
+      };
+
+  for (const auto& [from, to] : edges) {
+    if (!color.count(from) && visit(from)) break;
+  }
+  return cycle;
+}
+
+// --- Switch scanning. ------------------------------------------------------
+
+struct SwitchSpan {
+  std::size_t keyword = 0;  // Position of the `switch` token.
+  std::size_t open = 0;     // Its block's '{'.
+  std::size_t close = 0;    // The matching '}'.
+};
+
+std::vector<SwitchSpan> find_switches(const std::string& code) {
+  std::vector<SwitchSpan> out;
+  static const std::regex kSwitch(R"(\bswitch\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kSwitch);
+       it != std::sregex_iterator(); ++it) {
+    SwitchSpan span;
+    span.keyword = static_cast<std::size_t>(it->position());
+    span.open = code.find('{', span.keyword);
+    if (span.open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = span.open; i < code.size(); ++i) {
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    span.close = close;
+    out.push_back(span);
+  }
+  return out;
+}
+
+// The switch body with nested switch statements excised, so an inner
+// switch's `default:` cannot be attributed to the outer one.
+std::string own_body(const std::string& code, const SwitchSpan& span,
+                     const std::vector<SwitchSpan>& all) {
+  std::string own;
+  std::size_t i = span.open + 1;
+  while (i < span.close) {
+    bool skipped = false;
+    for (const auto& nested : all) {
+      if (nested.keyword == i && nested.open > span.open &&
+          nested.close < span.close) {
+        i = nested.close + 1;
+        skipped = true;
+        break;
+      }
+    }
+    if (!skipped) own.push_back(code[i++]);
+  }
+  return own;
+}
+
 class Linter {
  public:
   explicit Linter(fs::path root) : root_(std::move(root)) {}
@@ -137,22 +286,27 @@ class Linter {
   void lint_file(const fs::path& path) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-      report(path, 0, "io", "cannot open file");
+      report(relative_path(path), 0, "io", "cannot open file");
       return;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::string raw = buffer.str();
+    lint_source(relative_path(path), buffer.str());
+  }
+
+  // The actual pass, separated from file IO so --self-test can feed
+  // synthetic sources.
+  void lint_source(const std::string& rel, const std::string& raw) {
     const std::string code = strip_comments_and_literals(raw);
     const auto raw_lines = split_lines(raw);
     const auto code_lines = split_lines(code);
 
-    const std::string rel = relative_path(path);
     const bool in_net = rel.rfind("src/net/", 0) == 0;
     const bool in_src = rel.rfind("src/", 0) == 0;
     const bool in_hot = in_src || rel.rfind("bench/", 0) == 0;
+    const std::string module = module_of(rel);
 
-    if (in_src && has_extension(path, ".h")) check_header(path, code);
+    if (in_src && has_extension(fs::path(rel), ".h")) check_header(rel, code);
 
     // clang-format off
     static const std::regex kRawNew(
@@ -162,6 +316,11 @@ class Linter {
     static const std::regex kNarrowingCast(
         R"(static_cast<\s*(std::)?(u?int(8|16|32)_t|(un)?signed\s+char|char|short|(un)?signed\s+short)\s*>)");
     static const std::regex kStdEndl(R"(std\s*::\s*endl)");
+    // The stripper blanks string contents, so the include *path* must come
+    // from the raw line; the stripped line still proves the directive is
+    // not inside a comment.
+    static const std::regex kIncludeStripped(R"(^\s*#\s*include\s*"")");
+    static const std::regex kIncludeRaw(R"re(^\s*#\s*include\s*"([^"]+)")re");
     // clang-format on
 
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
@@ -170,29 +329,47 @@ class Linter {
       const std::size_t lineno = i + 1;
 
       if (std::regex_search(line, kRawNew) && !allows(raw_line, "raw-new-delete")) {
-        report(path, lineno, "raw-new-delete",
+        report(rel, lineno, "raw-new-delete",
                "raw new; use std::make_unique or a container");
       }
       if (std::regex_search(line, kRawDelete) &&
           !allows(raw_line, "raw-new-delete")) {
-        report(path, lineno, "raw-new-delete",
+        report(rel, lineno, "raw-new-delete",
                "raw delete; owners must use RAII");
       }
       if (in_net && std::regex_search(line, kNarrowingCast) &&
           !allows(raw_line, "narrowing-cast")) {
-        report(path, lineno, "narrowing-cast",
+        report(rel, lineno, "narrowing-cast",
                "unchecked narrowing static_cast in src/net/; use "
                "util::checked_cast or util::truncate_cast");
       }
       if (in_hot && std::regex_search(line, kStdEndl) &&
           !allows(raw_line, "std-endl")) {
-        report(path, lineno, "std-endl",
+        report(rel, lineno, "std-endl",
                "std::endl flushes per line; use '\\n'");
       }
+      if (!module.empty() && std::regex_search(line, kIncludeStripped)) {
+        std::smatch match;
+        if (std::regex_search(raw_line, match, kIncludeRaw)) {
+          check_include(rel, lineno, module, match[1].str(), raw_line);
+        }
+      }
     }
+
+    if (in_src) check_switches(rel, code, raw_lines);
   }
 
-  int finish() const {
+  int finish() {
+    // Backstop: a cycle among modules can only appear if the rank table is
+    // edited into inconsistency, but it is cheap to prove there is none.
+    if (const auto cycle = find_cycle(module_edges_)) {
+      std::string path;
+      for (const auto& node : *cycle) {
+        if (!path.empty()) path += " -> ";
+        path += node;
+      }
+      report("src", 0, "layering", "module include cycle: " + path);
+    }
     if (violations_.empty()) {
       std::printf("revtr-lint: ok (%zu files)\n", files_checked_);
       return 0;
@@ -212,16 +389,79 @@ class Linter {
   }
 
   void note_file() { ++files_checked_; }
+  const std::vector<Violation>& violations() const { return violations_; }
 
  private:
-  void check_header(const fs::path& path, const std::string& code) {
+  void check_header(const std::string& rel, const std::string& code) {
     if (code.find("#pragma once") == std::string::npos) {
-      report(path, 0, "header-hygiene", "missing #pragma once");
+      report(rel, 0, "header-hygiene", "missing #pragma once");
     }
     static const std::regex kRevtrNamespace(R"(namespace\s+revtr\b)");
     if (!std::regex_search(code, kRevtrNamespace)) {
-      report(path, 0, "header-hygiene",
+      report(rel, 0, "header-hygiene",
              "public header must declare the revtr namespace");
+    }
+  }
+
+  void check_include(const std::string& rel, std::size_t lineno,
+                     const std::string& module, const std::string& target,
+                     const std::string& raw_line) {
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) return;  // Not a module-qualified path.
+    const std::string to_module = target.substr(0, slash);
+    if (to_module == module) return;
+    module_edges_.insert({module, to_module});
+    if (allows(raw_line, "layering")) return;
+
+    const auto& ranks = module_ranks();
+    const auto from_rank = ranks.find(module);
+    const auto to_rank = ranks.find(to_module);
+    if (from_rank == ranks.end()) {
+      report(rel, lineno, "layering",
+             "module '" + module +
+                 "' is not in the module DAG; add it to module_ranks() in "
+                 "tools/revtr_lint.cpp");
+      return;
+    }
+    if (to_rank == ranks.end()) {
+      report(rel, lineno, "layering",
+             "included module '" + to_module + "' is not in the module DAG");
+      return;
+    }
+    if (to_rank->second >= from_rank->second) {
+      report(rel, lineno, "layering",
+             "upward include: " + module + " (rank " +
+                 std::to_string(from_rank->second) + ") must not include " +
+                 to_module + " (rank " + std::to_string(to_rank->second) +
+                 "); the module DAG is util -> net -> topology -> routing -> "
+                 "sim -> probing -> alias/asmap -> atlas/vpselect -> core -> "
+                 "analysis -> eval/service");
+    }
+  }
+
+  void check_switches(const std::string& rel, const std::string& code,
+                      const std::vector<std::string>& raw_lines) {
+    static const std::regex kEnumCase(R"(\bcase\s+\w+\s*::)");
+    static const std::regex kDefaultLabel(R"(\bdefault\s*:)");
+    const auto switches = find_switches(code);
+    for (const auto& span : switches) {
+      const std::string body = own_body(code, span, switches);
+      if (!std::regex_search(body, kEnumCase) ||
+          !std::regex_search(body, kDefaultLabel)) {
+        continue;
+      }
+      const std::size_t lineno =
+          1 + static_cast<std::size_t>(
+                  std::count(code.begin(),
+                             code.begin() + static_cast<long>(span.keyword),
+                             '\n'));
+      const std::string& raw_line =
+          lineno - 1 < raw_lines.size() ? raw_lines[lineno - 1] : std::string();
+      if (allows(raw_line, "enum-switch-default")) continue;
+      report(rel, lineno, "enum-switch-default",
+             "switch over an enum class has a default: label, which would "
+             "swallow new enumerators; enumerate every case so -Wswitch "
+             "stays exhaustive");
     }
   }
 
@@ -229,22 +469,182 @@ class Linter {
     return fs::relative(path, root_).generic_string();
   }
 
-  void report(const fs::path& path, std::size_t line, std::string rule,
+  void report(std::string file, std::size_t line, std::string rule,
               std::string message) {
-    violations_.push_back(Violation{relative_path(path), line, std::move(rule),
-                                    std::move(message)});
+    violations_.push_back(
+        Violation{std::move(file), line, std::move(rule), std::move(message)});
   }
 
   fs::path root_;
   std::vector<Violation> violations_;
+  std::set<std::pair<std::string, std::string>> module_edges_;
   std::size_t files_checked_ = 0;
 };
+
+// --- Self-test. ------------------------------------------------------------
+
+int run_self_test() {
+  std::size_t checks = 0;
+  std::size_t failures = 0;
+  const auto expect = [&](bool ok, const char* what) {
+    ++checks;
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "revtr-lint self-test FAIL: %s\n", what);
+    }
+  };
+  const auto count_rule = [](const Linter& linter, std::string_view rule) {
+    std::size_t n = 0;
+    for (const auto& v : linter.violations()) {
+      if (v.rule == rule) ++n;
+    }
+    return n;
+  };
+
+  {  // A downward include edge conforms to the DAG.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/revtr.cpp", "#include \"atlas/atlas.h\"\n");
+    expect(count_rule(linter, "layering") == 0, "downward include accepted");
+  }
+  {  // An artificially introduced upward include fails.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/rng.cpp", "#include \"core/revtr.h\"\n");
+    expect(count_rule(linter, "layering") == 1, "upward include rejected");
+  }
+  {  // Same-rank cross-module includes are upward edges too.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/alias/alias.cpp", "#include \"asmap/asmap.h\"\n");
+    expect(count_rule(linter, "layering") == 1, "lateral include rejected");
+  }
+  {  // Intra-module includes are always fine.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/serialize.cpp", "#include \"core/revtr.h\"\n");
+    expect(count_rule(linter, "layering") == 0, "intra-module include accepted");
+  }
+  {  // A module missing from the rank table must be declared.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/newmod/thing.cpp", "#include \"util/rng.h\"\n");
+    expect(count_rule(linter, "layering") == 1, "unknown module rejected");
+  }
+  {  // Commented-out includes do not create edges.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/rng.cpp",
+                       "// #include \"core/revtr.h\"\n");
+    expect(count_rule(linter, "layering") == 0, "commented include ignored");
+  }
+  {  // Suppression marker works for layering.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/util/rng.cpp",
+        "#include \"core/revtr.h\"  // lint:allow(layering)\n");
+    expect(count_rule(linter, "layering") == 0, "layering suppression honored");
+  }
+  {  // The generic cycle detector finds a 3-cycle and accepts a chain.
+    const std::set<std::pair<std::string, std::string>> cyclic = {
+        {"a", "b"}, {"b", "c"}, {"c", "a"}};
+    expect(find_cycle(cyclic).has_value(), "3-cycle detected");
+    const std::set<std::pair<std::string, std::string>> chain = {
+        {"a", "b"}, {"b", "c"}};
+    expect(!find_cycle(chain).has_value(), "acyclic chain accepted");
+  }
+  {  // default: in an enum-class switch is flagged.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "void f(E e) {\n"
+                       "  switch (e) {\n"
+                       "    case E::kA: break;\n"
+                       "    default: break;\n"
+                       "  }\n"
+                       "}\n");
+    expect(count_rule(linter, "enum-switch-default") == 1,
+           "enum switch with default flagged");
+  }
+  {  // A switch over plain values keeps its default.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "int f(char c) {\n"
+                       "  switch (c) {\n"
+                       "    case 'a': return 1;\n"
+                       "    default: return 0;\n"
+                       "  }\n"
+                       "}\n");
+    expect(count_rule(linter, "enum-switch-default") == 0,
+           "non-enum switch with default accepted");
+  }
+  {  // An exhaustive enum switch without default is clean.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "int f(E e) {\n"
+                       "  switch (e) {\n"
+                       "    case E::kA: return 1;\n"
+                       "    case E::kB: return 2;\n"
+                       "  }\n"
+                       "  return 0;\n"
+                       "}\n");
+    expect(count_rule(linter, "enum-switch-default") == 0,
+           "exhaustive enum switch accepted");
+  }
+  {  // An inner char-switch default is not attributed to the outer
+     // enum switch.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "int f(E e, char c) {\n"
+                       "  switch (e) {\n"
+                       "    case E::kA:\n"
+                       "      switch (c) {\n"
+                       "        case 'x': return 1;\n"
+                       "        default: return 2;\n"
+                       "      }\n"
+                       "    case E::kB: return 3;\n"
+                       "  }\n"
+                       "  return 0;\n"
+                       "}\n");
+    expect(count_rule(linter, "enum-switch-default") == 0,
+           "nested switch default not misattributed");
+  }
+  {  // Suppression marker works for the switch rule.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "void f(E e) {\n"
+                       "  switch (e) {  // lint:allow(enum-switch-default)\n"
+                       "    case E::kA: break;\n"
+                       "    default: break;\n"
+                       "  }\n"
+                       "}\n");
+    expect(count_rule(linter, "enum-switch-default") == 0,
+           "switch suppression honored");
+  }
+  {  // Outside src/, neither rule applies (tests may include anything and
+     // keep defensive defaults).
+    Linter linter{fs::path(".")};
+    linter.lint_source("tests/x_test.cpp",
+                       "#include \"core/revtr.h\"\n"
+                       "void f(E e) {\n"
+                       "  switch (e) {\n"
+                       "    case E::kA: break;\n"
+                       "    default: break;\n"
+                       "  }\n"
+                       "}\n");
+    expect(linter.violations().empty(), "rules scoped to src/");
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "revtr-lint self-test: %zu/%zu checks failed\n",
+                 failures, checks);
+    return 1;
+  }
+  std::printf("revtr-lint self-test: ok (%zu checks)\n", checks);
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 2 && std::string_view(argv[1]) == "--self-test") {
+    return run_self_test();
+  }
   if (argc != 2) {
-    std::fprintf(stderr, "usage: revtr_lint <repo-root>\n");
+    std::fprintf(stderr, "usage: revtr_lint <repo-root> | --self-test\n");
     return 2;
   }
   const fs::path root = argv[1];
