@@ -1,0 +1,124 @@
+// Parallel campaign scaling: wall-clock speedup from running one batch
+// campaign on 1/2/4/8 real worker threads (service/parallel.h).
+//
+// The deployment's campaign throughput is latency-bound, not CPU-bound:
+// a request spends most of its life waiting out 10 s spoofed-batch
+// timeouts (§5.2.4), so additional workers overlap those waits even on a
+// single core. --pacing holds each worker slot for that wait (real seconds
+// per simulated second of request latency); --pacing=0 degenerates to a
+// pure CPU benchmark where extra workers cannot help on one core.
+//
+// Besides timing, the bench asserts the driver's core promise: every worker
+// count measures the *same* set of reverse traceroutes (per-request
+// signature over endpoints, status, and hop sequence). The final line is a
+// machine-readable JSON object.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/parallel.h"
+#include "util/json.h"
+
+using namespace revtr;
+
+namespace {
+
+std::uint64_t campaign_signature(
+    const std::vector<core::ReverseTraceroute>& results) {
+  // Order-sensitive hash over each request's identity: results are indexed
+  // by input position, so equal hashes mean equal measurement sets.
+  std::uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const auto& r : results) {
+    std::string s = std::to_string(r.destination) + ">" +
+                    std::to_string(r.source) + ":" + core::to_string(r.status);
+    for (const auto& hop : r.hops) {
+      s += "|" + hop.addr.to_string() + "/" + core::to_string(hop.source);
+    }
+    acc = util::mix_hash(acc, std::hash<std::string>{}(s));
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+  auto setup = bench::parse_setup(flags);
+  setup.revtrs = static_cast<std::size_t>(flags.get_int("revtrs", 500));
+  const double pacing = flags.get_double("pacing", 2e-3);
+  bench::warn_unknown_flags(flags);
+  bench::print_header("Parallel campaign scaling (real threads)", setup);
+
+  eval::Lab lab(setup.topo);
+  const auto source = lab.topo.vantage_points()[0];
+  lab.bootstrap_source(source, setup.atlas_size);
+  std::vector<std::pair<topology::HostId, topology::HostId>> pairs;
+  const auto dests = lab.responsive_destinations(true);
+  for (std::size_t i = 0; i < setup.revtrs; ++i) {
+    pairs.emplace_back(dests[i % dests.size()], source);
+  }
+
+  const service::CampaignDeps deps{lab.topo,  lab.plane, lab.atlas,
+                                   lab.ingress, lab.ip2as, lab.relationships};
+  const std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+
+  util::TextTable table({"workers", "wall (s)", "speedup", "revtr/s (wall)",
+                         "completed", "probes"});
+  util::Json runs = util::Json::array();
+  double baseline_wall = 0;
+  std::uint64_t baseline_signature = 0;
+  bool identical_sets = true;
+  double speedup_at_4 = 0;
+
+  for (const std::size_t workers : worker_counts) {
+    service::ParallelCampaignOptions options;
+    options.workers = workers;
+    options.seed = setup.seed;
+    options.pacing_scale = pacing;
+    service::ParallelCampaignDriver driver(deps, options);
+    const auto report = driver.run(pairs);
+
+    const std::uint64_t sig = campaign_signature(report.results);
+    if (baseline_wall == 0) {
+      baseline_wall = report.wall_seconds;
+      baseline_signature = sig;
+    }
+    identical_sets = identical_sets && (sig == baseline_signature);
+    const double speedup = baseline_wall / report.wall_seconds;
+    if (workers == 4) speedup_at_4 = speedup;
+    const double rate =
+        static_cast<double>(pairs.size()) / report.wall_seconds;
+
+    table.add_row({std::to_string(workers), util::cell(report.wall_seconds, 2),
+                   util::cell(speedup, 2), util::cell(rate, 1),
+                   std::to_string(report.stats.completed),
+                   util::cell_count(report.stats.probes.total())});
+
+    util::Json run = util::Json::object();
+    run["workers"] = static_cast<double>(workers);
+    run["wall_seconds"] = report.wall_seconds;
+    run["speedup"] = speedup;
+    run["revtrs_per_second"] = rate;
+    run["completed"] = static_cast<double>(report.stats.completed);
+    run["aborted"] = static_cast<double>(report.stats.aborted);
+    run["unreachable"] = static_cast<double>(report.stats.unreachable);
+    run["probes"] = static_cast<double>(report.stats.probes.total());
+    run["signature"] = std::to_string(sig);
+    runs.push_back(std::move(run));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("identical measurement sets across worker counts: %s\n",
+              identical_sets ? "yes" : "NO — DETERMINISM BROKEN");
+
+  util::Json out = util::Json::object();
+  out["revtrs"] = static_cast<double>(pairs.size());
+  out["pacing_scale"] = pacing;
+  out["identical_sets"] = identical_sets;
+  out["speedup_at_4_workers"] = speedup_at_4;
+  out["runs"] = std::move(runs);
+  std::printf("%s\n", out.dump().c_str());
+  return identical_sets ? 0 : 1;
+}

@@ -79,9 +79,11 @@ int main(int argc, char** argv) {
   const auto stats = svc.run_campaign(pairs, /*parallelism=*/16);
   std::printf(
       "\ncampaign: %zu requests, coverage %.0f%%, median latency %.1f s,\n"
-      "modelled throughput %.1f revtr/s on 16 slots, %llu probe packets\n",
+      "modelled %.1f processed/s (%.1f completed/s) on 16 slots, "
+      "%llu probe packets\n",
       stats.requested, stats.coverage() * 100,
-      stats.latency_seconds.median(), stats.throughput_per_second(),
+      stats.latency_seconds.median(), stats.processed_per_second(),
+      stats.completed_per_second(),
       static_cast<unsigned long long>(stats.probes.total()));
 
   // --- Daily maintenance. ---

@@ -9,9 +9,11 @@
 #               state sweep under ASan is the deepest memory check we run).
 #   3. ubsan    UndefinedBehaviorSanitizer with -fno-sanitize-recover=all
 #               (any UB aborts the test), full ctest suite.
-#   4. tsan     ThreadSanitizer; opt-in via REVTR_CHECK_TSAN=1 because the
-#               pipeline is single-threaded today and the extra build is
-#               expensive on small machines.
+#   4. tsan     ThreadSanitizer over the concurrency suite (thread pool,
+#               synchronized Distribution, striped caches, parallel campaign
+#               driver) — the racy paths the parallel batch driver actually
+#               exercises. REVTR_CHECK_TSAN=0 skips the stage;
+#               REVTR_CHECK_TSAN=full runs the whole ctest suite under TSan.
 #
 # --quick: inner-loop mode — default preset only, and only the fast
 # correctness tiers: revtr_lint (lint + layering + self-test) and the unit
@@ -59,11 +61,22 @@ fi
 run_config default
 run_config asan
 run_config ubsan
-if [ "${REVTR_CHECK_TSAN:-0}" = "1" ]; then
-    run_config tsan
-else
-    echo "==> [tsan] skipped (set REVTR_CHECK_TSAN=1 to enable)"
-fi
+case "${REVTR_CHECK_TSAN:-1}" in
+    0)
+        echo "==> [tsan] skipped (REVTR_CHECK_TSAN=0)"
+        ;;
+    full)
+        run_config tsan
+        ;;
+    *)
+        echo "==> [tsan] configure"
+        cmake --preset tsan >/dev/null
+        echo "==> [tsan] build"
+        cmake --build --preset tsan -j "$JOBS"
+        echo "==> [tsan] concurrency suite"
+        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ParallelCampaign'
+        ;;
+esac
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy"

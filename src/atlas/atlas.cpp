@@ -1,6 +1,7 @@
 #include "atlas/atlas.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 namespace revtr::atlas {
@@ -56,11 +57,26 @@ void TracerouteAtlas::index_hops(SourceAtlas& atlas) {
   }
 }
 
+const TracerouteAtlas::SourceAtlas* TracerouteAtlas::find_atlas(
+    HostId source) const {
+  const std::shared_lock<std::shared_mutex> lock(sources_mu_);
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
 util::SimClock::Micros TracerouteAtlas::build(HostId source,
                                               std::size_t count,
                                               util::Rng& rng,
                                               util::SimClock::Micros now) {
-  SourceAtlas& atlas = sources_[source];
+  SourceAtlas* slot;
+  {
+    const std::unique_lock<std::shared_mutex> map_lock(sources_mu_);
+    slot = &sources_[source];
+  }
+  // unordered_map references are stable, so the contents can be rebuilt
+  // under the source's stripe without blocking lookups for other sources.
+  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  SourceAtlas& atlas = *slot;
   atlas.traceroutes.clear();
   atlas.rr_index.clear();
   const auto probes_span = topo_.probe_hosts();
@@ -73,7 +89,13 @@ util::SimClock::Micros TracerouteAtlas::build(HostId source,
 
 util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
                                                 util::SimClock::Micros now) {
-  SourceAtlas& atlas = sources_.at(source);
+  SourceAtlas* slot;
+  {
+    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    slot = &sources_.at(source);
+  }
+  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  SourceAtlas& atlas = *slot;
   const std::size_t target = atlas.traceroutes.size();
 
   // Keep useful probes, re-measuring them; replace the rest.
@@ -101,7 +123,13 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
 }
 
 void TracerouteAtlas::build_rr_alias_index(HostId source) {
-  SourceAtlas& atlas = sources_.at(source);
+  SourceAtlas* slot;
+  {
+    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    slot = &sources_.at(source);
+  }
+  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  SourceAtlas& atlas = *slot;
   atlas.rr_index.clear();
   // RR-alias indexing is offline work like the atlas build itself (Q2 runs
   // during source bootstrap, not per request).
@@ -136,16 +164,16 @@ void TracerouteAtlas::build_rr_alias_index(HostId source) {
 
 std::optional<Intersection> TracerouteAtlas::intersect(
     HostId source, Ipv4Addr addr, bool use_rr_index) const {
-  const auto it = sources_.find(source);
-  if (it == sources_.end()) return std::nullopt;
-  const SourceAtlas& atlas = it->second;
-  if (const auto hit = atlas.hop_index.find(addr);
-      hit != atlas.hop_index.end()) {
+  const SourceAtlas* atlas = find_atlas(source);
+  if (atlas == nullptr) return std::nullopt;
+  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  if (const auto hit = atlas->hop_index.find(addr);
+      hit != atlas->hop_index.end()) {
     return hit->second;
   }
   if (use_rr_index) {
-    if (const auto hit = atlas.rr_index.find(addr);
-        hit != atlas.rr_index.end()) {
+    if (const auto hit = atlas->rr_index.find(addr);
+        hit != atlas->rr_index.end()) {
       return hit->second;
     }
   }
@@ -154,14 +182,18 @@ std::optional<Intersection> TracerouteAtlas::intersect(
 
 std::optional<Intersection> TracerouteAtlas::intersect_with_aliases(
     HostId source, Ipv4Addr addr, const alias::AliasStore& aliases) const {
-  const auto it = sources_.find(source);
-  if (it == sources_.end()) return std::nullopt;
-  if (const auto exact = intersect(source, addr, /*use_rr_index=*/false)) {
-    return exact;
+  const SourceAtlas* atlas = find_atlas(source);
+  if (atlas == nullptr) return std::nullopt;
+  // The exact hop_index probe is inlined (rather than calling intersect())
+  // so the stripe's shared lock is taken once; shared_mutex does not
+  // guarantee recursive shared acquisition.
+  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  if (const auto hit = atlas->hop_index.find(addr);
+      hit != atlas->hop_index.end()) {
+    return hit->second;
   }
   if (!aliases.knows(addr)) return std::nullopt;
-  const SourceAtlas& atlas = it->second;
-  for (const auto& [hop_addr, where] : atlas.hop_index) {
+  for (const auto& [hop_addr, where] : atlas->hop_index) {
     if (aliases.same_router(addr, hop_addr)) return where;
   }
   return std::nullopt;
@@ -169,8 +201,12 @@ std::optional<Intersection> TracerouteAtlas::intersect_with_aliases(
 
 std::vector<Ipv4Addr> TracerouteAtlas::suffix_after(
     HostId source, const Intersection& at) const {
-  const SourceAtlas& atlas = sources_.at(source);
-  const auto& hops = atlas.traceroutes.at(at.traceroute_index).hops;
+  const SourceAtlas* atlas = find_atlas(source);
+  if (atlas == nullptr) {
+    throw std::out_of_range("TracerouteAtlas::suffix_after: unknown source");
+  }
+  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  const auto& hops = atlas->traceroutes.at(at.traceroute_index).hops;
   if (at.hop_index + 1 >= hops.size()) return {};
   return {hops.begin() + static_cast<long>(at.hop_index) + 1, hops.end()};
 }
@@ -178,8 +214,15 @@ std::vector<Ipv4Addr> TracerouteAtlas::suffix_after(
 util::SimClock::Micros TracerouteAtlas::touch(HostId source,
                                               const Intersection& at,
                                               util::SimClock::Micros now) {
-  SourceAtlas& atlas = sources_.at(source);
-  auto& tr = atlas.traceroutes.at(at.traceroute_index);
+  SourceAtlas* slot;
+  {
+    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    slot = &sources_.at(source);
+  }
+  // The useful-flag write needs the stripe exclusively: concurrent workers
+  // may touch the same traceroute, and readers walk the same vector.
+  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  auto& tr = slot->traceroutes.at(at.traceroute_index);
   tr.useful = true;
   return now - tr.measured_at;
 }
@@ -187,20 +230,22 @@ util::SimClock::Micros TracerouteAtlas::touch(HostId source,
 const std::vector<AtlasTraceroute>& TracerouteAtlas::traceroutes(
     HostId source) const {
   static const std::vector<AtlasTraceroute> kEmpty;
-  const auto it = sources_.find(source);
-  return it == sources_.end() ? kEmpty : it->second.traceroutes;
+  const SourceAtlas* atlas = find_atlas(source);
+  return atlas == nullptr ? kEmpty : atlas->traceroutes;
 }
 
 std::size_t TracerouteAtlas::rr_index_size(HostId source) const {
-  const auto it = sources_.find(source);
-  return it == sources_.end() ? 0 : it->second.rr_index.size();
+  const SourceAtlas* atlas = find_atlas(source);
+  if (atlas == nullptr) return 0;
+  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  return atlas->rr_index.size();
 }
 
 const std::unordered_map<Ipv4Addr, Intersection>&
 TracerouteAtlas::rr_index_entries(HostId source) const {
   static const std::unordered_map<Ipv4Addr, Intersection> kEmpty;
-  const auto it = sources_.find(source);
-  return it == sources_.end() ? kEmpty : it->second.rr_index;
+  const SourceAtlas* atlas = find_atlas(source);
+  return atlas == nullptr ? kEmpty : atlas->rr_index;
 }
 
 std::vector<std::size_t> greedy_optimal_selection(

@@ -15,8 +15,11 @@
 // atlas selection used as the upper bound in the Appx D.2.1 study (Fig 9).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -46,6 +49,15 @@ struct Intersection {
   std::size_t hop_index = 0;
 };
 
+// Thread safety: campaign-time entry points — intersect(),
+// intersect_with_aliases(), suffix_after(), touch(), rr_index_size(),
+// has_source() — may be called concurrently from parallel campaign workers.
+// Per-source state is guarded by lock stripes (shared for reads, exclusive
+// for touch()'s useful-flag write); the source map itself has its own
+// shared_mutex. The offline mutations (build/refresh/build_rr_alias_index)
+// take the stripe exclusively but must not run concurrently with anything
+// that holds references into the atlas (traceroutes()/rr_index_entries()
+// return references valid only while no rebuild runs).
 class TracerouteAtlas {
  public:
   TracerouteAtlas(probing::Prober& prober, const topology::Topology& topo);
@@ -89,6 +101,7 @@ class TracerouteAtlas {
   const std::vector<AtlasTraceroute>& traceroutes(
       topology::HostId source) const;
   bool has_source(topology::HostId source) const {
+    const std::shared_lock<std::shared_mutex> lock(sources_mu_);
     return sources_.contains(source);
   }
   std::size_t rr_index_size(topology::HostId source) const;
@@ -112,8 +125,21 @@ class TracerouteAtlas {
                                       std::span<const topology::HostId> probes,
                                       util::SimClock::Micros now);
 
+  // Lookup under sources_mu_ (shared). Returns nullptr when absent; the
+  // pointer stays valid across later insertions (node-based map).
+  const SourceAtlas* find_atlas(topology::HostId source) const;
+
+  // Stripe guarding one source's SourceAtlas contents. Lock order:
+  // sources_mu_ before a stripe; never two stripes at once.
+  std::shared_mutex& stripe_of(topology::HostId source) const {
+    return stripes_[util::splitmix64(source) % kStripes];
+  }
+
   probing::Prober& prober_;
   const topology::Topology& topo_;
+  mutable std::shared_mutex sources_mu_;
+  static constexpr std::size_t kStripes = 16;
+  mutable std::array<std::shared_mutex, kStripes> stripes_;
   std::unordered_map<topology::HostId, SourceAtlas> sources_;
 };
 

@@ -90,12 +90,10 @@ RevtrEngine::RevtrEngine(probing::Prober& prober,
       ip2as_(ip2as),
       relationships_(relationships),
       config_(config),
-      rng_(seed) {}
+      rng_(seed),
+      caches_(std::make_shared<EngineCaches>()) {}
 
-void RevtrEngine::clear_caches() {
-  rr_cache_.clear();
-  tr_cache_.clear();
-}
+void RevtrEngine::clear_caches() { caches_->clear(); }
 
 std::vector<Ipv4Addr> RevtrEngine::extract_reverse_hops(
     std::span<const Ipv4Addr> slots, Ipv4Addr current) {
@@ -177,18 +175,18 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
   const std::uint64_t key = cache_key(current, source_);
 
   if (config_.use_cache) {
-    const auto it = rr_cache_.find(key);
-    if (it != rr_cache_.end() && it->second.expires_at > clock.now()) {
-      return append_reverse_hops(result, it->second.reverse_hops,
-                                 it->second.source, current);
+    if (const auto entry = caches_->rr.lookup(key);
+        entry && entry->expires_at > clock.now()) {
+      return append_reverse_hops(result, entry->reverse_hops, entry->source,
+                                 current);
     }
   }
 
   auto remember = [&](const std::vector<Ipv4Addr>& revealed,
                       HopSource how) {
     if (config_.use_cache) {
-      rr_cache_[key] =
-          RrCacheEntry{revealed, how, clock.now() + config_.cache_ttl};
+      caches_->rr.insert_or_assign(
+          key, RrCacheEntry{revealed, how, clock.now() + config_.cache_ttl});
     }
   };
 
@@ -323,11 +321,11 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
   std::optional<Ipv4Addr> penultimate;
   bool reached = false;
 
-  const auto it = tr_cache_.find(key);
-  if (config_.use_cache && it != tr_cache_.end() &&
-      it->second.expires_at > clock.now()) {
-    penultimate = it->second.penultimate;
-    reached = it->second.reached;
+  const auto cached = config_.use_cache ? caches_->tr.lookup(key)
+                                        : std::nullopt;
+  if (cached && cached->expires_at > clock.now()) {
+    penultimate = cached->penultimate;
+    reached = cached->reached;
   } else {
     const auto tr = prober_.traceroute(source_, current);
     clock.advance(tr.duration_us);
@@ -357,8 +355,9 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
       penultimate = topo_.host(source_).addr;
     }
     if (config_.use_cache) {
-      tr_cache_[key] =
-          TrCacheEntry{penultimate, reached, clock.now() + config_.cache_ttl};
+      caches_->tr.insert_or_assign(
+          key,
+          TrCacheEntry{penultimate, reached, clock.now() + config_.cache_ttl});
     }
   }
 

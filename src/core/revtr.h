@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include "topology/topology.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
+#include "util/striped_map.h"
 #include "vpselect/ingress.h"
 
 namespace revtr::core {
@@ -122,6 +124,37 @@ struct EngineConfig {
   std::string name() const;
 };
 
+// Cached outcome of the RR technique at one (hop, source) key.
+struct RrCacheEntry {
+  std::vector<net::Ipv4Addr> reverse_hops;
+  // How the cached hops were originally measured. Replays must keep the
+  // original provenance: a direct-RR hop must not resurface labelled as
+  // spoofed (Insight 1.10 — users judge trust hop by hop).
+  HopSource source = HopSource::kSpoofedRecordRoute;
+  util::SimClock::Micros expires_at = 0;
+};
+
+// Cached outcome of the symmetry-assumption traceroute at one key.
+struct TrCacheEntry {
+  std::optional<net::Ipv4Addr> penultimate;
+  bool reached = false;
+  util::SimClock::Micros expires_at = 0;
+};
+
+// The engine's probe-result caches, lock-striped so one instance can be
+// shared by every engine of a parallel campaign: any worker's RR probe or
+// symmetry traceroute saves every other worker the packets (the Doubletree
+// shared-stop-set idea applied to reverse traceroute).
+struct EngineCaches {
+  util::StripedMap<RrCacheEntry> rr;
+  util::StripedMap<TrCacheEntry> tr;
+
+  void clear() {
+    rr.clear();
+    tr.clear();
+  }
+};
+
 class RevtrEngine {
  public:
   RevtrEngine(probing::Prober& prober, const topology::Topology& topo,
@@ -148,6 +181,22 @@ class RevtrEngine {
   const EngineConfig& config() const noexcept { return config_; }
   void clear_caches();
 
+  // Replaces this engine's caches with a (possibly shared) instance. The
+  // parallel campaign driver points every worker engine at one EngineCaches
+  // so discoveries propagate across workers.
+  void set_shared_caches(std::shared_ptr<EngineCaches> caches) {
+    REVTR_CHECK(caches != nullptr);
+    caches_ = std::move(caches);
+  }
+  const std::shared_ptr<EngineCaches>& shared_caches() const noexcept {
+    return caches_;
+  }
+
+  // Restarts the engine's private RNG stream. The driver reseeds per
+  // request from (campaign seed, request index) so measurement outcomes are
+  // independent of which worker runs the request and in what order.
+  void reseed(std::uint64_t seed) noexcept { rng_.reseed(seed); }
+
   // Extracts the reverse hops that follow `current`'s stamp in an RR reply,
   // using the same double-stamp/loop fallbacks as ingress discovery.
   // Exposed for unit tests.
@@ -155,20 +204,6 @@ class RevtrEngine {
       std::span<const net::Ipv4Addr> slots, net::Ipv4Addr current);
 
  private:
-  struct RrCacheEntry {
-    std::vector<net::Ipv4Addr> reverse_hops;
-    // How the cached hops were originally measured. Replays must keep the
-    // original provenance: a direct-RR hop must not resurface labelled as
-    // spoofed (Insight 1.10 — users judge trust hop by hop).
-    HopSource source = HopSource::kSpoofedRecordRoute;
-    util::SimClock::Micros expires_at = 0;
-  };
-  struct TrCacheEntry {
-    std::optional<net::Ipv4Addr> penultimate;
-    bool reached = false;
-    util::SimClock::Micros expires_at = 0;
-  };
-
   // Technique steps; each returns true when it extended the path.
   bool try_atlas(ReverseTraceroute& result, net::Ipv4Addr current,
                  util::SimClock& clock);
@@ -201,8 +236,7 @@ class RevtrEngine {
   AdjacencyProvider adjacencies_;
 
   topology::HostId source_ = topology::kInvalidId;  // Of the active request.
-  std::unordered_map<std::uint64_t, RrCacheEntry> rr_cache_;
-  std::unordered_map<std::uint64_t, TrCacheEntry> tr_cache_;
+  std::shared_ptr<EngineCaches> caches_;
 };
 
 }  // namespace revtr::core

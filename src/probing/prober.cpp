@@ -1,10 +1,30 @@
 #include "probing/prober.h"
 
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
 namespace revtr::probing {
 
 namespace {
 using net::Ipv4Addr;
 using net::Packet;
+
+// Counter merges happen at the parallel-campaign barrier after billions of
+// simulated packets; a silent wrap there would corrupt every Table 4 row
+// downstream, so the merge is overflow-checked rather than trusted.
+std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  REVTR_CHECK(a <= std::numeric_limits<std::uint64_t>::max() - b);
+  return a + b;
+}
+
+// Window deltas (`after - before`) must never go negative: `before` is a
+// snapshot of the same monotonically increasing counters.
+std::uint64_t checked_sub(std::uint64_t a, std::uint64_t b) {
+  REVTR_CHECK(a >= b);
+  return a - b;
+}
 }  // namespace
 
 std::string to_string(ProbeType type) {
@@ -26,25 +46,27 @@ std::string to_string(ProbeType type) {
 }
 
 ProbeCounters& ProbeCounters::operator+=(const ProbeCounters& other) {
-  ping += other.ping;
-  rr += other.rr;
-  spoofed_rr += other.spoofed_rr;
-  ts += other.ts;
-  spoofed_ts += other.spoofed_ts;
-  traceroute_packets += other.traceroute_packets;
-  traceroutes += other.traceroutes;
+  ping = checked_add(ping, other.ping);
+  rr = checked_add(rr, other.rr);
+  spoofed_rr = checked_add(spoofed_rr, other.spoofed_rr);
+  ts = checked_add(ts, other.ts);
+  spoofed_ts = checked_add(spoofed_ts, other.spoofed_ts);
+  traceroute_packets = checked_add(traceroute_packets,
+                                   other.traceroute_packets);
+  traceroutes = checked_add(traceroutes, other.traceroutes);
   return *this;
 }
 
 ProbeCounters ProbeCounters::operator-(const ProbeCounters& other) const {
   ProbeCounters delta;
-  delta.ping = ping - other.ping;
-  delta.rr = rr - other.rr;
-  delta.spoofed_rr = spoofed_rr - other.spoofed_rr;
-  delta.ts = ts - other.ts;
-  delta.spoofed_ts = spoofed_ts - other.spoofed_ts;
-  delta.traceroute_packets = traceroute_packets - other.traceroute_packets;
-  delta.traceroutes = traceroutes - other.traceroutes;
+  delta.ping = checked_sub(ping, other.ping);
+  delta.rr = checked_sub(rr, other.rr);
+  delta.spoofed_rr = checked_sub(spoofed_rr, other.spoofed_rr);
+  delta.ts = checked_sub(ts, other.ts);
+  delta.spoofed_ts = checked_sub(spoofed_ts, other.spoofed_ts);
+  delta.traceroute_packets =
+      checked_sub(traceroute_packets, other.traceroute_packets);
+  delta.traceroutes = checked_sub(traceroutes, other.traceroutes);
   return delta;
 }
 
@@ -195,7 +217,13 @@ TracerouteResult Prober::traceroute(topology::HostId from, Ipv4Addr target) {
   charge_traceroute_head();
   const auto& sender = topo().host(from);
   TracerouteResult out;
-  const std::uint16_t flow_id = next_id();  // Constant across TTLs (Paris).
+  // Paris flow id: constant across TTLs so per-flow load balancers keep the
+  // probes on one path, and a pure function of the endpoints so re-tracing a
+  // flow takes the *same* path regardless of how many probes any prober sent
+  // before — probe outcomes must be content-addressed for the shared caches
+  // of a parallel campaign to be transparent (DESIGN.md §8).
+  const auto flow_id = util::truncate_cast<std::uint16_t>(
+      util::mix_hash(sender.addr.value(), target.value(), 0x7aceULL));
   std::uint64_t packets = 0;
   for (int ttl = 1; ttl <= kMaxTracerouteTtl; ++ttl) {
     charge(ProbeType::kTraceroute);

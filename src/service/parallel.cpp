@@ -1,0 +1,150 @@
+#include "service/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "probing/prober.h"
+#include "sim/network.h"
+#include "util/thread_pool.h"
+
+namespace revtr::service {
+
+namespace {
+
+// One worker's private measurement stack. Members reference earlier members
+// (prober holds the network, engine holds the prober), so stacks live behind
+// unique_ptr and never move.
+struct WorkerStack {
+  sim::Network network;
+  probing::Prober prober;
+  core::RevtrEngine engine;
+  util::SimClock clock;
+  CampaignStats local;  // This worker's accumulator; merged at the barrier.
+
+  WorkerStack(const CampaignDeps& deps, const core::EngineConfig& config,
+              std::uint64_t net_seed,
+              std::shared_ptr<core::EngineCaches> caches)
+      : network(deps.topo, deps.plane, net_seed),
+        prober(network),
+        engine(prober, deps.topo, deps.atlas, deps.ingress, deps.ip2as,
+               deps.relationships, config, net_seed) {
+    engine.set_shared_caches(std::move(caches));
+  }
+};
+
+}  // namespace
+
+ParallelCampaignDriver::ParallelCampaignDriver(const CampaignDeps& deps,
+                                              ParallelCampaignOptions options)
+    : deps_(deps), options_(options) {}
+
+void ParallelCampaignDriver::precompute_ingress_plans() {
+  util::Rng rng(util::mix_hash(options_.seed, 0x1a9e55ULL));
+  for (const auto& prefix : deps_.topo.prefixes()) {
+    if (deps_.ingress.plan_for(prefix.id) == nullptr) {
+      deps_.ingress.discover(prefix.id, deps_.topo.vantage_points(), rng);
+    }
+  }
+}
+
+ParallelCampaignReport ParallelCampaignDriver::run(
+    std::span<const std::pair<topology::HostId, topology::HostId>> pairs) {
+  const auto wall_begin = std::chrono::steady_clock::now();
+
+  // Every prefix gets its ingress plan now, on this thread, through the
+  // ingress module's own prober. Workers then only ever *read* plans, and a
+  // plan pointer held across a spoofed batch cannot be invalidated by a
+  // concurrent on-demand survey.
+  precompute_ingress_plans();
+
+  const std::size_t workers = std::max<std::size_t>(options_.workers, 1);
+  // All workers share one cache and one network seed: identical seeds plus
+  // content-addressed probe outcomes mean a request's result is independent
+  // of which worker runs it.
+  auto caches = std::make_shared<core::EngineCaches>();
+  const std::uint64_t net_seed = util::mix_hash(options_.seed, 0x6e7ULL);
+  std::vector<std::unique_ptr<WorkerStack>> stacks;
+  stacks.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    stacks.push_back(std::make_unique<WorkerStack>(deps_, options_.engine,
+                                                   net_seed, caches));
+  }
+
+  ParallelCampaignReport report;
+  report.results.resize(pairs.size());
+
+  {
+    util::ThreadPool pool(workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const topology::HostId destination = pairs[i].first;
+      const topology::HostId source = pairs[i].second;
+      futures.push_back(pool.submit([this, &stacks, &report, i, destination,
+                                     source] {
+        const std::size_t w = util::ThreadPool::current_worker();
+        REVTR_CHECK(w != util::ThreadPool::kNotAWorker);
+        WorkerStack& stack = *stacks[w];
+        // Per-request reseed from (campaign seed, request index): any
+        // residual RNG use in the engine draws the same stream no matter
+        // which worker runs the request or what ran before it.
+        stack.engine.reseed(util::mix_hash(options_.seed, i, 0xca3aULL));
+        auto result = stack.engine.measure(destination, source, stack.clock);
+        const double latency = result.span.seconds();
+        stack.local.latency_seconds.add(latency);
+        stack.local.busy_seconds += latency;
+        switch (result.status) {
+          case core::RevtrStatus::kComplete:
+            ++stack.local.completed;
+            break;
+          case core::RevtrStatus::kAbortedInterdomainSymmetry:
+            ++stack.local.aborted;
+            break;
+          case core::RevtrStatus::kUnreachable:
+            ++stack.local.unreachable;
+            break;
+        }
+        report.results[i] = std::move(result);
+        // Latency pacing: hold this worker slot for real time proportional
+        // to the simulated request latency, modelling the deployment's
+        // latency-bound slots (most of a request is spent waiting out 10 s
+        // spoofed-batch timeouts, §5.2.4).
+        if (options_.pacing_scale > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              latency * options_.pacing_scale));
+        }
+      }));
+    }
+    // The barrier: get() rethrows anything a worker task threw.
+    for (auto& future : futures) future.get();
+  }
+
+  // Merge per-worker accumulators. Workers are joined; no locks needed.
+  CampaignStats& stats = report.stats;
+  stats.requested = pairs.size();
+  double slowest_worker = 0;
+  for (const auto& stack : stacks) {
+    const CampaignStats& local = stack->local;
+    stats.completed += local.completed;
+    stats.aborted += local.aborted;
+    stats.unreachable += local.unreachable;
+    stats.latency_seconds.add_all(local.latency_seconds.samples());
+    stats.busy_seconds += local.busy_seconds;
+    stats.probes += stack->prober.counters();  // Overflow-checked merge.
+    report.worker_busy_seconds.push_back(local.busy_seconds);
+    slowest_worker = std::max(slowest_worker, local.busy_seconds);
+  }
+  // The campaign is as long (in simulated time) as its busiest worker.
+  stats.duration_seconds = slowest_worker;
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+  return report;
+}
+
+}  // namespace revtr::service

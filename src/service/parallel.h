@@ -1,0 +1,101 @@
+// Real parallel batch-campaign execution (§5.1, Fig 5c).
+//
+// RevtrService::run_campaign only *models* parallelism (simulated-time
+// division). This driver runs a campaign on N genuine worker threads, the
+// way the deployed system serves batched measurement requests. The design
+// splits state into three tiers:
+//
+//   Per worker (no locks): a private Network + Prober + RevtrEngine +
+//   SimClock + stats accumulator. Every worker's Network is seeded with the
+//   same campaign-derived seed, and probe outcomes are pure functions of
+//   probe content (stateless ECMP salt, endpoint-derived Paris flow ids), so
+//   a request measures the same path on any worker.
+//
+//   Shared, lock-striped (read-mostly): one EngineCaches instance wired into
+//   every worker engine — any worker's RR probe or symmetry traceroute
+//   spares every other worker those packets (Doubletree-style shared
+//   stop-set). The traceroute atlas and ingress plans are shared read-only
+//   during the campaign (the driver pre-discovers every ingress plan so no
+//   worker triggers an on-demand survey mid-campaign).
+//
+//   Merged at the barrier: per-worker CampaignStats/ProbeCounters combine
+//   after every future resolves — never shared mutable counters.
+//
+// Determinism: per-request engine RNG reseeding from (campaign seed, request
+// index) makes the measurement *set* — (destination, source, status, hops) —
+// identical whether the campaign runs on 1 thread or N, provided network
+// loss is off. Timing and probe totals legitimately differ: cache sharing
+// depends on scheduling.
+//
+// Pacing: `pacing_scale` holds each worker slot for real wall-clock time
+// proportional to the request's simulated latency. The deployment's
+// throughput is latency-bound — workers spend most of a request inside the
+// 10 s spoofed-batch timeouts, not on CPU — and pacing models exactly that,
+// which is what makes N workers faster in wall-clock terms even on one core
+// (bench/bench_parallel_campaign.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "asmap/asmap.h"
+#include "atlas/atlas.h"
+#include "core/revtr.h"
+#include "routing/forwarding.h"
+#include "service/service.h"
+#include "topology/topology.h"
+#include "vpselect/ingress.h"
+
+namespace revtr::service {
+
+// Everything a worker measurement stack hangs off. The atlas and ingress
+// survey must already be built/buildable through their own (control-plane)
+// prober; worker probers are created internally.
+struct CampaignDeps {
+  const topology::Topology& topo;
+  const routing::ForwardingPlane& plane;
+  atlas::TracerouteAtlas& atlas;
+  vpselect::IngressDiscovery& ingress;
+  const asmap::IpToAs& ip2as;
+  const asmap::AsRelationships& relationships;
+};
+
+struct ParallelCampaignOptions {
+  std::size_t workers = 4;
+  std::uint64_t seed = 7;
+  core::EngineConfig engine = core::EngineConfig::revtr2();
+  // Real seconds each worker slot is held per simulated second of request
+  // latency. 0 disables pacing (tests); the scaling bench uses ~1e-3.
+  double pacing_scale = 0.0;
+};
+
+struct ParallelCampaignReport {
+  // One entry per input pair, in input order regardless of scheduling.
+  std::vector<core::ReverseTraceroute> results;
+  CampaignStats stats;          // Merged across workers at the barrier.
+  double wall_seconds = 0;      // Real elapsed time of run().
+  std::vector<double> worker_busy_seconds;  // Simulated, per worker.
+};
+
+class ParallelCampaignDriver {
+ public:
+  ParallelCampaignDriver(const CampaignDeps& deps,
+                         ParallelCampaignOptions options);
+
+  // Executes one campaign. Reentrant-unsafe: one run() at a time.
+  ParallelCampaignReport run(
+      std::span<const std::pair<topology::HostId, topology::HostId>> pairs);
+
+ private:
+  // Surveys every prefix that has no ingress plan yet, through the
+  // ingress module's own control prober, so workers never hit the
+  // on-demand discovery path concurrently.
+  void precompute_ingress_plans();
+
+  CampaignDeps deps_;
+  ParallelCampaignOptions options_;
+};
+
+}  // namespace revtr::service

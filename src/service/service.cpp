@@ -59,6 +59,7 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
   ++state.issued_today;
 
   ServedMeasurement served;
+  // Quota charges only stick for completed measurements (see request()).
   SourceRecord& record = source_it->second;
   if (options.max_atlas_age > 0 &&
       clock_.now() - record.atlas_refreshed_at > options.max_atlas_age) {
@@ -72,6 +73,7 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
   }
 
   served.reverse = engine_.measure(destination, source, clock_);
+  if (!served.reverse.complete()) --state.issued_today;
   archive(served.reverse);
   if (options.with_forward_traceroute) {
     served.forward = prober_.traceroute(
@@ -112,8 +114,13 @@ std::optional<core::ReverseTraceroute> RevtrService::request(
   if (!sources_.contains(source)) return std::nullopt;
   UserState& state = user_it->second;
   if (state.issued_today >= state.limits.daily_limit) return std::nullopt;
+  // Charge up front so a re-entrant caller cannot overshoot the limit, but
+  // refund when the engine fails to deliver a path: a user whose requests
+  // abort or come back unreachable has received nothing, and burning their
+  // daily limit on service-side failures would lock them out (Appx A).
   ++state.issued_today;
   auto result = engine_.measure(destination, source, clock_);
+  if (!result.complete()) --state.issued_today;
   archive(result);
   return result;
 }

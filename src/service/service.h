@@ -62,18 +62,32 @@ struct CampaignStats {
   probing::ProbeCounters probes;
   util::Distribution latency_seconds;
   double busy_seconds = 0;      // Summed measurement latencies.
-  double duration_seconds = 0;  // busy / parallelism.
+  // Modelled campaigns: busy / parallelism. Real parallel campaigns
+  // (service/parallel.h): the busiest worker's simulated time.
+  double duration_seconds = 0;
 
   double coverage() const noexcept {
     return requested == 0 ? 0.0
                           : static_cast<double>(completed) /
                                 static_cast<double>(requested);
   }
-  double throughput_per_second() const noexcept {
+  // Requests disposed of per second of campaign duration, whatever their
+  // outcome. The old throughput_per_second() reported this number as "the"
+  // throughput, which inflated Fig 5c-style results: aborted and
+  // unreachable requests counted the same as delivered paths while
+  // coverage() counted only completed ones. Callers now pick explicitly.
+  double processed_per_second() const noexcept {
     return duration_seconds <= 0
                ? 0.0
                : static_cast<double>(completed + aborted + unreachable) /
                      duration_seconds;
+  }
+  // Completed reverse traceroutes per second — the paper-comparable rate
+  // (Fig 5c reports delivered measurements).
+  double completed_per_second() const noexcept {
+    return duration_seconds <= 0
+               ? 0.0
+               : static_cast<double>(completed) / duration_seconds;
   }
 };
 

@@ -15,7 +15,7 @@ using topology::RrStampPolicy;
 
 Network::Network(const topology::Topology& topo,
                  const routing::ForwardingPlane& plane, std::uint64_t seed)
-    : topo_(topo), plane_(plane), rng_(seed) {}
+    : topo_(topo), plane_(plane), rng_(seed), salt_seed_(seed) {}
 
 bool Network::can_spoof(HostId sender) const {
   const auto& host = topo_.host(sender);
@@ -174,7 +174,16 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
   ctx.dst = packet.dst;
   ctx.flow_key = packet.flow_key();
   ctx.has_options = packet.has_options();
-  ctx.packet_salt = rng_();
+  // Per-packet balancing salt for optioned (slow-path) packets. This is a
+  // pure function of the flow endpoints and the option kind — NOT a draw
+  // from rng_ — so a probe's path depends only on the probe itself, never
+  // on how many packets this Network forwarded before it. That content
+  // addressing is what lets parallel campaign workers share RR/traceroute
+  // caches without cache hits perturbing later measurements (DESIGN.md §8).
+  ctx.packet_salt = util::mix_hash(
+      salt_seed_,
+      (std::uint64_t{packet.src.value()} << 32) ^ packet.dst.value(),
+      packet.rr.has_value() ? 0x5252ULL : (packet.ts ? 0x7373ULL : 0));
 
   for (int hop = 0; hop < kHopLimit; ++hop) {
     ++packets_forwarded_;

@@ -74,6 +74,15 @@ class Network {
   void set_loss_rate(double rate) noexcept { loss_rate_ = rate; }
   double loss_rate() const noexcept { return loss_rate_; }
 
+  // Restarts the loss stream and the per-packet balancing salt from `seed`.
+  // Two Networks over the same topology with the same seed then route every
+  // packet identically — the parallel campaign driver builds one per worker
+  // this way so worker count cannot change measurement outcomes.
+  void reseed(std::uint64_t seed) noexcept {
+    rng_.reseed(seed);
+    salt_seed_ = seed;
+  }
+
   std::uint64_t packets_forwarded() const noexcept {
     return packets_forwarded_;
   }
@@ -118,6 +127,7 @@ class Network {
   const topology::Topology& topo_;
   const routing::ForwardingPlane& plane_;
   util::Rng rng_;
+  std::uint64_t salt_seed_;
   double loss_rate_ = 0.0;
   std::uint64_t packets_forwarded_ = 0;
   std::uint64_t probes_injected_ = 0;

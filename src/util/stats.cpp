@@ -6,53 +6,115 @@
 
 namespace revtr::util {
 
+Distribution::Distribution(const Distribution& other) {
+  const std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = other.samples_;
+  sum_ = other.sum_;
+  sorted_ = other.sorted_;
+}
+
+Distribution& Distribution::operator=(const Distribution& other) {
+  if (this == &other) return *this;
+  // Distinct objects: lock both in a deadlock-free order.
+  const std::scoped_lock lock(mu_, other.mu_);
+  samples_ = other.samples_;
+  sum_ = other.sum_;
+  sorted_ = other.sorted_;
+  return *this;
+}
+
+Distribution::Distribution(Distribution&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mu_);
+  samples_ = std::move(other.samples_);
+  sum_ = other.sum_;
+  sorted_ = other.sorted_;
+}
+
+Distribution& Distribution::operator=(Distribution&& other) noexcept {
+  if (this == &other) return *this;
+  const std::scoped_lock lock(mu_, other.mu_);
+  samples_ = std::move(other.samples_);
+  sum_ = other.sum_;
+  sorted_ = other.sorted_;
+  return *this;
+}
+
 void Distribution::add(double sample) {
+  const std::lock_guard<std::mutex> lock(mu_);
   samples_.push_back(sample);
   sum_ += sample;
   sorted_ = false;
 }
 
 void Distribution::add_all(std::span<const double> samples) {
-  for (double s : samples) add(s);
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (double s : samples) {
+    samples_.push_back(s);
+    sum_ += s;
+  }
+  if (!samples.empty()) sorted_ = false;
 }
 
-double Distribution::mean() const noexcept {
+std::size_t Distribution::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+bool Distribution::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty();
+}
+
+double Distribution::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Distribution::mean_locked() const {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }
 
-void Distribution::ensure_sorted() const {
+double Distribution::mean() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return mean_locked();
+}
+
+void Distribution::ensure_sorted_locked() const {
   if (!sorted_) {
-    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
-    std::sort(mutable_samples.begin(), mutable_samples.end());
+    std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
 }
 
 double Distribution::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) throw std::logic_error("Distribution::min on empty");
-  ensure_sorted();
+  ensure_sorted_locked();
   return samples_.front();
 }
 
 double Distribution::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) throw std::logic_error("Distribution::max on empty");
-  ensure_sorted();
+  ensure_sorted_locked();
   return samples_.back();
 }
 
 double Distribution::stddev() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.size() < 2) return 0.0;
-  const double m = mean();
+  const double m = mean_locked();
   double acc = 0;
   for (double s : samples_) acc += (s - m) * (s - m);
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
 double Distribution::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) {
     throw std::logic_error("Distribution::quantile on empty");
   }
-  ensure_sorted();
+  ensure_sorted_locked();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -62,19 +124,27 @@ double Distribution::quantile(double q) const {
 }
 
 double Distribution::cdf_at(double x) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
+  ensure_sorted_locked();
   const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
   return static_cast<double>(it - samples_.begin()) /
          static_cast<double>(samples_.size());
 }
 
 double Distribution::ccdf_at(double x) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
+  ensure_sorted_locked();
   const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
   return static_cast<double>(samples_.end() - it) /
          static_cast<double>(samples_.size());
+}
+
+const std::vector<double>& Distribution::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_sorted_locked();
+  return samples_;
 }
 
 std::vector<double> Distribution::cdf_curve(std::span<const double> xs) const {

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,15 +16,27 @@
 namespace revtr::util {
 
 // Accumulates scalar samples; quantiles sort lazily.
+//
+// Thread safety: every accessor (including the lazily sorting ones) and
+// add() take an internal mutex, so concurrent const reads — the pattern the
+// parallel campaign driver's merged stats see — are race-free. The earlier
+// implementation sorted through a const_cast from const accessors, which was
+// a data race (and UB) the moment two threads asked for a quantile.
 class Distribution {
  public:
+  Distribution() = default;
+  Distribution(const Distribution& other);
+  Distribution& operator=(const Distribution& other);
+  Distribution(Distribution&& other) noexcept;
+  Distribution& operator=(Distribution&& other) noexcept;
+
   void add(double sample);
   void add_all(std::span<const double> samples);
 
-  std::size_t count() const noexcept { return samples_.size(); }
-  bool empty() const noexcept { return samples_.empty(); }
-  double sum() const noexcept { return sum_; }
-  double mean() const noexcept;
+  std::size_t count() const;
+  bool empty() const;
+  double sum() const;
+  double mean() const;
   double min() const;
   double max() const;
   double stddev() const;
@@ -41,12 +54,17 @@ class Distribution {
   std::vector<double> cdf_curve(std::span<const double> xs) const;
   std::vector<double> ccdf_curve(std::span<const double> xs) const;
 
-  const std::vector<double>& samples() const noexcept { return samples_; }
+  // Sorted view of the samples. The returned reference is only stable while
+  // no other thread calls add(); curve printers use it after accumulation.
+  const std::vector<double>& samples() const;
 
  private:
-  void ensure_sorted() const;
+  // Callers hold mu_.
+  void ensure_sorted_locked() const;
+  double mean_locked() const;
 
-  std::vector<double> samples_;
+  mutable std::mutex mu_;
+  mutable std::vector<double> samples_;
   double sum_ = 0;
   mutable bool sorted_ = true;
 };

@@ -1,0 +1,90 @@
+// Lock-striped hash map for read-mostly shared caches.
+//
+// The engine's RR and traceroute caches are shared by every worker of a
+// parallel campaign (service/parallel.h): all workers benefit from any
+// worker's probes, Doubletree-style. A single mutex would serialize the hot
+// lookup path, so the map is sharded into independently locked stripes, each
+// guarded by a std::shared_mutex — lookups take a shared (reader) lock on
+// one stripe only and run concurrently; insertions take that stripe's
+// exclusive lock.
+//
+// lookup() returns a *copy* of the value. Returning references would make
+// the caller hold data that a concurrent insert_or_assign on the same key
+// could destroy after the lock is released; cache entries are small vectors,
+// so the copy is cheap relative to the probing it saves.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace revtr::util {
+
+template <typename Value, std::size_t Stripes = 16>
+class StripedMap {
+  static_assert(Stripes > 0 && (Stripes & (Stripes - 1)) == 0,
+                "stripe count must be a power of two");
+
+ public:
+  std::optional<Value> lookup(std::uint64_t key) const {
+    const Stripe& s = stripe(key);
+    const std::shared_lock<std::shared_mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void insert_or_assign(std::uint64_t key, Value value) {
+    Stripe& s = stripe(key);
+    const std::unique_lock<std::shared_mutex> lock(s.mu);
+    s.map.insert_or_assign(key, std::move(value));
+  }
+
+  bool contains(std::uint64_t key) const {
+    const Stripe& s = stripe(key);
+    const std::shared_lock<std::shared_mutex> lock(s.mu);
+    return s.map.contains(key);
+  }
+
+  void clear() {
+    for (Stripe& s : stripes_) {
+      const std::unique_lock<std::shared_mutex> lock(s.mu);
+      s.map.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& s : stripes_) {
+      const std::shared_lock<std::shared_mutex> lock(s.mu);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, Value> map;
+  };
+
+  // Keys are typically already hashes, but re-mixing is cheap insurance
+  // against callers whose keys cluster in the low bits.
+  Stripe& stripe(std::uint64_t key) noexcept {
+    return stripes_[splitmix64(key) & (Stripes - 1)];
+  }
+  const Stripe& stripe(std::uint64_t key) const noexcept {
+    return stripes_[splitmix64(key) & (Stripes - 1)];
+  }
+
+  std::array<Stripe, Stripes> stripes_;
+};
+
+}  // namespace revtr::util

@@ -1,0 +1,62 @@
+#include "util/thread_pool.h"
+
+namespace revtr::util {
+
+namespace {
+// Written once by each pool thread on startup, read by current_worker().
+thread_local std::size_t t_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  REVTR_CHECK(workers >= 1);
+  REVTR_CHECK(queue_capacity >= 1);
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+std::size_t ThreadPool::current_worker() noexcept { return t_worker_index; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return queue_.size() < queue_capacity_ || shutting_down_;
+  });
+  REVTR_CHECK(!shutting_down_);  // submit() after the destructor started.
+  queue_.push_back(std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // Shutting down and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    // A packaged_task stores any exception in its future; nothing escapes
+    // into the worker loop.
+    task();
+  }
+}
+
+}  // namespace revtr::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 namespace revtr::vpselect {
 
@@ -89,6 +90,7 @@ IngressDiscovery::IngressDiscovery(probing::Prober& prober,
     : prober_(prober), topo_(topo), options_(options) {}
 
 const PrefixPlan* IngressDiscovery::plan_for(PrefixId prefix) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = plans_.find(prefix);
   return it == plans_.end() ? nullptr : &it->second;
 }
@@ -96,6 +98,10 @@ const PrefixPlan* IngressDiscovery::plan_for(PrefixId prefix) const {
 const PrefixPlan& IngressDiscovery::discover(
     PrefixId prefix, std::span<const HostId> vps, util::Rng& rng,
     std::span<const HostId> exclude) {
+  // Surveys go through the shared control-plane prober, so serializing the
+  // whole survey (not just the map insert) is required for correctness, not
+  // merely convenience.
+  const std::unique_lock<std::shared_mutex> lock(mu_);
   PrefixPlan& plan = plans_[prefix];
   plan = PrefixPlan{};
   plan.prefix = prefix;

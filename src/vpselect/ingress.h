@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -108,7 +109,15 @@ class IngressDiscovery {
 
   // Runs the offline survey for one prefix; uses the prefix's first
   // RR-responsive hosts as survey destinations (callers can exclude hosts,
-  // e.g. the evaluation destination, via `exclude`).
+  // e.g. the evaluation destination, via `exclude`). Re-discovering an
+  // already-surveyed prefix re-runs the survey and overwrites its plan.
+  //
+  // Thread safety: discover() serializes on an internal mutex; plan_for()
+  // takes it shared, so concurrent campaign workers can read plans freely.
+  // The returned references stay valid (node-based map) but are only safe
+  // to read while no concurrent re-discovery of the *same* prefix runs —
+  // the parallel campaign driver pre-discovers every prefix up front so
+  // campaign workers never mutate plans.
   const PrefixPlan& discover(topology::PrefixId prefix,
                              std::span<const topology::HostId> vps,
                              util::Rng& rng,
@@ -122,6 +131,7 @@ class IngressDiscovery {
   probing::Prober& prober_;
   const topology::Topology& topo_;
   Options options_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<topology::PrefixId, PrefixPlan> plans_;
 };
 

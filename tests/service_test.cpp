@@ -27,6 +27,33 @@ class ServiceFixture : public ::testing::Test {
                                               lab_->prober, lab_->topo);
   }
 
+  // Resets the engine to a fixed state (empty caches, fixed RNG) so a
+  // request replays the exact probe sequence of a scouted run. Requires
+  // ingress plans to be pre-discovered: an on-demand survey mid-measurement
+  // consumes engine RNG and would desynchronize the replay.
+  void reset_engine_state() {
+    lab_->engine.clear_caches();
+    lab_->engine.reseed(0xfeedULL);
+  }
+
+  // Finds a destination whose reverse traceroute toward `source` completes
+  // deterministically under reset_engine_state(). Quota tests need one:
+  // failed measurements are refunded, so only a completing destination
+  // reliably consumes quota.
+  HostId completing_destination(HostId source) {
+    lab_->precompute_all_ingresses();
+    const UserId scout = service_->add_user("scout");
+    for (const HostId dest : lab_->responsive_destinations(true)) {
+      if (lab_->atlas.intersect(source, lab_->topo.host(dest).addr, true)) {
+        continue;  // Would complete probe-free even under total loss.
+      }
+      reset_engine_state();
+      const auto result = service_->request(scout, dest, source);
+      if (result && result->complete()) return dest;
+    }
+    return topology::kInvalidId;
+  }
+
   std::unique_ptr<eval::Lab> lab_;
   std::unique_ptr<RevtrService> service_;
 };
@@ -73,16 +100,76 @@ TEST_F(ServiceFixture, RequestRequiresUserAndSource) {
 TEST_F(ServiceFixture, DailyQuotaEnforced) {
   const HostId source = lab_->topo.vantage_points()[0];
   ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const HostId dest = completing_destination(source);
+  ASSERT_NE(dest, topology::kInvalidId);
   UserLimits limits;
   limits.daily_limit = 2;
   const UserId user = service_->add_user("limited", limits);
-  const HostId dest = lab_->topo.probe_hosts()[0];
+  reset_engine_state();
   EXPECT_TRUE(service_->request(user, dest, source));
+  reset_engine_state();
   EXPECT_TRUE(service_->request(user, dest, source));
   EXPECT_FALSE(service_->request(user, dest, source)) << "quota ignored";
   // A refresh resets the quota.
   service_->daily_refresh(lab_->rng);
   EXPECT_TRUE(service_->request(user, dest, source));
+}
+
+TEST_F(ServiceFixture, FailedRequestRefundsQuota) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const HostId dest = completing_destination(source);
+  ASSERT_NE(dest, topology::kInvalidId);
+  UserLimits limits;
+  limits.daily_limit = 1;
+  const UserId user = service_->add_user("limited", limits);
+
+  // Under total loss every probe goes unanswered, so the measurement cannot
+  // complete. Each attempt must hand its quota unit back: the user paid for
+  // a reverse traceroute and got nothing.
+  lab_->engine.clear_caches();
+  lab_->network.set_loss_rate(1.0);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto failed = service_->request(user, dest, source);
+    ASSERT_TRUE(failed) << "quota burned by failed attempt " << attempt;
+    EXPECT_FALSE(failed->complete());
+  }
+
+  // The single quota unit survived the failures and is consumed by the
+  // first measurement that completes.
+  lab_->network.set_loss_rate(0.0);
+  reset_engine_state();
+  const auto served = service_->request(user, dest, source);
+  ASSERT_TRUE(served);
+  EXPECT_TRUE(served->complete());
+  EXPECT_FALSE(service_->request(user, dest, source)) << "success not charged";
+}
+
+TEST_F(ServiceFixture, FailedRequestWithOptionsRefundsQuota) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const HostId dest = completing_destination(source);
+  ASSERT_NE(dest, topology::kInvalidId);
+  UserLimits limits;
+  limits.daily_limit = 1;
+  const UserId user = service_->add_user("limited", limits);
+  RequestOptions options;
+
+  lab_->engine.clear_caches();
+  lab_->network.set_loss_rate(1.0);
+  const auto failed = service_->request_with_options(user, dest, source,
+                                                     options, lab_->rng);
+  ASSERT_TRUE(failed);
+  EXPECT_FALSE(failed->reverse.complete());
+
+  lab_->network.set_loss_rate(0.0);
+  reset_engine_state();
+  const auto served = service_->request_with_options(user, dest, source,
+                                                     options, lab_->rng);
+  ASSERT_TRUE(served) << "failed attempt was not refunded";
+  EXPECT_TRUE(served->reverse.complete());
+  EXPECT_FALSE(service_->request_with_options(user, dest, source, options,
+                                              lab_->rng));
 }
 
 TEST_F(ServiceFixture, CampaignStatsAddUp) {
@@ -101,7 +188,10 @@ TEST_F(ServiceFixture, CampaignStatsAddUp) {
   EXPECT_GT(stats.probes.total(), 0u);
   EXPECT_EQ(stats.latency_seconds.count(), pairs.size());
   EXPECT_NEAR(stats.duration_seconds, stats.busy_seconds / 4.0, 1e-9);
-  EXPECT_GT(stats.throughput_per_second(), 0.0);
+  EXPECT_GT(stats.processed_per_second(), 0.0);
+  EXPECT_GT(stats.completed_per_second(), 0.0);
+  // Completed-only throughput can never exceed the all-outcomes rate.
+  EXPECT_LE(stats.completed_per_second(), stats.processed_per_second());
   EXPECT_GT(stats.coverage(), 0.0);
 }
 
@@ -141,14 +231,17 @@ TEST_F(ServiceFixture, RequestOptionsStalenessTriggersRefresh) {
 TEST_F(ServiceFixture, RequestOptionsHonorsQuota) {
   const HostId source = lab_->topo.vantage_points()[0];
   ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const HostId dest = completing_destination(source);
+  ASSERT_NE(dest, topology::kInvalidId);
   UserLimits limits;
   limits.daily_limit = 1;
   const UserId user = service_->add_user("limited", limits);
   RequestOptions options;
-  EXPECT_TRUE(service_->request_with_options(
-      user, lab_->topo.probe_hosts()[0], source, options, lab_->rng));
-  EXPECT_FALSE(service_->request_with_options(
-      user, lab_->topo.probe_hosts()[0], source, options, lab_->rng));
+  reset_engine_state();
+  EXPECT_TRUE(service_->request_with_options(user, dest, source, options,
+                                             lab_->rng));
+  EXPECT_FALSE(service_->request_with_options(user, dest, source, options,
+                                              lab_->rng));
 }
 
 TEST_F(ServiceFixture, NdtMeasurementsBudgeted) {

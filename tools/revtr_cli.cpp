@@ -5,8 +5,9 @@
 // Commands:
 //   topology   summarize the generated Internet
 //   measure    one reverse traceroute (--dest=K --source=K [--json])
-//   campaign   batch measurement run (--revtrs=N --parallel=K
-//              [--archive=FILE] writes an NDJSON archive)
+//   campaign   batch measurement run on real worker threads
+//              (--revtrs=N --parallel=K [--pacing=S] [--archive=FILE]
+//              writes an NDJSON archive)
 //   atlas      show a source's traceroute atlas (--source=K)
 //   ingress    show a prefix's ingress plan (--prefix=K)
 //
@@ -20,6 +21,7 @@
 #include "core/serialize.h"
 #include "eval/harness.h"
 #include "service/archive.h"
+#include "service/parallel.h"
 #include "service/service.h"
 #include "util/flags.h"
 
@@ -114,12 +116,11 @@ int cmd_measure(eval::Lab& lab, const util::Flags& flags) {
 int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   const auto revtrs = static_cast<std::size_t>(flags.get_int("revtrs", 100));
   const auto parallel =
-      static_cast<std::size_t>(flags.get_int("parallel", 16));
+      static_cast<std::size_t>(flags.get_int("parallel", 4));
   const std::string archive_path = flags.get_string("archive", "");
 
   service::RevtrService svc(lab.engine, lab.atlas, lab.prober, lab.topo);
   service::MeasurementArchive archive(lab.topo);
-  svc.set_archive(&archive);
 
   const auto source = lab.topo.vantage_points()[0];
   if (!svc.add_source(source, 50, lab.rng)) {
@@ -131,16 +132,34 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   for (std::size_t i = 0; i < revtrs; ++i) {
     pairs.emplace_back(probes[i % probes.size()], source);
   }
-  const auto stats = svc.run_campaign(pairs, parallel);
+
+  // The campaign itself runs on real threads: each worker owns a private
+  // measurement stack and the workers share the lock-striped engine caches.
+  const service::CampaignDeps deps{lab.topo,  lab.plane, lab.atlas,
+                                   lab.ingress, lab.ip2as, lab.relationships};
+  service::ParallelCampaignOptions options;
+  options.workers = parallel == 0 ? 1 : parallel;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  options.pacing_scale = flags.get_double("pacing", 0.0);
+  service::ParallelCampaignDriver driver(deps, options);
+  const auto report = driver.run(pairs);
+  for (const auto& result : report.results) {
+    archive.record(result, result.span.end);
+  }
+
+  const auto& stats = report.stats;
   std::printf("campaign: %zu requested, %zu complete (%.0f%%), "
               "%zu aborted, %zu unreachable\n",
               stats.requested, stats.completed, stats.coverage() * 100,
               stats.aborted, stats.unreachable);
-  std::printf("latency: median %.1f s, p90 %.1f s; modelled throughput "
-              "%.1f revtr/s on %zu slots\n",
+  std::printf("latency: median %.1f s, p90 %.1f s; %zu workers, "
+              "%.3f s wall\n",
               stats.latency_seconds.median(),
-              stats.latency_seconds.quantile(0.9),
-              stats.throughput_per_second(), parallel);
+              stats.latency_seconds.quantile(0.9), options.workers,
+              report.wall_seconds);
+  std::printf("throughput: %.2f processed/s, %.2f completed/s "
+              "(simulated time, busiest worker)\n",
+              stats.processed_per_second(), stats.completed_per_second());
   std::printf("probes: %llu total (%llu spoofed RR)\n",
               static_cast<unsigned long long>(stats.probes.total()),
               static_cast<unsigned long long>(stats.probes.spoofed_rr));

@@ -27,6 +27,12 @@
 //                    `default:` label: it would swallow new enumerators
 //                    that -Wswitch would otherwise force every switch to
 //                    handle (pins HopSource/RevtrStatus exhaustiveness).
+//   const-cast       `const_cast` anywhere in src/. Casting away const to
+//                    mutate from a const accessor hid a data race in
+//                    Distribution::quantile (lazy sort under readers) until
+//                    TSan caught it; mutable members + a mutex make the
+//                    sharing explicit. Genuinely const-adding casts are
+//                    rare enough to justify a lint:allow(const-cast).
 //
 // Module DAG (rank order; an include edge must point strictly downward):
 //   util(0) → net(1) → topology(2) → routing(3) → sim(4) → probing(5)
@@ -316,6 +322,7 @@ class Linter {
     static const std::regex kNarrowingCast(
         R"(static_cast<\s*(std::)?(u?int(8|16|32)_t|(un)?signed\s+char|char|short|(un)?signed\s+short)\s*>)");
     static const std::regex kStdEndl(R"(std\s*::\s*endl)");
+    static const std::regex kConstCast(R"(\bconst_cast\s*<)");
     // The stripper blanks string contents, so the include *path* must come
     // from the raw line; the stripped line still proves the directive is
     // not inside a comment.
@@ -347,6 +354,13 @@ class Linter {
           !allows(raw_line, "std-endl")) {
         report(rel, lineno, "std-endl",
                "std::endl flushes per line; use '\\n'");
+      }
+      if (in_src && std::regex_search(line, kConstCast) &&
+          !allows(raw_line, "const-cast")) {
+        report(rel, lineno, "const-cast",
+               "const_cast in src/; mutation behind a const interface hides "
+               "data races (see Distribution) — use mutable members with "
+               "explicit synchronization");
       }
       if (!module.empty() && std::regex_search(line, kIncludeStripped)) {
         std::smatch match;
@@ -613,6 +627,31 @@ int run_self_test() {
                        "}\n");
     expect(count_rule(linter, "enum-switch-default") == 0,
            "switch suppression honored");
+  }
+  {  // const_cast in src/ is flagged.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/stats.cpp",
+                       "void f(const T& t) {\n"
+                       "  const_cast<T&>(t).mutate();\n"
+                       "}\n");
+    expect(count_rule(linter, "const-cast") == 1, "const_cast flagged");
+  }
+  {  // ...but a commented const_cast or one in tests/ is not.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/stats.cpp",
+                       "// const_cast<T&>(t) was the old racy approach\n");
+    linter.lint_source("tests/x_test.cpp",
+                       "auto& m = const_cast<T&>(t);\n");
+    expect(count_rule(linter, "const-cast") == 0,
+           "const-cast scoped to src/ code");
+  }
+  {  // Suppression marker works for const-cast.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/util/stats.cpp",
+        "auto& m = const_cast<T&>(t);  // lint:allow(const-cast)\n");
+    expect(count_rule(linter, "const-cast") == 0,
+           "const-cast suppression honored");
   }
   {  // Outside src/, neither rule applies (tests may include anything and
      // keep defensive defaults).
