@@ -12,12 +12,16 @@
 // count measures the *same* set of reverse traceroutes (per-request
 // signature over endpoints, status, and hop sequence). The final line is a
 // machine-readable JSON object.
+#include <algorithm>
+#include <ctime>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/parallel.h"
 #include "util/json.h"
 
@@ -113,12 +117,86 @@ int main(int argc, char** argv) {
   std::printf("identical measurement sets across worker counts: %s\n",
               identical_sets ? "yes" : "NO — DETERMINISM BROKEN");
 
+  // --- Instrumentation overhead: metrics-off vs metrics-on. ---------------
+  // Pacing is disabled here: with pacing, wall time is sleep-dominated and
+  // any overhead vanishes into it. Pacing off is the worst case for the
+  // sharded counters — a pure CPU race through the probe path. The ratio is
+  // taken over process CPU time, not wall: on a loaded shared box, wall
+  // time folds in whatever else the scheduler ran, while CPU time charges
+  // exactly the cycles this campaign burned — which is what the
+  // instrumentation adds to and what its wall-time cost is on a quiet host.
+  const std::size_t sample_every = static_cast<std::size_t>(
+      flags.get_int("trace-sample", 8));
+  const int overhead_reps = 5;
+  // A sub-5% effect needs runs well clear of scheduler jitter: give the
+  // overhead section its own workload of at least 4000 requests, whatever
+  // the scaling section used.
+  std::vector<std::pair<topology::HostId, topology::HostId>> overhead_pairs =
+      pairs;
+  while (overhead_pairs.size() < 4000) {
+    overhead_pairs.emplace_back(
+        dests[overhead_pairs.size() % dests.size()], source);
+  }
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  struct OverheadRun {
+    double wall = 0;
+    double cpu = 0;
+  };
+  const auto timed_run = [&](bool with_metrics) {
+    service::ParallelCampaignOptions options;
+    options.workers = 4;
+    options.seed = setup.seed;
+    options.pacing_scale = 0.0;
+    if (with_metrics) {
+      options.metrics = &registry;
+      options.trace_sink = &sink;
+      options.trace_sample_every = sample_every;
+    }
+    service::ParallelCampaignDriver driver(deps, options);
+    timespec begin{}, end{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &begin);
+    OverheadRun run;
+    run.wall = driver.run(overhead_pairs).wall_seconds;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end);
+    run.cpu = static_cast<double>(end.tv_sec - begin.tv_sec) +
+              static_cast<double>(end.tv_nsec - begin.tv_nsec) * 1e-9;
+    return run;
+  };
+  // Interleaved pairs: each rep times off then on back to back, so slow
+  // drift (CPU frequency, background load) hits both sides of the same
+  // pair equally. The median of the per-pair CPU ratios is then robust to
+  // the occasional rep landing on a busy scheduler slot.
+  OverheadRun best_off, best_on;
+  std::vector<double> ratios;
+  for (int rep = 0; rep < overhead_reps; ++rep) {
+    const OverheadRun off = timed_run(false);
+    const OverheadRun on = timed_run(true);
+    if (rep == 0 || off.cpu < best_off.cpu) best_off = off;
+    if (rep == 0 || on.cpu < best_on.cpu) best_on = on;
+    if (off.cpu > 0) ratios.push_back(on.cpu / off.cpu);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead_pct =
+      ratios.empty() ? 0.0 : (ratios[ratios.size() / 2] - 1.0) * 100.0;
+  std::printf("instrumentation: %.3f s CPU off, %.3f s CPU on (metrics + "
+              "1/%zu trace sampling) -> %+.1f%% overhead\n",
+              best_off.cpu, best_on.cpu, sample_every, overhead_pct);
+
   util::Json out = util::Json::object();
   out["revtrs"] = static_cast<double>(pairs.size());
   out["pacing_scale"] = pacing;
   out["identical_sets"] = identical_sets;
   out["speedup_at_4_workers"] = speedup_at_4;
   out["runs"] = std::move(runs);
+  util::Json instrumentation = util::Json::object();
+  instrumentation["metrics_off_seconds"] = best_off.wall;
+  instrumentation["metrics_on_seconds"] = best_on.wall;
+  instrumentation["metrics_off_cpu_seconds"] = best_off.cpu;
+  instrumentation["metrics_on_cpu_seconds"] = best_on.cpu;
+  instrumentation["overhead_pct"] = overhead_pct;
+  instrumentation["trace_sample_every"] = static_cast<double>(sample_every);
+  out["instrumentation"] = std::move(instrumentation);
   std::printf("%s\n", out.dump().c_str());
   return identical_sets ? 0 : 1;
 }

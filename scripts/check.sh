@@ -10,10 +10,15 @@
 #   3. ubsan    UndefinedBehaviorSanitizer with -fno-sanitize-recover=all
 #               (any UB aborts the test), full ctest suite.
 #   4. tsan     ThreadSanitizer over the concurrency suite (thread pool,
-#               synchronized Distribution, striped caches, parallel campaign
-#               driver) — the racy paths the parallel batch driver actually
-#               exercises. REVTR_CHECK_TSAN=0 skips the stage;
-#               REVTR_CHECK_TSAN=full runs the whole ctest suite under TSan.
+#               synchronized Distribution, striped caches, sharded metrics,
+#               parallel campaign driver) — the racy paths the parallel batch
+#               driver actually exercises. REVTR_CHECK_TSAN=0 skips the
+#               stage; REVTR_CHECK_TSAN=full runs the whole ctest suite
+#               under TSan.
+#
+# Both gates also run an observability smoke: a small instrumented campaign
+# through revtr_cli, whose Prometheus snapshot must parse and contain the
+# core metric families (requests, probes, request latency, engine stages).
 #
 # --quick: inner-loop mode — default preset only, and only the fast
 # correctness tiers: revtr_lint (lint + layering + self-test) and the unit
@@ -33,6 +38,34 @@ for arg in "$@"; do
         *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
     esac
 done
+
+# Observability smoke: run a small instrumented campaign, then validate the
+# exported Prometheus text — every non-comment line must be a well-formed
+# `name{labels} integer` sample, and the families the dashboards are built
+# on must be present.
+obs_smoke() {
+    echo "==> [default] obs smoke (instrumented campaign + snapshot check)"
+    out="build/obs_smoke_metrics.prom"
+    ./build/tools/revtr_cli campaign --ases=150 --vps=10 --probes=60 \
+        --revtrs=40 --parallel=2 --trace-sample=8 \
+        --metrics-out="$out" >/dev/null
+    awk '
+        /^# (HELP|TYPE) / { next }
+        /^[A-Za-z_][A-Za-z0-9_]*(\{[^}]*\})? -?[0-9]+$/ { ++samples; next }
+        { printf "obs smoke: malformed line %d: %s\n", NR, $0; bad = 1 }
+        END {
+            if (samples == 0) { print "obs smoke: no samples"; bad = 1 }
+            exit bad
+        }' "$out"
+    for family in revtr_requests_total revtr_probes_total \
+                  revtr_request_latency_us_count revtr_engine_stage_total; do
+        if ! grep -q "^$family" "$out"; then
+            echo "obs smoke: metric family $family missing from $out" >&2
+            exit 1
+        fi
+    done
+    echo "obs smoke: snapshot ok ($(grep -c '^revtr_' "$out") samples)"
+}
 
 run_config() {
     name="$1"
@@ -54,11 +87,13 @@ if [ "$QUICK" = "1" ]; then
     ./build/tools/revtr_lint .
     echo "==> [default] unit tests (no fuzzer, no model-checker sweep)"
     ctest --preset default -E 'wire_fuzz|revtr_mc'
+    obs_smoke
     echo "check.sh: quick gate passed (full gate: scripts/check.sh)"
     exit 0
 fi
 
 run_config default
+obs_smoke
 run_config asan
 run_config ubsan
 case "${REVTR_CHECK_TSAN:-1}" in
@@ -74,7 +109,7 @@ case "${REVTR_CHECK_TSAN:-1}" in
         echo "==> [tsan] build"
         cmake --build --preset tsan -j "$JOBS"
         echo "==> [tsan] concurrency suite"
-        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ParallelCampaign'
+        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign'
         ;;
 esac
 

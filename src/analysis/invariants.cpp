@@ -106,6 +106,8 @@ std::string to_string(InvariantId id) {
       return "interdomain-symmetry";
     case InvariantId::kOracle:
       return "oracle";
+    case InvariantId::kTraceAttribution:
+      return "trace-attribution";
   }
   return "?";
 }
@@ -291,6 +293,20 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
       result.status == core::RevtrStatus::kAbortedInterdomainSymmetry) {
     out.push_back(Violation{InvariantId::kInterdomainSymmetry,
                             "aborted although interdomain symmetry allowed"});
+  }
+
+  // --- I6: trace probe attribution. ---------------------------------------
+  // Overflowed traces dropped spans, so their sum is legitimately short.
+  if (ctx.trace != nullptr && !ctx.trace->overflowed()) {
+    const std::uint64_t attributed = ctx.trace->attributed_probes();
+    const std::uint64_t online = result.probes.total();
+    if (attributed != online) {
+      out.push_back(Violation{
+          InvariantId::kTraceAttribution,
+          "trace spans attribute " + std::to_string(attributed) +
+              " online probes but the request's counters show " +
+              std::to_string(online)});
+    }
   }
 
   return out;

@@ -15,6 +15,10 @@
 //   I5 kOracle — reported by analysis/oracle.h: accepted hops diverge from
 //      the simulator's ground-truth reverse route only in the error modes
 //      the paper permits.
+//   I6 kTraceAttribution — when a request was traced (src/obs/trace.h), the
+//      online probes attributed across its spans sum exactly to the
+//      request's online ProbeCounters delta: the trace neither invents nor
+//      loses probe cost (DESIGN.md §9). Overflowed traces are skipped.
 //
 // tools/revtr_mc runs this catalog over an exhaustive (topology × preset ×
 // fault schedule) grid; tests/analysis_test.cpp runs it on single cases.
@@ -27,6 +31,7 @@
 
 #include "asmap/asmap.h"
 #include "core/revtr.h"
+#include "obs/trace.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
 
@@ -39,8 +44,9 @@ enum class InvariantId : std::uint8_t {
   kBudget,
   kInterdomainSymmetry,
   kOracle,
+  kTraceAttribution,
 };
-inline constexpr std::size_t kNumInvariants = 6;
+inline constexpr std::size_t kNumInvariants = 7;
 
 std::string to_string(InvariantId id);
 
@@ -63,6 +69,9 @@ struct CheckContext {
   // refreshes and bundled forward traceroutes interleave) disable it and
   // leave budget checking to the exhaustive tools/revtr_mc sweep.
   bool check_budget = true;
+  // Trace recorded for this request, if any; enables I6. Must be the trace
+  // the engine held during measure() of exactly this result.
+  const obs::Trace* trace = nullptr;
 };
 
 // Runs invariants I1–I4 against one result. Empty return = all hold.

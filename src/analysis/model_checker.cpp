@@ -316,8 +316,14 @@ void run_state(const Tower& tower, const Endpoints& endpoints,
   const std::size_t rounds = preset.config.use_cache ? 2 : 1;
   for (std::size_t round = 0; round < rounds; ++round) {
     const auto mark = log.mark();
+    // Every explored state is traced, so I6 (span probe attribution) runs
+    // across the full (shape × preset × schedule) grid.
+    obs::Trace trace;
+    trace.request_index = round;
+    engine.set_trace(&trace);
     const auto result =
         engine.measure(endpoints.destination, endpoints.source, clock);
+    engine.set_trace(nullptr);
     if (round == 0) {
       switch (result.status) {
         case core::RevtrStatus::kComplete:
@@ -338,6 +344,7 @@ void run_state(const Tower& tower, const Endpoints& endpoints,
     ctx.config = &engine.config();
     ctx.window = log.since(mark);
     ctx.lifetime = log.lifetime();
+    ctx.trace = &trace;
     auto violations = check_result(result, ctx);
 
     auto oracle = check_against_truth(result, network, options.oracle_salts);

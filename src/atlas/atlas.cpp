@@ -11,6 +11,22 @@ using net::Ipv4Addr;
 using topology::HostId;
 }  // namespace
 
+AtlasMetrics::AtlasMetrics(obs::MetricsRegistry& registry) {
+  builds = &registry.counter("revtr_atlas_builds_total");
+  refreshes = &registry.counter("revtr_atlas_refreshes_total");
+  rr_index_builds = &registry.counter("revtr_atlas_rr_index_builds_total");
+  const auto kind = [&registry](const char* value) {
+    return &registry.counter(
+        std::string("revtr_atlas_intersections_total{kind=\"") + value +
+        "\"}");
+  };
+  intersect_hop = kind("hop");
+  intersect_rr_index = kind("rr-index");
+  intersect_alias = kind("alias");
+  intersect_miss = kind("miss");
+  rr_index_entries = &registry.gauge("revtr_atlas_rr_index_entries");
+}
+
 TracerouteAtlas::TracerouteAtlas(probing::Prober& prober,
                                  const topology::Topology& topo)
     : prober_(prober), topo_(topo) {}
@@ -77,6 +93,11 @@ util::SimClock::Micros TracerouteAtlas::build(HostId source,
   // under the source's stripe without blocking lookups for other sources.
   const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
   SourceAtlas& atlas = *slot;
+  if (metrics_ != nullptr) {
+    metrics_->builds->add();
+    metrics_->rr_index_entries->add(
+        -static_cast<std::int64_t>(atlas.rr_index.size()));
+  }
   atlas.traceroutes.clear();
   atlas.rr_index.clear();
   const auto probes_span = topo_.probe_hosts();
@@ -114,6 +135,11 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
   const auto fresh =
       rng.sample(fresh_pool, target > keep.size() ? target - keep.size() : 0);
 
+  if (metrics_ != nullptr) {
+    metrics_->refreshes->add();
+    metrics_->rr_index_entries->add(
+        -static_cast<std::int64_t>(atlas.rr_index.size()));
+  }
   atlas.traceroutes.clear();
   atlas.rr_index.clear();
   auto duration = measure_into(atlas, source, keep, now);
@@ -130,6 +156,11 @@ void TracerouteAtlas::build_rr_alias_index(HostId source) {
   }
   const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
   SourceAtlas& atlas = *slot;
+  if (metrics_ != nullptr) {
+    metrics_->rr_index_builds->add();
+    metrics_->rr_index_entries->add(
+        -static_cast<std::int64_t>(atlas.rr_index.size()));
+  }
   atlas.rr_index.clear();
   // RR-alias indexing is offline work like the atlas build itself (Q2 runs
   // during source bootstrap, not per request).
@@ -160,6 +191,10 @@ void TracerouteAtlas::build_rr_alias_index(HostId source) {
       }
     }
   }
+  if (metrics_ != nullptr) {
+    metrics_->rr_index_entries->add(
+        static_cast<std::int64_t>(atlas.rr_index.size()));
+  }
 }
 
 std::optional<Intersection> TracerouteAtlas::intersect(
@@ -169,14 +204,17 @@ std::optional<Intersection> TracerouteAtlas::intersect(
   const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
   if (const auto hit = atlas->hop_index.find(addr);
       hit != atlas->hop_index.end()) {
+    if (metrics_ != nullptr) metrics_->intersect_hop->add();
     return hit->second;
   }
   if (use_rr_index) {
     if (const auto hit = atlas->rr_index.find(addr);
         hit != atlas->rr_index.end()) {
+      if (metrics_ != nullptr) metrics_->intersect_rr_index->add();
       return hit->second;
     }
   }
+  if (metrics_ != nullptr) metrics_->intersect_miss->add();
   return std::nullopt;
 }
 
@@ -190,12 +228,18 @@ std::optional<Intersection> TracerouteAtlas::intersect_with_aliases(
   const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
   if (const auto hit = atlas->hop_index.find(addr);
       hit != atlas->hop_index.end()) {
+    if (metrics_ != nullptr) metrics_->intersect_hop->add();
     return hit->second;
   }
-  if (!aliases.knows(addr)) return std::nullopt;
-  for (const auto& [hop_addr, where] : atlas->hop_index) {
-    if (aliases.same_router(addr, hop_addr)) return where;
+  if (aliases.knows(addr)) {
+    for (const auto& [hop_addr, where] : atlas->hop_index) {
+      if (aliases.same_router(addr, hop_addr)) {
+        if (metrics_ != nullptr) metrics_->intersect_alias->add();
+        return where;
+      }
+    }
   }
+  if (metrics_ != nullptr) metrics_->intersect_miss->add();
   return std::nullopt;
 }
 

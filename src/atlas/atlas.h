@@ -27,6 +27,7 @@
 
 #include "alias/alias.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
 #include "util/rng.h"
@@ -58,9 +59,30 @@ struct Intersection {
 // take the stripe exclusively but must not run concurrently with anything
 // that holds references into the atlas (traceroutes()/rr_index_entries()
 // return references valid only while no rebuild runs).
+// Registry handles for atlas maintenance and lookup accounting.
+struct AtlasMetrics {
+  explicit AtlasMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* builds;
+  obs::Counter* refreshes;
+  obs::Counter* rr_index_builds;
+  // revtr_atlas_intersections_total{kind=...}
+  obs::Counter* intersect_hop;
+  obs::Counter* intersect_rr_index;
+  obs::Counter* intersect_alias;
+  obs::Counter* intersect_miss;
+  // Entries across all sources' Q2 indexes, updated after each (re)index.
+  obs::Gauge* rr_index_entries;
+};
+
 class TracerouteAtlas {
  public:
   TracerouteAtlas(probing::Prober& prober, const topology::Topology& topo);
+
+  // nullptr (default) = no instrumentation; handles must outlive their use.
+  void set_metrics(const AtlasMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
   // Q1: (re)build the atlas for `source` with traceroutes from `count`
   // random probe hosts. Returns the simulated duration of the build.
@@ -137,6 +159,7 @@ class TracerouteAtlas {
 
   probing::Prober& prober_;
   const topology::Topology& topo_;
+  const AtlasMetrics* metrics_ = nullptr;
   mutable std::shared_mutex sources_mu_;
   static constexpr std::size_t kStripes = 16;
   mutable std::array<std::shared_mutex, kStripes> stripes_;

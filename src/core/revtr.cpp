@@ -11,6 +11,43 @@ using topology::HostId;
 std::uint64_t cache_key(Ipv4Addr addr, HostId source) {
   return util::mix_hash(addr.value(), source, 0xcace);
 }
+
+// RAII span over one engine stage: brackets the stage with sim-clock
+// timestamps and attributes the stage's *online* probe delta to the span on
+// close. Stages are the only spans that carry cost (the root "request" span
+// reports 0), so summing span costs over a trace reproduces the request's
+// ProbeCounters delta exactly — invariant I6.
+class TraceStage {
+ public:
+  TraceStage(obs::Trace* trace, const probing::Prober& prober,
+             const util::SimClock& clock, const char* name)
+      : trace_(trace), prober_(prober), clock_(clock) {
+    if (trace_ == nullptr) return;
+    before_ = online_total(prober_);
+    id_ = trace_->start_span(name, clock_.now());
+  }
+  ~TraceStage() {
+    if (trace_ == nullptr) return;
+    trace_->end_span(id_, clock_.now(), online_total(prober_) - before_);
+  }
+  TraceStage(const TraceStage&) = delete;
+  TraceStage& operator=(const TraceStage&) = delete;
+
+  void annotate(const char* key, std::string value) {
+    if (trace_ != nullptr) trace_->annotate(id_, key, std::move(value));
+  }
+
+  static std::uint64_t online_total(const probing::Prober& prober) {
+    return prober.counters().total() - prober.offline_counters().total();
+  }
+
+ private:
+  obs::Trace* trace_;
+  const probing::Prober& prober_;
+  const util::SimClock& clock_;
+  std::uint64_t before_ = 0;
+  obs::Trace::SpanId id_ = obs::Trace::kDroppedSpan;
+};
 }  // namespace
 
 std::string to_string(HopSource source) {
@@ -74,6 +111,42 @@ std::string EngineConfig::name() const {
   name += use_rr_atlas ? "+rratlas" : "";
   name += allow_interdomain_symmetry ? "+interdomain" : "";
   return name;
+}
+
+EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry) {
+  const auto status = [&registry](const char* value) {
+    return &registry.counter(std::string("revtr_requests_total{status=\"") +
+                             value + "\"}");
+  };
+  requests_complete = status("complete");
+  requests_aborted = status("aborted-interdomain");
+  requests_unreachable = status("unreachable");
+
+  const auto stage = [&registry](const char* name, const char* outcome) {
+    return &registry.counter(std::string("revtr_engine_stage_total{stage=\"") +
+                             name + "\",outcome=\"" + outcome + "\"}");
+  };
+  atlas_hit = stage("atlas", "hit");
+  atlas_miss = stage("atlas", "miss");
+  rr_cache_replay = stage("rr", "cache-replay");
+  rr_direct_hit = stage("rr", "direct-hit");
+  rr_spoofed_hit = stage("rr", "spoofed-hit");
+  rr_miss = stage("rr", "miss");
+  rr_ingress_discovery = stage("rr", "ingress-discovery");
+  ts_hit = stage("ts", "hit");
+  ts_miss = stage("ts", "miss");
+  ts_skipped = stage("ts", "skipped");
+  symmetry_cached = stage("symmetry", "cached");
+  symmetry_extended = stage("symmetry", "extended");
+  symmetry_aborted = stage("symmetry", "aborted");
+  symmetry_stuck = stage("symmetry", "stuck");
+
+  dbr_suspects = &registry.counter("revtr_dbr_suspects_total");
+
+  latency_us = &registry.histogram("revtr_request_latency_us");
+  request_probes = &registry.histogram("revtr_request_probes");
+  request_hops = &registry.histogram("revtr_request_hops");
+  spoofed_batches = &registry.histogram("revtr_request_spoofed_batches");
 }
 
 RevtrEngine::RevtrEngine(probing::Prober& prober,
@@ -156,10 +229,17 @@ bool RevtrEngine::try_atlas(ReverseTraceroute& result, Ipv4Addr current,
   if (!hit && aliases_ != nullptr) {
     hit = atlas_.intersect_with_aliases(source_, current, *aliases_);
   }
-  if (!hit) return false;
+  if (!hit) {
+    if (metrics_ != nullptr) metrics_->atlas_miss->add();
+    return false;
+  }
+  if (metrics_ != nullptr) metrics_->atlas_hit->add();
+  TraceStage stage(trace_, prober_, clock, "atlas-intersection");
   const auto age = atlas_.touch(source_, *hit, clock.now());
   result.intersected_age_us = age;
   result.used_stale_traceroute = age > config_.cache_ttl;
+  stage.annotate("age_us", std::to_string(age));
+  if (result.used_stale_traceroute) stage.annotate("stale", "1");
   const auto suffix = atlas_.suffix_after(source_, *hit);
   for (const Ipv4Addr addr : suffix) {
     if (already_in_path(result, addr)) continue;
@@ -177,6 +257,9 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
   if (config_.use_cache) {
     if (const auto entry = caches_->rr.lookup(key);
         entry && entry->expires_at > clock.now()) {
+      if (metrics_ != nullptr) metrics_->rr_cache_replay->add();
+      TraceStage stage(trace_, prober_, clock, "rr-cache-replay");
+      stage.annotate("hops", std::to_string(entry->reverse_hops.size()));
       return append_reverse_hops(result, entry->reverse_hops, entry->source,
                                  current);
     }
@@ -191,29 +274,43 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
   };
 
   // --- Direct RR ping from the source (Fig 1b). ---
-  const auto direct = prober_.rr_ping(source_, current);
-  clock.advance(direct.duration_us);
-  if (direct.responded) {
-    const auto revealed = extract_reverse_hops(direct.slots, current);
-    if (!revealed.empty() &&
-        append_reverse_hops(result, revealed, HopSource::kRecordRoute,
-                            current)) {
-      remember(revealed, HopSource::kRecordRoute);
-      return true;
+  {
+    TraceStage stage(trace_, prober_, clock, "rr-direct");
+    const auto direct = prober_.rr_ping(source_, current);
+    clock.advance(direct.duration_us);
+    if (direct.responded) {
+      const auto revealed = extract_reverse_hops(direct.slots, current);
+      if (!revealed.empty() &&
+          append_reverse_hops(result, revealed, HopSource::kRecordRoute,
+                              current)) {
+        remember(revealed, HopSource::kRecordRoute);
+        stage.annotate("hit", "1");
+        if (metrics_ != nullptr) metrics_->rr_direct_hit->add();
+        return true;
+      }
     }
   }
 
   // --- Spoofed RR pings from selected vantage points (Figs 1c/1d). ---
   const auto prefix = topo_.prefix_of(current);
-  if (!prefix) return false;
+  if (!prefix) {
+    if (metrics_ != nullptr) metrics_->rr_miss->add();
+    return false;
+  }
   const vpselect::PrefixPlan* plan = ingress_.plan_for(*prefix);
   if (plan == nullptr) {
     // Offline background measurement run on demand: neither its time nor
     // its packets are charged to this request's online budget (Table 4
     // counts surveys separately); measure() reports the packets in
     // offline_probes instead.
+    if (metrics_ != nullptr) metrics_->rr_ingress_discovery->add();
+    TraceStage stage(trace_, prober_, clock, "ingress-discovery");
+    const auto offline_before = prober_.offline_counters().total();
     const probing::Prober::OfflineScope offline(prober_);
     plan = &ingress_.discover(*prefix, topo_.vantage_points(), rng_);
+    stage.annotate("offline_probes",
+                   std::to_string(prober_.offline_counters().total() -
+                                  offline_before));
   }
 
   std::vector<vpselect::Attempt> attempts;
@@ -232,36 +329,43 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
   while (next < attempts.size()) {
     std::vector<Ipv4Addr> revealed;
     std::size_t sent = 0;
-    while (next < attempts.size() && sent < config_.batch_size) {
-      const auto& attempt = attempts[next++];
-      if (rank_failures[attempt.ingress_rank] >= 5) continue;  // §4.3.
-      const auto probe = prober_.rr_ping(attempt.vp, current, src_addr);
-      ++sent;
-      if (!probe.responded) {
-        ++rank_failures[attempt.ingress_rank];
-        continue;
+    {
+      // Span scope closes before DBR verification so the batch's probe
+      // delta never includes the verify probe (I6 needs disjoint spans).
+      TraceStage stage(trace_, prober_, clock, "rr-spoof-batch");
+      while (next < attempts.size() && sent < config_.batch_size) {
+        const auto& attempt = attempts[next++];
+        if (rank_failures[attempt.ingress_rank] >= 5) continue;  // §4.3.
+        const auto probe = prober_.rr_ping(attempt.vp, current, src_addr);
+        ++sent;
+        if (!probe.responded) {
+          ++rank_failures[attempt.ingress_rank];
+          continue;
+        }
+        if (!attempt.expected_ingress.is_unspecified() &&
+            std::find(probe.slots.begin(), probe.slots.end(),
+                      attempt.expected_ingress) == probe.slots.end()) {
+          // Route did not transit the expected ingress; the next-closest VP
+          // for this ingress will be tried in a later batch.
+          ++rank_failures[attempt.ingress_rank];
+        }
+        const auto hops = extract_reverse_hops(probe.slots, current);
+        if (hops.size() > revealed.size()) revealed = hops;
       }
-      if (!attempt.expected_ingress.is_unspecified() &&
-          std::find(probe.slots.begin(), probe.slots.end(),
-                    attempt.expected_ingress) == probe.slots.end()) {
-        // Route did not transit the expected ingress; the next-closest VP
-        // for this ingress will be tried in a later batch.
-        ++rank_failures[attempt.ingress_rank];
+      if (sent > 0) {
+        // Spoofed replies land at the source; the controller always waits
+        // out the batch timeout for stragglers (§5.2.4).
+        clock.advance(config_.spoof_batch_timeout);
+        ++result.spoofed_batches;
+        stage.annotate("sent", std::to_string(sent));
       }
-      const auto hops = extract_reverse_hops(probe.slots, current);
-      if (hops.size() > revealed.size()) revealed = hops;
-    }
-    if (sent > 0) {
-      // Spoofed replies land at the source; the controller always waits out
-      // the batch timeout for stragglers (§5.2.4).
-      clock.advance(config_.spoof_batch_timeout);
-      ++result.spoofed_batches;
     }
     if (!revealed.empty()) {
       if (config_.verify_destination_based_routing && revealed.size() >= 2 &&
           !revealed[0].is_private()) {
         // Appx E redundancy: confirm the first revealed hop's next hop from
         // an independent vantage point.
+        TraceStage stage(trace_, prober_, clock, "rr-dbr-verify");
         const auto vps = topo_.vantage_points();
         const auto check = prober_.rr_ping(vps[rng_.below(vps.size())],
                                            revealed[0], src_addr);
@@ -271,22 +375,26 @@ bool RevtrEngine::try_record_route(ReverseTraceroute& result,
               extract_reverse_hops(check.slots, revealed[0]);
           if (!recheck.empty() && recheck.front() != revealed[1]) {
             result.dbr_suspect = true;
+            stage.annotate("suspect", "1");
           }
         }
       }
       if (append_reverse_hops(result, revealed,
                               HopSource::kSpoofedRecordRoute, current)) {
         remember(revealed, HopSource::kSpoofedRecordRoute);
+        if (metrics_ != nullptr) metrics_->rr_spoofed_hit->add();
         return true;
       }
     }
   }
+  if (metrics_ != nullptr) metrics_->rr_miss->add();
   return false;
 }
 
 bool RevtrEngine::try_timestamp(ReverseTraceroute& result, Ipv4Addr& current,
                                 util::SimClock& clock) {
   if (!adjacencies_) return false;
+  TraceStage stage(trace_, prober_, clock, "timestamp");
   const auto candidates = adjacencies_(current);
   std::size_t tried = 0;
   for (const Ipv4Addr adjacent : candidates) {
@@ -309,14 +417,18 @@ bool RevtrEngine::try_timestamp(ReverseTraceroute& result, Ipv4Addr& current,
         probe.stamped[1]) {
       result.hops.push_back(ReverseHop{adjacent, HopSource::kTimestamp});
       current = adjacent;
+      stage.annotate("hit", "1");
+      if (metrics_ != nullptr) metrics_->ts_hit->add();
       return true;
     }
   }
+  if (metrics_ != nullptr) metrics_->ts_miss->add();
   return false;
 }
 
 RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
     ReverseTraceroute& result, Ipv4Addr& current, util::SimClock& clock) {
+  TraceStage stage(trace_, prober_, clock, "symmetry");
   const std::uint64_t key = cache_key(current, source_);
   std::optional<Ipv4Addr> penultimate;
   bool reached = false;
@@ -326,6 +438,8 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
   if (cached && cached->expires_at > clock.now()) {
     penultimate = cached->penultimate;
     reached = cached->reached;
+    stage.annotate("cached", "1");
+    if (metrics_ != nullptr) metrics_->symmetry_cached->add();
   } else {
     const auto tr = prober_.traceroute(source_, current);
     clock.advance(tr.duration_us);
@@ -361,8 +475,15 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
     }
   }
 
-  if (!reached || !penultimate) return SymmetryOutcome::kStuck;
-  if (already_in_path(result, *penultimate)) return SymmetryOutcome::kStuck;
+  const auto report = [this, &stage](const char* outcome,
+                                     obs::Counter* counter) {
+    stage.annotate("outcome", outcome);
+    if (metrics_ != nullptr) counter->add();
+  };
+  if (!reached || !penultimate || already_in_path(result, *penultimate)) {
+    report("stuck", metrics_ != nullptr ? metrics_->symmetry_stuck : nullptr);
+    return SymmetryOutcome::kStuck;
+  }
 
   const auto as_p = ip2as_.lookup(*penultimate);
   const auto as_c = ip2as_.lookup(current);
@@ -370,6 +491,8 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
   if (!intradomain && !config_.allow_interdomain_symmetry) {
     // Q5: interdomain symmetry is right only ~57% of the time — abort
     // rather than return an untrustworthy path (Insight 1.10).
+    report("aborted",
+           metrics_ != nullptr ? metrics_->symmetry_aborted : nullptr);
     return SymmetryOutcome::kAborted;
   }
   if (!intradomain) result.used_interdomain_symmetry = true;
@@ -377,6 +500,9 @@ RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
   result.hops.push_back(
       ReverseHop{*penultimate, HopSource::kAssumedSymmetric});
   current = *penultimate;
+  stage.annotate("intradomain", intradomain ? "1" : "0");
+  report("extended",
+         metrics_ != nullptr ? metrics_->symmetry_extended : nullptr);
   return SymmetryOutcome::kExtended;
 }
 
@@ -418,6 +544,13 @@ ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
   const auto counters_before = prober_.counters();
   const auto offline_before = prober_.offline_counters();
 
+  obs::Trace::SpanId root_span = obs::Trace::kDroppedSpan;
+  if (trace_ != nullptr) {
+    trace_->destination = destination;
+    trace_->source = source;
+    root_span = trace_->start_span("request", clock.now());
+  }
+
   const Ipv4Addr src_addr = topo_.host(source).addr;
   Ipv4Addr current = topo_.host(destination).addr;
   result.hops.push_back(ReverseHop{current, HopSource::kDestination});
@@ -435,8 +568,13 @@ ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
       break;
     }
     if (try_record_route(result, current, clock)) continue;
-    if (config_.use_timestamp && try_timestamp(result, current, clock)) {
-      continue;
+    if (config_.use_timestamp) {
+      if (try_timestamp(result, current, clock)) continue;
+    } else {
+      // RR made no progress and the TS technique is compiled out of the
+      // preset (Insight 1.9): record the decision, it costs nothing.
+      if (metrics_ != nullptr) metrics_->ts_skipped->add();
+      if (trace_ != nullptr) trace_->event("ts-skipped", clock.now());
     }
     const auto outcome = try_symmetry(result, current, clock);
     if (outcome == SymmetryOutcome::kExtended) continue;
@@ -453,6 +591,32 @@ ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
   result.probes =
       (prober_.counters() - counters_before) - result.offline_probes;
   finalize_flags(result);
+
+  if (trace_ != nullptr) {
+    trace_->annotate(root_span, "status", to_string(result.status));
+    // The root carries no cost of its own; stage spans own every probe
+    // (I6: sum over spans == result.probes.total()).
+    trace_->end_span(root_span, clock.now(), 0);
+  }
+  if (metrics_ != nullptr) {
+    switch (result.status) {
+      case RevtrStatus::kComplete:
+        metrics_->requests_complete->add();
+        break;
+      case RevtrStatus::kAbortedInterdomainSymmetry:
+        metrics_->requests_aborted->add();
+        break;
+      case RevtrStatus::kUnreachable:
+        metrics_->requests_unreachable->add();
+        break;
+    }
+    if (result.dbr_suspect) metrics_->dbr_suspects->add();
+    metrics_->latency_us->record(
+        static_cast<std::uint64_t>(result.span.duration()));
+    metrics_->request_probes->record(result.probes.total());
+    metrics_->request_hops->record(result.hops.size());
+    metrics_->spoofed_batches->record(result.spoofed_batches);
+  }
   return result;
 }
 

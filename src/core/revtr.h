@@ -31,6 +31,8 @@
 #include "asmap/asmap.h"
 #include "atlas/atlas.h"
 #include "core/adjacency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
 #include "util/rng.h"
@@ -155,6 +157,41 @@ struct EngineCaches {
   }
 };
 
+// Registry handles for the engine's per-request and per-stage accounting
+// (DESIGN.md §9). Resolved once at construction; shared across all worker
+// engines of a campaign (the counters are internally sharded).
+struct EngineMetrics {
+  explicit EngineMetrics(obs::MetricsRegistry& registry);
+
+  // revtr_requests_total{status=...}
+  obs::Counter* requests_complete;
+  obs::Counter* requests_aborted;
+  obs::Counter* requests_unreachable;
+
+  // revtr_engine_stage_total{stage=...,outcome=...}
+  obs::Counter* atlas_hit;
+  obs::Counter* atlas_miss;
+  obs::Counter* rr_cache_replay;
+  obs::Counter* rr_direct_hit;
+  obs::Counter* rr_spoofed_hit;
+  obs::Counter* rr_miss;
+  obs::Counter* rr_ingress_discovery;
+  obs::Counter* ts_hit;
+  obs::Counter* ts_miss;
+  obs::Counter* ts_skipped;
+  obs::Counter* symmetry_cached;
+  obs::Counter* symmetry_extended;
+  obs::Counter* symmetry_aborted;
+  obs::Counter* symmetry_stuck;
+
+  obs::Counter* dbr_suspects;
+
+  obs::Histogram* latency_us;
+  obs::Histogram* request_probes;
+  obs::Histogram* request_hops;
+  obs::Histogram* spoofed_batches;
+};
+
 class RevtrEngine {
  public:
   RevtrEngine(probing::Prober& prober, const topology::Topology& topo,
@@ -191,6 +228,16 @@ class RevtrEngine {
   const std::shared_ptr<EngineCaches>& shared_caches() const noexcept {
     return caches_;
   }
+
+  // Metrics handles; nullptr (default) = no instrumentation. The handles
+  // must outlive the engine's use of them.
+  void set_metrics(const EngineMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  // Trace for the *next* measure() call(s); nullptr detaches. The engine
+  // never owns the trace — the campaign driver attaches a fresh one per
+  // sampled request and publishes it after the measurement returns.
+  void set_trace(obs::Trace* trace) noexcept { trace_ = trace; }
 
   // Restarts the engine's private RNG stream. The driver reseeds per
   // request from (campaign seed, request index) so measurement outcomes are
@@ -234,6 +281,8 @@ class RevtrEngine {
 
   const alias::AliasStore* aliases_ = nullptr;
   AdjacencyProvider adjacencies_;
+  const EngineMetrics* metrics_ = nullptr;
+  obs::Trace* trace_ = nullptr;
 
   topology::HostId source_ = topology::kInvalidId;  // Of the active request.
   std::shared_ptr<EngineCaches> caches_;

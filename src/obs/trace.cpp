@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace revtr::obs {
+
+Trace::Trace(std::size_t max_spans) : max_spans_(max_spans) {
+  REVTR_CHECK(max_spans_ > 0);
+  // Typical request: one root + a handful of stage spans + one span per
+  // spoofed batch. Reserving here keeps the hot path free of reallocations
+  // (Span is large — moving a grown vector moves strings).
+  spans_.reserve(std::min<std::size_t>(max_spans_, 32));
+  open_stack_.reserve(8);
+}
+
+Trace::SpanId Trace::start_span(std::string name, util::SimClock::Micros now) {
+  if (spans_.size() >= max_spans_) {
+    overflowed_ = true;
+    return kDroppedSpan;
+  }
+  Span span;
+  span.name = std::move(name);
+  span.parent = open_stack_.empty() ? Span::kNoParent : open_stack_.back();
+  span.begin = now;
+  span.end = now;
+  const SpanId id = spans_.size();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Trace::end_span(SpanId id, util::SimClock::Micros now,
+                     std::uint64_t probes) {
+  if (id == kDroppedSpan) return;
+  REVTR_CHECK(!open_stack_.empty() && open_stack_.back() == id);
+  open_stack_.pop_back();
+  Span& span = spans_[id];
+  span.end = now;
+  span.probes = probes;
+  span.open = false;
+}
+
+void Trace::annotate(SpanId id, std::string key, std::string value) {
+  if (id == kDroppedSpan) return;
+  REVTR_CHECK(id < spans_.size());
+  spans_[id].annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void Trace::event(std::string name, util::SimClock::Micros now) {
+  const SpanId id = start_span(std::move(name), now);
+  end_span(id, now, 0);
+}
+
+std::uint64_t Trace::attributed_probes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& span : spans_) total += span.probes;
+  return total;
+}
+
+util::Json Trace::to_json() const {
+  util::Json root = util::Json::object();
+  root["request_index"] = util::Json(request_index);
+  root["destination"] = util::Json(destination);
+  root["source"] = util::Json(source);
+  root["overflowed"] = util::Json(overflowed_);
+  util::Json spans = util::Json::array();
+  for (const auto& span : spans_) {
+    util::Json js = util::Json::object();
+    js["name"] = util::Json(span.name);
+    if (span.parent != Span::kNoParent) {
+      js["parent"] = util::Json(static_cast<std::uint64_t>(span.parent));
+    }
+    js["begin_us"] = util::Json(span.begin);
+    js["end_us"] = util::Json(span.end);
+    js["probes"] = util::Json(span.probes);
+    if (!span.annotations.empty()) {
+      util::Json notes = util::Json::object();
+      for (const auto& [key, value] : span.annotations) {
+        notes[key] = util::Json(value);
+      }
+      js["annotations"] = std::move(notes);
+    }
+    spans.push_back(std::move(js));
+  }
+  root["spans"] = std::move(spans);
+  return root;
+}
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
+  REVTR_CHECK(capacity_ > 0);
+}
+
+void TraceSink::publish(Trace trace) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(trace));
+}
+
+std::vector<Trace> TraceSink::published() const {
+  std::vector<Trace> out;
+  {
+    std::lock_guard lock(mu_);
+    out.assign(ring_.begin(), ring_.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.request_index < b.request_index;
+                   });
+  return out;
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+util::Json TraceSink::to_json() const {
+  const auto traces = published();
+  util::Json root = util::Json::object();
+  root["dropped"] = util::Json(dropped());
+  util::Json list = util::Json::array();
+  for (const auto& trace : traces) list.push_back(trace.to_json());
+  root["traces"] = std::move(list);
+  return root;
+}
+
+std::string TraceSink::to_table() const {
+  struct Row {
+    std::uint64_t count = 0;
+    std::uint64_t probes = 0;
+    util::SimClock::Micros micros = 0;
+  };
+  std::map<std::string, Row> by_name;
+  for (const auto& trace : published()) {
+    for (const auto& span : trace.spans()) {
+      Row& row = by_name[span.name];
+      ++row.count;
+      row.probes += span.probes;
+      row.micros += span.end - span.begin;
+    }
+  }
+  util::TextTable table({"span", "count", "probes", "sim seconds"});
+  for (const auto& [name, row] : by_name) {
+    table.add_row({name, util::cell_count(row.count),
+                   util::cell_count(row.probes),
+                   util::cell(static_cast<double>(row.micros) /
+                              util::SimClock::kSecond)});
+  }
+  return table.render();
+}
+
+}  // namespace revtr::obs

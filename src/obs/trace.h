@@ -1,0 +1,120 @@
+// Observability: per-request trace spans with probe-cost attribution.
+//
+// Every sampled reverse traceroute gets a Trace: a tree of named spans, one
+// per engine stage (DESIGN.md §9 lists the taxonomy — atlas-intersection,
+// rr-direct, rr-spoof-batch, ts-skipped, symmetry, ...), each carrying
+// sim-clock begin/end timestamps, the number of *online* probes the stage
+// spent, and optional key=value annotations ("cached" -> "1",
+// "outcome" -> "intradomain"). A trace answers the question the paper keeps
+// asking of the deployed system: for this request, where did the probes and
+// the seconds go?
+//
+// A Trace is single-threaded — the engine owns it for the duration of one
+// measure() call (the parallel campaign driver gives each sampled request
+// its own Trace on its worker thread). Completed traces are published into a
+// TraceSink, a mutex-guarded bounded ring, so campaign memory stays bounded
+// no matter how many requests run; overflow evicts the oldest trace and is
+// counted, never silent.
+//
+// Attribution contract (checked by invariant I6, src/analysis/invariants.h):
+// for a completed trace, the sum of `probes` over all spans equals the
+// engine's online ProbeCounters delta for the request. To keep that sum
+// well-defined, only leaf stage spans carry cost; the root "request" span
+// reports 0 and parents never re-count their children.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/sim_clock.h"
+
+namespace revtr::obs {
+
+struct Span {
+  std::string name;
+  // Index into Trace::spans of the parent, or kNoParent for the root.
+  std::size_t parent = kNoParent;
+  util::SimClock::Micros begin = 0;
+  util::SimClock::Micros end = 0;
+  // Online probes attributed to this span (not including child spans).
+  std::uint64_t probes = 0;
+  bool open = true;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+};
+
+// One request's span tree. start_span()/end_span() must nest (the open span
+// stack is LIFO); end_span() takes the id start_span() returned so mismatched
+// nesting is caught, not absorbed.
+class Trace {
+ public:
+  using SpanId = std::size_t;
+
+  // `max_spans` bounds memory per trace; once exceeded, further spans are
+  // dropped and overflowed() latches true (I6 skips overflowed traces).
+  explicit Trace(std::size_t max_spans = kDefaultMaxSpans);
+
+  // Request identity, set by whoever creates the trace.
+  std::uint64_t request_index = 0;
+  std::uint64_t destination = 0;  // Host id, kept opaque at this layer.
+  std::uint64_t source = 0;
+
+  SpanId start_span(std::string name, util::SimClock::Micros now);
+  void end_span(SpanId id, util::SimClock::Micros now,
+                std::uint64_t probes = 0);
+  void annotate(SpanId id, std::string key, std::string value);
+  // Zero-duration marker span (e.g. "ts-skipped": a decision, not work).
+  void event(std::string name, util::SimClock::Micros now);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  bool overflowed() const noexcept { return overflowed_; }
+  // Sum of probes over all recorded spans (the I6 left-hand side).
+  std::uint64_t attributed_probes() const noexcept;
+
+  util::Json to_json() const;
+
+  static constexpr std::size_t kDefaultMaxSpans = 4096;
+  // Sentinel SpanId returned once the trace has overflowed.
+  static constexpr SpanId kDroppedSpan = static_cast<SpanId>(-1);
+
+ private:
+  std::size_t max_spans_;
+  std::vector<Span> spans_;
+  std::vector<SpanId> open_stack_;
+  bool overflowed_ = false;
+};
+
+// Bounded ring of completed traces. publish() is thread-safe (one mutex —
+// traces are published once per sampled request, far off the probe path).
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+
+  void publish(Trace trace);
+
+  // Snapshot of retained traces, oldest first, sorted by request_index so
+  // output is independent of publish order across workers.
+  std::vector<Trace> published() const;
+  std::size_t size() const;
+  std::uint64_t dropped() const;  // Evicted-by-overflow count.
+
+  util::Json to_json() const;
+  // Aggregate by span name: count, probes, sim seconds. The human view.
+  std::string to_table() const;
+
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<Trace> ring_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace revtr::obs

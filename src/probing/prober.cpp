@@ -45,6 +45,20 @@ std::string to_string(ProbeType type) {
   return "?";
 }
 
+ProbeMetrics::ProbeMetrics(obs::MetricsRegistry& registry) {
+  for (std::size_t t = 0; t < probes.size(); ++t) {
+    const auto type_name = to_string(static_cast<ProbeType>(t));
+    probes[t][0] = &registry.counter("revtr_probes_total{scope=\"online\",type=\"" +
+                                     type_name + "\"}");
+    probes[t][1] = &registry.counter(
+        "revtr_probes_total{scope=\"offline\",type=\"" + type_name + "\"}");
+  }
+  traceroutes[0] =
+      &registry.counter("revtr_traceroutes_total{scope=\"online\"}");
+  traceroutes[1] =
+      &registry.counter("revtr_traceroutes_total{scope=\"offline\"}");
+}
+
 ProbeCounters& ProbeCounters::operator+=(const ProbeCounters& other) {
   ping = checked_add(ping, other.ping);
   rr = checked_add(rr, other.rr);
@@ -105,11 +119,17 @@ void Prober::charge(ProbeType type) {
   };
   bump(counters_);
   if (offline()) bump(offline_counters_);
+  if (metrics_ != nullptr) {
+    metrics_->probes[static_cast<std::size_t>(type)][offline() ? 1 : 0]->add();
+  }
 }
 
 void Prober::charge_traceroute_head() {
   ++counters_.traceroutes;
   if (offline()) ++offline_counters_.traceroutes;
+  if (metrics_ != nullptr) {
+    metrics_->traceroutes[offline() ? 1 : 0]->add();
+  }
 }
 
 bool Prober::vetoed(ProbeEvent& event) {

@@ -11,6 +11,7 @@
 // (sequential steps) or max out (parallel batches).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "topology/topology.h"
 #include "util/sim_clock.h"
@@ -88,6 +90,19 @@ class ProbeObserver {
 // not subject to fault policies (the schedules model RR/TS filtering and
 // spoof loss, which do not affect plain TTL-limited probes).
 using FaultPolicy = std::function<bool(const ProbeEvent&)>;
+
+// Registry handles for probe accounting, resolved once so the per-probe
+// cost is a single sharded relaxed add. `scope` partitions: a probe sent
+// under an OfflineScope counts under scope="offline" only (unlike
+// ProbeCounters, where offline is a subset of the grand total).
+struct ProbeMetrics {
+  explicit ProbeMetrics(obs::MetricsRegistry& registry);
+
+  // Indexed [ProbeType][offline ? 1 : 0].
+  std::array<std::array<obs::Counter*, 2>, 6> probes{};
+  // Traceroute invocations (heads), as opposed to per-TTL packets above.
+  std::array<obs::Counter*, 2> traceroutes{};
+};
 
 struct PingResult {
   bool responded = false;
@@ -176,6 +191,12 @@ class Prober {
 
   // Observer outlives the prober's use of it; pass nullptr to detach.
   void set_observer(ProbeObserver* observer) noexcept { observer_ = observer; }
+  // Metrics handles outlive the prober's use of them; nullptr (the default)
+  // makes instrumentation a no-op. Shared across probers: the counters are
+  // internally sharded per worker thread.
+  void set_metrics(const ProbeMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
   void set_fault_policy(FaultPolicy policy) {
     fault_policy_ = std::move(policy);
   }
@@ -200,6 +221,7 @@ class Prober {
   std::uint16_t sequence_ = 0;
   int offline_depth_ = 0;
   ProbeObserver* observer_ = nullptr;
+  const ProbeMetrics* metrics_ = nullptr;
   FaultPolicy fault_policy_;
 };
 

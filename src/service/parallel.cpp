@@ -4,6 +4,7 @@
 #include <chrono>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "probing/prober.h"
@@ -73,6 +74,20 @@ ParallelCampaignReport ParallelCampaignDriver::run(
                                                    net_seed, caches));
   }
 
+  // Metric handles are registered once, up front, and shared by every
+  // worker: the counters shard internally per worker thread, so attaching
+  // the same handle set to all stacks is both correct and the cheap path.
+  std::optional<probing::ProbeMetrics> probe_metrics;
+  std::optional<core::EngineMetrics> engine_metrics;
+  if (options_.metrics != nullptr) {
+    probe_metrics.emplace(*options_.metrics);
+    engine_metrics.emplace(*options_.metrics);
+    for (const auto& stack : stacks) {
+      stack->prober.set_metrics(&*probe_metrics);
+      stack->engine.set_metrics(&*engine_metrics);
+    }
+  }
+
   ParallelCampaignReport report;
   report.results.resize(pairs.size());
 
@@ -92,7 +107,23 @@ ParallelCampaignReport ParallelCampaignDriver::run(
         // residual RNG use in the engine draws the same stream no matter
         // which worker runs the request or what ran before it.
         stack.engine.reseed(util::mix_hash(options_.seed, i, 0xca3aULL));
+        // Sampling by input index keeps the sampled *set* independent of
+        // which worker picks the task up; the Trace itself is thread-private
+        // until published.
+        const bool sampled = options_.trace_sink != nullptr &&
+                             options_.trace_sample_every > 0 &&
+                             i % options_.trace_sample_every == 0;
+        std::optional<obs::Trace> trace;
+        if (sampled) {
+          trace.emplace();
+          trace->request_index = i;
+          stack.engine.set_trace(&*trace);
+        }
         auto result = stack.engine.measure(destination, source, stack.clock);
+        if (sampled) {
+          stack.engine.set_trace(nullptr);
+          options_.trace_sink->publish(*std::move(trace));
+        }
         const double latency = result.span.seconds();
         stack.local.latency_seconds.add(latency);
         stack.local.busy_seconds += latency;
@@ -139,6 +170,13 @@ ParallelCampaignReport ParallelCampaignDriver::run(
   }
   // The campaign is as long (in simulated time) as its busiest worker.
   stats.duration_seconds = slowest_worker;
+
+  // Merge-at-barrier snapshot: workers are joined, so the sharded counters
+  // hold every request's contribution and the snapshot is deterministic for
+  // a given measurement set.
+  if (options_.metrics != nullptr) {
+    report.metrics = options_.metrics->snapshot();
+  }
 
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -43,6 +44,8 @@
 #include "asmap/asmap.h"
 #include "atlas/atlas.h"
 #include "core/revtr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routing/forwarding.h"
 #include "service/service.h"
 #include "topology/topology.h"
@@ -69,6 +72,18 @@ struct ParallelCampaignOptions {
   // Real seconds each worker slot is held per simulated second of request
   // latency. 0 disables pacing (tests); the scaling bench uses ~1e-3.
   double pacing_scale = 0.0;
+
+  // --- Observability (all optional; nullptr/0 = off). ---
+  // Registry shared by every worker stack: probe and engine counters are
+  // registered once and shard internally per worker thread, so the hot path
+  // stays a relaxed atomic add. The report carries a snapshot taken at the
+  // barrier, after all workers joined (merge-at-barrier).
+  obs::MetricsRegistry* metrics = nullptr;
+  // Every trace_sample_every-th request (by input index, so the sampled set
+  // is scheduling-independent) records a span tree into trace_sink.
+  // trace_sample_every == 0 disables tracing.
+  obs::TraceSink* trace_sink = nullptr;
+  std::size_t trace_sample_every = 0;
 };
 
 struct ParallelCampaignReport {
@@ -77,6 +92,9 @@ struct ParallelCampaignReport {
   CampaignStats stats;          // Merged across workers at the barrier.
   double wall_seconds = 0;      // Real elapsed time of run().
   std::vector<double> worker_busy_seconds;  // Simulated, per worker.
+  // Present when options.metrics was set: registry snapshot taken after the
+  // barrier, so every worker's sharded counters are fully merged.
+  std::optional<obs::MetricsSnapshot> metrics;
 };
 
 class ParallelCampaignDriver {

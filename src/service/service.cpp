@@ -2,6 +2,23 @@
 
 namespace revtr::service {
 
+ServiceMetrics::ServiceMetrics(obs::MetricsRegistry& registry) {
+  const auto quota = [&registry](const char* event) {
+    return &registry.counter(
+        std::string("revtr_service_quota_total{event=\"") + event + "\"}");
+  };
+  quota_charges = quota("charge");
+  quota_refunds = quota("refund");
+  quota_rejections = quota("reject");
+  ndt_accepted =
+      &registry.counter("revtr_service_ndt_total{outcome=\"accepted\"}");
+  ndt_shed = &registry.counter("revtr_service_ndt_total{outcome=\"shed\"}");
+  request_atlas_refreshes =
+      &registry.counter("revtr_service_request_atlas_refreshes_total");
+  daily_refreshes = &registry.counter("revtr_service_daily_refreshes_total");
+  sources_bootstrapped = &registry.counter("revtr_service_sources_total");
+}
+
 RevtrService::RevtrService(core::RevtrEngine& engine,
                            atlas::TracerouteAtlas& atlas,
                            probing::Prober& prober,
@@ -44,6 +61,7 @@ bool RevtrService::add_source(topology::HostId host, std::size_t atlas_size,
 
   record.atlas_refreshed_at = clock_.now();
   sources_[host] = record;
+  if (metrics_ != nullptr) metrics_->sources_bootstrapped->add();
   return true;
 }
 
@@ -55,8 +73,12 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
   const auto source_it = sources_.find(source);
   if (source_it == sources_.end()) return std::nullopt;
   UserState& state = user_it->second;
-  if (state.issued_today >= state.limits.daily_limit) return std::nullopt;
+  if (state.issued_today >= state.limits.daily_limit) {
+    if (metrics_ != nullptr) metrics_->quota_rejections->add();
+    return std::nullopt;
+  }
   ++state.issued_today;
+  if (metrics_ != nullptr) metrics_->quota_charges->add();
 
   ServedMeasurement served;
   // Quota charges only stick for completed measurements (see request()).
@@ -68,12 +90,16 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
     record.atlas_refreshed_at = clock_.now();
     record.atlas_size = atlas_.traceroutes(source).size();
     served.atlas_refreshed = true;
+    if (metrics_ != nullptr) metrics_->request_atlas_refreshes->add();
     // An atlas refresh takes ~15 minutes of wall-clock on RIPE Atlas.
     clock_.advance(15 * util::SimClock::kMinute);
   }
 
   served.reverse = engine_.measure(destination, source, clock_);
-  if (!served.reverse.complete()) --state.issued_today;
+  if (!served.reverse.complete()) {
+    --state.issued_today;
+    if (metrics_ != nullptr) metrics_->quota_refunds->add();
+  }
   archive(served.reverse);
   if (options.with_forward_traceroute) {
     served.forward = prober_.traceroute(
@@ -88,10 +114,12 @@ std::optional<ServedMeasurement> RevtrService::on_ndt_measurement(
   if (!sources_.contains(server)) return std::nullopt;
   if (ndt_issued_today_ >= ndt_budget_) {
     ++ndt_stats_.rejected_load;  // Load shedding: NDT traffic is best-effort.
+    if (metrics_ != nullptr) metrics_->ndt_shed->add();
     return std::nullopt;
   }
   ++ndt_issued_today_;
   ++ndt_stats_.accepted;
+  if (metrics_ != nullptr) metrics_->ndt_accepted->add();
   ServedMeasurement served;
   served.reverse = engine_.measure(client, server, clock_);
   archive(served.reverse);
@@ -113,14 +141,21 @@ std::optional<core::ReverseTraceroute> RevtrService::request(
   if (user_it == users_.end()) return std::nullopt;
   if (!sources_.contains(source)) return std::nullopt;
   UserState& state = user_it->second;
-  if (state.issued_today >= state.limits.daily_limit) return std::nullopt;
+  if (state.issued_today >= state.limits.daily_limit) {
+    if (metrics_ != nullptr) metrics_->quota_rejections->add();
+    return std::nullopt;
+  }
   // Charge up front so a re-entrant caller cannot overshoot the limit, but
   // refund when the engine fails to deliver a path: a user whose requests
   // abort or come back unreachable has received nothing, and burning their
   // daily limit on service-side failures would lock them out (Appx A).
   ++state.issued_today;
+  if (metrics_ != nullptr) metrics_->quota_charges->add();
   auto result = engine_.measure(destination, source, clock_);
-  if (!result.complete()) --state.issued_today;
+  if (!result.complete()) {
+    --state.issued_today;
+    if (metrics_ != nullptr) metrics_->quota_refunds->add();
+  }
   archive(result);
   return result;
 }
@@ -157,6 +192,7 @@ CampaignStats RevtrService::run_campaign(
 }
 
 void RevtrService::daily_refresh(util::Rng& rng) {
+  if (metrics_ != nullptr) metrics_->daily_refreshes->add();
   clock_.advance(util::SimClock::kDay);
   for (auto& [host, record] : sources_) {
     atlas_.refresh(host, rng, clock_.now());

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/revtr.h"
+#include "obs/metrics.h"
 #include "service/archive.h"
 #include "util/sim_clock.h"
 #include "util/stats.h"
@@ -91,10 +92,33 @@ struct CampaignStats {
   }
 };
 
+// Registry handles for the operational layer: quota accounting, NDT load
+// shedding, and maintenance activity.
+struct ServiceMetrics {
+  explicit ServiceMetrics(obs::MetricsRegistry& registry);
+
+  // revtr_service_quota_total{event=...}: charge on accept, refund when the
+  // measurement fails to deliver a path, reject when over the daily limit.
+  obs::Counter* quota_charges;
+  obs::Counter* quota_refunds;
+  obs::Counter* quota_rejections;
+  // revtr_service_ndt_total{outcome=...}
+  obs::Counter* ndt_accepted;
+  obs::Counter* ndt_shed;
+  obs::Counter* request_atlas_refreshes;
+  obs::Counter* daily_refreshes;
+  obs::Counter* sources_bootstrapped;
+};
+
 class RevtrService {
  public:
   RevtrService(core::RevtrEngine& engine, atlas::TracerouteAtlas& atlas,
                probing::Prober& prober, const topology::Topology& topo);
+
+  // nullptr (default) = no instrumentation; handles must outlive their use.
+  void set_metrics(const ServiceMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
   // --- Users (manual registration in the real system). ---
   UserId add_user(std::string name, UserLimits limits = {});
@@ -182,6 +206,7 @@ class RevtrService {
     if (archive_ != nullptr) archive_->record(measurement, clock_.now());
   }
 
+  const ServiceMetrics* metrics_ = nullptr;
   std::size_t ndt_budget_ = 1000;
   std::size_t ndt_issued_today_ = 0;
   NdtStats ndt_stats_;

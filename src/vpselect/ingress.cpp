@@ -84,6 +84,12 @@ std::vector<VpDistance> PrefixPlan::fallback_ranking() const {
   return ranking;
 }
 
+IngressMetrics::IngressMetrics(obs::MetricsRegistry& registry) {
+  surveys = &registry.counter("revtr_ingress_surveys_total");
+  plans = &registry.gauge("revtr_ingress_plans");
+  prefixes_covered = &registry.counter("revtr_ingress_prefixes_covered_total");
+}
+
 IngressDiscovery::IngressDiscovery(probing::Prober& prober,
                                    const topology::Topology& topo,
                                    Options options)
@@ -105,6 +111,10 @@ const PrefixPlan& IngressDiscovery::discover(
   PrefixPlan& plan = plans_[prefix];
   plan = PrefixPlan{};
   plan.prefix = prefix;
+  if (metrics_ != nullptr) {
+    metrics_->surveys->add();
+    metrics_->plans->set(static_cast<std::int64_t>(plans_.size()));
+  }
 
   // The survey is offline measurement (Q3): its probes must never appear in
   // a request's online budget, whichever caller triggers it.
@@ -241,6 +251,9 @@ const PrefixPlan& IngressDiscovery::discover(
                    [](const Ingress& a, const Ingress& b) {
                      return a.vps.size() > b.vps.size();
                    });
+  if (metrics_ != nullptr && plan.has_ingresses()) {
+    metrics_->prefixes_covered->add();
+  }
   return plan;
 }
 

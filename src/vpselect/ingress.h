@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
 #include "util/rng.h"
@@ -100,12 +101,26 @@ struct DiscoveryOptions {
   bool enable_loop = true;
 };
 
+// Registry handles for the offline ingress-survey path.
+struct IngressMetrics {
+  explicit IngressMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* surveys;           // revtr_ingress_surveys_total
+  obs::Gauge* plans;               // Prefix plans currently held.
+  obs::Counter* prefixes_covered;  // Surveys that found >= 1 ingress.
+};
+
 class IngressDiscovery {
  public:
   using Options = DiscoveryOptions;
 
   IngressDiscovery(probing::Prober& prober, const topology::Topology& topo,
                    Options options = Options());
+
+  // nullptr (default) = no instrumentation; handles must outlive their use.
+  void set_metrics(const IngressMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
   // Runs the offline survey for one prefix; uses the prefix's first
   // RR-responsive hosts as survey destinations (callers can exclude hosts,
@@ -131,6 +146,7 @@ class IngressDiscovery {
   probing::Prober& prober_;
   const topology::Topology& topo_;
   Options options_;
+  const IngressMetrics* metrics_ = nullptr;
   mutable std::shared_mutex mu_;
   std::unordered_map<topology::PrefixId, PrefixPlan> plans_;
 };

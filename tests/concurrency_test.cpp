@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "obs/metrics.h"
 #include "service/parallel.h"
 #include "util/stats.h"
 #include "util/striped_map.h"
@@ -172,6 +173,99 @@ TEST(StripedMap, ConcurrentInsertAndLookup) {
   const auto probe = map.lookup(3 * kPerThread + 17);
   ASSERT_TRUE(probe.has_value());
   EXPECT_EQ((*probe)[1], 17);
+}
+
+// --- Sharded metrics ------------------------------------------------------
+
+// Pool workers and non-pool threads hammer the same counter cells; the
+// merged total must equal the number of adds. TSan validates that the
+// relaxed per-shard atomics really are race-free.
+TEST(ShardedMetrics, ConcurrentCounterAddsMergeExactly) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("revtr_test_adds_total");
+  constexpr int kTasks = 64;
+  constexpr std::uint64_t kAddsPerTask = 5000;
+  {
+    util::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kTasks; ++t) {
+      futures.push_back(pool.submit([&counter] {
+        for (std::uint64_t i = 0; i < kAddsPerTask; ++i) counter.add();
+      }));
+    }
+    // A non-pool writer exercises shard 0 concurrently with the workers.
+    std::thread outsider([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerTask; ++i) counter.add(2);
+    });
+    for (auto& f : futures) f.get();
+    outsider.join();
+  }
+  EXPECT_EQ(counter.total(), (kTasks + 2) * kAddsPerTask);
+}
+
+TEST(ShardedMetrics, ConcurrentHistogramRecordsMergeExactly) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("revtr_test_latency_us");
+  constexpr int kTasks = 32;
+  constexpr std::uint64_t kSamplesPerTask = 2000;
+  std::uint64_t want_sum = 0;
+  for (std::uint64_t i = 0; i < kSamplesPerTask; ++i) want_sum += i * 7;
+  {
+    util::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kTasks; ++t) {
+      futures.push_back(pool.submit([&hist] {
+        for (std::uint64_t i = 0; i < kSamplesPerTask; ++i) hist.record(i * 7);
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(hist.count(), kTasks * kSamplesPerTask);
+  EXPECT_EQ(hist.sum(), static_cast<std::uint64_t>(kTasks) * want_sum);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    bucket_total += hist.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+// Snapshots (the campaign's merge-at-barrier) run concurrently with
+// writers and with get-or-create registration of fresh names. Mid-run
+// snapshot values are racy by design; the invariants are: no TSan report,
+// handles are stable, and the final merged totals are exact.
+TEST(ShardedMetrics, SnapshotAndRegistrationDuringConcurrentWrites) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("revtr_test_probes_total");
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snapshot = registry.snapshot();
+      EXPECT_GE(snapshot.counters.size(), 1u);
+    }
+  });
+  constexpr int kTasks = 32;
+  constexpr std::uint64_t kAddsPerTask = 3000;
+  {
+    util::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kTasks; ++t) {
+      futures.push_back(pool.submit([&registry, &counter, t] {
+        // Same-name registration from many threads must converge on one cell.
+        obs::Counter& again = registry.counter("revtr_test_probes_total");
+        EXPECT_EQ(&again, &counter);
+        obs::Gauge& mine = registry.gauge(
+            "revtr_test_worker_gauge{worker=\"" + std::to_string(t % 4) +
+            "\"}");
+        mine.set(t);
+        for (std::uint64_t i = 0; i < kAddsPerTask; ++i) again.add();
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(counter.total(), kTasks * kAddsPerTask);
+  EXPECT_EQ(registry.size(), 1u + 4u);  // Counter + one gauge per worker id.
 }
 
 // --- ParallelCampaignDriver ----------------------------------------------

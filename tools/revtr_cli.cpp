@@ -118,8 +118,29 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   const auto parallel =
       static_cast<std::size_t>(flags.get_int("parallel", 4));
   const std::string archive_path = flags.get_string("archive", "");
+  const std::string metrics_path = flags.get_string("metrics-out", "");
+  const std::string trace_path = flags.get_string("trace-out", "");
+  const auto trace_sample =
+      static_cast<std::size_t>(flags.get_int("trace-sample", 0));
+
+  // One registry covers the whole campaign: control-plane activity (source
+  // bootstrap, atlas builds, ingress surveys) and the worker probe/engine
+  // counters all land in the same snapshot.
+  obs::MetricsRegistry registry;
+  obs::TraceSink trace_sink;
+  const service::ServiceMetrics svc_metrics(registry);
+  const atlas::AtlasMetrics atlas_metrics(registry);
+  const vpselect::IngressMetrics ingress_metrics(registry);
+  const probing::ProbeMetrics probe_metrics(registry);
+  lab.atlas.set_metrics(&atlas_metrics);
+  lab.ingress.set_metrics(&ingress_metrics);
+  // The lab's control-plane prober serves bootstrap and ingress surveys; the
+  // campaign workers' probers are instrumented by the driver and resolve to
+  // the same registry counters.
+  lab.prober.set_metrics(&probe_metrics);
 
   service::RevtrService svc(lab.engine, lab.atlas, lab.prober, lab.topo);
+  svc.set_metrics(&svc_metrics);
   service::MeasurementArchive archive(lab.topo);
 
   const auto source = lab.topo.vantage_points()[0];
@@ -141,6 +162,9 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   options.workers = parallel == 0 ? 1 : parallel;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   options.pacing_scale = flags.get_double("pacing", 0.0);
+  options.metrics = &registry;
+  options.trace_sink = &trace_sink;
+  options.trace_sample_every = trace_sample;
   service::ParallelCampaignDriver driver(deps, options);
   const auto report = driver.run(pairs);
   for (const auto& result : report.results) {
@@ -170,6 +194,27 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
     std::ofstream out(archive_path);
     out << archive.export_ndjson();
     std::printf("archive written to %s\n", archive_path.c_str());
+  }
+  if (report.metrics.has_value()) {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      out << report.metrics->to_prometheus();
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    } else {
+      std::printf("\n%s", report.metrics->to_table().c_str());
+    }
+  }
+  if (trace_sample > 0) {
+    std::printf("\ntraces: %zu retained, %llu evicted (sampling 1/%zu)\n",
+                trace_sink.size(),
+                static_cast<unsigned long long>(trace_sink.dropped()),
+                trace_sample);
+    std::printf("%s", trace_sink.to_table().c_str());
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      out << trace_sink.to_json().dump() << '\n';
+      std::printf("traces written to %s\n", trace_path.c_str());
+    }
   }
   return 0;
 }

@@ -33,11 +33,17 @@
 //                    TSan caught it; mutable members + a mutex make the
 //                    sharing explicit. Genuinely const-adding casts are
 //                    rare enough to justify a lint:allow(const-cast).
+//   bare-output      `std::cout` or a bare `printf(` in src/: library code
+//                    must not write to stdout — route data through the obs
+//                    exporters (src/obs/) or return it to the caller.
+//                    fprintf/snprintf stay legal (stderr diagnostics,
+//                    formatting into buffers); tools/, tests/, bench/ and
+//                    examples/ own their stdout and are exempt.
 //
 // Module DAG (rank order; an include edge must point strictly downward):
-//   util(0) → net(1) → topology(2) → routing(3) → sim(4) → probing(5)
-//   → alias(6), asmap(6) → atlas(7), vpselect(7) → core(8) → analysis(9)
-//   → eval(10), service(10)
+//   util(0) → net(1), obs(1) → topology(2) → routing(3) → sim(4)
+//   → probing(5) → alias(6), asmap(6) → atlas(7), vpselect(7) → core(8)
+//   → analysis(9) → eval(10), service(10)
 // tools/, tests/, bench/ and examples/ sit on top and may include anything.
 //
 // `revtr_lint --self-test` exercises both accept and reject paths of the
@@ -168,10 +174,10 @@ bool allows(const std::string& raw_line, std::string_view rule) {
 // adding it here, which forces a layering decision in review.
 const std::map<std::string, int, std::less<>>& module_ranks() {
   static const std::map<std::string, int, std::less<>> kRanks = {
-      {"util", 0},  {"net", 1},      {"topology", 2}, {"routing", 3},
-      {"sim", 4},   {"probing", 5},  {"alias", 6},    {"asmap", 6},
-      {"atlas", 7}, {"vpselect", 7}, {"core", 8},     {"analysis", 9},
-      {"eval", 10}, {"service", 10},
+      {"util", 0},  {"net", 1},      {"obs", 1},      {"topology", 2},
+      {"routing", 3}, {"sim", 4},    {"probing", 5},  {"alias", 6},
+      {"asmap", 6}, {"atlas", 7},    {"vpselect", 7}, {"core", 8},
+      {"analysis", 9}, {"eval", 10}, {"service", 10},
   };
   return kRanks;
 }
@@ -323,6 +329,11 @@ class Linter {
         R"(static_cast<\s*(std::)?(u?int(8|16|32)_t|(un)?signed\s+char|char|short|(un)?signed\s+short)\s*>)");
     static const std::regex kStdEndl(R"(std\s*::\s*endl)");
     static const std::regex kConstCast(R"(\bconst_cast\s*<)");
+    static const std::regex kStdCout(R"(\bstd\s*::\s*cout\b)");
+    // Bare printf only: the [^\w] guard keeps fprintf/snprintf/vsnprintf
+    // legal, the optional std:: prefix catches <cstdio>'s qualified form.
+    static const std::regex kBarePrintf(
+        R"((^|[^\w])(std\s*::\s*)?printf\s*\()");
     // The stripper blanks string contents, so the include *path* must come
     // from the raw line; the stripped line still proves the directive is
     // not inside a comment.
@@ -361,6 +372,14 @@ class Linter {
                "const_cast in src/; mutation behind a const interface hides "
                "data races (see Distribution) — use mutable members with "
                "explicit synchronization");
+      }
+      if (in_src &&
+          (std::regex_search(line, kStdCout) ||
+           std::regex_search(line, kBarePrintf)) &&
+          !allows(raw_line, "bare-output")) {
+        report(rel, lineno, "bare-output",
+               "bare stdout write in src/; library code returns data or "
+               "exports it via src/obs/ — printing belongs to tools/");
       }
       if (!module.empty() && std::regex_search(line, kIncludeStripped)) {
         std::smatch match;
@@ -652,6 +671,46 @@ int run_self_test() {
         "auto& m = const_cast<T&>(t);  // lint:allow(const-cast)\n");
     expect(count_rule(linter, "const-cast") == 0,
            "const-cast suppression honored");
+  }
+  {  // std::cout and bare printf in src/ are flagged.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/revtr.cpp",
+                       "void f() { std::cout << 1; }\n");
+    linter.lint_source("src/atlas/atlas.cpp",
+                       "void g() { printf(\"%d\", 1); }\n");
+    linter.lint_source("src/sim/network.cpp",
+                       "void h() { std::printf(\"x\"); }\n");
+    expect(count_rule(linter, "bare-output") == 3,
+           "std::cout / bare printf flagged in src/");
+  }
+  {  // fprintf(stderr) and snprintf stay legal; tools/ owns its stdout.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/check.cpp",
+                       "void f() { fprintf(stderr, \"x\"); }\n");
+    linter.lint_source("src/util/json.cpp",
+                       "void g(char* b) { snprintf(b, 4, \"x\"); }\n");
+    linter.lint_source("tools/revtr_cli.cpp",
+                       "int h() { std::printf(\"ok\"); return 0; }\n");
+    expect(count_rule(linter, "bare-output") == 0,
+           "fprintf/snprintf and tools/ output accepted");
+  }
+  {  // Suppression marker works for bare-output.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/core/revtr.cpp",
+        "std::cout << debug;  // lint:allow(bare-output)\n");
+    expect(count_rule(linter, "bare-output") == 0,
+           "bare-output suppression honored");
+  }
+  {  // obs sits at rank 1: usable from probing and above, barred from
+     // reaching laterally into net.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/probing/prober.cpp",
+                       "#include \"obs/metrics.h\"\n");
+    expect(count_rule(linter, "layering") == 0, "probing -> obs accepted");
+    Linter lateral{fs::path(".")};
+    lateral.lint_source("src/obs/metrics.cpp", "#include \"net/ipv4.h\"\n");
+    expect(count_rule(lateral, "layering") == 1, "obs -> net rejected");
   }
   {  // Outside src/, neither rule applies (tests may include anything and
      // keep defensive defaults).
