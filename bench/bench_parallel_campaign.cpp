@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
   auto setup = bench::parse_setup(flags);
   setup.revtrs = static_cast<std::size_t>(flags.get_int("revtrs", 500));
   const double pacing = flags.get_double("pacing", 2e-3);
+  const auto dup_revtrs =
+      static_cast<std::size_t>(flags.get_int("dup-revtrs", 96));
   bench::warn_unknown_flags(flags);
   bench::print_header("Parallel campaign scaling (real threads)", setup);
 
@@ -116,6 +118,56 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("identical measurement sets across worker counts: %s\n",
               identical_sets ? "yes" : "NO — DETERMINISM BROKEN");
+
+  // --- Duplicate-heavy workload: blocking vs staged coalescing. -----------
+  // Many requests over few destinations is the cross-request coalescing
+  // sweet spot (think a campaign re-measuring a small target set from one
+  // source). Engine caches are off on BOTH sides so every probe a request
+  // wants is genuinely demanded — the shared RR cache would otherwise hide
+  // the comparison — and the staged scheduler's in-flight dedup is the only
+  // thing collapsing duplicates.
+  const std::size_t dup_dests = std::min<std::size_t>(4, dests.size());
+  std::vector<std::pair<topology::HostId, topology::HostId>> dup_pairs;
+  for (std::size_t i = 0; i < dup_revtrs; ++i) {
+    dup_pairs.emplace_back(dests[i % dup_dests], source);
+  }
+  const auto dup_run = [&](service::EngineMode mode) {
+    service::ParallelCampaignOptions options;
+    options.workers = 4;
+    options.seed = setup.seed;
+    options.pacing_scale = pacing;
+    options.engine.use_cache = false;
+    options.mode = mode;
+    service::ParallelCampaignDriver driver(deps, options);
+    return driver.run(dup_pairs);
+  };
+  const auto dup_blocking = dup_run(service::EngineMode::kBlocking);
+  const auto dup_staged = dup_run(service::EngineMode::kStaged);
+  const bool dup_identical = campaign_signature(dup_blocking.results) ==
+                             campaign_signature(dup_staged.results);
+  const std::uint64_t blocking_issued = dup_blocking.stats.probes.total();
+  const std::uint64_t staged_issued = dup_staged.stats.probes.total();
+  const double issued_reduction =
+      staged_issued == 0 ? 0.0
+                         : static_cast<double>(blocking_issued) /
+                               static_cast<double>(staged_issued);
+  const auto& dup_sched = *dup_staged.sched;
+  std::printf("\nduplicate-heavy (%zu requests over %zu destinations, "
+              "caches off, 4 workers):\n",
+              dup_pairs.size(), dup_dests);
+  std::printf("  blocking: %llu probes issued, %.2f s wall\n",
+              static_cast<unsigned long long>(blocking_issued),
+              dup_blocking.wall_seconds);
+  std::printf("  staged:   %llu probes issued (%llu demands, %llu "
+              "coalesced), %.2f s wall\n",
+              static_cast<unsigned long long>(staged_issued),
+              static_cast<unsigned long long>(dup_sched.demanded),
+              static_cast<unsigned long long>(dup_sched.coalesced),
+              dup_staged.wall_seconds);
+  std::printf("  probes-issued reduction: %.2fx; identical measurement "
+              "sets: %s\n",
+              issued_reduction,
+              dup_identical ? "yes" : "NO — DETERMINISM BROKEN");
 
   // --- Instrumentation overhead: metrics-off vs metrics-on. ---------------
   // Pacing is disabled here: with pacing, wall time is sleep-dominated and
@@ -197,6 +249,24 @@ int main(int argc, char** argv) {
   instrumentation["overhead_pct"] = overhead_pct;
   instrumentation["trace_sample_every"] = static_cast<double>(sample_every);
   out["instrumentation"] = std::move(instrumentation);
+  util::Json duplicate_heavy = util::Json::object();
+  duplicate_heavy["requests"] = static_cast<double>(dup_pairs.size());
+  duplicate_heavy["destinations"] = static_cast<double>(dup_dests);
+  duplicate_heavy["blocking_probes_issued"] =
+      static_cast<double>(blocking_issued);
+  duplicate_heavy["staged_probes_issued"] = static_cast<double>(staged_issued);
+  duplicate_heavy["staged_probes_demanded"] =
+      static_cast<double>(dup_sched.demanded);
+  duplicate_heavy["staged_probes_coalesced"] =
+      static_cast<double>(dup_sched.coalesced);
+  duplicate_heavy["blocking_wall_seconds"] = dup_blocking.wall_seconds;
+  duplicate_heavy["staged_wall_seconds"] = dup_staged.wall_seconds;
+  duplicate_heavy["issued_reduction"] = issued_reduction;
+  duplicate_heavy["identical_sets"] = dup_identical;
+  out["duplicate_heavy"] = std::move(duplicate_heavy);
   std::printf("%s\n", out.dump().c_str());
-  return identical_sets ? 0 : 1;
+  // A duplicate-heavy campaign that fails to at least halve issued probes
+  // means coalescing regressed; fail loudly, like a determinism break.
+  const bool ok = identical_sets && dup_identical && issued_reduction >= 2.0;
+  return ok ? 0 : 1;
 }

@@ -18,7 +18,9 @@
 #
 # Both gates also run an observability smoke: a small instrumented campaign
 # through revtr_cli, whose Prometheus snapshot must parse and contain the
-# core metric families (requests, probes, request latency, engine stages).
+# core metric families (requests, probes, request latency, engine stages) —
+# plus a scheduler smoke: a staged campaign with overlapping destinations
+# whose revtr_probes_coalesced_total sample must come out positive.
 #
 # --quick: inner-loop mode — default preset only, and only the fast
 # correctness tiers: revtr_lint (lint + layering + self-test) and the unit
@@ -67,6 +69,24 @@ obs_smoke() {
     echo "obs smoke: snapshot ok ($(grep -c '^revtr_' "$out") samples)"
 }
 
+# Scheduler smoke: a staged campaign whose destinations heavily overlap must
+# actually coalesce — the exported snapshot's revtr_probes_coalesced_total
+# sample has to be positive, or cross-request dedup silently died.
+sched_smoke() {
+    echo "==> [default] sched smoke (staged campaign, coalescing metric > 0)"
+    out="build/sched_smoke_metrics.prom"
+    ./build/tools/revtr_cli campaign --ases=120 --vps=8 --probes=20 \
+        --revtrs=60 --parallel=2 --staged \
+        --metrics-out="$out" >/dev/null
+    coalesced="$(awk '/^revtr_probes_coalesced_total /{print $2}' "$out")"
+    if [ -z "$coalesced" ] || [ "$coalesced" -le 0 ]; then
+        echo "sched smoke: revtr_probes_coalesced_total=${coalesced:-missing}" \
+             "on an overlapping-destination campaign" >&2
+        exit 1
+    fi
+    echo "sched smoke: ok ($coalesced probes coalesced)"
+}
+
 run_config() {
     name="$1"
     echo "==> [$name] configure"
@@ -88,12 +108,14 @@ if [ "$QUICK" = "1" ]; then
     echo "==> [default] unit tests (no fuzzer, no model-checker sweep)"
     ctest --preset default -E 'wire_fuzz|revtr_mc'
     obs_smoke
+    sched_smoke
     echo "check.sh: quick gate passed (full gate: scripts/check.sh)"
     exit 0
 fi
 
 run_config default
 obs_smoke
+sched_smoke
 run_config asan
 run_config ubsan
 case "${REVTR_CHECK_TSAN:-1}" in

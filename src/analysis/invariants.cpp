@@ -1,9 +1,11 @@
 #include "analysis/invariants.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "analysis/probe_log.h"
+#include "util/rng.h"
 
 namespace revtr::analysis {
 
@@ -108,6 +110,8 @@ std::string to_string(InvariantId id) {
       return "oracle";
     case InvariantId::kTraceAttribution:
       return "trace-attribution";
+    case InvariantId::kSchedulerConsistency:
+      return "scheduler-consistency";
   }
   return "?";
 }
@@ -306,6 +310,77 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
           "trace spans attribute " + std::to_string(attributed) +
               " online probes but the request's counters show " +
               std::to_string(online)});
+    }
+  }
+
+  return out;
+}
+
+std::vector<Violation> check_scheduler(const sched::SchedulerAudit& audit,
+                                       const sched::SchedOptions& options) {
+  std::vector<Violation> out;
+
+  // Index issues by id; ids must be unique (one per wire probe).
+  std::unordered_map<std::uint64_t, const sched::SchedulerAudit::Issue*>
+      issues;
+  issues.reserve(audit.issues.size());
+  for (const auto& issue : audit.issues) {
+    if (!issues.emplace(issue.issue_id, &issue).second) {
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "issue id " + std::to_string(issue.issue_id) + " recorded twice"});
+    }
+  }
+
+  // Every coalesced delivery must ride a probe that was actually issued,
+  // asked for the same content (coalesce key), and fanned out the very
+  // outcome the wire probe measured (digest). A mismatch means a waiter got
+  // an answer it could not have measured itself — the property that makes
+  // coalescing invisible to results would be broken.
+  for (const auto& delivery : audit.deliveries) {
+    const auto it = issues.find(delivery.issue_id);
+    if (it == issues.end()) {
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "delivery references issue " + std::to_string(delivery.issue_id) +
+              " which was never put on the wire"});
+      continue;
+    }
+    const sched::SchedulerAudit::Issue& issue = *it->second;
+    if (issue.key != delivery.key) {
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "issue " + std::to_string(issue.issue_id) +
+              ": delivery coalesce key " + std::to_string(delivery.key) +
+              " != issued key " + std::to_string(issue.key)});
+    }
+    if (issue.digest != delivery.digest) {
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "issue " + std::to_string(issue.issue_id) +
+              ": delivered outcome digest differs from the issued probe's"});
+    }
+    if (issue.offline) {
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "issue " + std::to_string(issue.issue_id) +
+              " is offline work but was delivered to a coalesced waiter"});
+    }
+  }
+
+  // Per-VP window: no vantage point issues more than vp_window wire probes
+  // in one pump round. Offline jobs are not wire probes and are exempt.
+  std::unordered_map<std::uint64_t, std::size_t> per_round_vp;
+  for (const auto& issue : audit.issues) {
+    if (issue.offline) continue;
+    const std::uint64_t slot = util::mix_hash(issue.round, issue.vp);
+    const std::size_t count = ++per_round_vp[slot];
+    if (count == options.vp_window + 1) {  // Report each breach once.
+      out.push_back(Violation{
+          InvariantId::kSchedulerConsistency,
+          "vp " + std::to_string(issue.vp) + " issued more than " +
+              std::to_string(options.vp_window) + " probes in round " +
+              std::to_string(issue.round)});
     }
   }
 

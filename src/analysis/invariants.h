@@ -19,6 +19,11 @@
 //      online probes attributed across its spans sum exactly to the
 //      request's online ProbeCounters delta: the trace neither invents nor
 //      loses probe cost (DESIGN.md §9). Overflowed traces are skipped.
+//   I7 kSchedulerConsistency — over a sched::SchedulerAudit: every coalesced
+//      delivery references a wire probe that was actually issued, with the
+//      same coalesce key and a byte-identical outcome digest (a waiter never
+//      receives a different answer than it would have measured itself), and
+//      no vantage point exceeds its per-round issue window (DESIGN.md §10).
 //
 // tools/revtr_mc runs this catalog over an exhaustive (topology × preset ×
 // fault schedule) grid; tests/analysis_test.cpp runs it on single cases.
@@ -33,6 +38,7 @@
 #include "core/revtr.h"
 #include "obs/trace.h"
 #include "probing/prober.h"
+#include "sched/scheduler.h"
 #include "topology/topology.h"
 
 namespace revtr::analysis {
@@ -45,8 +51,9 @@ enum class InvariantId : std::uint8_t {
   kInterdomainSymmetry,
   kOracle,
   kTraceAttribution,
+  kSchedulerConsistency,
 };
-inline constexpr std::size_t kNumInvariants = 7;
+inline constexpr std::size_t kNumInvariants = 8;
 
 std::string to_string(InvariantId id);
 
@@ -77,5 +84,11 @@ struct CheckContext {
 // Runs invariants I1–I4 against one result. Empty return = all hold.
 std::vector<Violation> check_result(const core::ReverseTraceroute& result,
                                     const CheckContext& ctx);
+
+// Runs I7 against one scheduler run's audit trail. `options` must be the
+// SchedOptions the audited scheduler ran with (the window bound is checked
+// against options.vp_window). Empty return = the audit is consistent.
+std::vector<Violation> check_scheduler(const sched::SchedulerAudit& audit,
+                                       const sched::SchedOptions& options);
 
 }  // namespace revtr::analysis

@@ -1,5 +1,6 @@
 #include "analysis/model_checker.h"
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -9,8 +10,10 @@
 #include "asmap/asmap.h"
 #include "atlas/atlas.h"
 #include "core/adjacency.h"
+#include "core/request_task.h"
 #include "probing/prober.h"
 #include "routing/forwarding.h"
+#include "sched/scheduler.h"
 #include "sim/network.h"
 #include "topology/builder.h"
 #include "util/rng.h"
@@ -263,6 +266,20 @@ Endpoints pick_endpoints(const topology::Topology& topo) {
   return e;
 }
 
+// Everything a result asserts about the measured path: status plus the hop
+// sequence with provenance. Two results with equal signatures told the user
+// the same thing, whatever their probe accounting looked like.
+std::string signature_of(const core::ReverseTraceroute& result) {
+  std::string sig = core::to_string(result.status);
+  for (const auto& hop : result.hops) {
+    sig += '|';
+    sig += hop.addr.to_string();
+    sig += '#';
+    sig += core::to_string(hop.source);
+  }
+  return sig;
+}
+
 void record_violations(std::vector<Violation>&& violations,
                        const std::string& state_label,
                        const CheckerOptions& options, CheckerSummary& out) {
@@ -314,6 +331,7 @@ void run_state(const Tower& tower, const Endpoints& endpoints,
   // provenance is inside the explored state space.
   const char* const round_names[] = {"", " (cached)"};
   const std::size_t rounds = preset.config.use_cache ? 2 : 1;
+  std::optional<core::ReverseTraceroute> blocking_result;
   for (std::size_t round = 0; round < rounds; ++round) {
     const auto mark = log.mark();
     // Every explored state is traced, so I6 (span probe attribution) runs
@@ -325,6 +343,7 @@ void run_state(const Tower& tower, const Endpoints& endpoints,
         engine.measure(endpoints.destination, endpoints.source, clock);
     engine.set_trace(nullptr);
     if (round == 0) {
+      blocking_result = result;
       switch (result.status) {
         case core::RevtrStatus::kComplete:
           ++out.completed;
@@ -354,6 +373,121 @@ void run_state(const Tower& tower, const Endpoints& endpoints,
       violations.push_back(std::move(violation));
     }
     record_violations(std::move(violations), state_label + round_names[round],
+                      options, out);
+  }
+
+  // --- Staged twin (I7). ---------------------------------------------------
+  // Replay the request as two identical resumable RequestTasks multiplexed
+  // over one ProbeScheduler, on a fresh but identically-seeded world. The
+  // deliberately tiny window/token settings force throttling and multi-round
+  // scheduling; the twins' identical demand streams make every wire probe a
+  // coalescing opportunity. I7 re-checks the audit adversarially. For
+  // order-insensitive fault schedules the signatures must also match the
+  // blocking run exactly — loss draws and RR rate-limit counters depend on
+  // wire order, which staging legitimately changes, so those schedules only
+  // get the audit checks.
+  {
+    sim::Network network2(tower.topo, tower.plane, state_seed);
+    network2.set_loss_rate(schedule.loss_rate);
+    probing::Prober prober2(network2);
+    if (auto policy = make_policy(schedule, tower.topo)) {
+      prober2.set_fault_policy(std::move(policy));
+    }
+    util::SimClock build_clock;
+    util::Rng rng2(util::mix_hash(state_seed, 0xa77a5));
+    atlas::TracerouteAtlas atlas2(prober2, tower.topo);
+    vpselect::IngressDiscovery ingress2(prober2, tower.topo);
+    core::RevtrEngine engine2(prober2, tower.topo, atlas2, ingress2,
+                              tower.ip2as, tower.relationships, preset.config,
+                              state_seed);
+    atlas2.build(endpoints.source, 3, rng2, build_clock.now());
+    atlas2.build_rr_alias_index(endpoints.source);
+    core::AdjacencyMap adjacencies2;
+    if (preset.config.use_timestamp) {
+      for (const auto& tr : atlas2.traceroutes(endpoints.source)) {
+        adjacencies2.add_path(tr.hops);
+      }
+      engine2.set_adjacency_provider(adjacencies2.provider());
+    }
+
+    sched::SchedOptions sched_options;
+    sched_options.vp_window = 2;
+    sched_options.vp_tokens_per_round = 2;
+    sched_options.vp_token_burst = 4;
+    sched::ProbeScheduler scheduler(sched_options);
+    sched::SchedulerAudit audit;
+    scheduler.set_audit(&audit);
+
+    // Each twin owns its clock and RNG; both streams start where the
+    // blocking engine's did (rng_(state_seed) in the ctor), so a twin's
+    // demand sequence replays the blocking measurement exactly.
+    struct Twin {
+      util::SimClock clock;
+      util::Rng rng;
+      std::unique_ptr<core::RequestTask> task;
+      std::optional<core::ReverseTraceroute> result;
+      explicit Twin(std::uint64_t seed) : rng(seed) {}
+    };
+    std::vector<Twin> twins;
+    twins.reserve(2);
+    twins.emplace_back(state_seed);
+    twins.emplace_back(state_seed);
+
+    std::size_t outstanding = 0;
+    for (std::size_t t = 0; t < twins.size(); ++t) {
+      Twin& twin = twins[t];
+      if (schedule.stale_atlas) {
+        twin.clock.advance(preset.config.cache_ttl + util::SimClock::kSecond);
+      }
+      twin.task =
+          engine2.start_request(endpoints.destination, endpoints.source,
+                                twin.clock, twin.rng, nullptr);
+      const auto demands = twin.task->advance();
+      if (twin.task->done()) {  // Atlas hit: no probes needed.
+        twin.result = twin.task->take_result();
+        continue;
+      }
+      scheduler.submit(t, 0, {demands.begin(), demands.end()});
+      ++outstanding;
+    }
+    while (outstanding > 0) {
+      scheduler.pump(prober2);
+      for (auto& ready : scheduler.collect_ready(0)) {
+        Twin& twin = twins[ready.task];
+        twin.task->supply(ready.outcomes);
+        const auto demands = twin.task->advance();
+        if (twin.task->done()) {
+          twin.result = twin.task->take_result();
+          --outstanding;
+          continue;
+        }
+        scheduler.submit(ready.task, 0, {demands.begin(), demands.end()});
+      }
+    }
+
+    ++out.staged_twins;
+    out.staged_coalesced += scheduler.stats().coalesced;
+
+    auto violations = check_scheduler(audit, sched_options);
+    const bool order_insensitive =
+        schedule.loss_rate == 0.0 && schedule.rr_rate_limit == 0;
+    if (order_insensitive) {
+      const std::string sig_a = signature_of(*twins[0].result);
+      const std::string sig_b = signature_of(*twins[1].result);
+      if (sig_a != sig_b) {
+        violations.push_back(
+            Violation{InvariantId::kSchedulerConsistency,
+                      "staged twins diverged: " + sig_a + " vs " + sig_b});
+      }
+      if (const std::string blocking_sig = signature_of(*blocking_result);
+          sig_a != blocking_sig) {
+        violations.push_back(Violation{
+            InvariantId::kSchedulerConsistency,
+            "staged result " + sig_a + " diverges from blocking " +
+                blocking_sig});
+      }
+    }
+    record_violations(std::move(violations), state_label + " (staged)",
                       options, out);
   }
 }

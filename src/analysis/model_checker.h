@@ -5,8 +5,12 @@
 // set of fault schedules (spoof loss, rate-limited RR, stale atlas entries,
 // filtered VPs), runs the engine on every state, and checks the invariant
 // catalog (analysis/invariants.h) plus the differential oracle
-// (analysis/oracle.h) on the result. tools/revtr_mc is the CLI driver; the
-// default grid explores >10,000 states in seconds.
+// (analysis/oracle.h) on the result. Every state is additionally replayed
+// through the staged engine: two identical resumable RequestTasks run over
+// one ProbeScheduler with tiny windows, the scheduler audit is checked by
+// I7, and (for order-insensitive fault schedules) the staged results must
+// match the blocking one byte-for-byte. tools/revtr_mc is the CLI driver;
+// the default grid explores >10,000 states in seconds.
 #pragma once
 
 #include <array>
@@ -66,6 +70,11 @@ struct CheckerSummary {
   std::size_t unreachable = 0;
   std::size_t oracle_pairs = 0;
   std::size_t oracle_permitted = 0;
+  // Staged-twin replays (one per state): coalesced counts demands satisfied
+  // by another twin's in-flight probe across the whole sweep — evidence I7
+  // actually exercised cross-request coalescing, not just empty audits.
+  std::size_t staged_twins = 0;
+  std::uint64_t staged_coalesced = 0;
   std::size_t total_violations = 0;
   std::array<std::size_t, kNumInvariants> by_invariant{};
   std::vector<std::string> samples;  // First max_reported violation details.

@@ -1,53 +1,13 @@
 #include "core/revtr.h"
 
-#include <algorithm>
+#include "core/request_task.h"
+#include "sched/scheduler.h"
 
 namespace revtr::core {
 
 namespace {
 using net::Ipv4Addr;
 using topology::HostId;
-
-std::uint64_t cache_key(Ipv4Addr addr, HostId source) {
-  return util::mix_hash(addr.value(), source, 0xcace);
-}
-
-// RAII span over one engine stage: brackets the stage with sim-clock
-// timestamps and attributes the stage's *online* probe delta to the span on
-// close. Stages are the only spans that carry cost (the root "request" span
-// reports 0), so summing span costs over a trace reproduces the request's
-// ProbeCounters delta exactly — invariant I6.
-class TraceStage {
- public:
-  TraceStage(obs::Trace* trace, const probing::Prober& prober,
-             const util::SimClock& clock, const char* name)
-      : trace_(trace), prober_(prober), clock_(clock) {
-    if (trace_ == nullptr) return;
-    before_ = online_total(prober_);
-    id_ = trace_->start_span(name, clock_.now());
-  }
-  ~TraceStage() {
-    if (trace_ == nullptr) return;
-    trace_->end_span(id_, clock_.now(), online_total(prober_) - before_);
-  }
-  TraceStage(const TraceStage&) = delete;
-  TraceStage& operator=(const TraceStage&) = delete;
-
-  void annotate(const char* key, std::string value) {
-    if (trace_ != nullptr) trace_->annotate(id_, key, std::move(value));
-  }
-
-  static std::uint64_t online_total(const probing::Prober& prober) {
-    return prober.counters().total() - prober.offline_counters().total();
-  }
-
- private:
-  obs::Trace* trace_;
-  const probing::Prober& prober_;
-  const util::SimClock& clock_;
-  std::uint64_t before_ = 0;
-  obs::Trace::SpanId id_ = obs::Trace::kDroppedSpan;
-};
 }  // namespace
 
 std::string to_string(HopSource source) {
@@ -194,430 +154,28 @@ std::vector<Ipv4Addr> RevtrEngine::extract_reverse_hops(
   return {};
 }
 
-bool RevtrEngine::already_in_path(const ReverseTraceroute& result,
-                                  Ipv4Addr addr) const {
-  for (const auto& hop : result.hops) {
-    if (hop.source != HopSource::kSuspiciousGap && hop.addr == addr) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool RevtrEngine::append_reverse_hops(ReverseTraceroute& result,
-                                      std::span<const Ipv4Addr> revealed,
-                                      HopSource source, Ipv4Addr& current) {
-  const Ipv4Addr src_addr = topo_.host(source_).addr;
-  bool progressed = false;
-  for (const Ipv4Addr addr : revealed) {
-    if (addr.is_unspecified() || already_in_path(result, addr)) continue;
-    result.hops.push_back(ReverseHop{addr, source});
-    if (addr.is_private()) {
-      result.has_private_hops = true;
-      continue;  // Cannot continue the measurement from private space.
-    }
-    current = addr;
-    progressed = true;
-    if (addr == src_addr) break;  // Reached the source.
-  }
-  return progressed;
-}
-
-bool RevtrEngine::try_atlas(ReverseTraceroute& result, Ipv4Addr current,
-                            util::SimClock& clock) {
-  auto hit = atlas_.intersect(source_, current, config_.use_rr_atlas);
-  if (!hit && aliases_ != nullptr) {
-    hit = atlas_.intersect_with_aliases(source_, current, *aliases_);
-  }
-  if (!hit) {
-    if (metrics_ != nullptr) metrics_->atlas_miss->add();
-    return false;
-  }
-  if (metrics_ != nullptr) metrics_->atlas_hit->add();
-  TraceStage stage(trace_, prober_, clock, "atlas-intersection");
-  const auto age = atlas_.touch(source_, *hit, clock.now());
-  result.intersected_age_us = age;
-  result.used_stale_traceroute = age > config_.cache_ttl;
-  stage.annotate("age_us", std::to_string(age));
-  if (result.used_stale_traceroute) stage.annotate("stale", "1");
-  const auto suffix = atlas_.suffix_after(source_, *hit);
-  for (const Ipv4Addr addr : suffix) {
-    if (already_in_path(result, addr)) continue;
-    result.hops.push_back(ReverseHop{addr, HopSource::kAtlasIntersection});
-    if (addr.is_private()) result.has_private_hops = true;
-  }
-  return true;
-}
-
-bool RevtrEngine::try_record_route(ReverseTraceroute& result,
-                                   Ipv4Addr& current, util::SimClock& clock) {
-  const Ipv4Addr src_addr = topo_.host(source_).addr;
-  const std::uint64_t key = cache_key(current, source_);
-
-  if (config_.use_cache) {
-    if (const auto entry = caches_->rr.lookup(key);
-        entry && entry->expires_at > clock.now()) {
-      if (metrics_ != nullptr) metrics_->rr_cache_replay->add();
-      TraceStage stage(trace_, prober_, clock, "rr-cache-replay");
-      stage.annotate("hops", std::to_string(entry->reverse_hops.size()));
-      return append_reverse_hops(result, entry->reverse_hops, entry->source,
-                                 current);
-    }
-  }
-
-  auto remember = [&](const std::vector<Ipv4Addr>& revealed,
-                      HopSource how) {
-    if (config_.use_cache) {
-      caches_->rr.insert_or_assign(
-          key, RrCacheEntry{revealed, how, clock.now() + config_.cache_ttl});
-    }
-  };
-
-  // --- Direct RR ping from the source (Fig 1b). ---
-  {
-    TraceStage stage(trace_, prober_, clock, "rr-direct");
-    const auto direct = prober_.rr_ping(source_, current);
-    clock.advance(direct.duration_us);
-    if (direct.responded) {
-      const auto revealed = extract_reverse_hops(direct.slots, current);
-      if (!revealed.empty() &&
-          append_reverse_hops(result, revealed, HopSource::kRecordRoute,
-                              current)) {
-        remember(revealed, HopSource::kRecordRoute);
-        stage.annotate("hit", "1");
-        if (metrics_ != nullptr) metrics_->rr_direct_hit->add();
-        return true;
-      }
-    }
-  }
-
-  // --- Spoofed RR pings from selected vantage points (Figs 1c/1d). ---
-  const auto prefix = topo_.prefix_of(current);
-  if (!prefix) {
-    if (metrics_ != nullptr) metrics_->rr_miss->add();
-    return false;
-  }
-  const vpselect::PrefixPlan* plan = ingress_.plan_for(*prefix);
-  if (plan == nullptr) {
-    // Offline background measurement run on demand: neither its time nor
-    // its packets are charged to this request's online budget (Table 4
-    // counts surveys separately); measure() reports the packets in
-    // offline_probes instead.
-    if (metrics_ != nullptr) metrics_->rr_ingress_discovery->add();
-    TraceStage stage(trace_, prober_, clock, "ingress-discovery");
-    const auto offline_before = prober_.offline_counters().total();
-    const probing::Prober::OfflineScope offline(prober_);
-    plan = &ingress_.discover(*prefix, topo_.vantage_points(), rng_);
-    stage.annotate("offline_probes",
-                   std::to_string(prober_.offline_counters().total() -
-                                  offline_before));
-  }
-
-  std::vector<vpselect::Attempt> attempts;
-  if (config_.use_ingress_selection) {
-    attempts = vpselect::attempt_plan(*plan, config_.max_per_ingress);
-  } else {
-    // revtr 1.0: try every vantage point in per-prefix set-cover order.
-    const auto order = vpselect::revtr1_vp_order(*plan);
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      attempts.push_back(vpselect::Attempt{order[i], Ipv4Addr{}, i});
-    }
-  }
-
-  std::unordered_map<std::size_t, int> rank_failures;
-  std::size_t next = 0;
-  while (next < attempts.size()) {
-    std::vector<Ipv4Addr> revealed;
-    std::size_t sent = 0;
-    {
-      // Span scope closes before DBR verification so the batch's probe
-      // delta never includes the verify probe (I6 needs disjoint spans).
-      TraceStage stage(trace_, prober_, clock, "rr-spoof-batch");
-      while (next < attempts.size() && sent < config_.batch_size) {
-        const auto& attempt = attempts[next++];
-        if (rank_failures[attempt.ingress_rank] >= 5) continue;  // §4.3.
-        const auto probe = prober_.rr_ping(attempt.vp, current, src_addr);
-        ++sent;
-        if (!probe.responded) {
-          ++rank_failures[attempt.ingress_rank];
-          continue;
-        }
-        if (!attempt.expected_ingress.is_unspecified() &&
-            std::find(probe.slots.begin(), probe.slots.end(),
-                      attempt.expected_ingress) == probe.slots.end()) {
-          // Route did not transit the expected ingress; the next-closest VP
-          // for this ingress will be tried in a later batch.
-          ++rank_failures[attempt.ingress_rank];
-        }
-        const auto hops = extract_reverse_hops(probe.slots, current);
-        if (hops.size() > revealed.size()) revealed = hops;
-      }
-      if (sent > 0) {
-        // Spoofed replies land at the source; the controller always waits
-        // out the batch timeout for stragglers (§5.2.4).
-        clock.advance(config_.spoof_batch_timeout);
-        ++result.spoofed_batches;
-        stage.annotate("sent", std::to_string(sent));
-      }
-    }
-    if (!revealed.empty()) {
-      if (config_.verify_destination_based_routing && revealed.size() >= 2 &&
-          !revealed[0].is_private()) {
-        // Appx E redundancy: confirm the first revealed hop's next hop from
-        // an independent vantage point.
-        TraceStage stage(trace_, prober_, clock, "rr-dbr-verify");
-        const auto vps = topo_.vantage_points();
-        const auto check = prober_.rr_ping(vps[rng_.below(vps.size())],
-                                           revealed[0], src_addr);
-        clock.advance(check.duration_us);
-        if (check.responded) {
-          const auto recheck =
-              extract_reverse_hops(check.slots, revealed[0]);
-          if (!recheck.empty() && recheck.front() != revealed[1]) {
-            result.dbr_suspect = true;
-            stage.annotate("suspect", "1");
-          }
-        }
-      }
-      if (append_reverse_hops(result, revealed,
-                              HopSource::kSpoofedRecordRoute, current)) {
-        remember(revealed, HopSource::kSpoofedRecordRoute);
-        if (metrics_ != nullptr) metrics_->rr_spoofed_hit->add();
-        return true;
-      }
-    }
-  }
-  if (metrics_ != nullptr) metrics_->rr_miss->add();
-  return false;
-}
-
-bool RevtrEngine::try_timestamp(ReverseTraceroute& result, Ipv4Addr& current,
-                                util::SimClock& clock) {
-  if (!adjacencies_) return false;
-  TraceStage stage(trace_, prober_, clock, "timestamp");
-  const auto candidates = adjacencies_(current);
-  std::size_t tried = 0;
-  for (const Ipv4Addr adjacent : candidates) {
-    if (tried++ >= config_.max_ts_adjacencies) break;
-    if (adjacent.is_private() || already_in_path(result, adjacent)) continue;
-    const Ipv4Addr prespec[] = {current, adjacent};
-    auto probe = prober_.ts_ping(source_, current, prespec);
-    clock.advance(probe.duration_us);
-    if (!probe.responded) {
-      // Direct TS filtered: retry once spoofed from a vantage point, as the
-      // 2010 system did (Table 4's "Spoof TS" column).
-      const auto vps = topo_.vantage_points();
-      if (!vps.empty()) {
-        probe = prober_.ts_ping(vps[rng_.below(vps.size())], current, prespec,
-                                topo_.host(source_).addr);
-        clock.advance(config_.spoof_batch_timeout / 2);
-      }
-    }
-    if (probe.responded && probe.stamped.size() == 2 && probe.stamped[0] &&
-        probe.stamped[1]) {
-      result.hops.push_back(ReverseHop{adjacent, HopSource::kTimestamp});
-      current = adjacent;
-      stage.annotate("hit", "1");
-      if (metrics_ != nullptr) metrics_->ts_hit->add();
-      return true;
-    }
-  }
-  if (metrics_ != nullptr) metrics_->ts_miss->add();
-  return false;
-}
-
-RevtrEngine::SymmetryOutcome RevtrEngine::try_symmetry(
-    ReverseTraceroute& result, Ipv4Addr& current, util::SimClock& clock) {
-  TraceStage stage(trace_, prober_, clock, "symmetry");
-  const std::uint64_t key = cache_key(current, source_);
-  std::optional<Ipv4Addr> penultimate;
-  bool reached = false;
-
-  const auto cached = config_.use_cache ? caches_->tr.lookup(key)
-                                        : std::nullopt;
-  if (cached && cached->expires_at > clock.now()) {
-    penultimate = cached->penultimate;
-    reached = cached->reached;
-    stage.annotate("cached", "1");
-    if (metrics_ != nullptr) metrics_->symmetry_cached->add();
-  } else {
-    const auto tr = prober_.traceroute(source_, current);
-    clock.advance(tr.duration_us);
-    reached = tr.reached;
-    if (!tr.reached && config_.assume_from_unreachable_traceroute) {
-      // 2010 behaviour: treat the last responsive hop as the next reverse
-      // hop even though the traceroute fell short of the current hop.
-      for (std::size_t i = tr.hops.size(); i-- > 0;) {
-        if (tr.hops[i].addr) {
-          penultimate = tr.hops[i].addr;
-          reached = true;
-          break;
-        }
-      }
-    }
-    if (tr.reached && tr.hops.size() >= 2) {
-      // Last responsive hop before the destination.
-      for (std::size_t i = tr.hops.size() - 1; i-- > 0;) {
-        if (tr.hops[i].addr) {
-          penultimate = tr.hops[i].addr;
-          break;
-        }
-      }
-    } else if (tr.reached && tr.hops.size() == 1) {
-      // The current hop is directly adjacent to the source: the reverse
-      // path is done once we step onto the source itself.
-      penultimate = topo_.host(source_).addr;
-    }
-    if (config_.use_cache) {
-      caches_->tr.insert_or_assign(
-          key,
-          TrCacheEntry{penultimate, reached, clock.now() + config_.cache_ttl});
-    }
-  }
-
-  const auto report = [this, &stage](const char* outcome,
-                                     obs::Counter* counter) {
-    stage.annotate("outcome", outcome);
-    if (metrics_ != nullptr) counter->add();
-  };
-  if (!reached || !penultimate || already_in_path(result, *penultimate)) {
-    report("stuck", metrics_ != nullptr ? metrics_->symmetry_stuck : nullptr);
-    return SymmetryOutcome::kStuck;
-  }
-
-  const auto as_p = ip2as_.lookup(*penultimate);
-  const auto as_c = ip2as_.lookup(current);
-  const bool intradomain = as_p && as_c && *as_p == *as_c;
-  if (!intradomain && !config_.allow_interdomain_symmetry) {
-    // Q5: interdomain symmetry is right only ~57% of the time — abort
-    // rather than return an untrustworthy path (Insight 1.10).
-    report("aborted",
-           metrics_ != nullptr ? metrics_->symmetry_aborted : nullptr);
-    return SymmetryOutcome::kAborted;
-  }
-  if (!intradomain) result.used_interdomain_symmetry = true;
-  ++result.symmetry_assumptions;
-  result.hops.push_back(
-      ReverseHop{*penultimate, HopSource::kAssumedSymmetric});
-  current = *penultimate;
-  stage.annotate("intradomain", intradomain ? "1" : "0");
-  report("extended",
-         metrics_ != nullptr ? metrics_->symmetry_extended : nullptr);
-  return SymmetryOutcome::kExtended;
-}
-
-void RevtrEngine::finalize_flags(ReverseTraceroute& result) {
-  if (!config_.flag_suspicious_links || !result.complete()) return;
-  const auto addrs = result.ip_hops();
-  const auto as_path = ip2as_.as_path(addrs);
-  const auto suspicious = relationships_.suspicious_links_in(as_path);
-  if (suspicious.empty()) return;
-  result.has_suspicious_gap = true;
-  // Insert a "*" at the IP-level boundary of each suspicious AS pair.
-  for (const std::size_t link : suspicious) {
-    const topology::Asn from_as = as_path[link];
-    const topology::Asn to_as = as_path[link + 1];
-    for (std::size_t h = 0; h + 1 < result.hops.size(); ++h) {
-      if (result.hops[h].source == HopSource::kSuspiciousGap ||
-          result.hops[h + 1].source == HopSource::kSuspiciousGap) {
-        continue;
-      }
-      const auto a = ip2as_.lookup(result.hops[h].addr);
-      const auto b = ip2as_.lookup(result.hops[h + 1].addr);
-      if (a && b && *a == from_as && *b == to_as) {
-        result.hops.insert(
-            result.hops.begin() + static_cast<long>(h) + 1,
-            ReverseHop{Ipv4Addr{}, HopSource::kSuspiciousGap});
-        break;
-      }
-    }
-  }
-}
-
 ReverseTraceroute RevtrEngine::measure(HostId destination, HostId source,
                                        util::SimClock& clock) {
-  source_ = source;
-  ReverseTraceroute result;
-  result.destination = destination;
-  result.source = source;
-  result.span.begin = clock.now();
-  const auto counters_before = prober_.counters();
-  const auto offline_before = prober_.offline_counters();
-
-  obs::Trace::SpanId root_span = obs::Trace::kDroppedSpan;
-  if (trace_ != nullptr) {
-    trace_->destination = destination;
-    trace_->source = source;
-    root_span = trace_->start_span("request", clock.now());
-  }
-
-  const Ipv4Addr src_addr = topo_.host(source).addr;
-  Ipv4Addr current = topo_.host(destination).addr;
-  result.hops.push_back(ReverseHop{current, HopSource::kDestination});
-
-  bool decided = false;
-  while (result.hops.size() < config_.max_reverse_hops) {
-    if (current == src_addr) {
-      result.status = RevtrStatus::kComplete;
-      decided = true;
-      break;
+  // Blocking executor over the staged machine (core/request_task.h): drive
+  // the same RequestTask the async scheduler drives, fulfilling each demand
+  // set inline and in demand order. sched::execute_demand is the single
+  // probe-issuing funnel (revtr_lint forbids direct Prober probe calls in
+  // src/core/), so blocking behaviour is staged behaviour with a trivial
+  // scheduler — the equivalence the concurrency tests pin is by
+  // construction, not by parallel maintenance of two code paths.
+  RequestTask task(*this, destination, source, clock, rng_, trace_);
+  std::vector<sched::ProbeOutcome> outcomes;
+  while (!task.done()) {
+    const auto demands = task.advance();
+    if (task.done()) break;
+    outcomes.clear();
+    outcomes.reserve(demands.size());
+    for (const auto& demand : demands) {
+      outcomes.push_back(sched::execute_demand(prober_, demand));
     }
-    if (try_atlas(result, current, clock)) {
-      result.status = RevtrStatus::kComplete;
-      decided = true;
-      break;
-    }
-    if (try_record_route(result, current, clock)) continue;
-    if (config_.use_timestamp) {
-      if (try_timestamp(result, current, clock)) continue;
-    } else {
-      // RR made no progress and the TS technique is compiled out of the
-      // preset (Insight 1.9): record the decision, it costs nothing.
-      if (metrics_ != nullptr) metrics_->ts_skipped->add();
-      if (trace_ != nullptr) trace_->event("ts-skipped", clock.now());
-    }
-    const auto outcome = try_symmetry(result, current, clock);
-    if (outcome == SymmetryOutcome::kExtended) continue;
-    result.status = outcome == SymmetryOutcome::kAborted
-                        ? RevtrStatus::kAbortedInterdomainSymmetry
-                        : RevtrStatus::kUnreachable;
-    decided = true;
-    break;
+    task.supply(outcomes);
   }
-  if (!decided) result.status = RevtrStatus::kUnreachable;
-
-  result.span.end = clock.now();
-  result.offline_probes = prober_.offline_counters() - offline_before;
-  result.probes =
-      (prober_.counters() - counters_before) - result.offline_probes;
-  finalize_flags(result);
-
-  if (trace_ != nullptr) {
-    trace_->annotate(root_span, "status", to_string(result.status));
-    // The root carries no cost of its own; stage spans own every probe
-    // (I6: sum over spans == result.probes.total()).
-    trace_->end_span(root_span, clock.now(), 0);
-  }
-  if (metrics_ != nullptr) {
-    switch (result.status) {
-      case RevtrStatus::kComplete:
-        metrics_->requests_complete->add();
-        break;
-      case RevtrStatus::kAbortedInterdomainSymmetry:
-        metrics_->requests_aborted->add();
-        break;
-      case RevtrStatus::kUnreachable:
-        metrics_->requests_unreachable->add();
-        break;
-    }
-    if (result.dbr_suspect) metrics_->dbr_suspects->add();
-    metrics_->latency_us->record(
-        static_cast<std::uint64_t>(result.span.duration()));
-    metrics_->request_probes->record(result.probes.total());
-    metrics_->request_hops->record(result.hops.size());
-    metrics_->spoofed_batches->record(result.spoofed_batches);
-  }
-  return result;
+  return task.take_result();
 }
 
 }  // namespace revtr::core

@@ -80,6 +80,11 @@ struct ReverseTraceroute {
   // Background packets triggered by this request (on-demand ingress
   // discovery); Table 4 accounts these separately from the online budget.
   probing::ProbeCounters offline_probes;
+  // Demands answered by another request's in-flight duplicate under the
+  // probe scheduler (DESIGN.md §10): the path benefited, but no wire probe
+  // was issued — `probes` counts uniquely-issued packets only. Always 0 on
+  // the blocking path.
+  std::uint64_t coalesced_probes = 0;
   std::size_t spoofed_batches = 0;   // Each charged the 10 s timeout.
   std::size_t symmetry_assumptions = 0;
   bool used_interdomain_symmetry = false;
@@ -192,6 +197,8 @@ struct EngineMetrics {
   obs::Histogram* spoofed_batches;
 };
 
+class RequestTask;
+
 class RevtrEngine {
  public:
   RevtrEngine(probing::Prober& prober, const topology::Topology& topo,
@@ -212,8 +219,21 @@ class RevtrEngine {
 
   // Measures the reverse path from `destination` back to `source`,
   // advancing `clock` by the simulated time the measurement takes.
+  // Blocking executor over the staged machine: drives a RequestTask to
+  // completion, fulfilling every demand set inline (core/request_task.h).
   ReverseTraceroute measure(topology::HostId destination,
                             topology::HostId source, util::SimClock& clock);
+
+  // Staged entry point: a resumable task for this request, to be driven by
+  // a sched::ProbeScheduler pump loop. `clock`/`rng`/`trace` belong to the
+  // request and must outlive the task; multiplexed requests need their own
+  // clock and RNG stream each (the campaign driver seeds per request from
+  // (campaign seed, index), exactly as blocking mode does via reseed()).
+  std::unique_ptr<RequestTask> start_request(topology::HostId destination,
+                                             topology::HostId source,
+                                             util::SimClock& clock,
+                                             util::Rng& rng,
+                                             obs::Trace* trace = nullptr);
 
   const EngineConfig& config() const noexcept { return config_; }
   void clear_caches();
@@ -251,24 +271,9 @@ class RevtrEngine {
       std::span<const net::Ipv4Addr> slots, net::Ipv4Addr current);
 
  private:
-  // Technique steps; each returns true when it extended the path.
-  bool try_atlas(ReverseTraceroute& result, net::Ipv4Addr current,
-                 util::SimClock& clock);
-  bool try_record_route(ReverseTraceroute& result, net::Ipv4Addr& current,
-                        util::SimClock& clock);
-  bool try_timestamp(ReverseTraceroute& result, net::Ipv4Addr& current,
-                     util::SimClock& clock);
-  // Returns nullopt when the engine must abort (interdomain link, Q5).
-  enum class SymmetryOutcome : std::uint8_t { kExtended, kAborted, kStuck };
-  SymmetryOutcome try_symmetry(ReverseTraceroute& result,
-                               net::Ipv4Addr& current, util::SimClock& clock);
-
-  bool append_reverse_hops(ReverseTraceroute& result,
-                           std::span<const net::Ipv4Addr> revealed,
-                           HopSource source, net::Ipv4Addr& current);
-  void finalize_flags(ReverseTraceroute& result);
-  bool already_in_path(const ReverseTraceroute& result,
-                       net::Ipv4Addr addr) const;
+  // The staged machine is the engine's control flow; it reads the
+  // collaborators and config directly.
+  friend class RequestTask;
 
   probing::Prober& prober_;
   const topology::Topology& topo_;
@@ -284,7 +289,6 @@ class RevtrEngine {
   const EngineMetrics* metrics_ = nullptr;
   obs::Trace* trace_ = nullptr;
 
-  topology::HostId source_ = topology::kInvalidId;  // Of the active request.
   std::shared_ptr<EngineCaches> caches_;
 };
 

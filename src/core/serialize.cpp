@@ -62,6 +62,11 @@ util::Json to_json(const ReverseTraceroute& result,
       util::checked_cast<std::int64_t>(result.probes.traceroute_packets);
   json["probes"] = std::move(probes);
 
+  if (result.coalesced_probes > 0) {
+    json["coalesced_probes"] =
+        util::checked_cast<std::int64_t>(result.coalesced_probes);
+  }
+
   if (result.offline_probes.total() > 0) {
     util::Json offline = util::Json::object();
     offline["rr"] = util::checked_cast<std::int64_t>(result.offline_probes.rr);
@@ -134,6 +139,10 @@ std::optional<ReverseTraceroute> reverse_traceroute_from_json(
     const std::int64_t v = field->as_int();
     return v > 0 ? static_cast<std::uint64_t>(v) : 0;
   };
+  if (const auto* coalesced = json.find("coalesced_probes");
+      coalesced != nullptr && coalesced->is_number()) {
+    result.coalesced_probes = non_negative(coalesced);
+  }
   if (const auto* batches = json.find("spoofed_batches");
       batches != nullptr && batches->is_number()) {
     result.spoofed_batches =

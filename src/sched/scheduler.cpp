@@ -1,0 +1,316 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace revtr::sched {
+
+namespace {
+
+constexpr std::uint64_t kNoSpoof = 0xffffffffffff0001ULL;
+
+std::uint64_t hash_addr_list(std::uint64_t seed,
+                             std::span<const net::Ipv4Addr> addrs) {
+  std::uint64_t h = seed;
+  for (const net::Ipv4Addr addr : addrs) {
+    h = util::mix_hash(h, addr.value(), 0xad5ULL);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ProbeDemand::coalesce_key() const {
+  if (offline()) return 0;  // Offline jobs are never coalesced.
+  std::uint64_t h = util::mix_hash(static_cast<std::uint64_t>(type), from,
+                                   target.value());
+  h = util::mix_hash(h, spoof_as ? spoof_as->value() : kNoSpoof, 0x5c4edULL);
+  return hash_addr_list(h, prespec);
+}
+
+std::uint64_t ProbeOutcome::digest() const {
+  std::uint64_t h = util::mix_hash(responded ? 1 : 0,
+                                   static_cast<std::uint64_t>(duration_us),
+                                   packets);
+  h = hash_addr_list(h, slots);
+  for (const bool stamp : stamped) h = util::mix_hash(h, stamp ? 1 : 0);
+  h = util::mix_hash(h, traceroute.reached ? 1 : 0, traceroute.hops.size());
+  for (const auto& hop : traceroute.hops) {
+    h = util::mix_hash(h, hop.addr ? hop.addr->value() : kNoSpoof,
+                       static_cast<std::uint64_t>(hop.rtt_us));
+  }
+  return h;
+}
+
+ProbeOutcome execute_demand(probing::Prober& prober,
+                            const ProbeDemand& demand) {
+  ProbeOutcome outcome;
+  if (demand.offline()) {
+    outcome.offline_probes = demand.offline_work();
+    return outcome;
+  }
+  switch (demand.type) {
+    case probing::ProbeType::kPing: {
+      const auto result = prober.ping(demand.from, demand.target);
+      outcome.responded = result.responded;
+      outcome.duration_us = result.duration_us;
+      outcome.packets = 1;
+      break;
+    }
+    case probing::ProbeType::kRecordRoute:
+    case probing::ProbeType::kSpoofedRecordRoute: {
+      const auto result =
+          prober.rr_ping(demand.from, demand.target, demand.spoof_as);
+      outcome.responded = result.responded;
+      outcome.slots = result.slots;
+      outcome.duration_us = result.duration_us;
+      outcome.packets = 1;
+      break;
+    }
+    case probing::ProbeType::kTimestamp:
+    case probing::ProbeType::kSpoofedTimestamp: {
+      const auto result = prober.ts_ping(demand.from, demand.target,
+                                         demand.prespec, demand.spoof_as);
+      outcome.responded = result.responded;
+      outcome.stamped = result.stamped;
+      outcome.duration_us = result.duration_us;
+      outcome.packets = 1;
+      break;
+    }
+    case probing::ProbeType::kTraceroute: {
+      auto result = prober.traceroute(demand.from, demand.target);
+      outcome.responded = result.reached;
+      outcome.duration_us = result.duration_us;
+      // One wire packet per TTL tried (the Prober charges exactly one
+      // traceroute packet per recorded hop).
+      outcome.packets = result.hops.size();
+      outcome.traceroute = std::move(result);
+      break;
+    }
+  }
+  return outcome;
+}
+
+SchedMetrics::SchedMetrics(obs::MetricsRegistry& registry) {
+  demanded = &registry.counter("revtr_sched_probes_demanded_total");
+  issued = &registry.counter("revtr_sched_probes_issued_total");
+  coalesced = &registry.counter("revtr_probes_coalesced_total");
+  throttled = &registry.counter("revtr_sched_vp_throttled_total");
+  spoof_batches = &registry.counter("revtr_sched_spoof_batches_total");
+  queue_depth = &registry.gauge("revtr_sched_queue_depth");
+}
+
+ProbeScheduler::ProbeScheduler(SchedOptions options) : options_(options) {
+  // Liveness: a zero window or a zero refill would park queued demands
+  // forever. Clamp rather than abort — callers tune these from CLI flags.
+  options_.vp_window = std::max<std::size_t>(options_.vp_window, 1);
+  options_.vp_tokens_per_round =
+      std::max<std::uint32_t>(options_.vp_tokens_per_round, 1);
+  options_.vp_token_burst =
+      std::max(options_.vp_token_burst, options_.vp_tokens_per_round);
+  options_.spoof_batch_size = std::max<std::size_t>(options_.spoof_batch_size, 1);
+}
+
+void ProbeScheduler::set_metrics(const SchedMetrics* metrics) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+}
+
+void ProbeScheduler::set_audit(SchedulerAudit* audit) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  audit_ = audit;
+}
+
+void ProbeScheduler::submit(TaskId task, std::size_t owner,
+                            std::vector<ProbeDemand> demands) {
+  REVTR_CHECK(!demands.empty());
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t set_id = next_set_++;
+  DemandSet& set = sets_[set_id];
+  set.task = task;
+  set.owner = owner;
+  set.outcomes.resize(demands.size());
+  set.remaining = demands.size();
+
+  for (std::size_t slot = 0; slot < demands.size(); ++slot) {
+    ProbeDemand& demand = demands[slot];
+    ++stats_.demanded;
+    if (metrics_ != nullptr) metrics_->demanded->add();
+    const std::uint64_t key = demand.coalesce_key();
+    if (options_.coalesce && !demand.offline()) {
+      if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+        // Identical probe already pending: ride along, no second wire probe.
+        pending_.at(it->second).waiters.push_back(Waiter{set_id, slot});
+        ++stats_.coalesced;
+        if (metrics_ != nullptr) metrics_->coalesced->add();
+        continue;
+      }
+    }
+    const std::uint64_t pending_id = next_pending_++;
+    Pending& pending = pending_[pending_id];
+    pending.demand = std::move(demand);
+    pending.key = key;
+    pending.waiters.push_back(Waiter{set_id, slot});
+    queue_.push_back(pending_id);
+    if (options_.coalesce && !pending.demand.offline()) {
+      in_flight_[key] = pending_id;
+    }
+  }
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth,
+                                                   queue_.size());
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+  }
+}
+
+bool ProbeScheduler::issuable_locked(const Pending& pending) {
+  if (pending.demand.offline()) return true;  // Not a wire probe.
+  VpState& vp = vp_state_[pending.demand.from];
+  if (vp.last_refill_round != round_) {
+    vp.last_refill_round = round_;
+    vp.issued_this_round = 0;
+    vp.tokens = std::min<std::uint32_t>(
+        vp.tokens + options_.vp_tokens_per_round, options_.vp_token_burst);
+  }
+  if (vp.issued_this_round >= options_.vp_window || vp.tokens == 0) {
+    return false;
+  }
+  ++vp.issued_this_round;
+  --vp.tokens;
+  return true;
+}
+
+void ProbeScheduler::deliver_locked(std::uint64_t set_id, std::size_t slot,
+                                    ProbeOutcome outcome) {
+  DemandSet& set = sets_.at(set_id);
+  set.outcomes[slot] = std::move(outcome);
+  REVTR_CHECK(set.remaining > 0);
+  if (--set.remaining == 0) ready_.push_back(set_id);
+}
+
+void ProbeScheduler::issue_locked(probing::Prober& prober,
+                                  std::uint64_t pending_id,
+                                  PumpResult& result) {
+  Pending pending = std::move(pending_.at(pending_id));
+  pending_.erase(pending_id);
+  if (const auto it = in_flight_.find(pending.key);
+      it != in_flight_.end() && it->second == pending_id) {
+    in_flight_.erase(it);
+  }
+
+  ProbeOutcome outcome = execute_demand(prober, pending.demand);
+  const std::uint64_t issue_id = next_issue_++;
+  const std::uint64_t digest = outcome.digest();
+  if (pending.demand.offline()) {
+    ++stats_.offline_jobs;
+  } else {
+    ++stats_.issued;
+    if (metrics_ != nullptr) metrics_->issued->add();
+    ++result.issued;
+    result.round_duration_us =
+        std::max(result.round_duration_us, outcome.duration_us);
+  }
+  if (audit_ != nullptr) {
+    audit_->issues.push_back(SchedulerAudit::Issue{
+        issue_id, pending.key, round_, pending.demand.from,
+        pending.demand.offline(), digest});
+  }
+
+  // First waiter is the demand that caused the wire probe; the rest are
+  // coalesced riders and receive byte-identical copies marked as such.
+  REVTR_CHECK(!pending.waiters.empty());
+  for (std::size_t i = pending.waiters.size(); i-- > 1;) {
+    const Waiter& waiter = pending.waiters[i];
+    ProbeOutcome copy = outcome;
+    copy.coalesced = true;
+    if (audit_ != nullptr) {
+      audit_->deliveries.push_back(
+          SchedulerAudit::Delivery{issue_id, pending.key, copy.digest()});
+    }
+    deliver_locked(waiter.set, waiter.slot, std::move(copy));
+  }
+  deliver_locked(pending.waiters.front().set, pending.waiters.front().slot,
+                 std::move(outcome));
+}
+
+ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  PumpResult result;
+  if (queue_.empty()) return result;
+  ++round_;
+  ++stats_.rounds;
+
+  // One pass over the queue in FIFO order: offline jobs and non-spoofed
+  // probes issue immediately; spoofed-RR demands gather into per-ingress
+  // groups so requests sharing an ingress fill the same 3-probe batches.
+  // Demands over a VP's window or bucket stay queued for the next round.
+  std::deque<std::uint64_t> deferred;
+  std::vector<net::Ipv4Addr> group_order;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> groups;
+  for (const std::uint64_t pending_id : queue_) {
+    const Pending& pending = pending_.at(pending_id);
+    if (!issuable_locked(pending)) {
+      ++stats_.throttled;
+      if (metrics_ != nullptr) metrics_->throttled->add();
+      deferred.push_back(pending_id);
+      continue;
+    }
+    if (!pending.demand.offline() &&
+        pending.demand.type == probing::ProbeType::kSpoofedRecordRoute) {
+      const std::uint64_t group_key = pending.demand.batch_ingress.value();
+      auto& group = groups[group_key];
+      if (group.empty()) group_order.push_back(pending.demand.batch_ingress);
+      group.push_back(pending_id);
+      continue;
+    }
+    issue_locked(prober, pending_id, result);
+  }
+  for (const net::Ipv4Addr ingress : group_order) {
+    const auto& group = groups.at(ingress.value());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i % options_.spoof_batch_size == 0) {
+        ++stats_.wire_batches;
+        if (metrics_ != nullptr) metrics_->spoof_batches->add();
+      }
+      issue_locked(prober, group[i], result);
+    }
+  }
+  queue_ = std::move(deferred);
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  return result;
+}
+
+std::vector<ProbeScheduler::Ready> ProbeScheduler::collect_ready(
+    std::size_t owner) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Ready> out;
+  std::deque<std::uint64_t> keep;
+  for (const std::uint64_t set_id : ready_) {
+    DemandSet& set = sets_.at(set_id);
+    if (set.owner != owner) {
+      keep.push_back(set_id);
+      continue;
+    }
+    out.push_back(Ready{set.task, std::move(set.outcomes)});
+    sets_.erase(set_id);
+  }
+  ready_ = std::move(keep);
+  return out;
+}
+
+bool ProbeScheduler::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pending_.empty() && ready_.empty() && sets_.empty();
+}
+
+SchedulerStats ProbeScheduler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace revtr::sched

@@ -1,0 +1,244 @@
+// Async probe scheduling with cross-request coalescing (DESIGN.md §10).
+//
+// The staged engine (core::RequestTask) never touches the Prober. Each stage
+// yields a *demand set* — the probes it needs before it can resume — and
+// suspends. This layer turns demand sets from many in-flight requests into
+// wire probes:
+//
+//   * Coalescing: two pending demands with identical content (same probe
+//     type, vantage point, target, spoof source, prespec list) share one
+//     wire probe; the outcome fans out to every waiter. The paper's RR-atlas
+//     exists to avoid re-measuring what another request already learned —
+//     coalescing applies the same idea at in-flight granularity.
+//   * Per-VP windows: at most `vp_window` probes issue from one vantage
+//     point per pump round, plus a token bucket refilled every round, so no
+//     VP is hammered no matter how many requests want it (§5.2.4's rate
+//     concerns). Deferred demands stay queued; refill guarantees progress.
+//   * Spoofed-RR batching: spoofed demands that expect the same ingress are
+//     issued in the paper's 3-probe batches *across* requests (§4.3), not
+//     just within one; batching changes issue order and the batch metric
+//     only — each request still charges its own spoof-batch timeout.
+//
+// Determinism: simulated probe outcomes are content-addressed (stateless
+// ECMP salt, endpoint-derived flow ids — DESIGN.md §8), so a demand answered
+// by someone else's in-flight duplicate resolves to exactly the outcome the
+// waiter would have measured itself. That is what makes staged results
+// byte-identical to the blocking path (pinned by tests/concurrency_test.cpp)
+// and is re-checked adversarially by invariant I7 over the SchedulerAudit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "obs/metrics.h"
+#include "probing/prober.h"
+#include "topology/topology.h"
+#include "util/sim_clock.h"
+
+namespace revtr::sched {
+
+// One probe a request stage needs before it can resume. Content-complete:
+// everything the wire probe depends on is in here, which is what makes the
+// coalescing key sound.
+struct ProbeDemand {
+  probing::ProbeType type = probing::ProbeType::kRecordRoute;
+  topology::HostId from = topology::kInvalidId;
+  net::Ipv4Addr target;
+  std::optional<net::Ipv4Addr> spoof_as;
+  std::vector<net::Ipv4Addr> prespec;  // TS prespecified addresses.
+  // Spoofed-RR only: the ingress this attempt expects, used to group
+  // same-ingress demands from different requests into one wire batch.
+  net::Ipv4Addr batch_ingress;
+  // Offline background work (on-demand ingress discovery) runs as a closure
+  // so the scheduler stays ignorant of vpselect; never coalesced, windowed,
+  // or counted as a wire probe. Returns the offline ProbeCounters delta.
+  std::function<probing::ProbeCounters()> offline_work;
+
+  bool offline() const noexcept { return static_cast<bool>(offline_work); }
+  // Content hash: demands with equal keys are satisfied by one wire probe.
+  std::uint64_t coalesce_key() const;
+};
+
+// The resolved outcome of one demand, in the shape the stages consume.
+struct ProbeOutcome {
+  bool responded = false;
+  std::vector<net::Ipv4Addr> slots;    // RR reply slots.
+  std::vector<bool> stamped;           // TS stamps observed.
+  probing::TracerouteResult traceroute;
+  util::SimClock::Micros duration_us = 0;
+  // Wire packets this outcome cost (traceroute: one per TTL). Coalesced
+  // copies report the issuing probe's packets but are not charged again.
+  std::uint64_t packets = 0;
+  // True when this demand was answered by another request's in-flight
+  // duplicate: no wire probe was issued for it.
+  bool coalesced = false;
+  probing::ProbeCounters offline_probes;  // Offline demands only.
+
+  // Content digest for the I7 audit: every fan-out copy of one issued probe
+  // must digest identically.
+  std::uint64_t digest() const;
+};
+
+// Executes one demand synchronously. The only place outside the simulator
+// where probes are issued on behalf of the engine — src/core/ stage code is
+// lint-forbidden from calling the Prober directly (revtr_lint
+// core-probe-issue), so the blocking executor inside RevtrEngine::measure()
+// funnels through here too.
+ProbeOutcome execute_demand(probing::Prober& prober, const ProbeDemand& demand);
+
+struct SchedOptions {
+  // Max wire probes issued from one vantage point per pump round.
+  std::size_t vp_window = 64;
+  // Token bucket per VP: refilled by `vp_tokens_per_round` each round up to
+  // `vp_token_burst`. Both clamp to >= 1 so every queued demand eventually
+  // issues (liveness).
+  std::uint32_t vp_tokens_per_round = 256;
+  std::uint32_t vp_token_burst = 1024;
+  bool coalesce = true;
+  std::size_t spoof_batch_size = 3;  // Paper's spoofed-RR batch (§4.3).
+};
+
+// Registry handles for the scheduler; resolved once, shared by all pumps.
+struct SchedMetrics {
+  explicit SchedMetrics(obs::MetricsRegistry& registry);
+
+  obs::Counter* demanded;      // revtr_sched_probes_demanded_total
+  obs::Counter* issued;        // revtr_sched_probes_issued_total
+  obs::Counter* coalesced;     // revtr_probes_coalesced_total
+  obs::Counter* throttled;     // revtr_sched_vp_throttled_total
+  obs::Counter* spoof_batches; // revtr_sched_spoof_batches_total
+  obs::Gauge* queue_depth;     // revtr_sched_queue_depth
+};
+
+// Plain snapshot of the scheduler's lifetime counters, for reports/benches.
+struct SchedulerStats {
+  std::uint64_t demanded = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t wire_batches = 0;  // Spoofed-RR batches put on the wire.
+  std::uint64_t offline_jobs = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t max_queue_depth = 0;
+};
+
+// Raw facts for invariant I7 (analysis::check_scheduler): every issued wire
+// probe and every coalesced delivery, plus enough identity to match them up
+// and to re-check the per-VP window offline.
+struct SchedulerAudit {
+  struct Issue {
+    std::uint64_t issue_id = 0;  // Unique per wire probe.
+    std::uint64_t key = 0;       // ProbeDemand::coalesce_key().
+    std::uint64_t round = 0;
+    topology::HostId vp = topology::kInvalidId;
+    bool offline = false;
+    std::uint64_t digest = 0;    // ProbeOutcome::digest() as issued.
+  };
+  struct Delivery {
+    std::uint64_t issue_id = 0;  // The wire probe that satisfied the waiter.
+    std::uint64_t key = 0;
+    std::uint64_t digest = 0;    // Digest of the outcome the waiter received.
+  };
+  std::vector<Issue> issues;
+  std::vector<Delivery> deliveries;
+};
+
+// Collects demand sets from resumable requests, issues deduplicated wire
+// probes under the per-VP limits, and hands each task its completed outcome
+// set in demand order. Thread-safe: campaign workers submit and pump
+// concurrently; one mutex guards all state (probing is simulated — the
+// critical section is the work, not a bottleneck around it).
+class ProbeScheduler {
+ public:
+  using TaskId = std::uint64_t;
+
+  struct Ready {
+    TaskId task = 0;
+    std::vector<ProbeOutcome> outcomes;  // Demand order of the submit() set.
+  };
+
+  struct PumpResult {
+    std::size_t issued = 0;  // Wire probes put on the network this round.
+    // Longest single-probe duration issued this round: the simulated time
+    // the round takes with all probes conceptually concurrent (the same
+    // batches-are-parallel rule the Prober documents).
+    util::SimClock::Micros round_duration_us = 0;
+  };
+
+  explicit ProbeScheduler(SchedOptions options = {});
+
+  // Handles must outlive the scheduler's use of them; nullptr detaches.
+  void set_metrics(const SchedMetrics* metrics);
+  void set_audit(SchedulerAudit* audit);
+
+  // Registers a task's next demand set. `owner` tags which pump loop will
+  // resume the task; collect_ready(owner) only returns that owner's tasks.
+  // One set per task at a time: submit again only after its Ready arrived.
+  void submit(TaskId task, std::size_t owner, std::vector<ProbeDemand> demands);
+
+  // Issues eligible queued demands on `prober` (any worker's — outcomes are
+  // content-addressed, so who issues is irrelevant) and fans results out.
+  PumpResult pump(probing::Prober& prober);
+
+  // Tasks of `owner` whose whole demand set resolved since the last call.
+  std::vector<Ready> collect_ready(std::size_t owner);
+
+  bool idle() const;  // No queued probes and no undelivered sets.
+  SchedulerStats stats() const;
+  const SchedOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t set = 0;     // Index into sets_.
+    std::size_t slot = 0;      // Index into the set's outcome vector.
+  };
+  struct Pending {
+    ProbeDemand demand;
+    std::uint64_t key = 0;
+    std::vector<Waiter> waiters;  // First waiter is the original demander.
+  };
+  struct DemandSet {
+    TaskId task = 0;
+    std::size_t owner = 0;
+    std::vector<ProbeOutcome> outcomes;
+    std::size_t remaining = 0;
+  };
+  struct VpState {
+    std::uint32_t tokens = 0;
+    std::size_t issued_this_round = 0;
+    std::uint64_t last_refill_round = 0;
+  };
+
+  // All private helpers run with mu_ held.
+  bool issuable_locked(const Pending& pending);
+  void issue_locked(probing::Prober& prober, std::uint64_t pending_id,
+                    PumpResult& result);
+  void deliver_locked(std::uint64_t set_id, std::size_t slot,
+                      ProbeOutcome outcome);
+
+  SchedOptions options_;
+  const SchedMetrics* metrics_ = nullptr;
+  SchedulerAudit* audit_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_pending_ = 0;
+  std::uint64_t next_set_ = 0;
+  std::uint64_t next_issue_ = 0;
+  std::uint64_t round_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::deque<std::uint64_t> queue_;  // FIFO of un-issued pending ids.
+  std::unordered_map<std::uint64_t, std::uint64_t> in_flight_;  // key -> id.
+  std::unordered_map<std::uint64_t, DemandSet> sets_;
+  std::unordered_map<topology::HostId, VpState> vp_state_;
+  std::deque<std::uint64_t> ready_;  // Completed set ids awaiting collection.
+  SchedulerStats stats_;
+};
+
+}  // namespace revtr::sched

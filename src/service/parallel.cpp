@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <future>
 #include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
+#include "core/request_task.h"
 #include "probing/prober.h"
 #include "sim/network.h"
 #include "util/thread_pool.h"
@@ -91,15 +94,152 @@ ParallelCampaignReport ParallelCampaignDriver::run(
   ParallelCampaignReport report;
   report.results.resize(pairs.size());
 
-  {
+  // Shared by both modes: fold one finished measurement into a worker's
+  // private accumulator (merged at the barrier below).
+  const auto account = [](CampaignStats& local,
+                          const core::ReverseTraceroute& result) {
+    const double latency = result.span.seconds();
+    local.latency_seconds.add(latency);
+    local.busy_seconds += latency;
+    switch (result.status) {
+      case core::RevtrStatus::kComplete:
+        ++local.completed;
+        break;
+      case core::RevtrStatus::kAbortedInterdomainSymmetry:
+        ++local.aborted;
+        break;
+      case core::RevtrStatus::kUnreachable:
+        ++local.unreachable;
+        break;
+    }
+  };
+
+  if (options_.mode == EngineMode::kStaged) {
+    // One scheduler shared by every worker: coalescing and per-VP windows
+    // apply across the whole campaign, not per worker. Each worker loop
+    // multiplexes the requests it owns (input index ≡ worker mod workers)
+    // as resumable tasks; any worker's pump may issue any queued probe
+    // (outcomes are content-addressed, so who issues is irrelevant).
+    sched::ProbeScheduler scheduler(options_.sched);
+    std::optional<sched::SchedMetrics> sched_metrics;
+    if (options_.metrics != nullptr) {
+      sched_metrics.emplace(*options_.metrics);
+      scheduler.set_metrics(&*sched_metrics);
+    }
+
+    const auto pump_loop = [&](std::size_t w) {
+      WorkerStack& stack = *stacks[w];
+      // A task holds references into its ActiveRequest for the whole
+      // measurement; unordered_map keeps element addresses stable.
+      struct ActiveRequest {
+        std::size_t index = 0;
+        util::SimClock clock;
+        util::Rng rng;
+        std::optional<obs::Trace> trace;
+        std::unique_ptr<core::RequestTask> task;
+        explicit ActiveRequest(std::uint64_t rng_seed) : rng(rng_seed) {}
+      };
+      std::unordered_map<sched::ProbeScheduler::TaskId, ActiveRequest> active;
+      std::size_t outstanding = 0;
+
+      const auto finalize = [&](ActiveRequest& request) {
+        auto result = request.task->take_result();
+        if (request.trace) {
+          options_.trace_sink->publish(*std::move(request.trace));
+        }
+        account(stack.local, result);
+        report.results[request.index] = std::move(result);
+      };
+
+      // Admission: every owned request starts (and submits its first demand
+      // set) before the first pump, so overlapping initial demands coalesce.
+      // The per-request RNG seed matches blocking mode's per-request reseed,
+      // and each request gets a fresh clock — its simulated latency is its
+      // own probes' durations, same as a blocking slot.
+      for (std::size_t i = w; i < pairs.size(); i += stacks.size()) {
+        auto [it, inserted] = active.try_emplace(
+            i, util::mix_hash(options_.seed, i, 0xca3aULL));
+        ActiveRequest& request = it->second;
+        request.index = i;
+        if (options_.trace_sink != nullptr && options_.trace_sample_every > 0 &&
+            i % options_.trace_sample_every == 0) {
+          request.trace.emplace();
+          request.trace->request_index = i;
+        }
+        request.task = stack.engine.start_request(
+            pairs[i].first, pairs[i].second, request.clock, request.rng,
+            request.trace ? &*request.trace : nullptr);
+        const auto demands = request.task->advance();
+        if (request.task->done()) {  // Atlas hit or trivial request.
+          finalize(request);
+          active.erase(it);
+          continue;
+        }
+        scheduler.submit(i, w, {demands.begin(), demands.end()});
+        ++outstanding;
+      }
+
+      while (outstanding > 0) {
+        const auto pumped = scheduler.pump(stack.prober);
+        auto ready = scheduler.collect_ready(w);
+        for (auto& resolved : ready) {
+          const auto it = active.find(resolved.task);
+          REVTR_CHECK(it != active.end());
+          ActiveRequest& request = it->second;
+          request.task->supply(resolved.outcomes);
+          const auto demands = request.task->advance();
+          if (request.task->done()) {
+            finalize(request);
+            active.erase(it);
+            --outstanding;
+            continue;
+          }
+          scheduler.submit(resolved.task, w, {demands.begin(), demands.end()});
+        }
+        if (options_.pacing_scale > 0 && pumped.round_duration_us > 0) {
+          // Probes within a pump round are concurrent: the round costs its
+          // longest probe, not the sum (contrast blocking mode, which holds
+          // a slot for a whole request's latency).
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              static_cast<double>(pumped.round_duration_us) * 1e-6 *
+              options_.pacing_scale));
+        } else if (ready.empty() && pumped.issued == 0) {
+          // Nothing issued, nothing resumed: our outcomes are in another
+          // worker's pump or our demands are throttled until the next
+          // round's token refill. Yield rather than spin hot.
+          std::this_thread::yield();
+        }
+      }
+    };
+
+    // Plain threads, not the pool: each worker runs exactly one long-lived
+    // pump loop. A worker exception is rethrown after the barrier.
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(workers);
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          pump_loop(w);
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    report.sched = scheduler.stats();
+  } else {
     util::ThreadPool pool(workers);
     std::vector<std::future<void>> futures;
     futures.reserve(pairs.size());
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       const topology::HostId destination = pairs[i].first;
       const topology::HostId source = pairs[i].second;
-      futures.push_back(pool.submit([this, &stacks, &report, i, destination,
-                                     source] {
+      futures.push_back(pool.submit([this, &stacks, &report, &account, i,
+                                     destination, source] {
         const std::size_t w = util::ThreadPool::current_worker();
         REVTR_CHECK(w != util::ThreadPool::kNotAWorker);
         WorkerStack& stack = *stacks[w];
@@ -124,20 +264,8 @@ ParallelCampaignReport ParallelCampaignDriver::run(
           stack.engine.set_trace(nullptr);
           options_.trace_sink->publish(*std::move(trace));
         }
+        account(stack.local, result);
         const double latency = result.span.seconds();
-        stack.local.latency_seconds.add(latency);
-        stack.local.busy_seconds += latency;
-        switch (result.status) {
-          case core::RevtrStatus::kComplete:
-            ++stack.local.completed;
-            break;
-          case core::RevtrStatus::kAbortedInterdomainSymmetry:
-            ++stack.local.aborted;
-            break;
-          case core::RevtrStatus::kUnreachable:
-            ++stack.local.unreachable;
-            break;
-        }
         report.results[i] = std::move(result);
         // Latency pacing: hold this worker slot for real time proportional
         // to the simulated request latency, modelling the deployment's

@@ -33,6 +33,20 @@
 // 10 s spoofed-batch timeouts, not on CPU — and pacing models exactly that,
 // which is what makes N workers faster in wall-clock terms even on one core
 // (bench/bench_parallel_campaign.cpp).
+//
+// Engine modes: kBlocking runs one engine.measure() per worker slot, the
+// request occupying its worker for its whole latency. kStaged multiplexes
+// *all* of a worker's requests as resumable core::RequestTasks over one
+// shared sched::ProbeScheduler: each worker loop pumps the scheduler
+// (issuing any eligible probe, its own or another worker's — outcomes are
+// content-addressed so who issues is irrelevant), collects its tasks' ready
+// outcome sets, and resumes them. Identical in-flight demands across
+// requests coalesce into one wire probe; per-VP windows and spoofed-RR
+// cross-request batching apply (DESIGN.md §10). Results are byte-identical
+// to blocking mode modulo probe accounting: a coalesced request records the
+// demand in coalesced_probes instead of its issued-probe counters. In staged
+// mode pacing holds the worker per pump *round* (probes in a round are
+// concurrent), not per request.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +61,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "routing/forwarding.h"
+#include "sched/scheduler.h"
 #include "service/service.h"
 #include "topology/topology.h"
 #include "vpselect/ingress.h"
@@ -65,6 +80,11 @@ struct CampaignDeps {
   const asmap::AsRelationships& relationships;
 };
 
+enum class EngineMode {
+  kBlocking,  // One engine.measure() call per worker slot.
+  kStaged,    // Resumable RequestTasks multiplexed over a ProbeScheduler.
+};
+
 struct ParallelCampaignOptions {
   std::size_t workers = 4;
   std::uint64_t seed = 7;
@@ -72,6 +92,8 @@ struct ParallelCampaignOptions {
   // Real seconds each worker slot is held per simulated second of request
   // latency. 0 disables pacing (tests); the scaling bench uses ~1e-3.
   double pacing_scale = 0.0;
+  EngineMode mode = EngineMode::kBlocking;
+  sched::SchedOptions sched;  // Staged mode only.
 
   // --- Observability (all optional; nullptr/0 = off). ---
   // Registry shared by every worker stack: probe and engine counters are
@@ -95,6 +117,9 @@ struct ParallelCampaignReport {
   // Present when options.metrics was set: registry snapshot taken after the
   // barrier, so every worker's sharded counters are fully merged.
   std::optional<obs::MetricsSnapshot> metrics;
+  // Staged mode only: the shared scheduler's lifetime counters (probes
+  // demanded vs issued vs coalesced, throttling, batching).
+  std::optional<sched::SchedulerStats> sched;
 };
 
 class ParallelCampaignDriver {

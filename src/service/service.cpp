@@ -10,6 +10,14 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry& registry) {
   quota_charges = quota("charge");
   quota_refunds = quota("refund");
   quota_rejections = quota("reject");
+  const auto probe_quota = [&registry](const char* event) {
+    return &registry.counter(
+        std::string("revtr_service_probe_quota_total{event=\"") + event +
+        "\"}");
+  };
+  probe_quota_charged = probe_quota("charge");
+  probe_quota_refunded = probe_quota("refund");
+  probe_quota_rejections = probe_quota("reject");
   ndt_accepted =
       &registry.counter("revtr_service_ndt_total{outcome=\"accepted\"}");
   ndt_shed = &registry.counter("revtr_service_ndt_total{outcome=\"shed\"}");
@@ -17,6 +25,18 @@ ServiceMetrics::ServiceMetrics(obs::MetricsRegistry& registry) {
       &registry.counter("revtr_service_request_atlas_refreshes_total");
   daily_refreshes = &registry.counter("revtr_service_daily_refreshes_total");
   sources_bootstrapped = &registry.counter("revtr_service_sources_total");
+}
+
+ProbeCharge probe_cost_of(const core::ReverseTraceroute& result) noexcept {
+  ProbeCharge cost;
+  // `probes` counts uniquely-issued packets; coalesced demands rode another
+  // request's in-flight probe (core/revtr.h). The gross demand is charged
+  // and the coalesced share refunded, so the net cost is wire packets only
+  // — a duplicate-heavy campaign must not burn its users' budgets on
+  // probes that were never sent.
+  cost.demanded = result.probes.total() + result.coalesced_probes;
+  cost.refunded = result.coalesced_probes;
+  return cost;
 }
 
 RevtrService::RevtrService(core::RevtrEngine& engine,
@@ -77,6 +97,10 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
     if (metrics_ != nullptr) metrics_->quota_rejections->add();
     return std::nullopt;
   }
+  if (state.probes_charged_today >= state.limits.daily_probe_budget) {
+    if (metrics_ != nullptr) metrics_->probe_quota_rejections->add();
+    return std::nullopt;
+  }
   ++state.issued_today;
   if (metrics_ != nullptr) metrics_->quota_charges->add();
 
@@ -100,6 +124,7 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
     --state.issued_today;
     if (metrics_ != nullptr) metrics_->quota_refunds->add();
   }
+  charge_probes(state, served.reverse);
   archive(served.reverse);
   if (options.with_forward_traceroute) {
     served.forward = prober_.traceroute(
@@ -130,6 +155,21 @@ std::optional<ServedMeasurement> RevtrService::on_ndt_measurement(
   return served;
 }
 
+void RevtrService::charge_probes(UserState& state,
+                                 const core::ReverseTraceroute& result) {
+  const ProbeCharge cost = probe_cost_of(result);
+  state.probes_charged_today += cost.net();
+  if (metrics_ != nullptr) {
+    metrics_->probe_quota_charged->add(cost.demanded);
+    if (cost.refunded > 0) metrics_->probe_quota_refunded->add(cost.refunded);
+  }
+}
+
+std::uint64_t RevtrService::probes_charged_today(UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.probes_charged_today;
+}
+
 const SourceRecord* RevtrService::source_record(topology::HostId host) const {
   const auto it = sources_.find(host);
   return it == sources_.end() ? nullptr : &it->second;
@@ -145,6 +185,10 @@ std::optional<core::ReverseTraceroute> RevtrService::request(
     if (metrics_ != nullptr) metrics_->quota_rejections->add();
     return std::nullopt;
   }
+  if (state.probes_charged_today >= state.limits.daily_probe_budget) {
+    if (metrics_ != nullptr) metrics_->probe_quota_rejections->add();
+    return std::nullopt;
+  }
   // Charge up front so a re-entrant caller cannot overshoot the limit, but
   // refund when the engine fails to deliver a path: a user whose requests
   // abort or come back unreachable has received nothing, and burning their
@@ -156,6 +200,7 @@ std::optional<core::ReverseTraceroute> RevtrService::request(
     --state.issued_today;
     if (metrics_ != nullptr) metrics_->quota_refunds->add();
   }
+  charge_probes(state, result);
   archive(result);
   return result;
 }
@@ -200,7 +245,10 @@ void RevtrService::daily_refresh(util::Rng& rng) {
     record.atlas_size = atlas_.traceroutes(host).size();
     record.atlas_refreshed_at = clock_.now();
   }
-  for (auto& [id, user] : users_) user.issued_today = 0;
+  for (auto& [id, user] : users_) {
+    user.issued_today = 0;
+    user.probes_charged_today = 0;
+  }
   ndt_issued_today_ = 0;
   engine_.clear_caches();
 }

@@ -29,7 +29,24 @@ using UserId = std::uint32_t;
 struct UserLimits {
   std::size_t max_parallel = 8;
   std::size_t daily_limit = 100000;
+  // Per-day wire-probe budget. Requests are also metered by the packets
+  // they cost, not just their count: a single request can demand hundreds
+  // of probes (RR fan-out, spoofed batches), and the deployment's scarce
+  // resource is vantage-point probing capacity.
+  std::uint64_t daily_probe_budget = 1'000'000;
 };
+
+// The probe cost of one measurement against a user's daily probe budget.
+// `demanded` counts every probe the measurement asked for; `refunded`
+// counts the demands the scheduler satisfied by coalescing onto another
+// request's in-flight probe — no wire packet was spent on those, so they
+// are handed back and the net charge covers uniquely-issued probes only.
+struct ProbeCharge {
+  std::uint64_t demanded = 0;  // Issued + coalesced.
+  std::uint64_t refunded = 0;  // Coalesced duplicates (no wire cost).
+  std::uint64_t net() const noexcept { return demanded - refunded; }
+};
+ProbeCharge probe_cost_of(const core::ReverseTraceroute& result) noexcept;
 
 struct SourceRecord {
   topology::HostId host = topology::kInvalidId;
@@ -102,6 +119,12 @@ struct ServiceMetrics {
   obs::Counter* quota_charges;
   obs::Counter* quota_refunds;
   obs::Counter* quota_rejections;
+  // revtr_service_probe_quota_total{event=...}: probe-budget accounting.
+  // Every demanded probe is charged, then coalesced duplicates are refunded
+  // (net = uniquely-issued probes); reject when a user's budget is spent.
+  obs::Counter* probe_quota_charged;
+  obs::Counter* probe_quota_refunded;
+  obs::Counter* probe_quota_rejections;
   // revtr_service_ndt_total{outcome=...}
   obs::Counter* ndt_accepted;
   obs::Counter* ndt_shed;
@@ -141,6 +164,10 @@ class RevtrService {
   std::optional<core::ReverseTraceroute> request(UserId user,
                                                  topology::HostId destination,
                                                  topology::HostId source);
+
+  // Probes charged against `user`'s daily probe budget so far, net of
+  // coalescing refunds (see ProbeCharge). 0 for unknown users.
+  std::uint64_t probes_charged_today(UserId user) const;
 
   // Full-featured request honouring RequestOptions (Appx A API).
   std::optional<ServedMeasurement> request_with_options(
@@ -190,7 +217,14 @@ class RevtrService {
     std::string name;
     UserLimits limits;
     std::size_t issued_today = 0;
+    std::uint64_t probes_charged_today = 0;  // Net of coalescing refunds.
   };
+
+  // Charges `result`'s probe cost to `state` and counts the charge/refund
+  // metrics. Probes were spent on the wire whether or not the measurement
+  // delivered a path, so (unlike the request-count quota) there is no
+  // failure refund — only coalesced duplicates are handed back.
+  void charge_probes(UserState& state, const core::ReverseTraceroute& result);
 
   core::RevtrEngine& engine_;
   atlas::TracerouteAtlas& atlas_;

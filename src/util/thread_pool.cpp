@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <stdexcept>
+
 namespace revtr::util {
 
 namespace {
@@ -34,7 +36,14 @@ void ThreadPool::enqueue(std::function<void()> task) {
   not_full_.wait(lock, [this] {
     return queue_.size() < queue_capacity_ || shutting_down_;
   });
-  REVTR_CHECK(!shutting_down_);  // submit() after the destructor started.
+  if (shutting_down_) {
+    // A submitter parked on a full queue can legitimately lose the race
+    // with the destructor (the not_full_ notify that woke it was the
+    // shutdown broadcast). That is a recoverable caller error, not an
+    // internal invariant: throw so the submitter unwinds instead of
+    // aborting the process mid-shutdown.
+    throw std::runtime_error("ThreadPool::submit after shutdown began");
+  }
   queue_.push_back(std::move(task));
   lock.unlock();
   not_empty_.notify_one();

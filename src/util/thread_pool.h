@@ -49,7 +49,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues `fn` and returns a future for its result. Blocks while the
-  // queue is full. Submitting after shutdown began is a logic error.
+  // queue is full. Throws std::runtime_error once shutdown has begun —
+  // including for a submitter that was parked on a full queue when the
+  // destructor started (it is woken by the shutdown broadcast and must
+  // unwind, not deadlock and not abort).
   template <typename Fn>
   std::future<std::invoke_result_t<Fn>> submit(Fn fn) {
     using Result = std::invoke_result_t<Fn>;

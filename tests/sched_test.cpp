@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/invariants.h"
+#include "eval/harness.h"
+#include "obs/metrics.h"
+#include "sched/scheduler.h"
+
+namespace revtr::sched {
+namespace {
+
+using topology::HostId;
+
+topology::TopologyConfig tiny_config() {
+  topology::TopologyConfig config;
+  config.seed = 17;
+  config.num_ases = 60;
+  config.num_vps = 6;
+  config.num_vps_2016 = 2;
+  config.num_probe_hosts = 20;
+  return config;
+}
+
+class SchedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { lab_ = std::make_unique<eval::Lab>(tiny_config()); }
+
+  ProbeDemand ping_demand(std::size_t vp_index, std::size_t host_index) {
+    ProbeDemand demand;
+    demand.type = probing::ProbeType::kPing;
+    demand.from = lab_->topo.vantage_points()[vp_index];
+    demand.target =
+        lab_->topo.host(lab_->topo.probe_hosts()[host_index]).addr;
+    return demand;
+  }
+
+  ProbeDemand spoofed_demand(std::size_t host_index, net::Ipv4Addr ingress) {
+    ProbeDemand demand;
+    demand.type = probing::ProbeType::kSpoofedRecordRoute;
+    demand.from = lab_->topo.vantage_points()[1];
+    demand.target =
+        lab_->topo.host(lab_->topo.probe_hosts()[host_index]).addr;
+    demand.spoof_as =
+        lab_->topo.host(lab_->topo.vantage_points()[0]).addr;
+    demand.batch_ingress = ingress;
+    return demand;
+  }
+
+  std::unique_ptr<eval::Lab> lab_;
+};
+
+TEST_F(SchedFixture, ExecuteDemandMirrorsProber) {
+  // The staged stages see exactly what a direct prober call would return:
+  // outcomes are content-addressed, so re-executing the same demand on the
+  // same simulated world reproduces the reply byte for byte.
+  const ProbeDemand demand = ping_demand(0, 0);
+  const auto outcome = execute_demand(lab_->prober, demand);
+  const auto direct = lab_->prober.ping(demand.from, demand.target);
+  EXPECT_EQ(outcome.responded, direct.responded);
+  EXPECT_EQ(outcome.duration_us, direct.duration_us);
+  EXPECT_EQ(outcome.packets, 1u);
+
+  ProbeDemand trace;
+  trace.type = probing::ProbeType::kTraceroute;
+  trace.from = demand.from;
+  trace.target = demand.target;
+  const auto tr_outcome = execute_demand(lab_->prober, trace);
+  EXPECT_EQ(tr_outcome.packets, tr_outcome.traceroute.hops.size());
+}
+
+TEST_F(SchedFixture, CoalescesIdenticalInFlightDemands) {
+  obs::MetricsRegistry registry;
+  SchedMetrics metrics(registry);
+  ProbeScheduler scheduler;
+  scheduler.set_metrics(&metrics);
+
+  // Two tasks want the same probe while it is in flight: one wire probe,
+  // identical outcomes fanned out, exactly one copy marked coalesced.
+  scheduler.submit(1, 0, {ping_demand(0, 0)});
+  scheduler.submit(2, 0, {ping_demand(0, 0)});
+  const auto pumped = scheduler.pump(lab_->prober);
+  EXPECT_EQ(pumped.issued, 1u);
+
+  auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  ASSERT_EQ(ready[0].outcomes.size(), 1u);
+  ASSERT_EQ(ready[1].outcomes.size(), 1u);
+  EXPECT_EQ(ready[0].outcomes[0].digest(), ready[1].outcomes[0].digest());
+  EXPECT_NE(ready[0].outcomes[0].coalesced, ready[1].outcomes[0].coalesced);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.demanded, 2u);
+  EXPECT_EQ(stats.issued, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(metrics.demanded->total(), 2u);
+  EXPECT_EQ(metrics.issued->total(), 1u);
+  EXPECT_EQ(metrics.coalesced->total(), 1u);
+  EXPECT_TRUE(scheduler.idle());
+}
+
+TEST_F(SchedFixture, CoalescingDisabledIssuesEveryDemand) {
+  SchedOptions options;
+  options.coalesce = false;
+  ProbeScheduler scheduler(options);
+  scheduler.submit(1, 0, {ping_demand(0, 0)});
+  scheduler.submit(2, 0, {ping_demand(0, 0)});
+  const auto pumped = scheduler.pump(lab_->prober);
+  EXPECT_EQ(pumped.issued, 2u);
+  const auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_FALSE(ready[0].outcomes[0].coalesced);
+  EXPECT_FALSE(ready[1].outcomes[0].coalesced);
+  EXPECT_EQ(scheduler.stats().coalesced, 0u);
+}
+
+TEST_F(SchedFixture, PerVpWindowDefersToLaterRounds) {
+  SchedOptions options;
+  options.vp_window = 1;
+  ProbeScheduler scheduler(options);
+  // Three distinct probes from one vantage point, window 1: one issue per
+  // round, the rest stay queued (deferred, not dropped — liveness).
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(0, 1),
+                          ping_demand(0, 2)});
+  EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u);
+  EXPECT_TRUE(scheduler.collect_ready(0).empty());
+  EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u);
+  EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u);
+  const auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].outcomes.size(), 3u);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.throttled, 3u);  // Two deferred in round 1, one in round 2.
+}
+
+TEST_F(SchedFixture, TokenBucketPacesAcrossRounds) {
+  SchedOptions options;
+  options.vp_window = 8;  // Window alone would allow both at once.
+  options.vp_tokens_per_round = 1;
+  options.vp_token_burst = 1;
+  ProbeScheduler scheduler(options);
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(0, 1)});
+  EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u);
+  EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u);
+  EXPECT_EQ(scheduler.stats().rounds, 2u);
+  ASSERT_EQ(scheduler.collect_ready(0).size(), 1u);
+  EXPECT_TRUE(scheduler.idle());
+}
+
+TEST_F(SchedFixture, SpoofedBatchesGroupAcrossTasks) {
+  const net::Ipv4Addr ingress_x(0x0a000001);
+  const net::Ipv4Addr ingress_y(0x0a000002);
+  ProbeScheduler scheduler;
+  // Four same-ingress spoofed probes from two different tasks fill two
+  // 3-probe wire batches (3 + 1); the other ingress gets its own batch.
+  scheduler.submit(1, 0,
+                   {spoofed_demand(0, ingress_x), spoofed_demand(1, ingress_x)});
+  scheduler.submit(2, 0,
+                   {spoofed_demand(2, ingress_x), spoofed_demand(3, ingress_x),
+                    spoofed_demand(4, ingress_y)});
+  const auto pumped = scheduler.pump(lab_->prober);
+  EXPECT_EQ(pumped.issued, 5u);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.wire_batches, 3u);
+  EXPECT_EQ(scheduler.collect_ready(0).size(), 2u);
+}
+
+TEST_F(SchedFixture, OfflineDemandRunsClosureOffTheWire) {
+  ProbeScheduler scheduler;
+  ProbeDemand offline;
+  offline.offline_work = [] {
+    probing::ProbeCounters counters;
+    counters.ping = 7;
+    return counters;
+  };
+  scheduler.submit(1, 0, {std::move(offline)});
+  const auto pumped = scheduler.pump(lab_->prober);
+  EXPECT_EQ(pumped.issued, 0u);  // Offline jobs are not wire probes.
+  auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].outcomes[0].offline_probes.ping, 7u);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.offline_jobs, 1u);
+  EXPECT_EQ(stats.issued, 0u);
+}
+
+TEST_F(SchedFixture, AuditSatisfiesI7AndCatchesTampering) {
+  SchedOptions options;
+  ProbeScheduler scheduler(options);
+  SchedulerAudit audit;
+  scheduler.set_audit(&audit);
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(1, 1)});
+  scheduler.submit(2, 0, {ping_demand(0, 0)});
+  scheduler.pump(lab_->prober);
+  ASSERT_EQ(scheduler.collect_ready(0).size(), 2u);
+  ASSERT_EQ(audit.issues.size(), 2u);
+  ASSERT_EQ(audit.deliveries.size(), 1u);  // The coalesced rider.
+
+  EXPECT_TRUE(analysis::check_scheduler(audit, options).empty());
+
+  // A delivery whose outcome differs from the issued probe's breaks the
+  // coalescing-is-invisible property I7 exists to catch.
+  SchedulerAudit tampered = audit;
+  tampered.deliveries[0].digest ^= 1;
+  EXPECT_FALSE(analysis::check_scheduler(tampered, options).empty());
+
+  // A delivery riding a probe that never went on the wire.
+  tampered = audit;
+  tampered.deliveries[0].issue_id = 9999;
+  EXPECT_FALSE(analysis::check_scheduler(tampered, options).empty());
+
+  // More same-round issues from one VP than the window permits.
+  SchedulerAudit overdriven;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    overdriven.issues.push_back(SchedulerAudit::Issue{
+        i, i, /*round=*/1, lab_->topo.vantage_points()[0], false, i});
+  }
+  SchedOptions narrow;
+  narrow.vp_window = 2;
+  EXPECT_FALSE(analysis::check_scheduler(overdriven, narrow).empty());
+}
+
+}  // namespace
+}  // namespace revtr::sched

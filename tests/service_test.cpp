@@ -172,6 +172,79 @@ TEST_F(ServiceFixture, FailedRequestWithOptionsRefundsQuota) {
                                               lab_->rng));
 }
 
+TEST(ProbeCharge, RefundsCoalescedDuplicates) {
+  // Regression: the probe-budget charge must cover uniquely-issued probes
+  // only. A staged-mode result whose demands mostly coalesced onto other
+  // requests' in-flight probes (core/revtr.h coalesced_probes) refunds
+  // those duplicates — charging the gross demand would burn a user's
+  // budget on packets that were never sent.
+  core::ReverseTraceroute result;
+  result.probes.ping = 2;
+  result.probes.rr = 3;
+  result.probes.spoofed_rr = 4;
+  result.probes.ts = 1;
+  ASSERT_EQ(result.probes.total(), 10u);
+  result.coalesced_probes = 40;
+
+  const ProbeCharge cost = probe_cost_of(result);
+  EXPECT_EQ(cost.demanded, 50u);
+  EXPECT_EQ(cost.refunded, 40u);
+  EXPECT_EQ(cost.net(), 10u);
+
+  // Blocking-path results never coalesce: gross charge, no refund.
+  result.coalesced_probes = 0;
+  const ProbeCharge blocking = probe_cost_of(result);
+  EXPECT_EQ(blocking.demanded, 10u);
+  EXPECT_EQ(blocking.refunded, 0u);
+  EXPECT_EQ(blocking.net(), 10u);
+}
+
+TEST_F(ServiceFixture, ProbeBudgetChargesIssuedProbesAndRejectsWhenSpent) {
+  const HostId source = lab_->topo.vantage_points()[0];
+  ASSERT_TRUE(service_->add_source(source, 20, lab_->rng));
+  const HostId dest = completing_destination(source);
+  ASSERT_NE(dest, topology::kInvalidId);
+
+  obs::MetricsRegistry registry;
+  ServiceMetrics metrics(registry);
+  service_->set_metrics(&metrics);
+
+  const UserId user = service_->add_user("metered");
+  reset_engine_state();
+  const auto result = service_->request(user, dest, source);
+  ASSERT_TRUE(result);
+  // Blocking path: nothing coalesces, so the net charge is exactly the
+  // probes this measurement issued.
+  EXPECT_EQ(result->coalesced_probes, 0u);
+  EXPECT_GT(result->probes.total(), 0u);
+  EXPECT_EQ(service_->probes_charged_today(user), result->probes.total());
+  EXPECT_EQ(metrics.probe_quota_charged->total(), result->probes.total());
+  EXPECT_EQ(metrics.probe_quota_refunded->total(), 0u);
+
+  // A user whose probe budget is spent is rejected before measuring, even
+  // with request-count quota to spare. The budget check is up-front; a
+  // request admitted under budget may overdraw (its cost is unknowable
+  // until measured), locking the user out until the refresh.
+  UserLimits tight;
+  tight.daily_probe_budget = 1;
+  const UserId spent = service_->add_user("spent", tight);
+  reset_engine_state();
+  ASSERT_TRUE(service_->request(spent, dest, source));
+  EXPECT_GE(service_->probes_charged_today(spent), 1u);
+  EXPECT_FALSE(service_->request(spent, dest, source));
+  EXPECT_EQ(metrics.probe_quota_rejections->total(), 1u);
+  RequestOptions options;
+  EXPECT_FALSE(
+      service_->request_with_options(spent, dest, source, options, lab_->rng));
+  EXPECT_EQ(metrics.probe_quota_rejections->total(), 2u);
+
+  // The daily refresh restores the probe budget.
+  service_->daily_refresh(lab_->rng);
+  EXPECT_EQ(service_->probes_charged_today(user), 0u);
+  EXPECT_TRUE(service_->request(spent, dest, source));
+  service_->set_metrics(nullptr);
+}
+
 TEST_F(ServiceFixture, CampaignStatsAddUp) {
   const HostId source = lab_->topo.vantage_points()[0];
   ASSERT_TRUE(service_->add_source(source, 30, lab_->rng));

@@ -7,7 +7,9 @@
 //   measure    one reverse traceroute (--dest=K --source=K [--json])
 //   campaign   batch measurement run on real worker threads
 //              (--revtrs=N --parallel=K [--pacing=S] [--archive=FILE]
-//              writes an NDJSON archive)
+//              writes an NDJSON archive; --staged runs resumable requests
+//              over the probe scheduler, tuned by [--sched-window=N]
+//              [--sched-pacing=TOKENS] [--sched-no-coalesce])
 //   atlas      show a source's traceroute atlas (--source=K)
 //   ingress    show a prefix's ingress plan (--prefix=K)
 //
@@ -162,6 +164,19 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   options.workers = parallel == 0 ? 1 : parallel;
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
   options.pacing_scale = flags.get_double("pacing", 0.0);
+  // --staged multiplexes requests as resumable tasks over the probe
+  // scheduler (DESIGN.md §10); the sched-* knobs tune its per-VP window,
+  // token refill, and cross-request coalescing.
+  if (flags.get_bool("staged", false)) {
+    options.mode = service::EngineMode::kStaged;
+  }
+  options.sched.vp_window = static_cast<std::size_t>(flags.get_int(
+      "sched-window", static_cast<std::int64_t>(options.sched.vp_window)));
+  options.sched.vp_tokens_per_round = static_cast<std::uint32_t>(
+      flags.get_int("sched-pacing", options.sched.vp_tokens_per_round));
+  if (flags.get_bool("sched-no-coalesce", false)) {
+    options.sched.coalesce = false;
+  }
   options.metrics = &registry;
   options.trace_sink = &trace_sink;
   options.trace_sample_every = trace_sample;
@@ -187,6 +202,17 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   std::printf("probes: %llu total (%llu spoofed RR)\n",
               static_cast<unsigned long long>(stats.probes.total()),
               static_cast<unsigned long long>(stats.probes.spoofed_rr));
+  if (report.sched.has_value()) {
+    const auto& sched = *report.sched;
+    std::printf("sched: %llu demanded, %llu issued, %llu coalesced; "
+                "%llu throttled, %llu spoof batches, %llu rounds\n",
+                static_cast<unsigned long long>(sched.demanded),
+                static_cast<unsigned long long>(sched.issued),
+                static_cast<unsigned long long>(sched.coalesced),
+                static_cast<unsigned long long>(sched.throttled),
+                static_cast<unsigned long long>(sched.wire_batches),
+                static_cast<unsigned long long>(sched.rounds));
+  }
   const auto archive_stats = archive.stats();
   std::printf("archive: %zu measurements, %zu flagged\n",
               archive_stats.total, archive_stats.flagged);

@@ -39,11 +39,18 @@
 //                    fprintf/snprintf stay legal (stderr diagnostics,
 //                    formatting into buffers); tools/, tests/, bench/ and
 //                    examples/ own their stdout and are exempt.
+//   core-probe-issue Direct probe-issuing Prober calls (ping/rr_ping/
+//                    ts_ping/traceroute) inside src/core/: the staged engine
+//                    yields sched::ProbeDemand sets and all wire probes
+//                    funnel through sched::execute_demand, so scheduler
+//                    coalescing and pacing cannot be bypassed. Non-issuing
+//                    Prober methods (offline_counters, OfflineScope) stay
+//                    legal.
 //
 // Module DAG (rank order; an include edge must point strictly downward):
 //   util(0) → net(1), obs(1) → topology(2) → routing(3) → sim(4)
-//   → probing(5) → alias(6), asmap(6) → atlas(7), vpselect(7) → core(8)
-//   → analysis(9) → eval(10), service(10)
+//   → probing(5) → alias(6), asmap(6), sched(6) → atlas(7), vpselect(7)
+//   → core(8) → analysis(9) → eval(10), service(10)
 // tools/, tests/, bench/ and examples/ sit on top and may include anything.
 //
 // `revtr_lint --self-test` exercises both accept and reject paths of the
@@ -176,8 +183,8 @@ const std::map<std::string, int, std::less<>>& module_ranks() {
   static const std::map<std::string, int, std::less<>> kRanks = {
       {"util", 0},  {"net", 1},      {"obs", 1},      {"topology", 2},
       {"routing", 3}, {"sim", 4},    {"probing", 5},  {"alias", 6},
-      {"asmap", 6}, {"atlas", 7},    {"vpselect", 7}, {"core", 8},
-      {"analysis", 9}, {"eval", 10}, {"service", 10},
+      {"asmap", 6}, {"sched", 6},    {"atlas", 7},    {"vpselect", 7},
+      {"core", 8},  {"analysis", 9}, {"eval", 10},    {"service", 10},
   };
   return kRanks;
 }
@@ -334,6 +341,11 @@ class Linter {
     // legal, the optional std:: prefix catches <cstdio>'s qualified form.
     static const std::regex kBarePrintf(
         R"((^|[^\w])(std\s*::\s*)?printf\s*\()");
+    // Probe-issuing Prober methods called on any identifier naming a prober
+    // (prober_, engine_.prober_, a local `probing::Prober& prober`, ...).
+    // Non-issuing members (offline_counters, counters) do not match.
+    static const std::regex kProbeIssue(
+        R"re((\b\w*[Pp]rober\w*\s*(\.|->)|\bProber\s*::\s*)(ping|rr_ping|ts_ping|traceroute)\s*\()re");
     // The stripper blanks string contents, so the include *path* must come
     // from the raw line; the stripped line still proves the directive is
     // not inside a comment.
@@ -380,6 +392,14 @@ class Linter {
         report(rel, lineno, "bare-output",
                "bare stdout write in src/; library code returns data or "
                "exports it via src/obs/ — printing belongs to tools/");
+      }
+      if (module == "core" && std::regex_search(line, kProbeIssue) &&
+          !allows(raw_line, "core-probe-issue")) {
+        report(rel, lineno, "core-probe-issue",
+               "direct probe-issuing Prober call in src/core/; the staged "
+               "engine must yield a sched::ProbeDemand so the scheduler can "
+               "coalesce and pace it (all wire probes funnel through "
+               "sched::execute_demand)");
       }
       if (!module.empty() && std::regex_search(line, kIncludeStripped)) {
         std::smatch match;
@@ -467,8 +487,8 @@ class Linter {
                  std::to_string(from_rank->second) + ") must not include " +
                  to_module + " (rank " + std::to_string(to_rank->second) +
                  "); the module DAG is util -> net -> topology -> routing -> "
-                 "sim -> probing -> alias/asmap -> atlas/vpselect -> core -> "
-                 "analysis -> eval/service");
+                 "sim -> probing -> alias/asmap/sched -> atlas/vpselect -> "
+                 "core -> analysis -> eval/service");
     }
   }
 
@@ -711,6 +731,53 @@ int run_self_test() {
     Linter lateral{fs::path(".")};
     lateral.lint_source("src/obs/metrics.cpp", "#include \"net/ipv4.h\"\n");
     expect(count_rule(lateral, "layering") == 1, "obs -> net rejected");
+  }
+  {  // sched sits at rank 6: usable from core, barred from reaching up
+     // into vpselect or core.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/request_task.cpp",
+                       "#include \"sched/scheduler.h\"\n");
+    linter.lint_source("src/sched/scheduler.cpp",
+                       "#include \"probing/prober.h\"\n");
+    expect(count_rule(linter, "layering") == 0,
+           "core -> sched -> probing accepted");
+    Linter upward{fs::path(".")};
+    upward.lint_source("src/sched/scheduler.cpp",
+                       "#include \"vpselect/ingress.h\"\n");
+    upward.lint_source("src/sched/scheduler.h", "#include \"core/revtr.h\"\n");
+    expect(count_rule(upward, "layering") == 2,
+           "sched -> vpselect/core rejected");
+  }
+  {  // Probe-issuing Prober calls are barred from src/core/.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/core/x.cpp",
+                       "void f() { prober_.rr_ping(a, b); }\n");
+    linter.lint_source("src/core/y.cpp",
+                       "void g() { engine_.prober_->traceroute(a, b); }\n");
+    expect(count_rule(linter, "core-probe-issue") == 2,
+           "direct probe call in src/core/ flagged");
+  }
+  {  // ...but the demand funnel, non-issuing members, and other modules
+     // are fine.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/core/x.cpp",
+        "auto o = sched::execute_demand(prober_, demand);\n"
+        "auto c = engine_.prober_.offline_counters();\n");
+    linter.lint_source("src/sched/scheduler.cpp",
+                       "auto r = prober.rr_ping(a, b, spoof);\n");
+    linter.lint_source("tests/x_test.cpp",
+                       "auto r = prober.rr_ping(a, b);\n");
+    expect(count_rule(linter, "core-probe-issue") == 0,
+           "core-probe-issue scoped to issuing calls in src/core/");
+  }
+  {  // Suppression marker works for core-probe-issue.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/core/x.cpp",
+        "prober_.ping(a, b);  // lint:allow(core-probe-issue)\n");
+    expect(count_rule(linter, "core-probe-issue") == 0,
+           "core-probe-issue suppression honored");
   }
   {  // Outside src/, neither rule applies (tests may include anything and
      // keep defensive defaults).

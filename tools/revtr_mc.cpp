@@ -2,9 +2,10 @@
 //
 // Enumerates the full (topology shape × seed × config preset × fault
 // schedule) grid from analysis/model_checker.h, runs one measurement per
-// state, and checks the invariant catalog (I1–I4) plus the differential
-// oracle (I5) against simulator ground truth. Exits nonzero if any state
-// violates any invariant.
+// state, and checks the invariant catalog (I1–I4, plus I6 trace attribution
+// and the I7 scheduler-consistency audit over a staged-twin replay) and the
+// differential oracle (I5) against simulator ground truth. Exits nonzero if
+// any state violates any invariant.
 //
 // Usage: revtr_mc [--states N] [--seeds N] [--salts N] [--report N]
 //   --states N   stop after N states (0 = full grid, the default)
@@ -82,6 +83,9 @@ int main(int argc, char** argv) {
   std::printf("  unreachable:       %zu\n", summary.unreachable);
   std::printf("oracle hop checks:   %zu (%zu permitted divergences)\n",
               summary.oracle_pairs, summary.oracle_permitted);
+  std::printf("staged twins:        %zu (%llu demands coalesced)\n",
+              summary.staged_twins,
+              static_cast<unsigned long long>(summary.staged_coalesced));
   std::printf("violations:          %zu\n", summary.total_violations);
   for (std::size_t i = 0; i < revtr::analysis::kNumInvariants; ++i) {
     if (summary.by_invariant[i] == 0) continue;
