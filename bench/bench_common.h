@@ -6,12 +6,16 @@
 // flags (--ases, --vps, --revtrs, --seed, ...) let you scale up.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/revtr.h"
 #include "eval/harness.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -57,6 +61,35 @@ inline void warn_unknown_flags(const util::Flags& flags) {
   for (const auto& name : flags.unknown()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", name.c_str());
   }
+}
+
+// Peak resident set size of this process in bytes (ru_maxrss is KiB on
+// Linux).
+inline std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+// Writes a bench's machine-readable result to
+// $REVTR_BENCH_DIR/BENCH_<name>.json (current directory when unset), where
+// scripts/run_all.sh and scripts/check.sh pick it up.
+inline void write_bench_artifact(const std::string& name,
+                                 const util::Json& payload) {
+  const char* dir = std::getenv("REVTR_BENCH_DIR");
+  const std::string path =
+      std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" +
+      name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write bench artifact %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string text = payload.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace revtr::bench

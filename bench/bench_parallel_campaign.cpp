@@ -54,6 +54,12 @@ int main(int argc, char** argv) {
   const double pacing = flags.get_double("pacing", 2e-3);
   const auto dup_revtrs =
       static_cast<std::size_t>(flags.get_int("dup-revtrs", 96));
+  const std::size_t sample_every = static_cast<std::size_t>(
+      flags.get_int("trace-sample", 8));
+  const int overhead_reps =
+      std::max(1, static_cast<int>(flags.get_int("overhead-reps", 5)));
+  const auto overhead_revtrs =
+      static_cast<std::size_t>(flags.get_int("overhead-revtrs", 4000));
   bench::warn_unknown_flags(flags);
   bench::print_header("Parallel campaign scaling (real threads)", setup);
 
@@ -177,15 +183,12 @@ int main(int argc, char** argv) {
   // time folds in whatever else the scheduler ran, while CPU time charges
   // exactly the cycles this campaign burned — which is what the
   // instrumentation adds to and what its wall-time cost is on a quiet host.
-  const std::size_t sample_every = static_cast<std::size_t>(
-      flags.get_int("trace-sample", 8));
-  const int overhead_reps = 5;
   // A sub-5% effect needs runs well clear of scheduler jitter: give the
-  // overhead section its own workload of at least 4000 requests, whatever
-  // the scaling section used.
+  // overhead section its own workload of at least --overhead-revtrs
+  // requests (default 4000), whatever the scaling section used.
   std::vector<std::pair<topology::HostId, topology::HostId>> overhead_pairs =
       pairs;
-  while (overhead_pairs.size() < 4000) {
+  while (overhead_pairs.size() < overhead_revtrs) {
     overhead_pairs.emplace_back(
         dests[overhead_pairs.size() % dests.size()], source);
   }
@@ -194,6 +197,7 @@ int main(int argc, char** argv) {
   struct OverheadRun {
     double wall = 0;
     double cpu = 0;
+    std::uint64_t probes = 0;
   };
   const auto timed_run = [&](bool with_metrics) {
     service::ParallelCampaignOptions options;
@@ -209,8 +213,10 @@ int main(int argc, char** argv) {
     timespec begin{}, end{};
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &begin);
     OverheadRun run;
-    run.wall = driver.run(overhead_pairs).wall_seconds;
+    const auto report = driver.run(overhead_pairs);
     clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &end);
+    run.wall = report.wall_seconds;
+    run.probes = report.stats.probes.total();
     run.cpu = static_cast<double>(end.tv_sec - begin.tv_sec) +
               static_cast<double>(end.tv_nsec - begin.tv_nsec) * 1e-9;
     return run;
@@ -235,11 +241,42 @@ int main(int argc, char** argv) {
               "1/%zu trace sampling) -> %+.1f%% overhead\n",
               best_off.cpu, best_on.cpu, sample_every, overhead_pct);
 
+  // Headline throughput and latency: the best metrics-on overhead rep (4
+  // workers, pacing off) is the pure-CPU service rate; request latency
+  // quantiles come from the revtr_request_latency_us histogram the same
+  // runs populated in `registry`.
+  const double requests_per_second =
+      best_on.wall > 0
+          ? static_cast<double>(overhead_pairs.size()) / best_on.wall
+          : 0.0;
+  const double probes_per_second =
+      best_on.wall > 0 ? static_cast<double>(best_on.probes) / best_on.wall
+                       : 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  for (const auto& h : registry.snapshot().histograms) {
+    if (h.name.rfind("revtr_request_latency_us", 0) == 0) {
+      latency_p50_us = obs::histogram_quantile(h, 0.50);
+      latency_p99_us = obs::histogram_quantile(h, 0.99);
+      break;
+    }
+  }
+  std::printf("throughput: %.1f requests/s, %.0f probes/s | simulated "
+              "request latency p50 %.0f us, p99 %.0f us | peak RSS %.1f MiB\n",
+              requests_per_second, probes_per_second, latency_p50_us,
+              latency_p99_us,
+              static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0));
+
   util::Json out = util::Json::object();
   out["revtrs"] = static_cast<double>(pairs.size());
   out["pacing_scale"] = pacing;
   out["identical_sets"] = identical_sets;
   out["speedup_at_4_workers"] = speedup_at_4;
+  out["requests_per_second"] = requests_per_second;
+  out["probes_per_second"] = probes_per_second;
+  out["latency_p50_us"] = latency_p50_us;
+  out["latency_p99_us"] = latency_p99_us;
+  out["peak_rss_bytes"] = static_cast<double>(bench::peak_rss_bytes());
   out["runs"] = std::move(runs);
   util::Json instrumentation = util::Json::object();
   instrumentation["metrics_off_seconds"] = best_off.wall;
@@ -265,6 +302,7 @@ int main(int argc, char** argv) {
   duplicate_heavy["identical_sets"] = dup_identical;
   out["duplicate_heavy"] = std::move(duplicate_heavy);
   std::printf("%s\n", out.dump().c_str());
+  bench::write_bench_artifact("parallel_campaign", out);
   // A duplicate-heavy campaign that fails to at least halve issued probes
   // means coalescing regressed; fail loudly, like a determinism break.
   const bool ok = identical_sets && dup_identical && issued_reduction >= 2.0;

@@ -27,8 +27,18 @@
 # tests, skipping the fuzzer and the model-checker sweep. Use before a
 # commit when the full multi-preset gate is too slow; CI runs the full one.
 #
-# Also runs clang-tidy (config in .clang-tidy) when the binary exists; the
-# default container ships gcc only, so that step is skipped there.
+# The full gate also runs two clang-only stages, each skipped with a notice
+# when the binary is missing (the default container ships gcc only):
+#   * tsa         clang -Wthread-safety -Wthread-safety-beta -Werror over the
+#                 REVTR_* capability annotations (src/util/annotate.h); any
+#                 lock-discipline violation is a hard build error. Without
+#                 clang, the revtr_lint lock-discipline pass (mutex-capability,
+#                 guarded-member, raii-guard, lock-order) is the enforcement.
+#   * clang-tidy  config in .clang-tidy (includes the concurrency-* checks).
+#
+# Plus a bench-artifact smoke: a scaled-down bench_parallel_campaign run must
+# emit build/BENCH_parallel_campaign.json with the documented schema
+# (throughput, latency quantiles, peak RSS) for scripts/run_all.sh consumers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -67,6 +77,31 @@ obs_smoke() {
         fi
     done
     echo "obs smoke: snapshot ok ($(grep -c '^revtr_' "$out") samples)"
+}
+
+# Bench-artifact smoke: a scaled-down parallel-campaign bench must emit
+# BENCH_parallel_campaign.json whose schema the run_all.sh consumers rely
+# on — throughput, latency quantiles (from the obs histogram), peak RSS.
+bench_smoke() {
+    echo "==> [default] bench artifact smoke (BENCH_parallel_campaign.json)"
+    artifact="build/BENCH_parallel_campaign.json"
+    rm -f "$artifact"
+    REVTR_BENCH_DIR=build ./build/bench/bench_parallel_campaign \
+        --ases=150 --vps=8 --probes=60 --revtrs=24 --pacing=0 \
+        --dup-revtrs=48 --overhead-reps=1 --overhead-revtrs=200 >/dev/null
+    if [ ! -f "$artifact" ]; then
+        echo "bench smoke: $artifact was not written" >&2
+        exit 1
+    fi
+    for field in requests_per_second probes_per_second latency_p50_us \
+                 latency_p99_us peak_rss_bytes; do
+        if ! grep -q "\"$field\": *[0-9]" "$artifact"; then
+            echo "bench smoke: field $field missing or non-numeric" \
+                 "in $artifact" >&2
+            exit 1
+        fi
+    done
+    echo "bench smoke: artifact schema ok"
 }
 
 # Scheduler smoke: a staged campaign whose destinations heavily overlap must
@@ -116,6 +151,7 @@ fi
 run_config default
 obs_smoke
 sched_smoke
+bench_smoke
 run_config asan
 run_config ubsan
 case "${REVTR_CHECK_TSAN:-1}" in
@@ -131,9 +167,19 @@ case "${REVTR_CHECK_TSAN:-1}" in
         echo "==> [tsan] build"
         cmake --build --preset tsan -j "$JOBS"
         echo "==> [tsan] concurrency suite"
-        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign'
+        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign|Atlas'
         ;;
 esac
+
+if command -v clang++ >/dev/null 2>&1; then
+    echo "==> [tsa] configure (clang -Wthread-safety)"
+    cmake --preset tsa >/dev/null
+    echo "==> [tsa] build (thread-safety violations are hard errors)"
+    cmake --build --preset tsa -j "$JOBS"
+else
+    echo "==> [tsa] skipped (clang++ not installed; lock discipline is" \
+         "enforced lexically by revtr_lint instead)"
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> clang-tidy"

@@ -6,6 +6,10 @@
 # including the revtr_mc model-checker sweep and the layering analyzer.
 # REVTR_QUICK=1 downgrades it to the fast gate (lint + layering + unit
 # tests) for inner-loop runs.
+#
+# Benches that publish machine-readable results write them to
+# $REVTR_BENCH_DIR/BENCH_<name>.json (throughput, latency quantiles from
+# the obs snapshot, peak RSS); default: the build/ tree.
 set -e
 cd "$(dirname "$0")/.."
 if [ "${REVTR_QUICK:-0}" = "1" ]; then
@@ -13,5 +17,9 @@ if [ "${REVTR_QUICK:-0}" = "1" ]; then
 else
     scripts/check.sh
 fi
+REVTR_BENCH_DIR="${REVTR_BENCH_DIR:-build}"
+export REVTR_BENCH_DIR
+mkdir -p "$REVTR_BENCH_DIR"
 for b in build/bench/*; do [ -x "$b" ] && "$b"; done
 for e in build/examples/*; do [ -x "$e" ] && "$e"; done
+echo "bench artifacts: $(ls "$REVTR_BENCH_DIR"/BENCH_*.json 2>/dev/null || echo none)"

@@ -1,7 +1,6 @@
 #include "atlas/atlas.h"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 namespace revtr::atlas {
@@ -75,7 +74,7 @@ void TracerouteAtlas::index_hops(SourceAtlas& atlas) {
 
 const TracerouteAtlas::SourceAtlas* TracerouteAtlas::find_atlas(
     HostId source) const {
-  const std::shared_lock<std::shared_mutex> lock(sources_mu_);
+  const util::SharedLock lock(sources_mu_);
   const auto it = sources_.find(source);
   return it == sources_.end() ? nullptr : &it->second;
 }
@@ -86,16 +85,17 @@ util::SimClock::Micros TracerouteAtlas::build(HostId source,
                                               util::SimClock::Micros now) {
   SourceAtlas* slot;
   {
-    const std::unique_lock<std::shared_mutex> map_lock(sources_mu_);
+    const util::ExclusiveLock map_lock(sources_mu_);
     slot = &sources_[source];
   }
   // unordered_map references are stable, so the contents can be rebuilt
   // under the source's stripe without blocking lookups for other sources.
-  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::ExclusiveLock lock(stripe_of(source));
   SourceAtlas& atlas = *slot;
-  if (metrics_ != nullptr) {
-    metrics_->builds->add();
-    metrics_->rr_index_entries->add(
+  const AtlasMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics != nullptr) {
+    metrics->builds->add();
+    metrics->rr_index_entries->add(
         -static_cast<std::int64_t>(atlas.rr_index.size()));
   }
   atlas.traceroutes.clear();
@@ -112,10 +112,10 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
                                                 util::SimClock::Micros now) {
   SourceAtlas* slot;
   {
-    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    const util::SharedLock map_lock(sources_mu_);
     slot = &sources_.at(source);
   }
-  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::ExclusiveLock lock(stripe_of(source));
   SourceAtlas& atlas = *slot;
   const std::size_t target = atlas.traceroutes.size();
 
@@ -135,9 +135,10 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
   const auto fresh =
       rng.sample(fresh_pool, target > keep.size() ? target - keep.size() : 0);
 
-  if (metrics_ != nullptr) {
-    metrics_->refreshes->add();
-    metrics_->rr_index_entries->add(
+  const AtlasMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics != nullptr) {
+    metrics->refreshes->add();
+    metrics->rr_index_entries->add(
         -static_cast<std::int64_t>(atlas.rr_index.size()));
   }
   atlas.traceroutes.clear();
@@ -151,14 +152,15 @@ util::SimClock::Micros TracerouteAtlas::refresh(HostId source, util::Rng& rng,
 void TracerouteAtlas::build_rr_alias_index(HostId source) {
   SourceAtlas* slot;
   {
-    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    const util::SharedLock map_lock(sources_mu_);
     slot = &sources_.at(source);
   }
-  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::ExclusiveLock lock(stripe_of(source));
   SourceAtlas& atlas = *slot;
-  if (metrics_ != nullptr) {
-    metrics_->rr_index_builds->add();
-    metrics_->rr_index_entries->add(
+  const AtlasMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  if (metrics != nullptr) {
+    metrics->rr_index_builds->add();
+    metrics->rr_index_entries->add(
         -static_cast<std::int64_t>(atlas.rr_index.size()));
   }
   atlas.rr_index.clear();
@@ -191,8 +193,8 @@ void TracerouteAtlas::build_rr_alias_index(HostId source) {
       }
     }
   }
-  if (metrics_ != nullptr) {
-    metrics_->rr_index_entries->add(
+  if (metrics != nullptr) {
+    metrics->rr_index_entries->add(
         static_cast<std::int64_t>(atlas.rr_index.size()));
   }
 }
@@ -201,20 +203,21 @@ std::optional<Intersection> TracerouteAtlas::intersect(
     HostId source, Ipv4Addr addr, bool use_rr_index) const {
   const SourceAtlas* atlas = find_atlas(source);
   if (atlas == nullptr) return std::nullopt;
-  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  const AtlasMetrics* metrics = metrics_.load(std::memory_order_acquire);
+  const util::SharedLock lock(stripe_of(source));
   if (const auto hit = atlas->hop_index.find(addr);
       hit != atlas->hop_index.end()) {
-    if (metrics_ != nullptr) metrics_->intersect_hop->add();
+    if (metrics != nullptr) metrics->intersect_hop->add();
     return hit->second;
   }
   if (use_rr_index) {
     if (const auto hit = atlas->rr_index.find(addr);
         hit != atlas->rr_index.end()) {
-      if (metrics_ != nullptr) metrics_->intersect_rr_index->add();
+      if (metrics != nullptr) metrics->intersect_rr_index->add();
       return hit->second;
     }
   }
-  if (metrics_ != nullptr) metrics_->intersect_miss->add();
+  if (metrics != nullptr) metrics->intersect_miss->add();
   return std::nullopt;
 }
 
@@ -222,24 +225,25 @@ std::optional<Intersection> TracerouteAtlas::intersect_with_aliases(
     HostId source, Ipv4Addr addr, const alias::AliasStore& aliases) const {
   const SourceAtlas* atlas = find_atlas(source);
   if (atlas == nullptr) return std::nullopt;
+  const AtlasMetrics* metrics = metrics_.load(std::memory_order_acquire);
   // The exact hop_index probe is inlined (rather than calling intersect())
   // so the stripe's shared lock is taken once; shared_mutex does not
   // guarantee recursive shared acquisition.
-  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::SharedLock lock(stripe_of(source));
   if (const auto hit = atlas->hop_index.find(addr);
       hit != atlas->hop_index.end()) {
-    if (metrics_ != nullptr) metrics_->intersect_hop->add();
+    if (metrics != nullptr) metrics->intersect_hop->add();
     return hit->second;
   }
   if (aliases.knows(addr)) {
     for (const auto& [hop_addr, where] : atlas->hop_index) {
       if (aliases.same_router(addr, hop_addr)) {
-        if (metrics_ != nullptr) metrics_->intersect_alias->add();
+        if (metrics != nullptr) metrics->intersect_alias->add();
         return where;
       }
     }
   }
-  if (metrics_ != nullptr) metrics_->intersect_miss->add();
+  if (metrics != nullptr) metrics->intersect_miss->add();
   return std::nullopt;
 }
 
@@ -249,7 +253,7 @@ std::vector<Ipv4Addr> TracerouteAtlas::suffix_after(
   if (atlas == nullptr) {
     throw std::out_of_range("TracerouteAtlas::suffix_after: unknown source");
   }
-  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::SharedLock lock(stripe_of(source));
   const auto& hops = atlas->traceroutes.at(at.traceroute_index).hops;
   if (at.hop_index + 1 >= hops.size()) return {};
   return {hops.begin() + static_cast<long>(at.hop_index) + 1, hops.end()};
@@ -260,36 +264,45 @@ util::SimClock::Micros TracerouteAtlas::touch(HostId source,
                                               util::SimClock::Micros now) {
   SourceAtlas* slot;
   {
-    const std::shared_lock<std::shared_mutex> map_lock(sources_mu_);
+    const util::SharedLock map_lock(sources_mu_);
     slot = &sources_.at(source);
   }
   // The useful-flag write needs the stripe exclusively: concurrent workers
   // may touch the same traceroute, and readers walk the same vector.
-  const std::unique_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::ExclusiveLock lock(stripe_of(source));
   auto& tr = slot->traceroutes.at(at.traceroute_index);
   tr.useful = true;
   return now - tr.measured_at;
 }
 
-const std::vector<AtlasTraceroute>& TracerouteAtlas::traceroutes(
+std::vector<AtlasTraceroute> TracerouteAtlas::traceroutes(
     HostId source) const {
-  static const std::vector<AtlasTraceroute> kEmpty;
   const SourceAtlas* atlas = find_atlas(source);
-  return atlas == nullptr ? kEmpty : atlas->traceroutes;
+  if (atlas == nullptr) return {};
+  const util::SharedLock lock(stripe_of(source));
+  return atlas->traceroutes;
+}
+
+std::size_t TracerouteAtlas::traceroute_count(HostId source) const {
+  const SourceAtlas* atlas = find_atlas(source);
+  if (atlas == nullptr) return 0;
+  const util::SharedLock lock(stripe_of(source));
+  return atlas->traceroutes.size();
 }
 
 std::size_t TracerouteAtlas::rr_index_size(HostId source) const {
   const SourceAtlas* atlas = find_atlas(source);
   if (atlas == nullptr) return 0;
-  const std::shared_lock<std::shared_mutex> lock(stripe_of(source));
+  const util::SharedLock lock(stripe_of(source));
   return atlas->rr_index.size();
 }
 
-const std::unordered_map<Ipv4Addr, Intersection>&
-TracerouteAtlas::rr_index_entries(HostId source) const {
-  static const std::unordered_map<Ipv4Addr, Intersection> kEmpty;
+std::unordered_map<Ipv4Addr, Intersection> TracerouteAtlas::rr_index_entries(
+    HostId source) const {
   const SourceAtlas* atlas = find_atlas(source);
-  return atlas == nullptr ? kEmpty : atlas->rr_index;
+  if (atlas == nullptr) return {};
+  const util::SharedLock lock(stripe_of(source));
+  return atlas->rr_index;
 }
 
 std::vector<std::size_t> greedy_optimal_selection(

@@ -16,10 +16,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,6 +29,7 @@
 #include "obs/metrics.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
+#include "util/annotate.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 
@@ -50,15 +50,14 @@ struct Intersection {
   std::size_t hop_index = 0;
 };
 
-// Thread safety: campaign-time entry points — intersect(),
-// intersect_with_aliases(), suffix_after(), touch(), rr_index_size(),
-// has_source() — may be called concurrently from parallel campaign workers.
-// Per-source state is guarded by lock stripes (shared for reads, exclusive
-// for touch()'s useful-flag write); the source map itself has its own
-// shared_mutex. The offline mutations (build/refresh/build_rr_alias_index)
-// take the stripe exclusively but must not run concurrently with anything
-// that holds references into the atlas (traceroutes()/rr_index_entries()
-// return references valid only while no rebuild runs).
+// Thread safety: every entry point may be called concurrently. Per-source
+// state is guarded by lock stripes (shared for reads, exclusive for
+// touch()'s useful-flag write and for the offline mutations
+// build/refresh/build_rr_alias_index); the source map itself has its own
+// shared mutex. Lock order: sources_mu_ before a stripe; never two stripes
+// at once. traceroutes()/rr_index_entries() return snapshots by value under
+// the stripe's shared lock, so holding one across a concurrent refresh()
+// is safe — it just may be stale (pinned by tests/concurrency_test.cpp).
 // Registry handles for atlas maintenance and lookup accounting.
 struct AtlasMetrics {
   explicit AtlasMetrics(obs::MetricsRegistry& registry);
@@ -81,7 +80,7 @@ class TracerouteAtlas {
 
   // nullptr (default) = no instrumentation; handles must outlive their use.
   void set_metrics(const AtlasMetrics* metrics) noexcept {
-    metrics_ = metrics;
+    metrics_.store(metrics, std::memory_order_release);
   }
 
   // Q1: (re)build the atlas for `source` with traceroutes from `count`
@@ -120,16 +119,22 @@ class TracerouteAtlas {
   util::SimClock::Micros touch(topology::HostId source, const Intersection& at,
                                util::SimClock::Micros now);
 
-  const std::vector<AtlasTraceroute>& traceroutes(
-      topology::HostId source) const;
+  // Snapshot of the source's traceroutes, taken under the stripe's shared
+  // lock. Returned by value: a reference into the atlas would dangle (or
+  // worse, be read mid-rebuild) the moment a concurrent refresh() clears
+  // and re-measures the vector. Empty for unknown sources.
+  std::vector<AtlasTraceroute> traceroutes(topology::HostId source) const;
+  // Cheap size query (no snapshot copy) for budget/report code.
+  std::size_t traceroute_count(topology::HostId source) const;
   bool has_source(topology::HostId source) const {
-    const std::shared_lock<std::shared_mutex> lock(sources_mu_);
+    const util::SharedLock lock(sources_mu_);
     return sources_.contains(source);
   }
   std::size_t rr_index_size(topology::HostId source) const;
   // Q2 index contents, exposed so validation tooling and tests can assert
   // structural properties (every entry's suffix must reach the source).
-  const std::unordered_map<net::Ipv4Addr, Intersection>& rr_index_entries(
+  // Snapshot by value, same rationale as traceroutes().
+  std::unordered_map<net::Ipv4Addr, Intersection> rr_index_entries(
       topology::HostId source) const;
 
  private:
@@ -153,17 +158,23 @@ class TracerouteAtlas {
 
   // Stripe guarding one source's SourceAtlas contents. Lock order:
   // sources_mu_ before a stripe; never two stripes at once.
-  std::shared_mutex& stripe_of(topology::HostId source) const {
+  util::SharedMutex& stripe_of(topology::HostId source) const {
     return stripes_[util::splitmix64(source) % kStripes];
   }
 
   probing::Prober& prober_;
   const topology::Topology& topo_;
-  const AtlasMetrics* metrics_ = nullptr;
-  mutable std::shared_mutex sources_mu_;
+  // Atomic, not guarded: set_metrics() races benignly with lookups (the
+  // handle is a pointer to registry-owned counters, themselves atomic).
+  std::atomic<const AtlasMetrics*> metrics_{nullptr};
+  mutable util::SharedMutex sources_mu_;
   static constexpr std::size_t kStripes = 16;
-  mutable std::array<std::shared_mutex, kStripes> stripes_;
-  std::unordered_map<topology::HostId, SourceAtlas> sources_;
+  mutable std::array<util::SharedMutex, kStripes> stripes_;
+  // The map (key set) is guarded by sources_mu_; each value's *contents*
+  // are guarded dynamically by stripe_of(source), which the static analysis
+  // cannot express — the lint lock-order pass checks the acquisition order.
+  std::unordered_map<topology::HostId, SourceAtlas> sources_
+      REVTR_GUARDED_BY(sources_mu_);
 };
 
 // Greedy weighted max-coverage selection over a pool of traceroutes: the

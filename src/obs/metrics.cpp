@@ -79,14 +79,14 @@ void Histogram::reset() noexcept {
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    const util::SharedLock lock(mu_);
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       REVTR_CHECK(it->second.counter != nullptr);
       return *it->second.counter;
     }
   }
-  std::unique_lock lock(mu_);
+  const util::ExclusiveLock lock(mu_);
   auto& entry = entries_[std::string(name)];
   if (!entry.counter) {
     REVTR_CHECK(!entry.gauge && !entry.histogram);
@@ -97,14 +97,14 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    const util::SharedLock lock(mu_);
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       REVTR_CHECK(it->second.gauge != nullptr);
       return *it->second.gauge;
     }
   }
-  std::unique_lock lock(mu_);
+  const util::ExclusiveLock lock(mu_);
   auto& entry = entries_[std::string(name)];
   if (!entry.gauge) {
     REVTR_CHECK(!entry.counter && !entry.histogram);
@@ -115,14 +115,14 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   {
-    std::shared_lock lock(mu_);
+    const util::SharedLock lock(mu_);
     auto it = entries_.find(name);
     if (it != entries_.end()) {
       REVTR_CHECK(it->second.histogram != nullptr);
       return *it->second.histogram;
     }
   }
-  std::unique_lock lock(mu_);
+  const util::ExclusiveLock lock(mu_);
   auto& entry = entries_[std::string(name)];
   if (!entry.histogram) {
     REVTR_CHECK(!entry.counter && !entry.gauge);
@@ -133,7 +133,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::shared_lock lock(mu_);
+  const util::SharedLock lock(mu_);
   for (const auto& [name, entry] : entries_) {
     if (entry.counter) {
       snap.counters.push_back({name, entry.counter->total()});
@@ -164,7 +164,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::unique_lock lock(mu_);
+  const util::ExclusiveLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     if (entry.counter) entry.counter->reset();
@@ -174,7 +174,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::shared_lock lock(mu_);
+  const util::SharedLock lock(mu_);
   return entries_.size();
 }
 
@@ -270,6 +270,30 @@ std::string MetricsSnapshot::to_prometheus() const {
     out.push_back('\n');
   }
   return out;
+}
+
+double histogram_quantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(sample.count);
+  std::uint64_t prev_le = 0;
+  std::uint64_t prev_cum = 0;
+  for (const auto& [le, cum] : sample.buckets) {
+    if (static_cast<double>(cum) >= rank) {
+      const std::uint64_t in_bucket = cum - prev_cum;
+      if (in_bucket == 0) return static_cast<double>(le);
+      const double fraction =
+          (rank - static_cast<double>(prev_cum)) /
+          static_cast<double>(in_bucket);
+      return static_cast<double>(prev_le) +
+             fraction * static_cast<double>(le - prev_le);
+    }
+    prev_le = le;
+    prev_cum = cum;
+  }
+  // The rank lands past the last finite bucket (overflow samples): the
+  // best finite statement is the largest recorded finite bound.
+  return static_cast<double>(prev_le);
 }
 
 util::Json MetricsSnapshot::to_json() const {

@@ -37,11 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/json.h"
 
 namespace revtr::obs {
@@ -162,6 +162,13 @@ struct HistogramSample {
   std::uint64_t overflow = 0;
 };
 
+// Quantile estimate (q in [0, 1]) from a histogram sample's cumulative
+// buckets, linearly interpolated inside the bucket the rank lands in —
+// the same estimate promql's histogram_quantile() would produce from the
+// exposition. Returns 0 for an empty histogram; ranks landing in the
+// overflow bucket clamp to the last finite bucket bound.
+double histogram_quantile(const HistogramSample& sample, double q);
+
 // A consistent-enough point-in-time view (each metric is read atomically per
 // cell; cross-metric skew is possible while writers run, which campaign
 // callers avoid by snapshotting after the barrier). Rendering is
@@ -208,9 +215,9 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::shared_mutex mu_;
+  mutable util::SharedMutex mu_;
   // std::map: stable node addresses and sorted snapshot order for free.
-  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, Entry, std::less<>> entries_ REVTR_GUARDED_BY(mu_);
 };
 
 }  // namespace revtr::obs

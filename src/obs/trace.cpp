@@ -95,7 +95,7 @@ TraceSink::TraceSink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceSink::publish(Trace trace) {
-  std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   if (ring_.size() == capacity_) {
     ring_.pop_front();
     ++dropped_;
@@ -106,7 +106,7 @@ void TraceSink::publish(Trace trace) {
 std::vector<Trace> TraceSink::published() const {
   std::vector<Trace> out;
   {
-    std::lock_guard lock(mu_);
+    const util::MutexLock lock(mu_);
     out.assign(ring_.begin(), ring_.end());
   }
   std::stable_sort(out.begin(), out.end(),
@@ -117,12 +117,12 @@ std::vector<Trace> TraceSink::published() const {
 }
 
 std::size_t TraceSink::size() const {
-  std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t TraceSink::dropped() const {
-  std::lock_guard lock(mu_);
+  const util::MutexLock lock(mu_);
   return dropped_;
 }
 

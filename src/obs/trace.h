@@ -26,10 +26,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/json.h"
 #include "util/sim_clock.h"
 
@@ -111,10 +111,10 @@ class TraceSink {
   static constexpr std::size_t kDefaultCapacity = 128;
 
  private:
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::deque<Trace> ring_;
-  std::uint64_t dropped_ = 0;
+  mutable util::Mutex mu_;
+  const std::size_t capacity_;
+  std::deque<Trace> ring_ REVTR_GUARDED_BY(mu_);
+  std::uint64_t dropped_ REVTR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace revtr::obs

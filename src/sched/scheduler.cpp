@@ -103,31 +103,35 @@ SchedMetrics::SchedMetrics(obs::MetricsRegistry& registry) {
   queue_depth = &registry.gauge("revtr_sched_queue_depth");
 }
 
-ProbeScheduler::ProbeScheduler(SchedOptions options) : options_(options) {
+SchedOptions ProbeScheduler::clamp_options(SchedOptions options) {
   // Liveness: a zero window or a zero refill would park queued demands
   // forever. Clamp rather than abort — callers tune these from CLI flags.
-  options_.vp_window = std::max<std::size_t>(options_.vp_window, 1);
-  options_.vp_tokens_per_round =
-      std::max<std::uint32_t>(options_.vp_tokens_per_round, 1);
-  options_.vp_token_burst =
-      std::max(options_.vp_token_burst, options_.vp_tokens_per_round);
-  options_.spoof_batch_size = std::max<std::size_t>(options_.spoof_batch_size, 1);
+  options.vp_window = std::max<std::size_t>(options.vp_window, 1);
+  options.vp_tokens_per_round =
+      std::max<std::uint32_t>(options.vp_tokens_per_round, 1);
+  options.vp_token_burst =
+      std::max(options.vp_token_burst, options.vp_tokens_per_round);
+  options.spoof_batch_size = std::max<std::size_t>(options.spoof_batch_size, 1);
+  return options;
 }
 
+ProbeScheduler::ProbeScheduler(SchedOptions options)
+    : options_(clamp_options(options)) {}
+
 void ProbeScheduler::set_metrics(const SchedMetrics* metrics) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   metrics_ = metrics;
 }
 
 void ProbeScheduler::set_audit(SchedulerAudit* audit) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   audit_ = audit;
 }
 
 void ProbeScheduler::submit(TaskId task, std::size_t owner,
                             std::vector<ProbeDemand> demands) {
   REVTR_CHECK(!demands.empty());
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const std::uint64_t set_id = next_set_++;
   DemandSet& set = sets_[set_id];
   set.task = task;
@@ -237,7 +241,7 @@ void ProbeScheduler::issue_locked(probing::Prober& prober,
 }
 
 ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   PumpResult result;
   if (queue_.empty()) return result;
   ++round_;
@@ -287,7 +291,7 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
 
 std::vector<ProbeScheduler::Ready> ProbeScheduler::collect_ready(
     std::size_t owner) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<Ready> out;
   std::deque<std::uint64_t> keep;
   for (const std::uint64_t set_id : ready_) {
@@ -304,12 +308,12 @@ std::vector<ProbeScheduler::Ready> ProbeScheduler::collect_ready(
 }
 
 bool ProbeScheduler::idle() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return pending_.empty() && ready_.empty() && sets_.empty();
 }
 
 SchedulerStats ProbeScheduler::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +39,7 @@
 #include "obs/metrics.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
+#include "util/annotate.h"
 #include "util/sim_clock.h"
 
 namespace revtr::sched {
@@ -175,8 +175,8 @@ class ProbeScheduler {
   explicit ProbeScheduler(SchedOptions options = {});
 
   // Handles must outlive the scheduler's use of them; nullptr detaches.
-  void set_metrics(const SchedMetrics* metrics);
-  void set_audit(SchedulerAudit* audit);
+  void set_metrics(const SchedMetrics* metrics) REVTR_EXCLUDES(mu_);
+  void set_audit(SchedulerAudit* audit) REVTR_EXCLUDES(mu_);
 
   // Registers a task's next demand set. `owner` tags which pump loop will
   // resume the task; collect_ready(owner) only returns that owner's tasks.
@@ -216,29 +216,38 @@ class ProbeScheduler {
     std::uint64_t last_refill_round = 0;
   };
 
-  // All private helpers run with mu_ held.
-  bool issuable_locked(const Pending& pending);
+  // All private helpers run with mu_ held (declared by REVTR_REQUIRES).
+  bool issuable_locked(const Pending& pending) REVTR_REQUIRES(mu_);
   void issue_locked(probing::Prober& prober, std::uint64_t pending_id,
-                    PumpResult& result);
+                    PumpResult& result) REVTR_REQUIRES(mu_);
   void deliver_locked(std::uint64_t set_id, std::size_t slot,
-                      ProbeOutcome outcome);
+                      ProbeOutcome outcome) REVTR_REQUIRES(mu_);
 
-  SchedOptions options_;
-  const SchedMetrics* metrics_ = nullptr;
-  SchedulerAudit* audit_ = nullptr;
+  // Liveness clamps applied once, so options_ can be const (a zero window
+  // or zero refill would park queued demands forever).
+  static SchedOptions clamp_options(SchedOptions options);
 
-  mutable std::mutex mu_;
-  std::uint64_t next_pending_ = 0;
-  std::uint64_t next_set_ = 0;
-  std::uint64_t next_issue_ = 0;
-  std::uint64_t round_ = 0;
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  std::deque<std::uint64_t> queue_;  // FIFO of un-issued pending ids.
-  std::unordered_map<std::uint64_t, std::uint64_t> in_flight_;  // key -> id.
-  std::unordered_map<std::uint64_t, DemandSet> sets_;
-  std::unordered_map<topology::HostId, VpState> vp_state_;
-  std::deque<std::uint64_t> ready_;  // Completed set ids awaiting collection.
-  SchedulerStats stats_;
+  const SchedOptions options_;
+
+  mutable util::Mutex mu_;
+  const SchedMetrics* metrics_ REVTR_GUARDED_BY(mu_) = nullptr;
+  SchedulerAudit* audit_ REVTR_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t next_pending_ REVTR_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_set_ REVTR_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_issue_ REVTR_GUARDED_BY(mu_) = 0;
+  std::uint64_t round_ REVTR_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_ REVTR_GUARDED_BY(mu_);
+  // FIFO of un-issued pending ids.
+  std::deque<std::uint64_t> queue_ REVTR_GUARDED_BY(mu_);
+  // Coalesce key -> pending id.
+  std::unordered_map<std::uint64_t, std::uint64_t> in_flight_
+      REVTR_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, DemandSet> sets_ REVTR_GUARDED_BY(mu_);
+  std::unordered_map<topology::HostId, VpState> vp_state_
+      REVTR_GUARDED_BY(mu_);
+  // Completed set ids awaiting collection.
+  std::deque<std::uint64_t> ready_ REVTR_GUARDED_BY(mu_);
+  SchedulerStats stats_ REVTR_GUARDED_BY(mu_);
 };
 
 }  // namespace revtr::sched

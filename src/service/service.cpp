@@ -72,7 +72,7 @@ bool RevtrService::add_source(topology::HostId host, std::size_t atlas_size,
   // Step 2: build the traceroute atlas (Q1) and the RR alias index (Q2).
   const auto build_time = atlas_.build(host, atlas_size, rng, clock_.now());
   atlas_.build_rr_alias_index(host);
-  record.atlas_size = atlas_.traceroutes(host).size();
+  record.atlas_size = atlas_.traceroute_count(host);
   // The real bootstrap takes ~15 minutes, dominated by RIPE Atlas
   // scheduling; we charge the measured traceroute time plus that overhead.
   record.bootstrap_duration =
@@ -112,7 +112,7 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
     atlas_.refresh(source, rng, clock_.now());
     atlas_.build_rr_alias_index(source);
     record.atlas_refreshed_at = clock_.now();
-    record.atlas_size = atlas_.traceroutes(source).size();
+    record.atlas_size = atlas_.traceroute_count(source);
     served.atlas_refreshed = true;
     if (metrics_ != nullptr) metrics_->request_atlas_refreshes->add();
     // An atlas refresh takes ~15 minutes of wall-clock on RIPE Atlas.
@@ -242,7 +242,7 @@ void RevtrService::daily_refresh(util::Rng& rng) {
   for (auto& [host, record] : sources_) {
     atlas_.refresh(host, rng, clock_.now());
     atlas_.build_rr_alias_index(host);
-    record.atlas_size = atlas_.traceroutes(host).size();
+    record.atlas_size = atlas_.traceroute_count(host);
     record.atlas_refreshed_at = clock_.now();
   }
   for (auto& [id, user] : users_) {

@@ -7,7 +7,7 @@
 namespace revtr::util {
 
 Distribution::Distribution(const Distribution& other) {
-  const std::lock_guard<std::mutex> lock(other.mu_);
+  const MutexLock lock(other.mu_);
   samples_ = other.samples_;
   sum_ = other.sum_;
   sorted_ = other.sorted_;
@@ -16,7 +16,7 @@ Distribution::Distribution(const Distribution& other) {
 Distribution& Distribution::operator=(const Distribution& other) {
   if (this == &other) return *this;
   // Distinct objects: lock both in a deadlock-free order.
-  const std::scoped_lock lock(mu_, other.mu_);
+  const ScopedLock2 lock(mu_, other.mu_);
   samples_ = other.samples_;
   sum_ = other.sum_;
   sorted_ = other.sorted_;
@@ -24,7 +24,7 @@ Distribution& Distribution::operator=(const Distribution& other) {
 }
 
 Distribution::Distribution(Distribution&& other) noexcept {
-  const std::lock_guard<std::mutex> lock(other.mu_);
+  const MutexLock lock(other.mu_);
   samples_ = std::move(other.samples_);
   sum_ = other.sum_;
   sorted_ = other.sorted_;
@@ -32,7 +32,7 @@ Distribution::Distribution(Distribution&& other) noexcept {
 
 Distribution& Distribution::operator=(Distribution&& other) noexcept {
   if (this == &other) return *this;
-  const std::scoped_lock lock(mu_, other.mu_);
+  const ScopedLock2 lock(mu_, other.mu_);
   samples_ = std::move(other.samples_);
   sum_ = other.sum_;
   sorted_ = other.sorted_;
@@ -40,14 +40,14 @@ Distribution& Distribution::operator=(Distribution&& other) noexcept {
 }
 
 void Distribution::add(double sample) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   samples_.push_back(sample);
   sum_ += sample;
   sorted_ = false;
 }
 
 void Distribution::add_all(std::span<const double> samples) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (double s : samples) {
     samples_.push_back(s);
     sum_ += s;
@@ -56,17 +56,17 @@ void Distribution::add_all(std::span<const double> samples) {
 }
 
 std::size_t Distribution::count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return samples_.size();
 }
 
 bool Distribution::empty() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return samples_.empty();
 }
 
 double Distribution::sum() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return sum_;
 }
 
@@ -75,7 +75,7 @@ double Distribution::mean_locked() const {
 }
 
 double Distribution::mean() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return mean_locked();
 }
 
@@ -87,21 +87,21 @@ void Distribution::ensure_sorted_locked() const {
 }
 
 double Distribution::min() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.empty()) throw std::logic_error("Distribution::min on empty");
   ensure_sorted_locked();
   return samples_.front();
 }
 
 double Distribution::max() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.empty()) throw std::logic_error("Distribution::max on empty");
   ensure_sorted_locked();
   return samples_.back();
 }
 
 double Distribution::stddev() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.size() < 2) return 0.0;
   const double m = mean_locked();
   double acc = 0;
@@ -110,7 +110,7 @@ double Distribution::stddev() const {
 }
 
 double Distribution::quantile(double q) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.empty()) {
     throw std::logic_error("Distribution::quantile on empty");
   }
@@ -124,7 +124,7 @@ double Distribution::quantile(double q) const {
 }
 
 double Distribution::cdf_at(double x) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.empty()) return 0.0;
   ensure_sorted_locked();
   const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
@@ -133,7 +133,7 @@ double Distribution::cdf_at(double x) const {
 }
 
 double Distribution::ccdf_at(double x) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (samples_.empty()) return 0.0;
   ensure_sorted_locked();
   const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
@@ -141,8 +141,8 @@ double Distribution::ccdf_at(double x) const {
          static_cast<double>(samples_.size());
 }
 
-const std::vector<double>& Distribution::samples() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+std::vector<double> Distribution::samples() const {
+  const MutexLock lock(mu_);
   ensure_sorted_locked();
   return samples_;
 }

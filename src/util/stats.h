@@ -8,10 +8,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/annotate.h"
 
 namespace revtr::util {
 
@@ -54,19 +55,20 @@ class Distribution {
   std::vector<double> cdf_curve(std::span<const double> xs) const;
   std::vector<double> ccdf_curve(std::span<const double> xs) const;
 
-  // Sorted view of the samples. The returned reference is only stable while
-  // no other thread calls add(); curve printers use it after accumulation.
-  const std::vector<double>& samples() const;
+  // Sorted snapshot of the samples. Returned by value: a reference into the
+  // guarded vector would dangle the moment a concurrent add() reallocates
+  // it — the same late-guarded-member class of race the annotations exist
+  // to rule out (callers are merge-at-barrier paths; the copy is cheap).
+  std::vector<double> samples() const;
 
  private:
-  // Callers hold mu_.
-  void ensure_sorted_locked() const;
-  double mean_locked() const;
+  void ensure_sorted_locked() const REVTR_REQUIRES(mu_);
+  double mean_locked() const REVTR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::vector<double> samples_;
-  double sum_ = 0;
-  mutable bool sorted_ = true;
+  mutable Mutex mu_;
+  mutable std::vector<double> samples_ REVTR_GUARDED_BY(mu_);
+  double sum_ REVTR_GUARDED_BY(mu_) = 0;
+  mutable bool sorted_ REVTR_GUARDED_BY(mu_) = true;
 };
 
 // Ratio counter: fraction of successes over trials, as used all over the

@@ -4,7 +4,7 @@
 // parallel campaign (service/parallel.h): all workers benefit from any
 // worker's probes, Doubletree-style. A single mutex would serialize the hot
 // lookup path, so the map is sharded into independently locked stripes, each
-// guarded by a std::shared_mutex — lookups take a shared (reader) lock on
+// guarded by a util::SharedMutex — lookups take a shared (reader) lock on
 // one stripe only and run concurrently; insertions take that stripe's
 // exclusive lock.
 //
@@ -17,12 +17,11 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "util/annotate.h"
 #include "util/rng.h"
 
 namespace revtr::util {
@@ -35,7 +34,7 @@ class StripedMap {
  public:
   std::optional<Value> lookup(std::uint64_t key) const {
     const Stripe& s = stripe(key);
-    const std::shared_lock<std::shared_mutex> lock(s.mu);
+    const SharedLock lock(s.mu);
     const auto it = s.map.find(key);
     if (it == s.map.end()) return std::nullopt;
     return it->second;
@@ -43,19 +42,19 @@ class StripedMap {
 
   void insert_or_assign(std::uint64_t key, Value value) {
     Stripe& s = stripe(key);
-    const std::unique_lock<std::shared_mutex> lock(s.mu);
+    const ExclusiveLock lock(s.mu);
     s.map.insert_or_assign(key, std::move(value));
   }
 
   bool contains(std::uint64_t key) const {
     const Stripe& s = stripe(key);
-    const std::shared_lock<std::shared_mutex> lock(s.mu);
+    const SharedLock lock(s.mu);
     return s.map.contains(key);
   }
 
   void clear() {
     for (Stripe& s : stripes_) {
-      const std::unique_lock<std::shared_mutex> lock(s.mu);
+      const ExclusiveLock lock(s.mu);
       s.map.clear();
     }
   }
@@ -63,7 +62,7 @@ class StripedMap {
   std::size_t size() const {
     std::size_t total = 0;
     for (const Stripe& s : stripes_) {
-      const std::shared_lock<std::shared_mutex> lock(s.mu);
+      const SharedLock lock(s.mu);
       total += s.map.size();
     }
     return total;
@@ -71,8 +70,8 @@ class StripedMap {
 
  private:
   struct Stripe {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::uint64_t, Value> map;
+    mutable SharedMutex mu;
+    std::unordered_map<std::uint64_t, Value> map REVTR_GUARDED_BY(mu);
   };
 
   // Keys are typically already hashes, but re-mixing is cheap insurance

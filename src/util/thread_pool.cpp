@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shutting_down_ = true;
   }
   not_empty_.notify_all();
@@ -32,20 +32,24 @@ ThreadPool::~ThreadPool() {
 std::size_t ThreadPool::current_worker() noexcept { return t_worker_index; }
 
 void ThreadPool::enqueue(std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [this] {
-    return queue_.size() < queue_capacity_ || shutting_down_;
-  });
-  if (shutting_down_) {
-    // A submitter parked on a full queue can legitimately lose the race
-    // with the destructor (the not_full_ notify that woke it was the
-    // shutdown broadcast). That is a recoverable caller error, not an
-    // internal invariant: throw so the submitter unwinds instead of
-    // aborting the process mid-shutdown.
-    throw std::runtime_error("ThreadPool::submit after shutdown began");
+  {
+    MutexLock lock(mu_);
+    // While-loop wait (not the predicate overload): the analysis tracks the
+    // capability across wait()'s release/reacquire, but a predicate lambda
+    // reading guarded members would not inherit the REQUIRES context.
+    while (queue_.size() >= queue_capacity_ && !shutting_down_) {
+      not_full_.wait(lock);
+    }
+    if (shutting_down_) {
+      // A submitter parked on a full queue can legitimately lose the race
+      // with the destructor (the not_full_ notify that woke it was the
+      // shutdown broadcast). That is a recoverable caller error, not an
+      // internal invariant: throw so the submitter unwinds instead of
+      // aborting the process mid-shutdown.
+      throw std::runtime_error("ThreadPool::submit after shutdown began");
+    }
+    queue_.push_back(std::move(task));
   }
-  queue_.push_back(std::move(task));
-  lock.unlock();
   not_empty_.notify_one();
 }
 
@@ -54,9 +58,8 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock,
-                      [this] { return !queue_.empty() || shutting_down_; });
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutting_down_) not_empty_.wait(lock);
       if (queue_.empty()) return;  // Shutting down and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();

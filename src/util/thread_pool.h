@@ -25,11 +25,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "util/annotate.h"
 #include "util/check.h"
 
 namespace revtr::util {
@@ -71,16 +71,21 @@ class ThreadPool {
   std::size_t queue_capacity() const noexcept { return queue_capacity_; }
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop(std::size_t index);
+  void enqueue(std::function<void()> task) REVTR_EXCLUDES(mu_);
+  void worker_loop(std::size_t index) REVTR_EXCLUDES(mu_);
 
   const std::size_t queue_capacity_;
-  std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  // condition_variable_any parks on the annotated MutexLock guard directly
+  // (std::condition_variable would demand a std::unique_lock<std::mutex>,
+  // which the analysis cannot see through).
+  std::condition_variable_any not_empty_;
+  std::condition_variable_any not_full_;
+  std::deque<std::function<void()>> queue_ REVTR_GUARDED_BY(mu_);
+  bool shutting_down_ REVTR_GUARDED_BY(mu_) = false;
+  // Written single-threaded in the constructor, joined in the destructor;
+  // workers() only reads the size set before any worker existed.
+  std::vector<std::thread> threads_;  // lint: lock-free(ctor/dtor only)
 };
 
 }  // namespace revtr::util

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 namespace revtr::vpselect {
 
@@ -96,7 +95,7 @@ IngressDiscovery::IngressDiscovery(probing::Prober& prober,
     : prober_(prober), topo_(topo), options_(options) {}
 
 const PrefixPlan* IngressDiscovery::plan_for(PrefixId prefix) const {
-  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const util::SharedLock lock(mu_);
   const auto it = plans_.find(prefix);
   return it == plans_.end() ? nullptr : &it->second;
 }
@@ -107,13 +106,14 @@ const PrefixPlan& IngressDiscovery::discover(
   // Surveys go through the shared control-plane prober, so serializing the
   // whole survey (not just the map insert) is required for correctness, not
   // merely convenience.
-  const std::unique_lock<std::shared_mutex> lock(mu_);
+  const util::ExclusiveLock lock(mu_);
   PrefixPlan& plan = plans_[prefix];
   plan = PrefixPlan{};
   plan.prefix = prefix;
-  if (metrics_ != nullptr) {
-    metrics_->surveys->add();
-    metrics_->plans->set(static_cast<std::int64_t>(plans_.size()));
+  if (const IngressMetrics* metrics = metrics_.load(std::memory_order_acquire);
+      metrics != nullptr) {
+    metrics->surveys->add();
+    metrics->plans->set(static_cast<std::int64_t>(plans_.size()));
   }
 
   // The survey is offline measurement (Q3): its probes must never appear in
@@ -251,8 +251,9 @@ const PrefixPlan& IngressDiscovery::discover(
                    [](const Ingress& a, const Ingress& b) {
                      return a.vps.size() > b.vps.size();
                    });
-  if (metrics_ != nullptr && plan.has_ingresses()) {
-    metrics_->prefixes_covered->add();
+  if (const IngressMetrics* metrics = metrics_.load(std::memory_order_acquire);
+      metrics != nullptr && plan.has_ingresses()) {
+    metrics->prefixes_covered->add();
   }
   return plan;
 }

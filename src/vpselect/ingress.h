@@ -17,9 +17,9 @@
 // oracle.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "probing/prober.h"
 #include "topology/topology.h"
+#include "util/annotate.h"
 #include "util/rng.h"
 
 namespace revtr::vpselect {
@@ -119,7 +120,7 @@ class IngressDiscovery {
 
   // nullptr (default) = no instrumentation; handles must outlive their use.
   void set_metrics(const IngressMetrics* metrics) noexcept {
-    metrics_ = metrics;
+    metrics_.store(metrics, std::memory_order_release);
   }
 
   // Runs the offline survey for one prefix; uses the prefix's first
@@ -145,10 +146,13 @@ class IngressDiscovery {
  private:
   probing::Prober& prober_;
   const topology::Topology& topo_;
-  Options options_;
-  const IngressMetrics* metrics_ = nullptr;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<topology::PrefixId, PrefixPlan> plans_;
+  const Options options_;
+  // Atomic, not guarded: set_metrics() races benignly with surveys (the
+  // handle is a pointer to registry-owned counters, themselves atomic).
+  std::atomic<const IngressMetrics*> metrics_{nullptr};
+  mutable util::SharedMutex mu_;
+  std::unordered_map<topology::PrefixId, PrefixPlan> plans_
+      REVTR_GUARDED_BY(mu_);
 };
 
 // One (vp, expected ingress) probing attempt in the online plan.

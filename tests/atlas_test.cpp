@@ -138,7 +138,8 @@ TEST_F(AtlasFixture, TouchMarksUsefulAndReportsAge) {
   const auto age = lab_->atlas.touch(source_, *hit,
                                      3 * util::SimClock::kHour);
   EXPECT_EQ(age, 3 * util::SimClock::kHour);
-  EXPECT_TRUE(trs[hit->traceroute_index].useful);
+  // `trs` is a snapshot taken before touch(); re-fetch to see the flag.
+  EXPECT_TRUE(lab_->atlas.traceroutes(source_)[hit->traceroute_index].useful);
 }
 
 TEST_F(AtlasFixture, RefreshKeepsUsefulProbes) {

@@ -324,6 +324,73 @@ TEST(ShardedMetrics, SnapshotAndRegistrationDuringConcurrentWrites) {
   EXPECT_EQ(registry.size(), 1u + 4u);  // Counter + one gauge per worker id.
 }
 
+// --- TracerouteAtlas (refresh racing readers, fixed) ----------------------
+
+// Regression for the atlas refresh-vs-read race: refresh() clears and
+// re-measures a source's traceroute vector in place, and the old accessors
+// handed out references into that vector, so a reader racing the daily
+// refresh walked freed hop storage. Under TSan the old code reports here;
+// the fix serializes content access through the per-source stripe and
+// returns snapshots by value (atlas.h).
+TEST(AtlasConcurrency, RefreshRacingReadersIsSafe) {
+  topology::TopologyConfig config;
+  config.seed = 77;
+  config.num_ases = 150;
+  config.num_vps = 8;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 50;
+  eval::Lab lab(config);
+  const HostId source = lab.topo.vantage_points()[0];
+  static constexpr std::size_t kAtlasSize = 25;
+  lab.atlas.build(source, kAtlasSize, lab.rng);
+  lab.atlas.build_rr_alias_index(source);
+  // Probe the initial snapshot's hop addresses: refresh keeps re-measuring
+  // over them, so lookups keep hitting live and stale entries alike.
+  std::vector<net::Ipv4Addr> addrs;
+  for (const auto& tr : lab.atlas.traceroutes(source)) {
+    for (const auto hop : tr.hops) addrs.push_back(hop);
+  }
+  ASSERT_FALSE(addrs.empty());
+
+  std::atomic<bool> stop{false};
+  // The Prober is not thread-safe: only the refresher thread measures.
+  std::thread refresher([&lab, &stop, source] {
+    util::Rng rng(123);
+    for (int round = 1; round <= 6; ++round) {
+      lab.atlas.refresh(source, rng, round * util::SimClock::kDay);
+      lab.atlas.build_rr_alias_index(source);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&lab, &stop, &addrs, source] {
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto addr = addrs[i++ % addrs.size()];
+        if (const auto hit = lab.atlas.intersect(source, addr, true)) {
+          // A stale hit must degrade to an empty suffix, never a crash.
+          (void)lab.atlas.suffix_after(source, *hit);
+          (void)lab.atlas.touch(source, *hit, util::SimClock::kDay);
+        }
+        EXPECT_EQ(lab.atlas.traceroute_count(source), kAtlasSize);
+        (void)lab.atlas.rr_index_size(source);
+        // Snapshots stay internally consistent mid-refresh: right size,
+        // every traceroute measured (refresh rewrites them in one critical
+        // section, so a half-refreshed vector must never be visible).
+        const auto snapshot = lab.atlas.traceroutes(source);
+        EXPECT_EQ(snapshot.size(), kAtlasSize);
+        for (const auto& tr : snapshot) {
+          EXPECT_NE(tr.probe, topology::kInvalidId);
+        }
+      }
+    });
+  }
+  refresher.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(lab.atlas.traceroute_count(source), kAtlasSize);
+}
+
 // --- ParallelCampaignDriver ----------------------------------------------
 
 class ParallelCampaignTest : public ::testing::Test {

@@ -46,6 +46,33 @@
 //                    coalescing and pacing cannot be bypassed. Non-issuing
 //                    Prober methods (offline_counters, OfflineScope) stay
 //                    legal.
+//   mutex-capability Raw std synchronization types (std::mutex,
+//                    std::shared_mutex, std::lock_guard, std::unique_lock,
+//                    std::shared_lock, std::scoped_lock, plain
+//                    std::condition_variable) in src/: shared state uses
+//                    the annotated util::Mutex / util::SharedMutex wrappers
+//                    and their RAII guards (src/util/annotate.h) so clang
+//                    -Wthread-safety can track every acquisition.
+//                    std::condition_variable_any stays legal (it parks on
+//                    the annotated MutexLock). annotate.h itself, which
+//                    wraps the std types, is exempt.
+//   guarded-member   Every non-atomic, non-const data member of a class
+//                    that owns a util::Mutex/util::SharedMutex must carry
+//                    REVTR_GUARDED_BY / REVTR_PT_GUARDED_BY, or waive with
+//                    a `// lint: lock-free(<reason>)` comment on its
+//                    declaration line. Mutex members, references, statics,
+//                    std::atomic members and condition variables are exempt
+//                    by construction.
+//   raii-guard       Manual .lock()/.unlock()/.try_lock() calls in src/:
+//                    critical sections are scoped by the RAII guards of
+//                    annotate.h, so no early return or exception can leak a
+//                    held mutex.
+//   lock-order       Every RAII-guard acquisition in src/ must name a mutex
+//                    with a declared rank (lock_order_table() below), and
+//                    nested acquisitions must take strictly increasing
+//                    ranks — util < obs < sched < vpselect/atlas — making
+//                    the process-wide acquisition order deadlock-free by
+//                    construction (DESIGN.md §11).
 //
 // Module DAG (rank order; an include edge must point strictly downward):
 //   util(0) → net(1), obs(1) → topology(2) → routing(3) → sim(4)
@@ -298,6 +325,225 @@ std::string own_body(const std::string& code, const SwitchSpan& span,
   return own;
 }
 
+// --- Lock discipline. ------------------------------------------------------
+
+// Process-wide lock-acquisition order (DESIGN.md §11). Keyed by
+// (module, mutex name); ranks follow the module DAG (module rank x 10), so
+// the declared order is exactly the layering order: a thread holding a
+// higher-ranked lock never acquires a lower-ranked one. Adding a mutex to
+// src/ requires adding it here, which forces an ordering decision in review.
+const std::map<std::pair<std::string, std::string>, int>& lock_order_table() {
+  static const std::map<std::pair<std::string, std::string>, int> kOrder = {
+      {{"util", "mu"}, 0},             // StripedMap stripe mutexes.
+      {{"util", "mu_"}, 0},            // Distribution, ThreadPool.
+      {{"obs", "mu_"}, 10},            // MetricsRegistry, TraceSink.
+      {{"sched", "mu_"}, 60},          // ProbeScheduler.
+      {{"vpselect", "mu_"}, 70},       // IngressDiscovery.
+      {{"atlas", "sources_mu_"}, 70},  // TracerouteAtlas source map.
+      {{"atlas", "stripe_of"}, 71},    // A stripe nests inside sources_mu_;
+                                       // never two stripes at once.
+  };
+  return kOrder;
+}
+
+// A mutex expression as it appears in a guard construction, normalized to
+// its lock_order_table() key: `other.mu_` -> "mu_", `s.mu` -> "mu",
+// `stripe_of(source)` -> "stripe_of".
+std::string normalize_mutex_expr(const std::string& arg) {
+  if (arg.find("stripe_of") != std::string::npos) return "stripe_of";
+  std::string name;
+  static const std::regex kIdent(R"((\w+))");
+  for (auto it = std::sregex_iterator(arg.begin(), arg.end(), kIdent);
+       it != std::sregex_iterator(); ++it) {
+    name = it->str();
+  }
+  return name;
+}
+
+struct ClassSpan {
+  std::size_t keyword = 0;  // Position of the `class`/`struct` token.
+  std::size_t open = 0;     // The body's '{'.
+  std::size_t close = 0;    // The matching '}'.
+  std::string name;
+};
+
+// Every class/struct *definition* in the stripped code, nested ones
+// included (each nested type is judged as its own class). Forward
+// declarations, template parameters and elaborated-type uses are skipped.
+std::vector<ClassSpan> find_classes(const std::string& code) {
+  std::vector<ClassSpan> out;
+  static const std::regex kClass(R"(\b(class|struct)\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kClass);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position());
+    {  // `enum class` / `enum struct` are enums, not classes.
+      std::size_t p = pos;
+      while (p > 0 && std::isspace(static_cast<unsigned char>(code[p - 1]))) {
+        --p;
+      }
+      if (p >= 4 && code.compare(p - 4, 4, "enum") == 0) continue;
+    }
+    // Scan ahead for the body's '{'. A ';' first means a forward
+    // declaration; ',' '>' '=' ')' mean a template parameter or an
+    // elaborated-type mention. Balanced parens (attribute macros like
+    // REVTR_CAPABILITY("...")) are skipped.
+    std::size_t open = std::string::npos;
+    for (std::size_t i = pos + static_cast<std::size_t>(it->length());
+         i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '(') {
+        int depth = 1;
+        while (++i < code.size() && depth > 0) {
+          if (code[i] == '(') ++depth;
+          if (code[i] == ')') --depth;
+        }
+        --i;
+        continue;
+      }
+      if (c == '{') {
+        open = i;
+        break;
+      }
+      if (c == ';' || c == ',' || c == '>' || c == '=' || c == ')') break;
+    }
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    ClassSpan span;
+    span.keyword = pos;
+    span.open = open;
+    span.close = close;
+    const std::string head = code.substr(pos, open - pos);
+    static const std::regex kName(
+        R"(^(class|struct)\s+(?:REVTR_\w+\s*(?:\([^)]*\))?\s*)*(\w+))");
+    std::smatch name;
+    span.name = std::regex_search(head, name, kName) ? name[2].str()
+                                                     : std::string("(anon)");
+    out.push_back(span);
+  }
+  return out;
+}
+
+struct MemberStmt {
+  std::string text;            // Stripped statement, whitespace-collapsed.
+  std::string top;             // `text` outside template angle brackets.
+  std::size_t line_begin = 0;  // 1-based, inclusive.
+  std::size_t line_end = 0;
+};
+
+// The class body split into top-level statements with nested brace groups
+// (function bodies, nested types, brace initializers) excised. A statement
+// ends at ';', or at a brace group not followed by ';' (a function body).
+std::vector<MemberStmt> class_statements(const std::string& code,
+                                         const ClassSpan& span) {
+  std::vector<MemberStmt> out;
+  std::string text;
+  std::size_t stmt_start = span.open + 1;
+  const auto line_of = [&code](std::size_t pos) {
+    return 1 + static_cast<std::size_t>(
+                   std::count(code.begin(),
+                              code.begin() + static_cast<long>(pos), '\n'));
+  };
+  const auto flush = [&](std::size_t end_pos) {
+    std::string collapsed;
+    bool in_space = true;
+    for (const char c : text) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) collapsed.push_back(' ');
+        in_space = true;
+      } else {
+        collapsed.push_back(c);
+        in_space = false;
+      }
+    }
+    while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+    // Access specifiers prefix the statement they precede; drop them.
+    static const std::regex kAccess(R"(^\s*(public|private|protected)\s*:\s*)");
+    collapsed = std::regex_replace(collapsed, kAccess, "");
+    text.clear();
+    if (collapsed.empty()) return;
+    MemberStmt stmt;
+    stmt.text = collapsed;
+    int angle = 0;
+    for (const char c : collapsed) {
+      if (c == '<') {
+        ++angle;
+        continue;
+      }
+      if (c == '>') {
+        if (angle > 0) --angle;
+        continue;
+      }
+      if (angle == 0) stmt.top.push_back(c);
+    }
+    stmt.line_begin = line_of(stmt_start);
+    stmt.line_end = line_of(end_pos < code.size() ? end_pos : code.size() - 1);
+    out.push_back(std::move(stmt));
+  };
+
+  std::size_t i = span.open + 1;
+  int parens = 0;  // A '{' inside parens is a default argument, not a body.
+  while (i < span.close) {
+    const char c = code[i];
+    if (c == '(') ++parens;
+    if (c == ')' && parens > 0) --parens;
+    if (c == '{') {
+      int depth = 1;
+      ++i;
+      while (i < span.close && depth > 0) {
+        if (code[i] == '{') ++depth;
+        if (code[i] == '}') --depth;
+        ++i;
+      }
+      text += "{}";
+      if (parens > 0) continue;  // `f(std::span<T> xs = {})` and the like.
+      std::size_t peek = i;
+      while (peek < span.close &&
+             std::isspace(static_cast<unsigned char>(code[peek]))) {
+        ++peek;
+      }
+      if (peek < span.close && code[peek] == ';') continue;  // Brace init.
+      flush(i);  // Function body: the statement ends here.
+      stmt_start = i;
+      continue;
+    }
+    if (c == ';' && parens == 0) {
+      flush(i);
+      ++i;
+      stmt_start = i;
+      continue;
+    }
+    text += c;
+    ++i;
+  }
+  flush(span.close);
+  return out;
+}
+
+// True when the statement declares data, not a function, type alias, nested
+// type, or static. Operates on the angle-stripped `top` so parentheses in
+// template arguments (std::function<void()>) do not read as functions.
+bool is_data_member(const MemberStmt& stmt) {
+  if (stmt.top.empty()) return false;
+  if (stmt.top.find('(') != std::string::npos ||
+      stmt.top.find(')') != std::string::npos) {
+    return false;
+  }
+  static const std::regex kOperator(R"(\boperator\b)");
+  if (std::regex_search(stmt.text, kOperator)) return false;
+  static const std::regex kNonData(
+      R"(^\s*(static|constexpr|using|typedef|friend|template|enum|class|struct|union)\b)");
+  return !std::regex_search(stmt.top, kNonData);
+}
+
 class Linter {
  public:
   explicit Linter(fs::path root) : root_(std::move(root)) {}
@@ -323,6 +569,9 @@ class Linter {
     const bool in_net = rel.rfind("src/net/", 0) == 0;
     const bool in_src = rel.rfind("src/", 0) == 0;
     const bool in_hot = in_src || rel.rfind("bench/", 0) == 0;
+    // annotate.h wraps the raw std types and owns the only legal manual
+    // lock/unlock calls; every other src/ file obeys the lock rules.
+    const bool lock_rules = in_src && rel != "src/util/annotate.h";
     const std::string module = module_of(rel);
 
     if (in_src && has_extension(fs::path(rel), ".h")) check_header(rel, code);
@@ -351,6 +600,13 @@ class Linter {
     // not inside a comment.
     static const std::regex kIncludeStripped(R"(^\s*#\s*include\s*"")");
     static const std::regex kIncludeRaw(R"re(^\s*#\s*include\s*"([^"]+)")re");
+    // Raw std synchronization vocabulary. condition_variable_any is legal
+    // (the \b after condition_variable does not match before '_').
+    static const std::regex kStdSync(
+        R"(\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b)");
+    // Manual lock-management calls on any object.
+    static const std::regex kManualLock(
+        R"((\.|->)\s*(unlock_shared|lock_shared|try_lock_shared|try_lock|unlock|lock)\s*\()");
     // clang-format on
 
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
@@ -407,9 +663,27 @@ class Linter {
           check_include(rel, lineno, module, match[1].str(), raw_line);
         }
       }
+      if (lock_rules && std::regex_search(line, kStdSync) &&
+          !allows(raw_line, "mutex-capability")) {
+        report(rel, lineno, "mutex-capability",
+               "raw std synchronization type in src/; use the annotated "
+               "util::Mutex / util::SharedMutex and the RAII guards of "
+               "util/annotate.h so -Wthread-safety can track the capability");
+      }
+      if (lock_rules && std::regex_search(line, kManualLock) &&
+          !allows(raw_line, "raii-guard")) {
+        report(rel, lineno, "raii-guard",
+               "manual lock()/unlock() call in src/; scope the critical "
+               "section with MutexLock/SharedLock/ExclusiveLock so no "
+               "early return or exception can leak a held mutex");
+      }
     }
 
     if (in_src) check_switches(rel, code, raw_lines);
+    if (lock_rules) {
+      check_guarded_members(rel, code, raw_lines);
+      check_lock_order(rel, code, raw_lines, module);
+    }
   }
 
   int finish() {
@@ -515,6 +789,182 @@ class Linter {
              "switch over an enum class has a default: label, which would "
              "swallow new enumerators; enumerate every case so -Wswitch "
              "stays exhaustive");
+    }
+  }
+
+  // guarded-member: within every class that owns a util::Mutex /
+  // util::SharedMutex, each mutable data member must be attributed to its
+  // mutex with REVTR_GUARDED_BY or carry an explicit lock-free waiver.
+  void check_guarded_members(const std::string& rel, const std::string& code,
+                             const std::vector<std::string>& raw_lines) {
+    static const std::regex kMutexType(
+        R"(\b(util\s*::\s*)?(Mutex|SharedMutex)\b)");
+    static const std::regex kAtomicTop(R"(\batomic\b)");
+    static const std::regex kConstTop(R"(\bconst\b)");
+    static const std::regex kMutable(R"(^\s*mutable\b)");
+    static const std::regex kGuardedAnno(R"(\bREVTR_(PT_)?GUARDED_BY\s*\()");
+    static const std::regex kLastName(R"((\w+)[^\w]*$)");
+
+    for (const auto& span : find_classes(code)) {
+      const auto statements = class_statements(code, span);
+      bool owns_mutex = false;
+      for (const auto& stmt : statements) {
+        if (is_data_member(stmt) && std::regex_search(stmt.text, kMutexType)) {
+          owns_mutex = true;
+          break;
+        }
+      }
+      if (!owns_mutex) continue;
+      for (const auto& stmt : statements) {
+        if (!is_data_member(stmt)) continue;
+        if (std::regex_search(stmt.text, kMutexType)) continue;  // The locks.
+        if (stmt.text.find("condition_variable_any") != std::string::npos) {
+          continue;  // Parks on the guard; stateless on its own.
+        }
+        if (std::regex_search(stmt.top, kAtomicTop)) continue;
+        if (stmt.top.find('&') != std::string::npos) continue;  // Reference.
+        // const members are immutable after construction — unless marked
+        // mutable, which reopens the race.
+        if (std::regex_search(stmt.top, kConstTop) &&
+            !std::regex_search(stmt.top, kMutable)) {
+          continue;
+        }
+        if (std::regex_search(stmt.text, kGuardedAnno)) continue;
+        bool waived = false;
+        for (std::size_t l = stmt.line_begin;
+             l <= stmt.line_end && l <= raw_lines.size(); ++l) {
+          const std::string& raw = raw_lines[l - 1];
+          if (raw.find("lint: lock-free(") != std::string::npos ||
+              allows(raw, "guarded-member")) {
+            waived = true;
+            break;
+          }
+        }
+        if (waived) continue;
+        // Name = last identifier once initializers are cut away.
+        std::string top = stmt.top;
+        if (const auto eq = top.find('='); eq != std::string::npos) {
+          top.resize(eq);
+        }
+        if (const auto brace = top.find('{'); brace != std::string::npos) {
+          top.resize(brace);
+        }
+        std::smatch name;
+        const std::string member =
+            std::regex_search(top, name, kLastName) ? name[1].str() : top;
+        report(rel, stmt.line_begin, "guarded-member",
+               "member '" + member + "' of mutex-owning class '" + span.name +
+                   "' has no REVTR_GUARDED_BY annotation; attribute it to "
+                   "its mutex or waive with `// lint: lock-free(<reason>)`");
+      }
+    }
+  }
+
+  // lock-order: every RAII-guard acquisition must name a mutex with a
+  // declared rank, and while a guard is live any further acquisition must
+  // take a strictly higher rank. Guard lifetimes are tracked lexically by
+  // brace depth — exactly the RAII scoping the raii-guard rule enforces.
+  void check_lock_order(const std::string& rel, const std::string& code,
+                        const std::vector<std::string>& raw_lines,
+                        const std::string& module) {
+    static const std::regex kGuard(
+        R"(\b(MutexLock|SharedLock|ExclusiveLock|ScopedLock2)\s+\w+\s*(\(|\{))");
+    std::vector<std::pair<std::size_t, std::size_t>> sites;  // pos, open.
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), kGuard);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position());
+      sites.push_back(
+          {pos, pos + static_cast<std::size_t>(it->length()) - 1});
+    }
+    if (sites.empty()) return;
+
+    struct Held {
+      int depth = 0;
+      int rank = 0;
+      std::string name;
+    };
+    std::vector<Held> held;
+    std::size_t next = 0;
+    int depth = 0;
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '\n') {
+        ++line;
+        continue;
+      }
+      if (next < sites.size() && i == sites[next].first) {
+        const std::size_t open = sites[next].second;
+        ++next;
+        // Argument list up to the matching close (parens or brace init).
+        const char open_c = code[open];
+        const char close_c = open_c == '(' ? ')' : '}';
+        int arg_depth = 1;
+        std::size_t close = open;
+        std::vector<std::string> args(1);
+        for (std::size_t j = open + 1; j < code.size() && arg_depth > 0; ++j) {
+          const char c = code[j];
+          if (c == open_c) ++arg_depth;
+          if (c == close_c && --arg_depth == 0) {
+            close = j;
+            break;
+          }
+          if (c == ',' && arg_depth == 1) {
+            args.emplace_back();
+          } else {
+            args.back().push_back(c);
+          }
+        }
+        const std::size_t site_line = line;
+        line += static_cast<std::size_t>(
+            std::count(code.begin() + static_cast<long>(i),
+                       code.begin() + static_cast<long>(close), '\n'));
+        i = close;  // Skip the argument list (incl. any init braces).
+
+        const std::string& raw_line = site_line - 1 < raw_lines.size()
+                                          ? raw_lines[site_line - 1]
+                                          : std::string();
+        if (allows(raw_line, "lock-order")) continue;
+
+        const auto& order = lock_order_table();
+        int rank = -1;
+        std::string name;
+        bool known = true;
+        for (const auto& arg : args) {
+          const std::string mutex_name = normalize_mutex_expr(arg);
+          const auto entry = order.find({module, mutex_name});
+          if (entry == order.end()) {
+            report(rel, site_line, "lock-order",
+                   "mutex '" + mutex_name + "' in module '" + module +
+                       "' has no declared rank; add it to lock_order_table() "
+                       "in tools/revtr_lint.cpp (the declared order is "
+                       "util < obs < sched < vpselect/atlas)");
+            known = false;
+            continue;
+          }
+          if (entry->second > rank) {
+            rank = entry->second;
+            name = mutex_name;
+          }
+        }
+        if (!known) continue;
+        if (!held.empty() && rank <= held.back().rank) {
+          report(rel, site_line, "lock-order",
+                 "acquiring '" + name + "' (rank " + std::to_string(rank) +
+                     ") while holding '" + held.back().name + "' (rank " +
+                     std::to_string(held.back().rank) +
+                     "); nested acquisitions must take strictly increasing "
+                     "ranks — util < obs < sched < vpselect/atlas (see "
+                     "lock_order_table())");
+          continue;
+        }
+        held.push_back(Held{depth, rank, name});
+        continue;
+      }
+      if (code[i] == '{') ++depth;
+      if (code[i] == '}') {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
     }
   }
 
@@ -778,6 +1228,168 @@ int run_self_test() {
         "prober_.ping(a, b);  // lint:allow(core-probe-issue)\n");
     expect(count_rule(linter, "core-probe-issue") == 0,
            "core-probe-issue suppression honored");
+  }
+  {  // Raw std synchronization types are barred from src/.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/obs/trace.h", "mutable std::mutex mu_;\n");
+    linter.lint_source("src/atlas/atlas.cpp",
+                       "const std::shared_lock<std::shared_mutex> l(mu_);\n");
+    linter.lint_source("src/util/thread_pool.h",
+                       "std::condition_variable cv_;\n");
+    expect(count_rule(linter, "mutex-capability") == 3,
+           "raw std sync types flagged in src/");
+  }
+  {  // The annotated wrappers, condition_variable_any, annotate.h itself
+     // (which wraps the std types), and tests are all fine.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/thread_pool.h",
+                       "util::Mutex mu_;\n"
+                       "std::condition_variable_any not_empty_;\n");
+    linter.lint_source("src/util/annotate.h", "std::mutex mu_;\n");
+    linter.lint_source("tests/x_test.cpp", "std::mutex mu;\n");
+    expect(count_rule(linter, "mutex-capability") == 0,
+           "wrappers, cv_any, annotate.h and tests accepted");
+  }
+  {  // Suppression marker works for mutex-capability.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/obs/trace.h",
+        "std::mutex legacy_;  // lint:allow(mutex-capability)\n");
+    expect(count_rule(linter, "mutex-capability") == 0,
+           "mutex-capability suppression honored");
+  }
+  {  // An unannotated mutable member of a mutex-owning class is flagged.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/obs/sink.cpp",
+                       "class Sink {\n"
+                       " private:\n"
+                       "  mutable util::Mutex mu_;\n"
+                       "  std::deque<int> ring_;\n"
+                       "};\n");
+    expect(count_rule(linter, "guarded-member") == 1,
+           "unannotated guarded member flagged");
+  }
+  {  // GUARDED_BY, atomics, const, references, statics, the mutexes
+     // themselves and condition variables all satisfy the rule.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/obs/sink.cpp",
+                       "class Sink {\n"
+                       "  mutable util::SharedMutex mu_;\n"
+                       "  util::Mutex aux_mu_;\n"
+                       "  std::condition_variable_any cv_;\n"
+                       "  std::deque<int> ring_ REVTR_GUARDED_BY(mu_);\n"
+                       "  std::atomic<const M*> metrics_{nullptr};\n"
+                       "  const std::size_t capacity_;\n"
+                       "  probing::Prober& prober_;\n"
+                       "  static constexpr std::size_t kN = 4;\n"
+                       "};\n");
+    expect(count_rule(linter, "guarded-member") == 0,
+           "annotated/exempt members accepted");
+  }
+  {  // The lock-free waiver and lint:allow both work; member functions and
+     // classes without a mutex are never judged.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/util/pool.cpp",
+        "class Pool {\n"
+        "  util::Mutex mu_;\n"
+        "  std::vector<std::thread> threads_;  // lint: lock-free(ctor/dtor "
+        "only)\n"
+        "  bool quirk_;  // lint:allow(guarded-member)\n"
+        "  void drain() { std::size_t local = 0; use(local); }\n"
+        "};\n"
+        "class Plain {\n"
+        "  std::deque<int> unguarded_;\n"
+        "};\n");
+    expect(count_rule(linter, "guarded-member") == 0,
+           "waivers honored; functions and mutex-free classes skipped");
+  }
+  {  // A mutable member is a race even when const-qualified... it is not
+     // const, so the exemption must not fire on `mutable`.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/util/stats2.cpp",
+                       "class D {\n"
+                       "  mutable util::Mutex mu_;\n"
+                       "  mutable bool sorted_ = true;\n"
+                       "};\n");
+    expect(count_rule(linter, "guarded-member") == 1,
+           "mutable member without annotation flagged");
+  }
+  {  // Manual lock management in src/ is flagged; waits on the guard and
+     // code outside src/ are not.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/sched/x.cpp",
+                       "void f() { mu_.lock(); work(); mu_.unlock(); }\n");
+    expect(count_rule(linter, "raii-guard") == 1,  // Both on one line.
+           "manual lock/unlock flagged");
+    Linter clean{fs::path(".")};
+    clean.lint_source("src/util/thread_pool.cpp",
+                      "not_empty_.wait(lock);\n");
+    clean.lint_source("tests/x_test.cpp", "mu.lock();\nmu.unlock();\n");
+    clean.lint_source(
+        "src/util/once.cpp",
+        "if (mu_.try_lock()) { }  // lint:allow(raii-guard)\n");
+    expect(count_rule(clean, "raii-guard") == 0,
+           "cv wait, tests, and suppressed try_lock accepted");
+  }
+  {  // sources_mu_ before a stripe follows the declared order.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/atlas/x.cpp",
+                       "void f() {\n"
+                       "  const util::SharedLock a(sources_mu_);\n"
+                       "  {\n"
+                       "    const util::ExclusiveLock b(stripe_of(source));\n"
+                       "  }\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 0,
+           "increasing-rank nesting accepted");
+  }
+  {  // The inversion — a stripe held while taking the source map — is
+     // rejected, as is re-acquiring the same rank (self-deadlock).
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/atlas/x.cpp",
+                       "void f() {\n"
+                       "  const util::ExclusiveLock b(stripe_of(source));\n"
+                       "  {\n"
+                       "    const util::SharedLock a(sources_mu_);\n"
+                       "  }\n"
+                       "}\n");
+    linter.lint_source("src/sched/y.cpp",
+                       "void g() {\n"
+                       "  const util::MutexLock a(mu_);\n"
+                       "  { const util::MutexLock b(mu_); }\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 2,
+           "rank inversion and same-rank re-acquisition rejected");
+  }
+  {  // Sibling scopes do not overlap; a released guard is not held.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/obs/x.cpp",
+                       "void f() {\n"
+                       "  { const util::SharedLock a(mu_); }\n"
+                       "  const util::ExclusiveLock b(mu_);\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 0,
+           "sequential guards in sibling scopes accepted");
+  }
+  {  // Every guarded mutex must have a declared rank.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/obs/x.cpp",
+                       "void f() { const util::MutexLock l(weird_mu_); }\n");
+    expect(count_rule(linter, "lock-order") == 1,
+           "undeclared mutex rank rejected");
+  }
+  {  // Suppression marker works for lock-order; guards outside src/ are
+     // not tracked.
+    Linter linter{fs::path(".")};
+    linter.lint_source(
+        "src/obs/x.cpp",
+        "void f() { const util::MutexLock l(weird_mu_); }  "
+        "// lint:allow(lock-order)\n");
+    linter.lint_source("tests/x_test.cpp",
+                       "void f() { const util::MutexLock l(anything_); }\n");
+    expect(count_rule(linter, "lock-order") == 0,
+           "lock-order suppression honored and scoped to src/");
   }
   {  // Outside src/, neither rule applies (tests may include anything and
      // keep defensive defaults).
