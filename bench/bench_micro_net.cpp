@@ -3,6 +3,10 @@
 // decisions, full probe round trips, and a complete reverse traceroute.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/revtr.h"
 #include "eval/harness.h"
 #include "net/wire.h"
@@ -139,6 +143,44 @@ void BM_BgpColumnCompute(benchmark::State& state) {
 }
 BENCHMARK(BM_BgpColumnCompute);
 
+// Console output unchanged; every finished run is additionally captured so
+// main() can emit the BENCH_micro_net.json artifact run_all.sh and the
+// check.sh bench smoke validate.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      util::Json row = util::Json::object();
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<std::int64_t>(run.iterations);
+      row["real_time"] = run.GetAdjustedRealTime();
+      row["cpu_time"] = run.GetAdjustedCPUTime();
+      row["time_unit"] = benchmark::GetTimeUnitString(run.time_unit);
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  util::Json take_rows() { return std::move(rows_); }
+  std::size_t count() const { return rows_.as_array().size(); }
+
+ private:
+  util::Json rows_ = util::Json::array();
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  util::Json out = util::Json::object();
+  out["benchmark_count"] = static_cast<std::int64_t>(reporter.count());
+  out["benchmarks"] = reporter.take_rows();
+  out["peak_rss_bytes"] = static_cast<double>(bench::peak_rss_bytes());
+  bench::write_bench_artifact("micro_net", out);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
   util::TextTable table({"System", "probes/revtr", "mean latency (s)",
                          "probe-limited (revtr/s)", "pipeline (revtr/s)",
                          "effective (revtr/s)", "per day"});
+  util::Json systems = util::Json::array();
   double baseline = 0;
+  double effective = 0;
   for (const auto& config : configs) {
     const auto result = bench::run_ablation(setup, config);
     const double probes_per =
@@ -44,18 +46,38 @@ int main(int argc, char** argv) {
     const double probe_limited =
         static_cast<double>(setup.topo.num_vps) * pps_per_vp / probes_per;
     const double pipeline = slots / std::max(mean_latency, 1e-9);
-    const double effective = std::min(probe_limited, pipeline);
+    effective = std::min(probe_limited, pipeline);
     if (baseline == 0) baseline = effective;
     table.add_row({config.label, util::cell(probes_per, 1),
                    util::cell(mean_latency, 1), util::cell(probe_limited, 1),
                    util::cell(pipeline, 1), util::cell(effective, 1),
                    util::cell_count(static_cast<std::uint64_t>(
                        effective * 86400.0))});
+    util::Json row = util::Json::object();
+    row["system"] = config.label;
+    row["probes_per_revtr"] = probes_per;
+    row["mean_latency_seconds"] = mean_latency;
+    row["probe_limited_per_second"] = probe_limited;
+    row["pipeline_per_second"] = pipeline;
+    row["effective_per_second"] = effective;
+    row["revtrs_per_day"] = effective * 86400.0;
+    systems.push_back(std::move(row));
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "speedup revtr 2.0 vs revtr 1.0 under this model: see the effective\n"
       "column; paper measured 4 -> 173 revtr/s (43x), from the same two\n"
       "levers (fewer probes per path, fewer 10 s spoof batches).\n");
+
+  // Machine-readable mirror of the table for run_all.sh consumers; the top
+  // level repeats the headline numbers (last config = full revtr 2.0) so
+  // the check.sh schema smoke can validate them without JSON tooling.
+  util::Json out = util::Json::object();
+  out["systems"] = std::move(systems);
+  out["effective_per_second"] = effective;
+  out["revtrs_per_day"] = effective * 86400.0;
+  out["speedup"] = baseline > 0 ? effective / baseline : 0.0;
+  out["peak_rss_bytes"] = static_cast<double>(bench::peak_rss_bytes());
+  bench::write_bench_artifact("throughput", out);
   return 0;
 }

@@ -77,9 +77,9 @@ inline VpSurvey run_vp_survey(eval::Lab& lab, const BenchSetup& setup,
     entry.prefix = prefix;
     entry.eval_dest = lab.topo.host(eval_host).addr;
     const topology::HostId exclude[] = {eval_host};
-    entry.plan = lab.ingress.discover(prefix, vps, rng, exclude);
-    entry.plan_plain = plain.discover(prefix, vps, rng, exclude);
-    entry.plan_dstamp = dstamp.discover(prefix, vps, rng, exclude);
+    entry.plan = *lab.ingress.discover(prefix, vps, rng, exclude);
+    entry.plan_plain = *plain.discover(prefix, vps, rng, exclude);
+    entry.plan_dstamp = *dstamp.discover(prefix, vps, rng, exclude);
 
     // One spoofed RR probe per VP toward the held-out destination.
     const topology::HostId source = rng.pick(vp_pool);

@@ -36,9 +36,10 @@
 #                 guarded-member, raii-guard, lock-order) is the enforcement.
 #   * clang-tidy  config in .clang-tidy (includes the concurrency-* checks).
 #
-# Plus a bench-artifact smoke: a scaled-down bench_parallel_campaign run must
-# emit build/BENCH_parallel_campaign.json with the documented schema
-# (throughput, latency quantiles, peak RSS) for scripts/run_all.sh consumers.
+# Plus a bench-artifact smoke: scaled-down runs of bench_parallel_campaign,
+# bench_throughput, and bench_micro_net must each emit their BENCH_*.json
+# with the documented schema (numeric headline fields, peak RSS) for
+# scripts/run_all.sh consumers.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -79,29 +80,61 @@ obs_smoke() {
     echo "obs smoke: snapshot ok ($(grep -c '^revtr_' "$out") samples)"
 }
 
-# Bench-artifact smoke: a scaled-down parallel-campaign bench must emit
-# BENCH_parallel_campaign.json whose schema the run_all.sh consumers rely
-# on — throughput, latency quantiles (from the obs histogram), peak RSS.
-bench_smoke() {
-    echo "==> [default] bench artifact smoke (BENCH_parallel_campaign.json)"
-    artifact="build/BENCH_parallel_campaign.json"
-    rm -f "$artifact"
-    REVTR_BENCH_DIR=build ./build/bench/bench_parallel_campaign \
-        --ases=150 --vps=8 --probes=60 --revtrs=24 --pacing=0 \
-        --dup-revtrs=48 --overhead-reps=1 --overhead-revtrs=200 >/dev/null
+# Bench-artifact smoke: scaled-down runs of every artifact-emitting bench
+# must produce BENCH_<name>.json files with the schema the run_all.sh
+# consumers rely on (numeric headline fields; see each bench's writer).
+require_bench_fields() {
+    artifact="$1"; shift
     if [ ! -f "$artifact" ]; then
         echo "bench smoke: $artifact was not written" >&2
         exit 1
     fi
-    for field in requests_per_second probes_per_second latency_p50_us \
-                 latency_p99_us peak_rss_bytes; do
+    for field in "$@"; do
         if ! grep -q "\"$field\": *[0-9]" "$artifact"; then
             echo "bench smoke: field $field missing or non-numeric" \
                  "in $artifact" >&2
             exit 1
         fi
     done
-    echo "bench smoke: artifact schema ok"
+}
+
+bench_smoke() {
+    echo "==> [default] bench artifact smoke (BENCH_*.json schemas)"
+    rm -f build/BENCH_parallel_campaign.json build/BENCH_throughput.json \
+          build/BENCH_micro_net.json
+    REVTR_BENCH_DIR=build ./build/bench/bench_parallel_campaign \
+        --ases=150 --vps=8 --probes=60 --revtrs=24 --pacing=0 \
+        --dup-revtrs=48 --overhead-reps=1 --overhead-revtrs=200 >/dev/null
+    require_bench_fields build/BENCH_parallel_campaign.json \
+        requests_per_second probes_per_second latency_p50_us \
+        latency_p99_us peak_rss_bytes
+    REVTR_BENCH_DIR=build ./build/bench/bench_throughput \
+        --ases=150 --vps=8 --probes=60 --revtrs=20 >/dev/null
+    require_bench_fields build/BENCH_throughput.json \
+        effective_per_second revtrs_per_day speedup peak_rss_bytes
+    REVTR_BENCH_DIR=build ./build/bench/bench_micro_net \
+        --benchmark_filter='BM_PacketEncode|BM_PrefixTrieLookup' \
+        --benchmark_min_time=0.01 >/dev/null
+    require_bench_fields build/BENCH_micro_net.json \
+        benchmark_count real_time cpu_time iterations peak_rss_bytes
+    echo "bench smoke: all artifact schemas ok"
+}
+
+# revtr_lint ships its own fixture corpus (--self-test); the committed
+# baseline is the check count at the last PR that touched the linter. A
+# lower count means fixtures were deleted without replacement — fail rather
+# than silently shrink the corpus.
+LINT_SELFTEST_BASELINE=65
+lint_selftest_guard() {
+    out="$(./build/tools/revtr_lint --self-test)"
+    echo "$out"
+    checks="$(printf '%s\n' "$out" |
+        sed -n 's/.*ok (\([0-9][0-9]*\) checks).*/\1/p')"
+    if [ -z "$checks" ] || [ "$checks" -lt "$LINT_SELFTEST_BASELINE" ]; then
+        echo "lint self-test: ${checks:-0} checks, below committed baseline" \
+             "$LINT_SELFTEST_BASELINE" >&2
+        exit 1
+    fi
 }
 
 # Scheduler smoke: a staged campaign whose destinations heavily overlap must
@@ -138,7 +171,7 @@ if [ "$QUICK" = "1" ]; then
     echo "==> [default] build"
     cmake --build --preset default -j "$JOBS"
     echo "==> [default] lint + layering"
-    ./build/tools/revtr_lint --self-test
+    lint_selftest_guard
     ./build/tools/revtr_lint .
     echo "==> [default] unit tests (no fuzzer, no model-checker sweep)"
     ctest --preset default -E 'wire_fuzz|revtr_mc'
@@ -149,6 +182,8 @@ if [ "$QUICK" = "1" ]; then
 fi
 
 run_config default
+echo "==> [default] lint self-test fixture floor"
+lint_selftest_guard
 obs_smoke
 sched_smoke
 bench_smoke
@@ -167,7 +202,7 @@ case "${REVTR_CHECK_TSAN:-1}" in
         echo "==> [tsan] build"
         cmake --build --preset tsan -j "$JOBS"
         echo "==> [tsan] concurrency suite"
-        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign|Atlas'
+        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign|Atlas|Ingress'
         ;;
 esac
 

@@ -301,7 +301,7 @@ void RequestTask::begin_spoofed() {
     return;
   }
   prefix_ = *prefix;
-  if (const auto* plan = engine_.ingress_.plan_for(*prefix); plan != nullptr) {
+  if (const auto plan = engine_.ingress_.plan_for(*prefix); plan != nullptr) {
     setup_attempts(*plan);
     return;
   }
@@ -326,7 +326,7 @@ void RequestTask::on_discovery(std::span<const sched::ProbeOutcome> outcomes) {
   annotate_stage("offline_probes",
                  std::to_string(outcomes[0].offline_probes.total()));
   close_stage();
-  const auto* plan = engine_.ingress_.plan_for(*prefix_);
+  const auto plan = engine_.ingress_.plan_for(*prefix_);
   REVTR_CHECK(plan != nullptr);
   setup_attempts(*plan);
 }

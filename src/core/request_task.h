@@ -67,21 +67,48 @@ class RequestTask {
   ReverseTraceroute take_result();
 
  private:
+  // The legal transitions are declared next to each enumerator and
+  // enforced by revtr_lint's stage-graph pass against every `stage_ =`
+  // assignment reachable from the stage's handler; its stage-span pass
+  // additionally proves every open_stage has a close_stage on all paths.
   enum class Stage : std::uint8_t {
-    kLoopHead,        // Source check, atlas intersect, RR cache/direct.
+    // Source check, atlas intersect, RR cache/direct.
+    // lint: stage(kLoopHead -> kLoopHead, kRrDirectWait, kAfterRr, kDone)
+    kLoopHead,
+    // lint: stage(kRrDirectWait -> kLoopHead, kAfterRr, kDiscoveryWait, kSpoofEmit)
     kRrDirectWait,
-    kDiscoveryWait,   // On-demand ingress survey (offline).
-    kSpoofEmit,       // Build the next spoofed-RR batch.
+    // On-demand ingress survey (offline).
+    // lint: stage(kDiscoveryWait -> kSpoofEmit)
+    kDiscoveryWait,
+    // Build the next spoofed-RR batch.
+    // lint: stage(kSpoofEmit -> kSpoofEmit, kSpoofBatchWait, kAfterRr)
+    kSpoofEmit,
+    // lint: stage(kSpoofBatchWait -> kSpoofEmit, kDbrEmit, kLoopHead)
     kSpoofBatchWait,
-    kDbrEmit,         // Appx E redundancy check.
+    // Appx E redundancy check.
+    // lint: stage(kDbrEmit -> kDbrVerifyWait)
+    kDbrEmit,
+    // lint: stage(kDbrVerifyWait -> kLoopHead, kSpoofEmit)
     kDbrVerifyWait,
-    kAfterRr,         // RR exhausted: timestamp technique or skip.
-    kTsNext,          // Pick the next TS adjacency candidate.
+    // RR exhausted: timestamp technique or skip.
+    // lint: stage(kAfterRr -> kTsNext, kSymmetryEmit)
+    kAfterRr,
+    // Pick the next TS adjacency candidate.
+    // lint: stage(kTsNext -> kTsDirectWait, kSymmetryEmit)
+    kTsNext,
+    // lint: stage(kTsDirectWait -> kTsSpoofEmit, kLoopHead, kTsNext)
     kTsDirectWait,
-    kTsSpoofEmit,     // Direct TS filtered: spoofed retry.
+    // Direct TS filtered: spoofed retry.
+    // lint: stage(kTsSpoofEmit -> kTsSpoofWait)
+    kTsSpoofEmit,
+    // lint: stage(kTsSpoofWait -> kLoopHead, kTsNext)
     kTsSpoofWait,
-    kSymmetryEmit,    // Cache lookup or forward traceroute.
+    // Cache lookup or forward traceroute.
+    // lint: stage(kSymmetryEmit -> kSymmetryWait, kLoopHead, kDone)
+    kSymmetryEmit,
+    // lint: stage(kSymmetryWait -> kLoopHead, kDone)
     kSymmetryWait,
+    // lint: stage(kDone ->)
     kDone,
   };
 

@@ -221,6 +221,10 @@ TsProbeResult Prober::ts_ping(topology::HostId from, Ipv4Addr target,
   out.responded = result.answered() && result.reply->ts.has_value();
   if (out.responded) {
     const auto entries = result.reply->ts->entries();
+    // The reply's option is decoded from attacker-reachable wire bytes: a
+    // TS option can never carry more than kMaxEntries slots, so anything
+    // larger is a codec bug, not a size to allocate.
+    REVTR_CHECK(entries.size() <= net::TimestampOption::kMaxEntries);
     out.stamped.reserve(entries.size());
     for (const auto& entry : entries) out.stamped.push_back(entry.stamped);
     out.duration_us = result.rtt_us;

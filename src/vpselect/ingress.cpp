@@ -94,21 +94,25 @@ IngressDiscovery::IngressDiscovery(probing::Prober& prober,
                                    Options options)
     : prober_(prober), topo_(topo), options_(options) {}
 
-const PrefixPlan* IngressDiscovery::plan_for(PrefixId prefix) const {
+std::shared_ptr<const PrefixPlan> IngressDiscovery::plan_for(
+    PrefixId prefix) const {
   const util::SharedLock lock(mu_);
   const auto it = plans_.find(prefix);
-  return it == plans_.end() ? nullptr : &it->second;
+  return it == plans_.end() ? nullptr : it->second;
 }
 
-const PrefixPlan& IngressDiscovery::discover(
+std::shared_ptr<const PrefixPlan> IngressDiscovery::discover(
     PrefixId prefix, std::span<const HostId> vps, util::Rng& rng,
     std::span<const HostId> exclude) {
   // Surveys go through the shared control-plane prober, so serializing the
   // whole survey (not just the map insert) is required for correctness, not
   // merely convenience.
   const util::ExclusiveLock lock(mu_);
-  PrefixPlan& plan = plans_[prefix];
-  plan = PrefixPlan{};
+  // Built fresh and swapped in, never rebuilt in place: holders of the old
+  // snapshot keep a consistent plan across a re-discovery.
+  const auto snapshot = std::make_shared<PrefixPlan>();
+  PrefixPlan& plan = *snapshot;
+  plans_[prefix] = snapshot;
   plan.prefix = prefix;
   if (const IngressMetrics* metrics = metrics_.load(std::memory_order_acquire);
       metrics != nullptr) {
@@ -145,7 +149,7 @@ const PrefixPlan& IngressDiscovery::discover(
       dests.push_back(addr);
     }
   }
-  if (dests.empty()) return plan;
+  if (dests.empty()) return snapshot;
 
   const net::Ipv4Prefix& bgp_prefix = topo_.prefix(prefix).prefix;
 
@@ -255,7 +259,7 @@ const PrefixPlan& IngressDiscovery::discover(
       metrics != nullptr && plan.has_ingresses()) {
     metrics->prefixes_covered->add();
   }
-  return plan;
+  return snapshot;
 }
 
 std::vector<Attempt> attempt_plan(const PrefixPlan& plan,

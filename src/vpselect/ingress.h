@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -126,20 +127,19 @@ class IngressDiscovery {
   // Runs the offline survey for one prefix; uses the prefix's first
   // RR-responsive hosts as survey destinations (callers can exclude hosts,
   // e.g. the evaluation destination, via `exclude`). Re-discovering an
-  // already-surveyed prefix re-runs the survey and overwrites its plan.
+  // already-surveyed prefix re-runs the survey and replaces its plan.
   //
   // Thread safety: discover() serializes on an internal mutex; plan_for()
   // takes it shared, so concurrent campaign workers can read plans freely.
-  // The returned references stay valid (node-based map) but are only safe
-  // to read while no concurrent re-discovery of the *same* prefix runs —
-  // the parallel campaign driver pre-discovers every prefix up front so
-  // campaign workers never mutate plans.
-  const PrefixPlan& discover(topology::PrefixId prefix,
-                             std::span<const topology::HostId> vps,
-                             util::Rng& rng,
-                             std::span<const topology::HostId> exclude = {});
+  // Both return an immutable snapshot: a re-discovery of the same prefix
+  // builds a fresh plan and swaps the map entry, so holders of an earlier
+  // snapshot keep reading a consistent (if stale) plan instead of racing
+  // an in-place rebuild.
+  std::shared_ptr<const PrefixPlan> discover(
+      topology::PrefixId prefix, std::span<const topology::HostId> vps,
+      util::Rng& rng, std::span<const topology::HostId> exclude = {});
 
-  const PrefixPlan* plan_for(topology::PrefixId prefix) const;
+  std::shared_ptr<const PrefixPlan> plan_for(topology::PrefixId prefix) const;
 
   const Options& options() const noexcept { return options_; }
 
@@ -151,8 +151,8 @@ class IngressDiscovery {
   // handle is a pointer to registry-owned counters, themselves atomic).
   std::atomic<const IngressMetrics*> metrics_{nullptr};
   mutable util::SharedMutex mu_;
-  std::unordered_map<topology::PrefixId, PrefixPlan> plans_
-      REVTR_GUARDED_BY(mu_);
+  std::unordered_map<topology::PrefixId, std::shared_ptr<const PrefixPlan>>
+      plans_ REVTR_GUARDED_BY(mu_);
 };
 
 // One (vp, expected ingress) probing attempt in the online plan.

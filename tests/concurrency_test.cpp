@@ -391,6 +391,64 @@ TEST(AtlasConcurrency, RefreshRacingReadersIsSafe) {
   EXPECT_EQ(lab.atlas.traceroute_count(source), kAtlasSize);
 }
 
+// --- IngressDiscovery (re-survey racing plan readers, fixed) ---------------
+
+// Regression for the ingress plan rebuild-vs-read race revtr_lint's
+// guard-escape pass flagged: discover() used to rebuild a prefix's
+// PrefixPlan in place inside the guarded map and both it and plan_for()
+// handed out references into that map, so a campaign worker reading a plan
+// raced a concurrent re-survey of the same prefix. The fix builds each
+// survey into a fresh shared_ptr<const PrefixPlan> and swaps the map entry,
+// so an earlier snapshot stays internally consistent however many
+// re-surveys land after it. Under TSan the old code reports here.
+TEST(IngressConcurrency, RediscoveryRacingPlanReadersIsSafe) {
+  topology::TopologyConfig config;
+  config.seed = 83;
+  config.num_ases = 150;
+  config.num_vps = 8;
+  config.num_vps_2016 = 4;
+  config.num_probe_hosts = 50;
+  eval::Lab lab(config);
+  const auto prefixes = lab.customer_prefixes();
+  ASSERT_FALSE(prefixes.empty());
+  const auto prefix = prefixes[0];
+  const auto vps = lab.topo.vantage_points();
+  const auto first = lab.ingress.discover(prefix, vps, lab.rng);
+  ASSERT_NE(first, nullptr);
+  const std::size_t first_vps = first->vp_info.size();
+  const std::size_t first_ingresses = first->ingresses.size();
+
+  std::atomic<bool> stop{false};
+  // The Prober is not thread-safe: only the surveyor thread re-discovers.
+  std::thread surveyor([&lab, &stop, prefix, vps] {
+    util::Rng rng(321);
+    for (int round = 0; round < 6; ++round) {
+      (void)lab.ingress.discover(prefix, vps, rng);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back(
+        [&lab, &stop, &first, prefix, first_vps, first_ingresses] {
+          while (!stop.load(std::memory_order_acquire)) {
+            // The pre-survey snapshot never changes under re-discovery.
+            EXPECT_EQ(first->vp_info.size(), first_vps);
+            EXPECT_EQ(first->ingresses.size(), first_ingresses);
+            (void)first->fallback_ranking();
+            // plan_for hands out some complete survey (old or new), never
+            // a half-built plan.
+            const auto current = lab.ingress.plan_for(prefix);
+            ASSERT_NE(current, nullptr);
+            EXPECT_EQ(current->prefix, prefix);
+            (void)vpselect::attempt_plan(*current);
+          }
+        });
+  }
+  surveyor.join();
+  for (auto& t : readers) t.join();
+}
+
 // --- ParallelCampaignDriver ----------------------------------------------
 
 class ParallelCampaignTest : public ::testing::Test {

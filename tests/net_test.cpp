@@ -299,6 +299,23 @@ TEST(Timestamp, WireRoundTrip) {
   EXPECT_EQ(decoded->entries()[0].timestamp, 12345u);
 }
 
+// Regression for the tainted-length contract the prober relies on: ts_ping
+// reserves its stamped vector from the reply's entry count, so a decoded
+// option may never claim more than kMaxEntries however large a length byte
+// the wire carries (revtr_lint's taint pass flags the reserve otherwise).
+TEST(Timestamp, DecodeRejectsOversizedEntryCount) {
+  std::vector<Ipv4Addr> full(TimestampOption::kMaxEntries,
+                             Ipv4Addr(1, 2, 3, 4));
+  const auto ts = TimestampOption::prespecified(full);
+  std::vector<std::uint8_t> bytes;
+  ts.encode(bytes);
+  // Claim five 8-byte entries (length 4 + 40) with enough buffer behind the
+  // claim that only the entry-count cap can reject it.
+  bytes[1] = 4 + 8 * (TimestampOption::kMaxEntries + 1);
+  bytes.resize(bytes[1], 0);
+  EXPECT_FALSE(TimestampOption::decode(bytes));
+}
+
 TEST(Timestamp, DecodeRejectsWrongFlag) {
   const Ipv4Addr prespec[] = {Ipv4Addr(1, 1, 1, 1)};
   auto ts = TimestampOption::prespecified(prespec);

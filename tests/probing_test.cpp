@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "net/ip_options.h"
 #include "probing/prober.h"
 #include "routing/forwarding.h"
 #include "sim/network.h"
@@ -213,6 +214,22 @@ TEST_F(ProbingFixture, TsPingOffPathAdjacencyNotStamped) {
   ASSERT_EQ(ts.stamped.size(), 2u);
   if (ts.stamped[0]) {
     EXPECT_FALSE(ts.stamped[1]) << "off-path adjacency stamped";
+  }
+}
+
+// Regression companion to Timestamp.DecodeRejectsOversizedEntryCount: the
+// stamped vector ts_ping sizes from the reply can never exceed the option's
+// wire capacity, and for a responded probe it mirrors the prespec list.
+TEST_F(ProbingFixture, TsPingStampedBoundedByOptionCapacity) {
+  Prober prober(*network_);
+  const auto vp = topo_->vantage_points()[0];
+  const auto dst = responsive_host();
+  std::vector<net::Ipv4Addr> prespec(net::TimestampOption::kMaxEntries,
+                                     topo_->host(dst).addr);
+  const auto ts = prober.ts_ping(vp, topo_->host(dst).addr, prespec);
+  EXPECT_LE(ts.stamped.size(), net::TimestampOption::kMaxEntries);
+  if (ts.responded) {
+    EXPECT_EQ(ts.stamped.size(), prespec.size());
   }
 }
 

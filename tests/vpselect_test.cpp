@@ -114,8 +114,9 @@ TEST_F(VpSelectFixture, DiscoveryFindsIngressesForMostPrefixes) {
   std::size_t with_ingress = 0, with_any_vp_in_range = 0, total = 0;
   const auto prefixes = lab_->customer_prefixes();
   for (std::size_t i = 0; i < prefixes.size() && i < 60; ++i) {
-    const auto& plan = lab_->ingress.discover(
+    const auto plan_snap = lab_->ingress.discover(
         prefixes[i], lab_->topo.vantage_points(), lab_->rng);
+    const auto& plan = *plan_snap;
     ++total;
     with_ingress += plan.has_ingresses();
     const bool in_range = std::any_of(
@@ -146,8 +147,9 @@ TEST_F(VpSelectFixture, DiscoveryFindsIngressesForMostPrefixes) {
 
 TEST_F(VpSelectFixture, EachVpCoveredByAtMostOneIngress) {
   const auto prefixes = lab_->customer_prefixes();
-  const auto& plan = lab_->ingress.discover(
+  const auto plan_snap = lab_->ingress.discover(
       prefixes[3], lab_->topo.vantage_points(), lab_->rng);
+  const auto& plan = *plan_snap;
   std::set<HostId> seen;
   for (const auto& ingress : plan.ingresses) {
     for (const auto& vp : ingress.vps) {
@@ -230,8 +232,9 @@ TEST_F(VpSelectFixture, DiscoveredDistancesAgreeWithTopologyScale) {
   const auto prefixes = lab_->customer_prefixes();
   util::Fraction close;
   for (std::size_t i = 0; i < prefixes.size() && i < 40; ++i) {
-    const auto& plan = lab_->ingress.discover(
+    const auto plan_snap = lab_->ingress.discover(
         prefixes[i], lab_->topo.vantage_points(), lab_->rng);
+    const auto& plan = *plan_snap;
     for (const auto& info : plan.vp_info) {
       if (info.dist_d1 >= 0) {
         EXPECT_GE(info.dist_d1, 1);
@@ -253,7 +256,8 @@ TEST_F(VpSelectFixture, DiscoveryWithZeroResponsiveVpsYieldsEmptyPlan) {
 
   // No VPs provided.
   {
-    const auto& plan = lab_->ingress.discover(prefixes[5], {}, lab_->rng);
+    const auto plan_snap = lab_->ingress.discover(prefixes[5], {}, lab_->rng);
+    const auto& plan = *plan_snap;
     EXPECT_FALSE(plan.has_ingresses());
     EXPECT_TRUE(plan.vp_info.empty());
     EXPECT_TRUE(plan.fallback_ranking().empty());
@@ -265,8 +269,9 @@ TEST_F(VpSelectFixture, DiscoveryWithZeroResponsiveVpsYieldsEmptyPlan) {
   // VPs exist but every probe is lost: nobody responds, nobody is in range.
   {
     lab_->network.set_loss_rate(1.0);
-    const auto& plan = lab_->ingress.discover(
+    const auto plan_snap = lab_->ingress.discover(
         prefixes[6], lab_->topo.vantage_points(), lab_->rng);
+    const auto& plan = *plan_snap;
     lab_->network.set_loss_rate(0.0);
     EXPECT_FALSE(plan.has_ingresses());
     for (const auto& info : plan.vp_info) {

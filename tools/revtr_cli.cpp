@@ -282,8 +282,9 @@ int cmd_ingress(eval::Lab& lab, const util::Flags& flags) {
     return 1;
   }
   const auto prefix = prefixes[prefix_index];
-  const auto& plan =
+  const auto plan_snap =
       lab.ingress.discover(prefix, lab.topo.vantage_points(), lab.rng);
+  const auto& plan = *plan_snap;
   std::printf("prefix %s (AS%u): %zu ingresses\n",
               lab.topo.prefix(prefix).prefix.to_string().c_str(),
               lab.topo.prefix(prefix).origin, plan.ingresses.size());
