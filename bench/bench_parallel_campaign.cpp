@@ -199,9 +199,9 @@ int main(int argc, char** argv) {
     double cpu = 0;
     std::uint64_t probes = 0;
   };
-  const auto timed_run = [&](bool with_metrics) {
+  const auto timed_run = [&](std::size_t workers, bool with_metrics) {
     service::ParallelCampaignOptions options;
-    options.workers = 4;
+    options.workers = workers;
     options.seed = setup.seed;
     options.pacing_scale = 0.0;
     if (with_metrics) {
@@ -228,8 +228,8 @@ int main(int argc, char** argv) {
   OverheadRun best_off, best_on;
   std::vector<double> ratios;
   for (int rep = 0; rep < overhead_reps; ++rep) {
-    const OverheadRun off = timed_run(false);
-    const OverheadRun on = timed_run(true);
+    const OverheadRun off = timed_run(4, false);
+    const OverheadRun on = timed_run(4, true);
     if (rep == 0 || off.cpu < best_off.cpu) best_off = off;
     if (rep == 0 || on.cpu < best_on.cpu) best_on = on;
     if (off.cpu > 0) ratios.push_back(on.cpu / off.cpu);
@@ -240,6 +240,27 @@ int main(int argc, char** argv) {
   std::printf("instrumentation: %.3f s CPU off, %.3f s CPU on (metrics + "
               "1/%zu trace sampling) -> %+.1f%% overhead\n",
               best_off.cpu, best_on.cpu, sample_every, overhead_pct);
+
+  // --- Single-worker pure-CPU throughput. ---------------------------------
+  // The per-core counterpart of the scaling section: one worker, pacing off,
+  // metrics on. This is the single-thread hot-path number ROADMAP item 3
+  // tracks across PRs — scripts/bench_delta.py gates regressions on it.
+  OverheadRun best_single;
+  for (int rep = 0; rep < overhead_reps; ++rep) {
+    const OverheadRun single = timed_run(1, true);
+    if (rep == 0 || single.cpu < best_single.cpu) best_single = single;
+  }
+  const double single_worker_rps =
+      best_single.wall > 0
+          ? static_cast<double>(overhead_pairs.size()) / best_single.wall
+          : 0.0;
+  const double single_worker_pps =
+      best_single.wall > 0
+          ? static_cast<double>(best_single.probes) / best_single.wall
+          : 0.0;
+  std::printf("single worker (pacing off, metrics on): %.1f requests/s, "
+              "%.0f probes/s\n",
+              single_worker_rps, single_worker_pps);
 
   // Headline throughput and latency: the best metrics-on overhead rep (4
   // workers, pacing off) is the pure-CPU service rate; request latency
@@ -274,6 +295,8 @@ int main(int argc, char** argv) {
   out["speedup_at_4_workers"] = speedup_at_4;
   out["requests_per_second"] = requests_per_second;
   out["probes_per_second"] = probes_per_second;
+  out["single_worker_requests_per_second"] = single_worker_rps;
+  out["single_worker_probes_per_second"] = single_worker_pps;
   out["latency_p50_us"] = latency_p50_us;
   out["latency_p99_us"] = latency_p99_us;
   out["peak_rss_bytes"] = static_cast<double>(bench::peak_rss_bytes());

@@ -107,7 +107,8 @@ bench_smoke() {
         --dup-revtrs=48 --overhead-reps=1 --overhead-revtrs=200 >/dev/null
     require_bench_fields build/BENCH_parallel_campaign.json \
         requests_per_second probes_per_second latency_p50_us \
-        latency_p99_us peak_rss_bytes
+        latency_p99_us peak_rss_bytes \
+        single_worker_requests_per_second single_worker_probes_per_second
     REVTR_BENCH_DIR=build ./build/bench/bench_throughput \
         --ases=150 --vps=8 --probes=60 --revtrs=20 >/dev/null
     require_bench_fields build/BENCH_throughput.json \
@@ -117,7 +118,27 @@ bench_smoke() {
         --benchmark_min_time=0.01 >/dev/null
     require_bench_fields build/BENCH_micro_net.json \
         benchmark_count real_time cpu_time iterations peak_rss_bytes
-    echo "bench smoke: all artifact schemas ok"
+    # run_all.sh regression: benches resolve a relative REVTR_BENCH_DIR
+    # against their *own* cwd, so run_all.sh must absolutize the dir before
+    # fanning out. Pin the contract: from a different cwd, an absolute dir
+    # still receives the artifact.
+    rm -rf build/bench_smoke_cwd
+    mkdir -p build/bench_smoke_cwd/out
+    abs_out="$(cd build/bench_smoke_cwd/out && pwd)"
+    (cd build/bench_smoke_cwd && REVTR_BENCH_DIR="$abs_out" \
+        "$OLDPWD/build/bench/bench_micro_net" \
+        --benchmark_filter='BM_PacketEncode' \
+        --benchmark_min_time=0.01 >/dev/null)
+    require_bench_fields "$abs_out/BENCH_micro_net.json" \
+        benchmark_count peak_rss_bytes
+    echo "bench smoke: all artifact schemas ok (incl. cwd-independent dir)"
+    # Bench-delta gate: the smoke-scale artifacts written above must not
+    # regress past tolerance against the committed smoke baselines (>10%
+    # drop in requests/probes per second, >15% rise in latency_p99_us).
+    # Full-scale baselines are compared advisorily by run_all.sh instead —
+    # see README "Bench-delta gate" for the refresh procedure.
+    echo "==> [default] bench delta vs bench/baselines/smoke"
+    scripts/bench_delta.py --baselines bench/baselines/smoke --fresh build
 }
 
 # revtr_lint ships its own fixture corpus (--self-test); the committed

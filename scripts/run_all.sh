@@ -18,8 +18,14 @@ else
     scripts/check.sh
 fi
 REVTR_BENCH_DIR="${REVTR_BENCH_DIR:-build}"
-export REVTR_BENCH_DIR
 mkdir -p "$REVTR_BENCH_DIR"
+# Resolve to an absolute path once: benches write the artifact relative to
+# their own cwd, so a relative dir would scatter BENCH_*.json files when a
+# bench (or a future caller) runs from somewhere other than the repo root.
+REVTR_BENCH_DIR="$(cd "$REVTR_BENCH_DIR" && pwd)"
+export REVTR_BENCH_DIR
 for b in build/bench/*; do [ -x "$b" ] && "$b"; done
 for e in build/examples/*; do [ -x "$e" ] && "$e"; done
 echo "bench artifacts: $(ls "$REVTR_BENCH_DIR"/BENCH_*.json 2>/dev/null || echo none)"
+scripts/bench_delta.py --baselines bench/baselines --fresh "$REVTR_BENCH_DIR" \
+    --trajectory || true

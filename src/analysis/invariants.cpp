@@ -1,6 +1,7 @@
 #include "analysis/invariants.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -144,12 +145,12 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
   if (result.complete()) {
     // Complete paths end at the source: its address, its host, or an
     // interface of its access router (the last stamping point).
-    const core::ReverseHop* last = nullptr;
+    std::optional<core::ReverseHop> last;
     for (const auto& hop : result.hops) {
-      if (concrete(hop)) last = &hop;
+      if (concrete(hop)) last = hop;
     }
     bool at_source = false;
-    if (last != nullptr) {
+    if (last.has_value()) {
       at_source = last->addr == src_addr;
       if (!at_source) {
         const auto host = topo.host_at(last->addr);
@@ -165,7 +166,7 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
       out.push_back(Violation{
           InvariantId::kTerminates,
           "complete path ends at " +
-              (last != nullptr ? last->addr.to_string() : std::string("?")) +
+              (last.has_value() ? last->addr.to_string() : std::string("?")) +
               ", not at source " + src_addr.to_string()});
     }
   }
@@ -269,10 +270,10 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
 
   // --- I4: Q5 interdomain symmetry. ---------------------------------------
   bool crossed_interdomain = false;
-  const core::ReverseHop* previous = nullptr;
+  std::optional<core::ReverseHop> previous;
   for (const auto& hop : result.hops) {
     if (hop.source == core::HopSource::kAssumedSymmetric &&
-        previous != nullptr) {
+        previous.has_value()) {
       const auto as_prev = ctx.ip2as->lookup(previous->addr);
       const auto as_hop = ctx.ip2as->lookup(hop.addr);
       const bool intradomain = as_prev && as_hop && *as_prev == *as_hop;
@@ -287,7 +288,7 @@ std::vector<Violation> check_result(const core::ReverseTraceroute& result,
         }
       }
     }
-    if (walkable(hop)) previous = &hop;
+    if (walkable(hop)) previous = hop;
   }
   if (crossed_interdomain != result.used_interdomain_symmetry) {
     out.push_back(Violation{InvariantId::kInterdomainSymmetry,

@@ -45,21 +45,21 @@ OracleReport check_against_truth(const core::ReverseTraceroute& result,
   const auto& topo = network.topo();
   const Ipv4Addr src_addr = topo.host(result.source).addr;
 
-  const core::ReverseHop* from = nullptr;
+  std::optional<core::ReverseHop> from;
   for (const auto& hop : result.hops) {
     if (hop.source == core::HopSource::kSuspiciousGap ||
         hop.addr.is_unspecified()) {
       continue;
     }
-    if (from == nullptr) {  // The destination endpoint itself.
-      from = &hop;
+    if (!from.has_value()) {  // The destination endpoint itself.
+      from = hop;
       continue;
     }
     const auto from_router = router_of(topo, from->addr);
     const auto hop_router = router_of(topo, hop.addr);
     if (!from_router || !hop_router) {
       ++report.unresolved;
-      if (!hop.addr.is_private()) from = &hop;
+      if (!hop.addr.is_private()) from = hop;
       continue;
     }
     ++report.pairs_checked;
@@ -89,7 +89,7 @@ OracleReport check_against_truth(const core::ReverseTraceroute& result,
       }
     }
     // Continue from hops the engine itself continued from.
-    if (!hop.addr.is_private()) from = &hop;
+    if (!hop.addr.is_private()) from = hop;
   }
   return report;
 }

@@ -306,7 +306,12 @@ std::unordered_map<Ipv4Addr, Intersection> TracerouteAtlas::rr_index_entries(
   const SourceAtlas* atlas = find_atlas(source);
   if (atlas == nullptr) return {};
   const util::SharedLock lock(stripe_of(source));
-  return atlas->rr_index;
+  // Cold path: copy the flat table into the node-based snapshot type the
+  // validation tooling consumes.
+  std::unordered_map<Ipv4Addr, Intersection> snapshot;
+  snapshot.reserve(atlas->rr_index.size());
+  for (const auto& [addr, at] : atlas->rr_index) snapshot.emplace(addr, at);
+  return snapshot;
 }
 
 std::vector<std::size_t> greedy_optimal_selection(

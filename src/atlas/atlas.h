@@ -30,6 +30,7 @@
 #include "probing/prober.h"
 #include "topology/topology.h"
 #include "util/annotate.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 
@@ -140,10 +141,11 @@ class TracerouteAtlas {
  private:
   struct SourceAtlas {
     std::vector<AtlasTraceroute> traceroutes;
-    // Exact traceroute hop address -> location.
-    std::unordered_map<net::Ipv4Addr, Intersection> hop_index;
+    // Exact traceroute hop address -> location. Open addressing: these two
+    // are probed once per revealed hop on the engine's intersection path.
+    util::FlatMap<net::Ipv4Addr, Intersection> hop_index;
     // Q2: RR-revealed address -> location.
-    std::unordered_map<net::Ipv4Addr, Intersection> rr_index;
+    util::FlatMap<net::Ipv4Addr, Intersection> rr_index;
   };
 
   void index_hops(SourceAtlas& atlas);

@@ -36,6 +36,7 @@ RequestTask::RequestTask(RevtrEngine& engine, HostId destination,
   src_addr_ = engine_.topo_.host(source).addr;
   current_ = engine_.topo_.host(destination).addr;
   result_.hops.push_back(ReverseHop{current_, HopSource::kDestination});
+  scratch_.emplace(arena_);
 }
 
 const EngineConfig& RequestTask::config() const noexcept {
@@ -190,6 +191,11 @@ void RequestTask::supply(std::span<const sched::ProbeOutcome> outcomes) {
 // --- Main loop head: termination, atlas, RR entry ---------------------------
 
 void RequestTask::step_loop_head() {
+  // All scratch from the previous technique round is dead here: destroy the
+  // containers, recycle their memory in O(1), start the round empty.
+  scratch_.reset();
+  arena_.reset();
+  scratch_.emplace(arena_);
   if (result_.hops.size() >= config().max_reverse_hops) {
     finish();  // Undecided loop exit: status stays kUnreachable.
     return;
@@ -263,12 +269,13 @@ void RequestTask::begin_record_route() {
   stage_ = Stage::kRrDirectWait;
 }
 
-void RequestTask::remember_rr(const std::vector<Ipv4Addr>& revealed,
+void RequestTask::remember_rr(std::span<const Ipv4Addr> revealed,
                               HopSource how) {
   if (config().use_cache) {
     engine_.caches_->rr.insert_or_assign(
         rr_key_,
-        RrCacheEntry{revealed, how, clock_.now() + config().cache_ttl});
+        RrCacheEntry{std::vector<Ipv4Addr>(revealed.begin(), revealed.end()),
+                     how, clock_.now() + config().cache_ttl});
   }
 }
 
@@ -332,14 +339,18 @@ void RequestTask::on_discovery(std::span<const sched::ProbeOutcome> outcomes) {
 }
 
 void RequestTask::setup_attempts(const vpselect::PrefixPlan& plan) {
-  attempts_.clear();
+  auto& attempts = scratch_->attempts;
+  attempts.clear();
   if (config().use_ingress_selection) {
-    attempts_ = vpselect::attempt_plan(plan, config().max_per_ingress);
+    const auto planned =
+        vpselect::attempt_plan(plan, config().max_per_ingress);
+    attempts.assign(planned.begin(), planned.end());
   } else {
     // revtr 1.0: try every vantage point in per-prefix set-cover order.
     const auto order = vpselect::revtr1_vp_order(plan);
+    attempts.reserve(order.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
-      attempts_.push_back(vpselect::Attempt{order[i], Ipv4Addr{}, i});
+      attempts.push_back(vpselect::Attempt{order[i], Ipv4Addr{}, i});
     }
   }
   rank_failures_.clear();
@@ -348,18 +359,20 @@ void RequestTask::setup_attempts(const vpselect::PrefixPlan& plan) {
 }
 
 void RequestTask::step_spoof_emit() {
-  if (next_attempt_ >= attempts_.size()) {
+  const auto& attempts = scratch_->attempts;
+  auto& batch_attempts = scratch_->batch_attempts;
+  if (next_attempt_ >= attempts.size()) {
     if (metrics() != nullptr) metrics()->rr_miss->add();
     stage_ = Stage::kAfterRr;
     return;
   }
   open_stage("rr-spoof-batch");
-  batch_attempts_.clear();
-  while (next_attempt_ < attempts_.size() &&
-         batch_attempts_.size() < config().batch_size) {
-    const auto& attempt = attempts_[next_attempt_++];
+  batch_attempts.clear();
+  while (next_attempt_ < attempts.size() &&
+         batch_attempts.size() < config().batch_size) {
+    const auto& attempt = attempts[next_attempt_++];
     if (rank_failures_[attempt.ingress_rank] >= 5) continue;  // §4.3.
-    batch_attempts_.push_back(attempt);
+    batch_attempts.push_back(attempt);
     sched::ProbeDemand demand;
     demand.type = probing::ProbeType::kSpoofedRecordRoute;
     demand.from = attempt.vp;
@@ -368,7 +381,7 @@ void RequestTask::step_spoof_emit() {
     demand.batch_ingress = attempt.expected_ingress;
     demands_.push_back(std::move(demand));
   }
-  if (batch_attempts_.empty()) {
+  if (batch_attempts.empty()) {
     // Every remaining attempt was over its failure budget: a zero-sent
     // batch, after which the attempt list is exhausted.
     close_stage();
@@ -379,9 +392,10 @@ void RequestTask::step_spoof_emit() {
 
 void RequestTask::on_spoof_batch(
     std::span<const sched::ProbeOutcome> outcomes) {
-  revealed_.clear();
+  auto& revealed = scratch_->revealed;
+  revealed.clear();
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    const auto& attempt = batch_attempts_[i];
+    const auto& attempt = scratch_->batch_attempts[i];
     const auto& probe = outcomes[i];
     charge(consumed_[i], probe);
     if (!probe.responded) {
@@ -396,20 +410,22 @@ void RequestTask::on_spoof_batch(
       ++rank_failures_[attempt.ingress_rank];
     }
     const auto hops = RevtrEngine::extract_reverse_hops(probe.slots, current_);
-    if (hops.size() > revealed_.size()) revealed_ = hops;
+    if (hops.size() > revealed.size()) {
+      revealed.assign(hops.begin(), hops.end());
+    }
   }
   // Spoofed replies land at the source; the controller always waits out the
   // batch timeout for stragglers (§5.2.4).
   clock_.advance(config().spoof_batch_timeout);
   ++result_.spoofed_batches;
-  annotate_stage("sent", std::to_string(batch_attempts_.size()));
+  annotate_stage("sent", std::to_string(scratch_->batch_attempts.size()));
   close_stage();
-  if (revealed_.empty()) {
+  if (revealed.empty()) {
     stage_ = Stage::kSpoofEmit;
     return;
   }
-  if (config().verify_destination_based_routing && revealed_.size() >= 2 &&
-      !revealed_[0].is_private()) {
+  if (config().verify_destination_based_routing && revealed.size() >= 2 &&
+      !revealed[0].is_private()) {
     stage_ = Stage::kDbrEmit;
     return;
   }
@@ -424,7 +440,7 @@ void RequestTask::step_dbr_emit() {
   sched::ProbeDemand demand;
   demand.type = probing::ProbeType::kSpoofedRecordRoute;
   demand.from = vps[rng_.below(vps.size())];
-  demand.target = revealed_[0];
+  demand.target = scratch_->revealed[0];
   demand.spoof_as = src_addr_;
   demands_.push_back(std::move(demand));
   stage_ = Stage::kDbrVerifyWait;
@@ -436,8 +452,8 @@ void RequestTask::on_dbr_verify(std::span<const sched::ProbeOutcome> outcomes) {
   clock_.advance(check.duration_us);
   if (check.responded) {
     const auto recheck =
-        RevtrEngine::extract_reverse_hops(check.slots, revealed_[0]);
-    if (!recheck.empty() && recheck.front() != revealed_[1]) {
+        RevtrEngine::extract_reverse_hops(check.slots, scratch_->revealed[0]);
+    if (!recheck.empty() && recheck.front() != scratch_->revealed[1]) {
       result_.dbr_suspect = true;
       annotate_stage("suspect", "1");
     }
@@ -447,8 +463,9 @@ void RequestTask::on_dbr_verify(std::span<const sched::ProbeOutcome> outcomes) {
 }
 
 void RequestTask::finish_spoof_round() {
-  if (append_reverse_hops(revealed_, HopSource::kSpoofedRecordRoute)) {
-    remember_rr(revealed_, HopSource::kSpoofedRecordRoute);
+  const auto& revealed = scratch_->revealed;
+  if (append_reverse_hops(revealed, HopSource::kSpoofedRecordRoute)) {
+    remember_rr(revealed, HopSource::kSpoofedRecordRoute);
     if (metrics() != nullptr) metrics()->rr_spoofed_hit->add();
     stage_ = Stage::kLoopHead;
     return;
@@ -467,7 +484,8 @@ void RequestTask::step_after_rr() {
       return;
     }
     open_stage("timestamp");
-    ts_candidates_ = engine_.adjacencies_(current_);
+    const auto adjacent = engine_.adjacencies_(current_);
+    scratch_->ts_candidates.assign(adjacent.begin(), adjacent.end());
     ts_index_ = 0;
     ts_tried_ = 0;
     stage_ = Stage::kTsNext;
@@ -481,8 +499,9 @@ void RequestTask::step_after_rr() {
 }
 
 void RequestTask::step_ts_next() {
-  while (ts_index_ < ts_candidates_.size()) {
-    const Ipv4Addr adjacent = ts_candidates_[ts_index_++];
+  const auto& ts_candidates = scratch_->ts_candidates;
+  while (ts_index_ < ts_candidates.size()) {
+    const Ipv4Addr adjacent = ts_candidates[ts_index_++];
     if (ts_tried_++ >= config().max_ts_adjacencies) break;
     if (adjacent.is_private() || already_in_path(adjacent)) continue;
     ts_adjacent_ = adjacent;
@@ -647,8 +666,12 @@ void RequestTask::apply_symmetry(std::optional<Ipv4Addr> penultimate,
 // --- Shared helpers ---------------------------------------------------------
 
 bool RequestTask::already_in_path(Ipv4Addr addr) const {
-  for (const auto& hop : result_.hops) {
-    if (hop.source != HopSource::kSuspiciousGap && hop.addr == addr) {
+  // Scan the SoA address column directly: a contiguous run of 4-byte
+  // addresses, so the common miss case stays in one cache line per 16 hops.
+  const auto addrs = result_.hops.addrs();
+  const auto sources = result_.hops.sources();
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == addr && sources[i] != HopSource::kSuspiciousGap) {
       return true;
     }
   }
@@ -692,9 +715,8 @@ void RequestTask::finalize_flags() {
       const auto a = engine_.ip2as_.lookup(result_.hops[h].addr);
       const auto b = engine_.ip2as_.lookup(result_.hops[h + 1].addr);
       if (a && b && *a == from_as && *b == to_as) {
-        result_.hops.insert(
-            result_.hops.begin() + static_cast<long>(h) + 1,
-            ReverseHop{Ipv4Addr{}, HopSource::kSuspiciousGap});
+        result_.hops.insert(h + 1,
+                            ReverseHop{Ipv4Addr{}, HopSource::kSuspiciousGap});
         break;
       }
     }

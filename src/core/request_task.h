@@ -29,12 +29,13 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/revtr.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
+#include "util/arena.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 #include "vpselect/ingress.h"
@@ -141,7 +142,7 @@ class RequestTask {
   bool append_reverse_hops(std::span<const net::Ipv4Addr> revealed,
                            HopSource source);
   bool already_in_path(net::Ipv4Addr addr) const;
-  void remember_rr(const std::vector<net::Ipv4Addr>& revealed, HopSource how);
+  void remember_rr(std::span<const net::Ipv4Addr> revealed, HopSource how);
   void finalize_flags();
   void finish();
 
@@ -173,20 +174,44 @@ class RequestTask {
   std::vector<sched::ProbeDemand> demands_;
   std::vector<sched::ProbeDemand> consumed_;  // Last fulfilled demand set.
 
+  // Per-round scratch containers, bump-allocated from arena_. Everything in
+  // here is dead by the time control re-enters kLoopHead (the RR attempt
+  // list, the spoof batch, revealed hops, and TS candidates all live within
+  // one technique round), so step_loop_head() destroys the containers,
+  // resets the arena in O(1), and re-creates them empty. Destroy-then-reset
+  // is mandatory: clear() alone would leave stale capacity pointing into
+  // recycled arena memory (util/arena.h lifetime rules).
+  struct Scratch {
+    template <typename T>
+    using Vec = std::vector<T, util::ArenaAllocator<T>>;
+
+    explicit Scratch(util::Arena& arena)
+        : attempts(util::ArenaAllocator<vpselect::Attempt>(arena)),
+          batch_attempts(util::ArenaAllocator<vpselect::Attempt>(arena)),
+          revealed(util::ArenaAllocator<net::Ipv4Addr>(arena)),
+          ts_candidates(util::ArenaAllocator<net::Ipv4Addr>(arena)) {}
+
+    Vec<vpselect::Attempt> attempts;
+    Vec<vpselect::Attempt> batch_attempts;  // Parallel to demands_.
+    Vec<net::Ipv4Addr> revealed;
+    Vec<net::Ipv4Addr> ts_candidates;
+  };
+
   // RR technique state.
   std::uint64_t rr_key_ = 0;
   std::optional<topology::PrefixId> prefix_;
-  std::vector<vpselect::Attempt> attempts_;
   std::size_t next_attempt_ = 0;
-  std::unordered_map<std::size_t, int> rank_failures_;
-  std::vector<vpselect::Attempt> batch_attempts_;  // Parallel to demands_.
-  std::vector<net::Ipv4Addr> revealed_;
+  util::FlatMap<std::size_t, int> rank_failures_;
 
   // TS technique state.
-  std::vector<net::Ipv4Addr> ts_candidates_;
   std::size_t ts_index_ = 0;
   std::size_t ts_tried_ = 0;
   net::Ipv4Addr ts_adjacent_;
+
+  // arena_ before scratch_: the containers must be destroyed before the
+  // memory they point into.
+  util::Arena arena_;
+  std::optional<Scratch> scratch_;
 
   // Trace bookkeeping.
   obs::Trace::SpanId root_span_ = obs::Trace::kDroppedSpan;

@@ -163,6 +163,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         cumulative += raw[b];
         sample.buckets.emplace_back(Histogram::bucket_le(b), cumulative);
       }
+      // Overflow samples render only under +Inf, so trimming at the highest
+      // non-empty finite bucket would leave quantile estimation with no
+      // finite bound to fall back on when the rank lands in the overflow
+      // mass. Keep the largest finite bound in the sample for that case.
+      if (sample.overflow != 0 && highest < Histogram::kOverflowBucket) {
+        sample.buckets.emplace_back(
+            Histogram::bucket_le(Histogram::kOverflowBucket - 1), cumulative);
+      }
       snap.histograms.push_back(std::move(sample));
     }
   }
@@ -285,9 +293,12 @@ double histogram_quantile(const HistogramSample& sample, double q) {
   std::uint64_t prev_le = 0;
   std::uint64_t prev_cum = 0;
   for (const auto& [le, cum] : sample.buckets) {
-    if (static_cast<double>(cum) >= rank) {
+    // Only a bucket with mass can contain the rank. An empty bucket passing
+    // `cum >= rank` happens exactly at q == 0, where the right estimate is
+    // the lower edge of the first *occupied* bucket — not the bound of
+    // whichever empty bucket precedes it.
+    if (cum > prev_cum && static_cast<double>(cum) >= rank) {
       const std::uint64_t in_bucket = cum - prev_cum;
-      if (in_bucket == 0) return static_cast<double>(le);
       const double fraction =
           (rank - static_cast<double>(prev_cum)) /
           static_cast<double>(in_bucket);

@@ -155,8 +155,10 @@ struct HistogramSample {
   std::string name;
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
-  // (le, cumulative count) up to the highest non-empty bucket; the +Inf
-  // entry is implicit (== count).
+  // (le, cumulative count) up to the highest non-empty bucket — plus the
+  // largest finite bucket whenever overflow is non-zero, so quantile
+  // estimation keeps a finite bound to clamp to; the +Inf entry is implicit
+  // (== count).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
   // Samples that landed in the overflow bucket (rendered only under +Inf).
   std::uint64_t overflow = 0;
@@ -165,8 +167,10 @@ struct HistogramSample {
 // Quantile estimate (q in [0, 1]) from a histogram sample's cumulative
 // buckets, linearly interpolated inside the bucket the rank lands in —
 // the same estimate promql's histogram_quantile() would produce from the
-// exposition. Returns 0 for an empty histogram; ranks landing in the
-// overflow bucket clamp to the last finite bucket bound.
+// exposition. q is clamped to [0, 1]. Returns 0 for an empty histogram;
+// q = 0 yields the lower edge of the first occupied bucket; ranks landing
+// in the overflow bucket (including all-mass-in-overflow) clamp to the
+// largest finite bucket bound.
 double histogram_quantile(const HistogramSample& sample, double q);
 
 // A consistent-enough point-in-time view (each metric is read atomically per

@@ -73,26 +73,42 @@ Decision ForwardingPlane::step_toward_router(RouterId current, RouterId target,
   return decision;
 }
 
+ResolvedDst ForwardingPlane::resolve(net::Ipv4Addr dst) const {
+  ResolvedDst resolved;
+  resolved.iface = topo_.interface_at(dst);
+  resolved.prefix = topo_.prefix_of(dst);
+  if (resolved.prefix) {
+    resolved.dest_asn = topo_.prefix(*resolved.prefix).origin;
+    resolved.dest_as = topo_.index_of(resolved.dest_asn);
+    resolved.host = topo_.host_at(dst);
+  }
+  return resolved;
+}
+
 Decision ForwardingPlane::decide(RouterId current,
                                  const PacketContext& ctx) const {
+  return decide(current, ctx, resolve(ctx.dst));
+}
+
+Decision ForwardingPlane::decide(RouterId current, const PacketContext& ctx,
+                                 const ResolvedDst& dst) const {
   // A router always recognizes its own interface addresses, even when the
   // covering prefix is announced by a neighbor (interdomain /30s, Fig 4).
-  if (const auto own = topo_.interface_at(ctx.dst);
-      own && own->router == current) {
+  if (dst.iface && dst.iface->router == current) {
     Decision decision;
     decision.kind = Decision::Kind::kDeliverRouter;
     return decision;
   }
 
-  const auto prefix_id = topo_.prefix_of(ctx.dst);
+  const auto& prefix_id = dst.prefix;
   if (!prefix_id) return Decision{};  // Unroutable (e.g. private space).
-  const Asn dest_asn = topo_.prefix(*prefix_id).origin;
+  const Asn dest_asn = dst.dest_asn;
   const auto& current_router = topo_.router(current);
 
   if (current_router.asn != dest_asn) {
     // --- Interdomain step. ---
-    const AsIndex dest_as = topo_.index_of(dest_asn);
-    const AsIndex current_as = topo_.index_of(current_router.asn);
+    const AsIndex dest_as = dst.dest_as;
+    const AsIndex current_as = current_router.as_index;
     const Asn next = next_as(dest_as, current_as, ctx.src, ctx.dst);
     if (next == 0) return Decision{};
     const auto borders = topo_.border_links(current_router.asn, next);
@@ -131,7 +147,7 @@ Decision ForwardingPlane::decide(RouterId current,
   }
 
   // --- The packet is inside the destination prefix's origin AS. ---
-  if (const auto host_id = topo_.host_at(ctx.dst)) {
+  if (const auto& host_id = dst.host) {
     const auto& host = topo_.host(*host_id);
     if (host.attachment == current) {
       Decision decision;
@@ -142,7 +158,7 @@ Decision ForwardingPlane::decide(RouterId current,
     return step_toward_router(current, host.attachment, ctx);
   }
 
-  if (const auto iface = topo_.interface_at(ctx.dst)) {
+  if (const auto& iface = dst.iface) {
     const auto& owner = topo_.router(iface->router);
     if (iface->router == current) {
       Decision decision;

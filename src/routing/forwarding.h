@@ -44,11 +44,29 @@ struct Decision {
   topology::HostId host = topology::kInvalidId;
 };
 
+// Destination-derived facts that are invariant across every hop of one
+// packet: which interface/host owns the address, its longest-match prefix,
+// and the origin AS. The simulator resolves them once per forwarding pass
+// instead of re-walking the prefix trie and address maps at each router.
+struct ResolvedDst {
+  std::optional<topology::InterfaceOwner> iface;
+  std::optional<topology::PrefixId> prefix;
+  topology::Asn dest_asn = 0;
+  topology::AsIndex dest_as = topology::kInvalidId;
+  std::optional<topology::HostId> host;
+};
+
 class ForwardingPlane {
  public:
   ForwardingPlane(const topology::Topology& topo, const BgpTable& bgp,
                   const IntraRouting& intra);
 
+  // Resolves the per-destination facts `decide` consumes at every hop.
+  ResolvedDst resolve(net::Ipv4Addr dst) const;
+
+  Decision decide(topology::RouterId current, const PacketContext& ctx,
+                  const ResolvedDst& dst) const;
+  // Convenience for single-shot queries: resolve + decide.
   Decision decide(topology::RouterId current, const PacketContext& ctx) const;
 
   // The first router a packet from this host traverses.

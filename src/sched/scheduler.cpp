@@ -107,16 +107,32 @@ SchedOptions ProbeScheduler::clamp_options(SchedOptions options) {
   // Liveness: a zero window or a zero refill would park queued demands
   // forever. Clamp rather than abort — callers tune these from CLI flags.
   options.vp_window = std::max<std::size_t>(options.vp_window, 1);
-  options.vp_tokens_per_round =
-      std::max<std::uint32_t>(options.vp_tokens_per_round, 1);
-  options.vp_token_burst =
-      std::max(options.vp_token_burst, options.vp_tokens_per_round);
+  // Fractional refill rates are legal (they accumulate in fixed point), but
+  // zero, negative, or NaN rates would park queued demands forever.
+  if (!(options.vp_tokens_per_round > 0.0)) options.vp_tokens_per_round = 1.0;
+  options.vp_token_burst = std::max<std::uint32_t>(options.vp_token_burst, 1);
   options.spoof_batch_size = std::max<std::size_t>(options.spoof_batch_size, 1);
   return options;
 }
 
+namespace {
+
+std::uint64_t scale_refill(double tokens_per_round, std::uint64_t scale) {
+  // One rounding here, none per round: even 1e-9 tokens/round stays a
+  // positive integer refill, so accumulation is exact and drains eventually.
+  const double scaled = tokens_per_round * static_cast<double>(scale);
+  if (scaled >= 0x1p63) return std::uint64_t{1} << 63;
+  return std::max<std::uint64_t>(static_cast<std::uint64_t>(scaled), 1);
+}
+
+}  // namespace
+
 ProbeScheduler::ProbeScheduler(SchedOptions options)
-    : options_(clamp_options(options)) {}
+    : options_(clamp_options(options)),
+      refill_scaled_(scale_refill(options_.vp_tokens_per_round, kTokenScale)),
+      burst_scaled_(std::max<std::uint64_t>(
+          std::uint64_t{options_.vp_token_burst} * kTokenScale,
+          refill_scaled_)) {}
 
 void ProbeScheduler::set_metrics(const SchedMetrics* metrics) {
   const util::MutexLock lock(mu_);
@@ -176,14 +192,14 @@ bool ProbeScheduler::issuable_locked(const Pending& pending) {
   if (vp.last_refill_round != round_) {
     vp.last_refill_round = round_;
     vp.issued_this_round = 0;
-    vp.tokens = std::min<std::uint32_t>(
-        vp.tokens + options_.vp_tokens_per_round, options_.vp_token_burst);
+    vp.tokens = std::min(vp.tokens + refill_scaled_, burst_scaled_);
   }
-  if (vp.issued_this_round >= options_.vp_window || vp.tokens == 0) {
+  if (vp.issued_this_round >= options_.vp_window ||
+      vp.tokens < kTokenScale) {
     return false;
   }
   ++vp.issued_this_round;
-  --vp.tokens;
+  vp.tokens -= kTokenScale;
   return true;
 }
 
@@ -195,17 +211,20 @@ void ProbeScheduler::deliver_locked(std::uint64_t set_id, std::size_t slot,
   if (--set.remaining == 0) ready_.push_back(set_id);
 }
 
-void ProbeScheduler::issue_locked(probing::Prober& prober,
-                                  std::uint64_t pending_id,
-                                  PumpResult& result) {
+ProbeScheduler::Pending ProbeScheduler::detach_pending_locked(
+    std::uint64_t pending_id) {
   Pending pending = std::move(pending_.at(pending_id));
   pending_.erase(pending_id);
   if (const auto it = in_flight_.find(pending.key);
       it != in_flight_.end() && it->second == pending_id) {
     in_flight_.erase(it);
   }
+  return pending;
+}
 
-  ProbeOutcome outcome = execute_demand(prober, pending.demand);
+void ProbeScheduler::account_and_deliver_locked(Pending pending,
+                                                ProbeOutcome outcome,
+                                                PumpResult& result) {
   const std::uint64_t issue_id = next_issue_++;
   const std::uint64_t digest = outcome.digest();
   if (pending.demand.offline()) {
@@ -240,6 +259,40 @@ void ProbeScheduler::issue_locked(probing::Prober& prober,
                  std::move(outcome));
 }
 
+void ProbeScheduler::issue_locked(probing::Prober& prober,
+                                  std::uint64_t pending_id,
+                                  PumpResult& result) {
+  Pending pending = detach_pending_locked(pending_id);
+  ProbeOutcome outcome = execute_demand(prober, pending.demand);
+  account_and_deliver_locked(std::move(pending), std::move(outcome), result);
+}
+
+void ProbeScheduler::issue_spoof_batch_locked(
+    probing::Prober& prober, std::span<const std::uint64_t> batch,
+    PumpResult& result) {
+  batch_pendings_.clear();
+  batch_items_.clear();
+  for (const std::uint64_t pending_id : batch) {
+    Pending pending = detach_pending_locked(pending_id);
+    batch_items_.push_back(probing::RrBatchItem{
+        pending.demand.from, pending.demand.target, pending.demand.spoof_as});
+    batch_pendings_.push_back(std::move(pending));
+  }
+  // The whole batch steps through the simulator in one pass; outcomes are
+  // byte-identical to issuing each probe alone (Prober::rr_ping_batch).
+  prober.rr_ping_batch(batch_items_, batch_results_);
+  for (std::size_t i = 0; i < batch_pendings_.size(); ++i) {
+    probing::RrProbeResult& probe = batch_results_[i];
+    ProbeOutcome outcome;
+    outcome.responded = probe.responded;
+    outcome.slots = std::move(probe.slots);
+    outcome.duration_us = probe.duration_us;
+    outcome.packets = 1;
+    account_and_deliver_locked(std::move(batch_pendings_[i]),
+                               std::move(outcome), result);
+  }
+}
+
 ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
   const util::MutexLock lock(mu_);
   PumpResult result;
@@ -253,7 +306,7 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
   // Demands over a VP's window or bucket stay queued for the next round.
   std::deque<std::uint64_t> deferred;
   std::vector<net::Ipv4Addr> group_order;
-  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> groups;
+  util::FlatMap<std::uint64_t, std::vector<std::uint64_t>> groups;
   for (const std::uint64_t pending_id : queue_) {
     const Pending& pending = pending_.at(pending_id);
     if (!issuable_locked(pending)) {
@@ -274,12 +327,14 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
   }
   for (const net::Ipv4Addr ingress : group_order) {
     const auto& group = groups.at(ingress.value());
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      if (i % options_.spoof_batch_size == 0) {
-        ++stats_.wire_batches;
-        if (metrics_ != nullptr) metrics_->spoof_batches->add();
-      }
-      issue_locked(prober, group[i], result);
+    for (std::size_t start = 0; start < group.size();
+         start += options_.spoof_batch_size) {
+      ++stats_.wire_batches;
+      if (metrics_ != nullptr) metrics_->spoof_batches->add();
+      const std::size_t len =
+          std::min(options_.spoof_batch_size, group.size() - start);
+      issue_spoof_batch_locked(
+          prober, std::span(group).subspan(start, len), result);
     }
   }
   queue_ = std::move(deferred);

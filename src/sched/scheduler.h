@@ -32,7 +32,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -40,6 +40,7 @@
 #include "probing/prober.h"
 #include "topology/topology.h"
 #include "util/annotate.h"
+#include "util/flat_map.h"
 #include "util/sim_clock.h"
 
 namespace revtr::sched {
@@ -97,9 +98,12 @@ struct SchedOptions {
   // Max wire probes issued from one vantage point per pump round.
   std::size_t vp_window = 64;
   // Token bucket per VP: refilled by `vp_tokens_per_round` each round up to
-  // `vp_token_burst`. Both clamp to >= 1 so every queued demand eventually
-  // issues (liveness).
-  std::uint32_t vp_tokens_per_round = 256;
+  // `vp_token_burst` whole tokens. Rates below 1 are legal — the scheduler
+  // accumulates them in fixed point, so e.g. 0.25 issues one probe every
+  // fourth round with no float drift. Non-positive rates clamp to 1 and the
+  // burst clamps to >= the refill so every queued demand eventually issues
+  // (liveness).
+  double vp_tokens_per_round = 256;
   std::uint32_t vp_token_burst = 1024;
   bool coalesce = true;
   std::size_t spoof_batch_size = 3;  // Paper's spoofed-RR batch (§4.3).
@@ -211,7 +215,7 @@ class ProbeScheduler {
     std::size_t remaining = 0;
   };
   struct VpState {
-    std::uint32_t tokens = 0;
+    std::uint64_t tokens = 0;  // Fixed point, kTokenScale per whole token.
     std::size_t issued_this_round = 0;
     std::uint64_t last_refill_round = 0;
   };
@@ -220,6 +224,17 @@ class ProbeScheduler {
   bool issuable_locked(const Pending& pending) REVTR_REQUIRES(mu_);
   void issue_locked(probing::Prober& prober, std::uint64_t pending_id,
                     PumpResult& result) REVTR_REQUIRES(mu_);
+  // Issues a whole same-ingress spoofed-RR batch through the prober's batch
+  // path. Equivalent to issue_locked per id in order (same issue ids, same
+  // outcomes, same deliveries) — the batch only shares simulator scratch.
+  void issue_spoof_batch_locked(probing::Prober& prober,
+                                std::span<const std::uint64_t> batch,
+                                PumpResult& result) REVTR_REQUIRES(mu_);
+  // Detaches the pending entry from the tables (erase + in-flight cleanup).
+  Pending detach_pending_locked(std::uint64_t pending_id) REVTR_REQUIRES(mu_);
+  // Accounting, audit, and waiter fan-out for one issued wire probe.
+  void account_and_deliver_locked(Pending pending, ProbeOutcome outcome,
+                                  PumpResult& result) REVTR_REQUIRES(mu_);
   void deliver_locked(std::uint64_t set_id, std::size_t slot,
                       ProbeOutcome outcome) REVTR_REQUIRES(mu_);
 
@@ -228,6 +243,12 @@ class ProbeScheduler {
   static SchedOptions clamp_options(SchedOptions options);
 
   const SchedOptions options_;
+  // Token-bucket arithmetic in fixed point: fractional refill rates
+  // accumulate exactly across rounds (one rounding when the options are
+  // converted, none per round), so sub-1 pacing neither drifts nor starves.
+  static constexpr std::uint64_t kTokenScale = 1u << 20;
+  const std::uint64_t refill_scaled_;  // vp_tokens_per_round * kTokenScale.
+  const std::uint64_t burst_scaled_;   // vp_token_burst * kTokenScale.
 
   mutable util::Mutex mu_;
   const SchedMetrics* metrics_ REVTR_GUARDED_BY(mu_) = nullptr;
@@ -236,18 +257,25 @@ class ProbeScheduler {
   std::uint64_t next_set_ REVTR_GUARDED_BY(mu_) = 0;
   std::uint64_t next_issue_ REVTR_GUARDED_BY(mu_) = 0;
   std::uint64_t round_ REVTR_GUARDED_BY(mu_) = 0;
-  std::unordered_map<std::uint64_t, Pending> pending_ REVTR_GUARDED_BY(mu_);
+  // Hot per-probe tables: open addressing (util::FlatMap) — the scheduler
+  // inserts and erases one pending entry per wire probe, which is exactly
+  // the churn pattern backward-shift erase keeps cheap.
+  util::FlatMap<std::uint64_t, Pending> pending_ REVTR_GUARDED_BY(mu_);
   // FIFO of un-issued pending ids.
   std::deque<std::uint64_t> queue_ REVTR_GUARDED_BY(mu_);
   // Coalesce key -> pending id.
-  std::unordered_map<std::uint64_t, std::uint64_t> in_flight_
+  util::FlatMap<std::uint64_t, std::uint64_t> in_flight_
       REVTR_GUARDED_BY(mu_);
-  std::unordered_map<std::uint64_t, DemandSet> sets_ REVTR_GUARDED_BY(mu_);
-  std::unordered_map<topology::HostId, VpState> vp_state_
+  util::FlatMap<std::uint64_t, DemandSet> sets_ REVTR_GUARDED_BY(mu_);
+  util::FlatMap<topology::HostId, VpState> vp_state_
       REVTR_GUARDED_BY(mu_);
   // Completed set ids awaiting collection.
   std::deque<std::uint64_t> ready_ REVTR_GUARDED_BY(mu_);
   SchedulerStats stats_ REVTR_GUARDED_BY(mu_);
+  // issue_spoof_batch_locked scratch, reused across batches.
+  std::vector<Pending> batch_pendings_ REVTR_GUARDED_BY(mu_);
+  std::vector<probing::RrBatchItem> batch_items_ REVTR_GUARDED_BY(mu_);
+  std::vector<probing::RrProbeResult> batch_results_ REVTR_GUARDED_BY(mu_);
 };
 
 }  // namespace revtr::sched

@@ -43,9 +43,10 @@ std::vector<RouterId> Network::ground_truth_path(Ipv4Addr from, Ipv4Addr to,
   ctx.has_options = has_options;
   ctx.packet_salt = salt * 0x9e3779b97f4a7c15ULL + 1;
 
+  const auto resolved = plane_.resolve(ctx.dst);
   for (int hop = 0; hop < kHopLimit; ++hop) {
     path.push_back(current);
-    const auto decision = plane_.decide(current, ctx);
+    const auto decision = plane_.decide(current, ctx, resolved);
     switch (decision.kind) {
       case routing::Decision::Kind::kForwardLink:
         current = decision.next_router;
@@ -164,10 +165,10 @@ std::optional<Packet> Network::router_response(const Packet& request,
   return reply;
 }
 
-Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
-                                          Ipv4Addr arrival_addr,
-                                          bool origin_emits) {
-  PassResult result;
+void Network::forward_pass(Packet packet, RouterId origin,
+                           Ipv4Addr arrival_addr, bool origin_emits,
+                           PassResult& result) {
+  result.reset();
   RouterId current = origin;
   routing::PacketContext ctx;
   ctx.src = packet.src;
@@ -185,6 +186,7 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
       (std::uint64_t{packet.src.value()} << 32) ^ packet.dst.value(),
       packet.rr.has_value() ? 0x5252ULL : (packet.ts ? 0x7373ULL : 0));
 
+  const auto resolved = plane_.resolve(ctx.dst);
   for (int hop = 0; hop < kHopLimit; ++hop) {
     ++packets_forwarded_;
     result.path.push_back(current);
@@ -192,18 +194,18 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
 
     // Option filtering at AS boundaries: the whole AS drops RR/TS packets.
     if (packet.has_options() &&
-        topo_.as_node(router.asn).filters_ip_options) {
-      return result;
+        topo_.as_at(router.as_index).filters_ip_options) {
+      return;
     }
 
-    const auto decision = plane_.decide(current, ctx);
+    const auto decision = plane_.decide(current, ctx, resolved);
     if (decision.kind == routing::Decision::Kind::kDeliverRouter) {
       result.delivered = packet;
       result.router = current;
-      return result;
+      return;
     }
     if (decision.kind == routing::Decision::Kind::kDrop) {
-      return result;
+      return;
     }
 
     // The packet must be forwarded: TTL check first.
@@ -212,7 +214,7 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
         result.icmp_error = net::make_time_exceeded(packet, arrival_addr);
         result.error_router = current;
       }
-      return result;
+      return;
     }
     --packet.ttl;
 
@@ -232,7 +234,7 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
       result.elapsed_us += kAccessDelayUs;
       result.delivered = packet;
       result.host = decision.host;
-      return result;
+      return;
     }
 
     // Forward over a link.
@@ -245,11 +247,32 @@ Network::PassResult Network::forward_pass(Packet packet, RouterId origin,
     arrival_addr = topo_.egress_addr(decision.next_router, decision.link);
     current = decision.next_router;
   }
-  return result;  // Hop limit exceeded: dropped.
+  // Hop limit exceeded: dropped.
 }
 
 SendResult Network::send(const Packet& packet, HostId sender) {
   SendResult result;
+  send_into(packet, sender, result);
+  return result;
+}
+
+void Network::send_batch(std::span<const BatchProbe> probes,
+                         std::vector<SendResult>& results) {
+  // Sequential per probe on purpose: the loss draws must happen in batch
+  // order for outcomes to match per-probe send() calls byte for byte. The
+  // batching win is the reused scratch, not reordered work.
+  results.resize(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    send_into(probes[i].packet, probes[i].sender, results[i]);
+  }
+}
+
+void Network::send_into(const Packet& packet, HostId sender,
+                        SendResult& out) {
+  out.reply.reset();
+  out.rtt_us = 0;
+  out.request_path.clear();
+  out.reply_path.clear();
   ++probes_injected_;
   const auto& host = topo_.host(sender);
 
@@ -257,13 +280,13 @@ SendResult Network::send(const Packet& packet, HostId sender) {
   // failing looks the same to the measurer (no answer).
   if (loss_rate_ > 0.0 &&
       static_cast<double>(rng_() >> 11) * 0x1.0p-53 < loss_rate_) {
-    return result;
+    return;
   }
 
   // Source address validation: a spoofed packet leaves the sender's network
   // only when the host may spoof and its AS does not filter.
   if (packet.src != host.addr && !can_spoof(sender)) {
-    return result;
+    return;
   }
 
   const auto src_prefix = topo_.prefix_of(host.addr);
@@ -275,9 +298,10 @@ SendResult Network::send(const Packet& packet, HostId sender) {
   }
 
   util::SimClock::Micros elapsed = kAccessDelayUs;
-  auto request_pass = forward_pass(packet, host.attachment, first_arrival);
+  PassResult& request_pass = pass_scratch_;
+  forward_pass(packet, host.attachment, first_arrival, false, request_pass);
   elapsed += request_pass.elapsed_us;
-  result.request_path = std::move(request_pass.path);
+  std::swap(out.request_path, request_pass.path);
 
   // Determine the response packet and its origin.
   std::optional<Packet> response;
@@ -308,30 +332,31 @@ SendResult Network::send(const Packet& packet, HostId sender) {
     response_arrival = topo_.router(request_pass.router).loopback;
   }
 
-  if (!response) return result;
+  if (!response) return;
 
   // Route the response to the IP source of the probe. It is observable only
   // if that address belongs to a host (the unspoofed sender, or the spoofed
   // victim S in the Reverse Traceroute dance).
   const auto observer = topo_.host_at(response->dst);
-  if (!observer) return result;
+  if (!observer) return;
 
   // A router answering for itself emits the reply rather than forwarding
-  // a received packet, so it must not add a second stamp.
+  // a received packet, so it must not add a second stamp. Both facts are
+  // read out of request_pass before the scratch is reused for the reply.
   const bool origin_emits =
       request_pass.icmp_error.has_value() ||
       (request_pass.delivered && request_pass.router != kInvalidId);
-  auto reply_pass = forward_pass(*response, response_origin,
-                                 response_arrival, origin_emits);
+  PassResult& reply_pass = pass_scratch_;
+  forward_pass(*response, response_origin, response_arrival, origin_emits,
+               reply_pass);
   elapsed += reply_pass.elapsed_us;
-  result.reply_path = std::move(reply_pass.path);
+  std::swap(out.reply_path, reply_pass.path);
 
   if (!reply_pass.delivered || reply_pass.host != *observer) {
-    return result;  // Reply lost (filtered, unroutable, expired).
+    return;  // Reply lost (filtered, unroutable, expired).
   }
-  result.reply = reply_pass.delivered;
-  result.rtt_us = elapsed + kAccessDelayUs;
-  return result;
+  out.reply = std::move(reply_pass.delivered);
+  out.rtt_us = elapsed + kAccessDelayUs;
 }
 
 }  // namespace revtr::sim

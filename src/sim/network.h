@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/packet.h"
@@ -38,6 +39,12 @@ struct SendResult {
   bool answered() const noexcept { return reply.has_value(); }
 };
 
+// One probe of a batch handed to Network::send_batch.
+struct BatchProbe {
+  net::Packet packet;
+  topology::HostId sender = topology::kInvalidId;
+};
+
 class Network {
  public:
   static constexpr util::SimClock::Micros kAccessDelayUs = 200;
@@ -51,6 +58,16 @@ class Network {
   // host would observe it. Returns the reply only when packet.src resolves
   // to a host (otherwise the reply vanishes into the simulated Internet).
   SendResult send(const net::Packet& packet, topology::HostId sender);
+
+  // Steps a whole probe batch (the engine's 3-probe spoofed-RR batches)
+  // through the topology in one call. Semantically identical to calling
+  // send() per probe in order — the loss-rng draws happen in batch order,
+  // so outcomes are byte-identical either way — but all passes share the
+  // simulator's path/option scratch and `results` reuses its element
+  // capacity across batches, so the steady state forwards packets without
+  // allocating. `results` is resized to probes.size().
+  void send_batch(std::span<const BatchProbe> probes,
+                  std::vector<SendResult>& results);
 
   // True when `sender`'s network permits it to emit packets whose source
   // address it does not own.
@@ -103,14 +120,33 @@ class Network {
     topology::RouterId error_router = topology::kInvalidId;
     util::SimClock::Micros elapsed_us = 0;
     std::vector<topology::RouterId> path;
+
+    // Back to the freshly-constructed state, keeping path's capacity so a
+    // reused PassResult walks the topology without allocating.
+    void reset() noexcept {
+      delivered.reset();
+      host = topology::kInvalidId;
+      router = topology::kInvalidId;
+      icmp_error.reset();
+      error_router = topology::kInvalidId;
+      elapsed_us = 0;
+      path.clear();
+    }
   };
+
+  // send() with the caller owning the result storage: `out`'s vectors are
+  // cleared, not reallocated, so repeated sends into the same SendResult
+  // reuse their capacity (the per-probe win send_batch builds on).
+  void send_into(const net::Packet& packet, topology::HostId sender,
+                 SendResult& out);
 
   // `origin_emits` marks a pass whose first router is the packet's own
   // originator (a router answering a probe): it forwards without stamping,
   // since RFC 791 stamping happens when *forwarding* a received packet.
-  PassResult forward_pass(net::Packet packet, topology::RouterId origin,
-                          net::Ipv4Addr arrival_addr,
-                          bool origin_emits = false);
+  // Writes into `result` (reset first), reusing its path capacity.
+  void forward_pass(net::Packet packet, topology::RouterId origin,
+                    net::Ipv4Addr arrival_addr, bool origin_emits,
+                    PassResult& result);
 
   void stamp_rr(net::Packet& packet, const topology::Router& router,
                 net::Ipv4Addr arrival_addr, net::Ipv4Addr egress_addr) const;
@@ -131,6 +167,10 @@ class Network {
   double loss_rate_ = 0.0;
   std::uint64_t packets_forwarded_ = 0;
   std::uint64_t probes_injected_ = 0;
+  // Shared forwarding scratch: request and reply passes of every send()
+  // run through here, keeping the hop-path vector's capacity warm. The
+  // Network is per-worker (see reseed()), so no synchronization is needed.
+  PassResult pass_scratch_;
 };
 
 }  // namespace revtr::sim

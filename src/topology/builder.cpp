@@ -107,6 +107,7 @@ class BuildContext {
         Router router;
         router.id = static_cast<RouterId>(topo_.routers_.size());
         router.asn = node.asn;
+        router.as_index = i;
         router.loopback = take_loopback(i);
         router.rr_policy = pick_rr_policy();
         if (router.rr_policy == RrStampPolicy::kPrivate) {

@@ -8,12 +8,12 @@
 
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/ipv4.h"
 #include "net/prefix_trie.h"
 #include "topology/types.h"
+#include "util/flat_map.h"
 
 namespace revtr::topology {
 
@@ -105,14 +105,16 @@ class Topology {
   std::vector<BgpPrefix> prefixes_;
   std::vector<Host> hosts_;
 
-  std::unordered_map<Asn, AsIndex> asn_to_index_;
-  std::unordered_map<net::Ipv4Addr, InterfaceOwner> interface_map_;
-  std::unordered_map<net::Ipv4Addr, HostId> host_map_;
+  // Open-addressing tables (util::FlatMap): these are the per-packet lookup
+  // maps on the simulator's forwarding hot path.
+  util::FlatMap<Asn, AsIndex> asn_to_index_;
+  util::FlatMap<net::Ipv4Addr, InterfaceOwner> interface_map_;
+  util::FlatMap<net::Ipv4Addr, HostId> host_map_;
   net::PrefixTrie<PrefixId> prefix_trie_;
   // (from_as << 32 | to_as) -> parallel interconnect links.
-  std::unordered_map<std::uint64_t, std::vector<LinkId>> border_links_;
+  util::FlatMap<std::uint64_t, std::vector<LinkId>> border_links_;
   // (router << 32 | prefix) -> gateway address.
-  std::unordered_map<std::uint64_t, net::Ipv4Addr> gateway_map_;
+  util::FlatMap<std::uint64_t, net::Ipv4Addr> gateway_map_;
   std::vector<std::vector<net::Ipv4Addr>> router_gateways_;  // By RouterId.
   std::vector<std::vector<HostId>> prefix_hosts_;  // Indexed by PrefixId.
 

@@ -83,6 +83,7 @@ std::string to_string(RrStampPolicy policy);
 struct Router {
   RouterId id = kInvalidId;
   Asn asn = 0;
+  AsIndex as_index = kInvalidId;  // Dense index of `asn` (= index_of(asn)).
   net::Ipv4Addr loopback;
   net::Ipv4Addr private_alias;  // Stamped when policy == kPrivate.
   RrStampPolicy rr_policy = RrStampPolicy::kEgress;

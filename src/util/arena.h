@@ -1,0 +1,122 @@
+// Bump-pointer arena for per-request scratch memory.
+//
+// A staged RequestTask allocates the same short-lived vectors every loop
+// iteration (RR attempt lists, revealed-hop sets, timestamp candidates);
+// with the global allocator each iteration pays malloc/free per container.
+// An Arena hands out memory by bumping a pointer through chunked blocks and
+// frees nothing until reset(): allocation is a bounds check and an add, and
+// reset() recycles the blocks in place, so the steady state allocates zero
+// bytes from the system.
+//
+// Lifetime rules (see DESIGN.md §13):
+//   * Everything allocated from an Arena dies at reset(). Containers using
+//     an ArenaAllocator MUST be destroyed (or re-created) before the arena
+//     they point into is reset — the allocator's deallocate() is a no-op,
+//     but a live container would be left dangling over recycled memory.
+//   * Arena is single-threaded by design: one arena per RequestTask, and a
+//     task only ever runs on one worker at a time (the scheduler's
+//     in-flight accounting enforces that).
+//
+// Storage is std::vector<std::byte> blocks (no raw new/delete); blocks
+// double in size up to a cap so a task that once needed a big scratch block
+// keeps it across resets instead of re-growing every iteration.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace revtr::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kFirstBlockBytes = 4096;
+  static constexpr std::size_t kMaxBlockBytes = 1 << 20;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` bytes aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    REVTR_CHECK(align > 0 && (align & (align - 1)) == 0);
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (block_ < blocks_.size()) {
+        std::vector<std::byte>& block = blocks_[block_];
+        const auto base = reinterpret_cast<std::uintptr_t>(block.data());
+        std::size_t off = offset_;
+        const std::uintptr_t misalign = (base + off) & (align - 1);
+        if (misalign != 0) off += align - misalign;
+        if (off + bytes <= block.size()) {
+          offset_ = off + bytes;
+          return block.data() + off;
+        }
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      add_block(bytes + align);
+    }
+  }
+
+  // Recycles all blocks. O(1); keeps the memory for the next iteration.
+  void reset() noexcept {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  // Total bytes owned (capacity, not live allocations) — for tests.
+  std::size_t capacity_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& block : blocks_) total += block.size();
+    return total;
+  }
+
+ private:
+  void add_block(std::size_t at_least) {
+    std::size_t want =
+        blocks_.empty() ? kFirstBlockBytes
+                        : std::min(blocks_.back().size() * 2, kMaxBlockBytes);
+    while (want < at_least) want *= 2;
+    blocks_.emplace_back(want);
+  }
+
+  std::vector<std::vector<std::byte>> blocks_;
+  std::size_t block_ = 0;   // Index of the block currently being bumped.
+  std::size_t offset_ = 0;  // Bump offset within blocks_[block_].
+};
+
+// std-compatible allocator over an Arena. deallocate() is a no-op; memory
+// comes back only at Arena::reset(). Two allocators compare equal iff they
+// share an arena, so container moves between same-arena containers are O(1).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace revtr::util

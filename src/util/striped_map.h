@@ -18,10 +18,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 
 #include "util/annotate.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 namespace revtr::util {
@@ -71,7 +71,9 @@ class StripedMap {
  private:
   struct Stripe {
     mutable SharedMutex mu;
-    std::unordered_map<std::uint64_t, Value> map REVTR_GUARDED_BY(mu);
+    // Keys arrive pre-mixed by stripe() and FlatMap re-mixes internally, so
+    // the flat table keeps its probe sequences short even for clustered ids.
+    FlatMap<std::uint64_t, Value> map REVTR_GUARDED_BY(mu);
   };
 
   // Keys are typically already hashes, but re-mixing is cheap insurance

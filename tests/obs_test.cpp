@@ -106,6 +106,79 @@ TEST(ObsHistogram, CountAndSumAggregateAcrossBuckets) {
   EXPECT_EQ(h.sum(), 0u);
 }
 
+// --- Quantile estimation edges --------------------------------------------
+
+TEST(ObsQuantile, EmptyHistogramReturnsZeroForAnyQuantile) {
+  obs::HistogramSample sample;
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(obs::histogram_quantile(sample, q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(ObsQuantile, QuantileIsClampedToUnitInterval) {
+  obs::HistogramSample sample;
+  sample.count = 4;
+  sample.buckets = {{10, 0}, {20, 4}};
+  EXPECT_EQ(obs::histogram_quantile(sample, -0.5),
+            obs::histogram_quantile(sample, 0.0));
+  EXPECT_EQ(obs::histogram_quantile(sample, 1.5),
+            obs::histogram_quantile(sample, 1.0));
+}
+
+TEST(ObsQuantile, SingleSampleInterpolatesWithinItsBucket) {
+  obs::HistogramSample sample;
+  sample.count = 1;
+  sample.buckets = {{8, 0}, {10, 1}};
+  // The one sample lives in (8, 10]: q sweeps linearly across that bucket
+  // and never escapes it.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.5), 9.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 1.0), 10.0);
+}
+
+TEST(ObsQuantile, QuantileZeroSkipsEmptyLeadingBuckets) {
+  // Regression: q = 0 used to land in the first bucket (cum 0 >= rank 0)
+  // and return its bound — claiming a minimum far below any sample.
+  obs::HistogramSample sample;
+  sample.count = 5;
+  sample.buckets = {{0, 0}, {1, 0}, {100, 0}, {200, 5}};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 1.0), 200.0);
+}
+
+TEST(ObsQuantile, RankPastFiniteBucketsClampsToLastFiniteBound) {
+  obs::HistogramSample sample;
+  sample.count = 10;   // 6 finite + 4 overflow samples.
+  sample.overflow = 4;
+  sample.buckets = {{100, 6}};
+  // p50 lands inside the finite mass; p99 lands in overflow and clamps.
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.5),
+                   100.0 * (5.0 / 6.0));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 1.0), 100.0);
+}
+
+TEST(ObsQuantile, AllMassInOverflowClampsToLargestFiniteBound) {
+  // Regression: a histogram whose every sample overflowed used to snapshot
+  // an empty bucket list, making every quantile collapse to 0. The snapshot
+  // now keeps the largest finite bound for exactly this case.
+  MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("overflow_only_us");
+  h.record(~0ULL);
+  h.record(1ULL << 60);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& sample = snap.histograms[0];
+  EXPECT_EQ(sample.count, 2u);
+  EXPECT_EQ(sample.overflow, 2u);
+  ASSERT_FALSE(sample.buckets.empty());
+  const double last_finite = static_cast<double>(
+      Histogram::bucket_le(Histogram::kOverflowBucket - 1));
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.0), last_finite);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 0.5), last_finite);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(sample, 1.0), last_finite);
+}
+
 // --- Registry -------------------------------------------------------------
 
 TEST(ObsRegistry, GetOrCreateReturnsStableHandles) {

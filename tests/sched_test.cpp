@@ -148,6 +148,55 @@ TEST_F(SchedFixture, TokenBucketPacesAcrossRounds) {
   EXPECT_TRUE(scheduler.idle());
 }
 
+TEST_F(SchedFixture, FractionalPacingIssuesOnExactCadence) {
+  // A refill rate below one token per round is legal: 0.5 is exact in the
+  // scheduler's fixed point, so the cadence is one probe every second round
+  // with zero drift over the whole horizon.
+  SchedOptions options;
+  options.vp_window = 8;  // The window alone would allow everything at once.
+  options.vp_tokens_per_round = 0.5;
+  options.vp_token_burst = 1;
+  ProbeScheduler scheduler(options);
+  std::vector<ProbeDemand> demands;
+  for (std::size_t i = 0; i < 15; ++i) demands.push_back(ping_demand(0, i));
+  scheduler.submit(1, 0, std::move(demands));
+  for (std::size_t probe = 0; probe < 15; ++probe) {
+    EXPECT_EQ(scheduler.pump(lab_->prober).issued, 0u) << "probe " << probe;
+    EXPECT_EQ(scheduler.pump(lab_->prober).issued, 1u) << "probe " << probe;
+  }
+  ASSERT_EQ(scheduler.collect_ready(0).size(), 1u);
+  EXPECT_TRUE(scheduler.idle());
+  EXPECT_EQ(scheduler.stats().rounds, 30u);
+}
+
+TEST_F(SchedFixture, SubUnityPacingNeverStarvesOverLongHorizons) {
+  // 1/3 token per round is NOT exact in fixed point (the refill rounds
+  // down), which is precisely the drift hazard this test pins: queued
+  // demands must still drain on an (almost exactly) three-round cadence —
+  // deferred forever is the failure mode the ctor clamp rules out.
+  SchedOptions options;
+  options.vp_window = 8;
+  options.vp_tokens_per_round = 1.0 / 3.0;
+  options.vp_token_burst = 2;
+  ProbeScheduler scheduler(options);
+  std::vector<ProbeDemand> demands;
+  for (std::size_t i = 0; i < 18; ++i) demands.push_back(ping_demand(0, i));
+  scheduler.submit(1, 0, std::move(demands));
+  std::size_t issued = 0;
+  std::size_t rounds = 0;
+  while (issued < 18 && rounds < 100) {
+    issued += scheduler.pump(lab_->prober).issued;
+    ++rounds;
+  }
+  EXPECT_EQ(issued, 18u);
+  // Exactly ceil(k / (1/3 rounded down to fixed point)) rounds for the k-th
+  // probe: 4, 7, 10, ... — the sub-token remainder carries across rounds
+  // instead of being lost, so the long-horizon rate stays 1/3.
+  EXPECT_EQ(rounds, 55u);
+  ASSERT_EQ(scheduler.collect_ready(0).size(), 1u);
+  EXPECT_TRUE(scheduler.idle());
+}
+
 TEST_F(SchedFixture, SpoofedBatchesGroupAcrossTasks) {
   const net::Ipv4Addr ingress_x(0x0a000001);
   const net::Ipv4Addr ingress_y(0x0a000002);

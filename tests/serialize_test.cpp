@@ -81,6 +81,78 @@ TEST_F(SerializeFixture, RoundTripPreservesEverything) {
   }
 }
 
+// Pins the wire format byte-for-byte: key order (std::map), compact
+// separators, hop encoding (gap hops omit "addr"), and flag spelling. The
+// SoA hop storage (core::HopList) sits behind this format — any layout
+// change that altered serialization would shift these bytes.
+TEST_F(SerializeFixture, GoldenWireFormatIsByteStable) {
+  core::ReverseTraceroute r;
+  r.destination = lab_->topo.probe_hosts()[0];
+  r.source = source_;
+  r.status = core::RevtrStatus::kComplete;
+  r.hops.push_back(core::ReverseHop{*net::Ipv4Addr::parse("203.0.113.7"),
+                                    core::HopSource::kDestination});
+  r.hops.push_back(core::ReverseHop{*net::Ipv4Addr::parse("198.51.100.9"),
+                                    core::HopSource::kSpoofedRecordRoute});
+  r.hops.push_back(
+      core::ReverseHop{net::Ipv4Addr{}, core::HopSource::kSuspiciousGap});
+  r.hops.push_back(core::ReverseHop{*net::Ipv4Addr::parse("192.0.2.1"),
+                                    core::HopSource::kAssumedSymmetric});
+  r.span.begin = 0;
+  r.span.end = 1234;
+  r.probes.ping = 1;
+  r.probes.rr = 2;
+  r.probes.spoofed_rr = 9;
+  r.probes.ts = 3;
+  r.probes.spoofed_ts = 4;
+  r.probes.traceroute_packets = 5;
+  r.spoofed_batches = 2;
+  r.symmetry_assumptions = 1;
+  r.has_suspicious_gap = true;
+
+  const std::string dst = lab_->topo.host(r.destination).addr.to_string();
+  const std::string src = lab_->topo.host(r.source).addr.to_string();
+  const std::string expected =
+      "{\"destination\":\"" + dst +
+      "\",\"flags\":{\"dbr_suspect\":false,\"interdomain_symmetry\":false,"
+      "\"private_hops\":false,\"stale_traceroute\":false,"
+      "\"suspicious_gap\":true},"
+      "\"hops\":[{\"addr\":\"203.0.113.7\",\"via\":\"destination\"},"
+      "{\"addr\":\"198.51.100.9\",\"via\":\"spoofed-rr\"},"
+      "{\"via\":\"*\"},"
+      "{\"addr\":\"192.0.2.1\",\"via\":\"assumed-symmetric\"}],"
+      "\"latency_us\":1234,"
+      "\"probes\":{\"ping\":1,\"rr\":2,\"spoofed_rr\":9,\"spoofed_ts\":4,"
+      "\"traceroute_packets\":5,\"ts\":3},"
+      "\"source\":\"" + src +
+      "\",\"spoofed_batches\":2,\"status\":\"complete\","
+      "\"symmetry_assumptions\":1}";
+  EXPECT_EQ(core::to_json(r, lab_->topo).dump(), expected);
+
+  // And the golden bytes survive a decode/encode cycle unchanged.
+  const auto reparsed = util::Json::parse(expected);
+  ASSERT_TRUE(reparsed);
+  const auto restored =
+      core::reverse_traceroute_from_json(*reparsed, lab_->topo);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(core::to_json(*restored, lab_->topo).dump(), expected);
+  EXPECT_TRUE(restored->hops == r.hops);
+}
+
+// Every measured result re-serializes to the same bytes after a decode:
+// dump -> parse -> from_json -> to_json -> dump is the identity.
+TEST_F(SerializeFixture, ReserializationIsByteIdentical) {
+  for (const auto& result : results_) {
+    const std::string bytes = core::to_json(result, lab_->topo).dump();
+    const auto reparsed = util::Json::parse(bytes);
+    ASSERT_TRUE(reparsed);
+    const auto restored =
+        core::reverse_traceroute_from_json(*reparsed, lab_->topo);
+    ASSERT_TRUE(restored);
+    EXPECT_EQ(core::to_json(*restored, lab_->topo).dump(), bytes);
+  }
+}
+
 TEST_F(SerializeFixture, MalformedDocumentsRejected) {
   EXPECT_FALSE(core::reverse_traceroute_from_json(util::Json(), lab_->topo));
   util::Json missing_status = core::to_json(results_[0], lab_->topo);

@@ -172,8 +172,10 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   }
   options.sched.vp_window = static_cast<std::size_t>(flags.get_int(
       "sched-window", static_cast<std::int64_t>(options.sched.vp_window)));
-  options.sched.vp_tokens_per_round = static_cast<std::uint32_t>(
-      flags.get_int("sched-pacing", options.sched.vp_tokens_per_round));
+  // Fractional rates are legal: e.g. --sched-pacing=0.5 issues one probe
+  // from a VP every second pump round.
+  options.sched.vp_tokens_per_round =
+      flags.get_double("sched-pacing", options.sched.vp_tokens_per_round);
   if (flags.get_bool("sched-no-coalesce", false)) {
     options.sched.coalesce = false;
   }
