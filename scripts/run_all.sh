@@ -26,6 +26,14 @@ REVTR_BENCH_DIR="$(cd "$REVTR_BENCH_DIR" && pwd)"
 export REVTR_BENCH_DIR
 for b in build/bench/*; do [ -x "$b" ] && "$b"; done
 for e in build/examples/*; do [ -x "$e" ] && "$e"; done
+# Full-scale daemon replay: a million closed-loop requests against an
+# in-process revtr_serverd with hot caches; publishes accept/shed/deadline
+# SLOs into BENCH_serverd.json (see DESIGN.md §14). REVTR_REPLAY_REQUESTS
+# scales it down for constrained machines.
+./build/tools/revtr_replay \
+    --requests="${REVTR_REPLAY_REQUESTS:-1000000}" --conns=4 --mode=closed \
+    --inflight=16 --ases=400 --vps=20 --probes=150 --workers=4 \
+    --deadline-ms=60000 --daemon-socket=build/revtr_replay_full.sock
 echo "bench artifacts: $(ls "$REVTR_BENCH_DIR"/BENCH_*.json 2>/dev/null || echo none)"
 scripts/bench_delta.py --baselines bench/baselines --fresh "$REVTR_BENCH_DIR" \
     --trajectory || true

@@ -242,6 +242,29 @@ void emit_type_line(std::string& out, std::string_view family,
 
 }  // namespace
 
+const CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(std::string_view name) const {
+  for (const auto& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  for (const auto& sample : histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
   std::string last_family;

@@ -182,6 +182,14 @@ struct MetricsSnapshot {
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
 
+  // Exact-name lookups (full name including labels); nullptr when absent.
+  // Consumers that report on specific series — the daemon's STATS reply,
+  // the replayer's SLO export — use these instead of re-scanning the
+  // vectors.
+  const CounterSample* find_counter(std::string_view name) const;
+  const GaugeSample* find_gauge(std::string_view name) const;
+  const HistogramSample* find_histogram(std::string_view name) const;
+
   // Prometheus text exposition (families sorted, TYPE line per family).
   std::string to_prometheus() const;
   util::Json to_json() const;

@@ -367,6 +367,11 @@ bool ProbeScheduler::idle() const {
   return pending_.empty() && ready_.empty() && sets_.empty();
 }
 
+std::size_t ProbeScheduler::backlog() const {
+  const util::MutexLock lock(mu_);
+  return sets_.size();
+}
+
 SchedulerStats ProbeScheduler::stats() const {
   const util::MutexLock lock(mu_);
   return stats_;

@@ -195,6 +195,11 @@ class ProbeScheduler {
   std::vector<Ready> collect_ready(std::size_t owner);
 
   bool idle() const;  // No queued probes and no undelivered sets.
+  // Unfinished demand sets currently inside the scheduler (submitted, not
+  // yet collected). The admission controller's backpressure signal: demand
+  // the workers have already handed over that the bounded submission queue
+  // cannot see.
+  std::size_t backlog() const;
   SchedulerStats stats() const;
   const SchedOptions& options() const noexcept { return options_; }
 

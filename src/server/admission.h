@@ -1,0 +1,102 @@
+// Admission control for the measurement daemon: per-tenant token buckets,
+// bounded queues, scheduler backpressure, and deadline-aware load shedding.
+//
+// The controller generalizes the engine's NDT shed path (give up on a
+// request whose deadline cannot be met) from one measurement to the whole
+// submission pipeline: a request that would sit in queue past its deadline
+// is refused at the door (kDeadlineUnmeetable) instead of wasting probe
+// budget on an answer nobody will read — the rationing argument of Donnet
+// et al. applied at the service boundary.
+//
+// The controller holds no lock of its own; ServerDaemon owns one instance
+// and calls it under the daemon mutex. Quota checks (daily request/probe
+// budgets) stay in RevtrService — admission decides whether the *system*
+// can take the request, the service decides whether the *tenant* may.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "server/frame.h"
+
+namespace revtr::server {
+
+struct TokenBucketOptions {
+  double rate_per_sec = 2000.0;  // Sustained submits per second.
+  double burst = 256.0;          // Bucket depth.
+};
+
+// Standard token bucket on a microsecond clock. Not thread-safe; callers
+// synchronize externally (the daemon serializes all admission decisions).
+class TokenBucket {
+ public:
+  explicit TokenBucket(TokenBucketOptions options)
+      : options_(options), tokens_(options.burst) {}
+
+  // Consumes one token if available, refilling for elapsed time first.
+  bool try_take(std::int64_t now_us);
+
+  double tokens() const { return tokens_; }
+
+ private:
+  TokenBucketOptions options_;
+  double tokens_;
+  std::int64_t last_refill_us_ = 0;
+};
+
+struct AdmissionConfig {
+  // Bounded submission queue (all priorities combined). Beyond this the
+  // daemon refuses rather than buffering unboundedly.
+  std::size_t queue_capacity = 1024;
+  // Refuse new work while the ProbeScheduler holds more unfinished demand
+  // sets than this — the queue bound alone cannot see demand the workers
+  // have already handed to the scheduler.
+  std::size_t sched_backlog_limit = 4096;
+  // EWMA smoothing for the observed per-request wall latency that feeds the
+  // deadline-unmeetable estimate.
+  double latency_ewma_alpha = 0.2;
+  std::size_t workers = 2;
+};
+
+// Instantaneous load the daemon samples before each decision.
+struct AdmissionLoad {
+  std::size_t queued = 0;         // Requests waiting in the daemon queue.
+  std::size_t inflight = 0;       // Requests being measured right now.
+  std::size_t sched_backlog = 0;  // ProbeScheduler::backlog().
+  bool draining = false;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config) : config_(config) {}
+
+  // Registers a tenant's token bucket; tenant ids are dense and small
+  // (RevtrService user ids start at 1).
+  void add_tenant(std::uint32_t tenant, TokenBucketOptions bucket);
+
+  // Returns the reason to refuse, or nullopt to admit. Checks in order:
+  // draining, deadline already expired, tenant rate limit, queue capacity,
+  // scheduler backpressure, deadline unmeetable under estimated wait.
+  std::optional<RejectReason> decide(std::uint32_t tenant,
+                                     std::int64_t deadline_us,
+                                     std::int64_t now_us,
+                                     const AdmissionLoad& load);
+
+  // Feeds one finished request's wall latency into the wait estimator.
+  void observe_latency(std::int64_t wall_us);
+
+  // Estimated queue wait for a newly admitted request, in micros: smoothed
+  // per-request latency times queue depth ahead of it, divided across the
+  // worker pool. Zero until the first completion is observed.
+  std::int64_t estimated_wait_us(const AdmissionLoad& load) const;
+
+  double smoothed_latency_us() const { return ewma_latency_us_; }
+
+ private:
+  AdmissionConfig config_;
+  std::vector<TokenBucket> buckets_;  // Indexed by tenant id.
+  double ewma_latency_us_ = 0.0;
+};
+
+}  // namespace revtr::server

@@ -1,0 +1,80 @@
+// Blocking client for the revtr_serverd framed protocol (server/frame.h).
+//
+// One DaemonClient owns one AF_UNIX stream connection. All calls run on the
+// caller's thread with blocking I/O — the replayer gives each connection
+// thread its own client; nothing here is shared or locked. RESULT frames
+// interleave with other replies in push mode, so every wait_* helper
+// stashes Results it passes by; next_result() consumes the stash before
+// touching the socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/frame.h"
+
+namespace revtr::server {
+
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  // Connects to the daemon's socket, retrying (20 ms apart) while the
+  // daemon is still binding. False after all retries fail.
+  bool connect(const std::string& socket_path, int retries = 50);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  // HELLO handshake. Empty result on transport error or HELLO_ERR
+  // (reject_reason() says why).
+  std::optional<HelloOk> hello(const std::string& api_key,
+                               bool push_results = true);
+
+  // Submits one request and waits for the SUBMIT_OK / SUBMIT_ERR ack.
+  // True = accepted; false with reject_reason() set = rejected; false with
+  // reject_reason() empty = transport error.
+  bool submit(const Submit& request);
+
+  // Next RESULT: from the stash, else blocking-read until one arrives.
+  std::optional<Result> next_result();
+
+  // Pull mode: one POLL round trip. Appends up to `max_results` stashed
+  // results and returns the server's remaining-pending count (empty on
+  // transport error).
+  std::optional<std::uint32_t> poll_results(std::uint32_t max_results = 16);
+
+  // STATS round trip: the daemon's JSON snapshot text.
+  std::optional<std::string> stats();
+
+  // DRAIN: waits until the daemon finished every accepted request.
+  std::optional<DrainDone> drain();
+
+  // Reason from the most recent HELLO_ERR / SUBMIT_ERR.
+  std::optional<RejectReason> reject_reason() const noexcept {
+    return reject_reason_;
+  }
+  std::size_t stashed_results() const noexcept { return results_.size(); }
+
+ private:
+  bool send_frame(const Message& message);
+  // One whole frame off the socket (blocking). Empty on EOF, error, or an
+  // undecodable frame.
+  std::optional<Message> read_frame();
+  // Reads frames until one satisfies `want` (by FrameType), stashing
+  // RESULTs encountered on the way.
+  std::optional<Message> wait_for(FrameType a, FrameType b);
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> in_;
+  std::deque<Result> results_;
+  std::optional<RejectReason> reject_reason_;
+};
+
+}  // namespace revtr::server

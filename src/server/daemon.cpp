@@ -1,0 +1,836 @@
+#include "server/daemon.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "core/request_task.h"
+#include "probing/prober.h"
+#include "sim/network.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace revtr::server {
+
+namespace {
+
+// One daemon per process for signal routing (install_signal_handlers).
+std::atomic<ServerDaemon*> g_signal_daemon{nullptr};
+
+void drain_signal_handler(int /*signum*/) {
+  // Async-signal-safe: request_drain is an atomic store + one write().
+  ServerDaemon* daemon = g_signal_daemon.load(std::memory_order_acquire);
+  if (daemon != nullptr) daemon->request_drain();
+}
+
+}  // namespace
+
+// One worker's private measurement stack, mirroring the parallel campaign
+// driver: members reference earlier members, so stacks live behind
+// unique_ptr and never move. All stacks share one EngineCaches and one
+// network seed — a request measures the same path on any worker.
+struct ServerDaemon::WorkerStack {
+  sim::Network network;
+  probing::Prober prober;
+  core::RevtrEngine engine;
+
+  WorkerStack(eval::Lab& lab, const core::EngineConfig& config,
+              std::uint64_t net_seed,
+              std::shared_ptr<core::EngineCaches> caches)
+      : network(lab.topo, lab.plane, net_seed),
+        prober(network),
+        engine(prober, lab.topo, lab.atlas, lab.ingress, lab.ip2as,
+               lab.relationships, config, net_seed) {
+    engine.set_shared_caches(std::move(caches));
+  }
+};
+
+// Per-connection state, owned exclusively by the net thread (no locks).
+struct ServerDaemon::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  // Pull mode: encoded RESULT frames buffered until the client POLLs.
+  std::deque<std::vector<std::uint8_t>> pull_queue;
+  bool authed = false;
+  bool push = true;
+  bool awaiting_drain = false;
+  bool closed = false;
+  service::UserId tenant = 0;
+};
+
+ServerDaemon::ServerDaemon(ServerOptions options)
+    : options_(std::move(options)), admission_(options_.admission) {}
+
+ServerDaemon::~ServerDaemon() {
+  stop();
+  if (g_signal_daemon.load(std::memory_order_acquire) == this) {
+    install_signal_handlers(nullptr);
+  }
+}
+
+std::int64_t ServerDaemon::now_us() const {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  return (ns - epoch_ns_) / 1000;
+}
+
+void ServerDaemon::wake_net() noexcept {
+  if (wake_pipe_[1] < 0) return;
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  [[maybe_unused]] const ssize_t rc = write(wake_pipe_[1], &byte, 1);
+}
+
+void ServerDaemon::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  wake_net();
+}
+
+void ServerDaemon::install_signal_handlers(ServerDaemon* daemon) {
+  g_signal_daemon.store(daemon, std::memory_order_release);
+  if (daemon != nullptr) {
+    std::signal(SIGTERM, drain_signal_handler);
+    std::signal(SIGINT, drain_signal_handler);
+  } else {
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+  }
+}
+
+bool ServerDaemon::start() {
+  REVTR_CHECK(!started_);
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+
+  // --- Measurement stack: built once, hot for the daemon's lifetime. ---
+  lab_ = std::make_unique<eval::Lab>(options_.topo, options_.engine,
+                                     options_.seed);
+  // Every ingress plan is surveyed now so no worker ever triggers an
+  // on-demand discovery mid-request (same rule as the campaign driver).
+  lab_->precompute_all_ingresses();
+
+  service_metrics_ = std::make_unique<service::ServiceMetrics>(registry_);
+  engine_metrics_ = std::make_unique<core::EngineMetrics>(registry_);
+  probe_metrics_ = std::make_unique<probing::ProbeMetrics>(registry_);
+  sched_metrics_ = std::make_unique<sched::SchedMetrics>(registry_);
+  lab_->prober.set_metrics(&*probe_metrics_);
+
+  service_ = std::make_unique<service::RevtrService>(lab_->engine, lab_->atlas,
+                                                     lab_->prober, lab_->topo);
+  service_->set_metrics(&*service_metrics_);
+
+  const auto& vps = lab_->topo.vantage_points();
+  const std::size_t want_sources =
+      std::min(std::max<std::size_t>(options_.sources, 1), vps.size());
+  for (std::size_t i = 0;
+       i < vps.size() && source_hosts_.size() < want_sources; ++i) {
+    if (service_->add_source(vps[i], options_.atlas_size, lab_->rng)) {
+      source_hosts_.push_back(vps[i]);
+    }
+  }
+  if (source_hosts_.empty()) {
+    std::fprintf(stderr, "revtr_serverd: no vantage point bootstrapped\n");
+    return false;
+  }
+
+  tenant_configs_ = options_.tenants;
+  if (tenant_configs_.empty()) tenant_configs_.emplace_back();
+  for (const TenantConfig& tenant : tenant_configs_) {
+    const service::UserId id = service_->add_user(tenant.name, tenant.limits);
+    tenant_ids_.push_back(id);
+    {
+      const util::MutexLock lock(mu_);
+      admission_.add_tenant(id, tenant.bucket);
+    }
+    if (tenant_metrics_.size() <= id) tenant_metrics_.resize(id + 1);
+    tenant_metrics_[id].requests = &registry_.counter(
+        std::string("revtr_server_tenant_requests_total{tenant=\"") +
+        tenant.name + "\"}");
+  }
+
+  scheduler_ = std::make_unique<sched::ProbeScheduler>(options_.sched);
+  scheduler_->set_metrics(&*sched_metrics_);
+
+  caches_ = std::make_shared<core::EngineCaches>();
+  const std::uint64_t net_seed = util::mix_hash(options_.seed, 0x6e7ULL);
+  const std::size_t workers = std::max<std::size_t>(options_.workers, 1);
+  for (std::size_t w = 0; w < workers; ++w) {
+    stacks_.push_back(std::make_unique<WorkerStack>(*lab_, options_.engine,
+                                                    net_seed, caches_));
+    stacks_.back()->prober.set_metrics(&*probe_metrics_);
+    stacks_.back()->engine.set_metrics(&*engine_metrics_);
+  }
+
+  // Metric handles resolved once: the registry mutex (rank 10) must never
+  // be taken under the daemon mutex (rank 110).
+  requests_total_ = &registry_.counter("revtr_server_requests_total");
+  completed_total_ = &registry_.counter("revtr_server_completed_total");
+  sheds_total_ = &registry_.counter("revtr_server_sheds_total");
+  deadline_miss_total_ =
+      &registry_.counter("revtr_server_deadline_miss_total");
+  connections_total_ = &registry_.counter("revtr_server_connections_total");
+  protocol_errors_total_ =
+      &registry_.counter("revtr_server_protocol_errors_total");
+  for (std::uint8_t r = 0; r <= kMaxRejectReason; ++r) {
+    reject_reasons_.push_back(&registry_.counter(
+        std::string("revtr_server_rejects_total{reason=\"") +
+        std::string(to_string(static_cast<RejectReason>(r))) + "\"}"));
+  }
+  wall_latency_us_ = &registry_.histogram("revtr_server_request_wall_us");
+  sim_latency_us_ = &registry_.histogram("revtr_server_request_sim_us");
+  queue_depth_ = &registry_.gauge("revtr_server_queue_depth");
+  inflight_ = &registry_.gauge("revtr_server_inflight");
+
+  // --- Socket + self-pipe. ---
+  if (pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    std::fprintf(stderr, "revtr_serverd: pipe2: %s\n", std::strerror(errno));
+    return false;
+  }
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "revtr_serverd: socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "revtr_serverd: socket path too long: %s\n",
+                 options_.socket_path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  unlink(options_.socket_path.c_str());
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    std::fprintf(stderr, "revtr_serverd: bind %s: %s\n",
+                 options_.socket_path.c_str(), std::strerror(errno));
+    return false;
+  }
+  if (listen(listen_fd_, 64) != 0) {
+    std::fprintf(stderr, "revtr_serverd: listen: %s\n", std::strerror(errno));
+    return false;
+  }
+
+  threads_.emplace_back([this] { net_loop(); });
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+  started_ = true;
+  return true;
+}
+
+void ServerDaemon::wait_until_drained() {
+  util::MutexLock lock(mu_);
+  while (!drained_ && !stopping_) drained_cv_.wait(lock);
+}
+
+void ServerDaemon::stop() {
+  if (!started_) return;
+  request_drain();
+  wait_until_drained();
+  {
+    const util::MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  drained_cv_.notify_all();
+  wake_net();
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  unlink(options_.socket_path.c_str());
+  started_ = false;
+}
+
+bool ServerDaemon::draining() const {
+  const util::MutexLock lock(mu_);
+  return draining_;
+}
+
+ServerCounters ServerDaemon::counters() const {
+  const util::MutexLock lock(mu_);
+  return counters_;
+}
+
+void ServerDaemon::set_worker_hold(bool hold) {
+  {
+    const util::MutexLock lock(mu_);
+    worker_hold_ = hold;
+  }
+  work_cv_.notify_all();
+}
+
+std::string ServerDaemon::build_stats_json() {
+  const obs::MetricsSnapshot snapshot = registry_.snapshot();
+  ServerCounters c;
+  std::size_t queued = 0;
+  std::size_t inflight = 0;
+  bool draining = false;
+  bool drained = false;
+  {
+    const util::MutexLock lock(mu_);
+    c = counters_;
+    queued = queued_;
+    inflight = inflight_count_;
+    draining = draining_;
+    drained = drained_;
+  }
+  util::Json json = util::Json::object();
+  json["connections"] = c.connections;
+  json["accepted"] = c.accepted;
+  json["rejected"] = c.rejected;
+  json["completed"] = c.completed;
+  json["shed"] = c.shed_queued;
+  json["deadline_missed"] = c.deadline_missed;
+  json["protocol_errors"] = c.protocol_errors;
+  json["queued"] = static_cast<std::uint64_t>(queued);
+  json["inflight"] = static_cast<std::uint64_t>(inflight);
+  json["draining"] = draining;
+  json["drained"] = drained;
+  if (const auto* wall =
+          snapshot.find_histogram("revtr_server_request_wall_us")) {
+    json["wall_count"] = wall->count;
+    json["wall_p50_us"] = obs::histogram_quantile(*wall, 0.5);
+    json["wall_p99_us"] = obs::histogram_quantile(*wall, 0.99);
+    json["wall_p999_us"] = obs::histogram_quantile(*wall, 0.999);
+  }
+  if (const auto* sim =
+          snapshot.find_histogram("revtr_server_request_sim_us")) {
+    json["sim_p50_us"] = obs::histogram_quantile(*sim, 0.5);
+    json["sim_p99_us"] = obs::histogram_quantile(*sim, 0.99);
+  }
+  return json.dump();
+}
+
+// --- Net thread. ------------------------------------------------------------
+
+namespace {
+
+// Appends the encoded form of `message` to the connection's output buffer.
+void append_frame(std::vector<std::uint8_t>& out, const Message& message) {
+  const auto frame = encode_frame(message);
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+}  // namespace
+
+void ServerDaemon::handle_message(Conn& conn, Message message) {
+  if (const Hello* hello = std::get_if<Hello>(&message)) {
+    if (hello->proto_version != kProtoVersion) {
+      append_frame(conn.out, HelloErr{RejectReason::kBadRequest});
+      reject_reasons_[static_cast<std::size_t>(RejectReason::kBadRequest)]
+          ->add();
+      return;
+    }
+    std::size_t tenant_index = tenant_ids_.size();
+    for (std::size_t i = 0; i < tenant_configs_.size(); ++i) {
+      if (tenant_configs_[i].api_key == hello->api_key) {
+        tenant_index = i;
+        break;
+      }
+    }
+    if (tenant_index >= tenant_ids_.size()) {
+      append_frame(conn.out, HelloErr{RejectReason::kBadApiKey});
+      reject_reasons_[static_cast<std::size_t>(RejectReason::kBadApiKey)]
+          ->add();
+      return;
+    }
+    conn.authed = true;
+    conn.push = hello->push_results;
+    conn.tenant = tenant_ids_[tenant_index];
+    HelloOk ok;
+    ok.tenant = conn.tenant;
+    ok.server_now_us = now_us();
+    ok.tenant_name = tenant_configs_[tenant_index].name;
+    append_frame(conn.out, ok);
+    return;
+  }
+
+  if (const Submit* submit = std::get_if<Submit>(&message)) {
+    std::optional<RejectReason> reject;
+    if (!conn.authed) {
+      reject = RejectReason::kNotAuthenticated;
+    } else if (submit->dest_index >= lab_->topo.probe_hosts().size() ||
+               submit->source_index >= source_hosts_.size()) {
+      reject = RejectReason::kBadRequest;
+    }
+    if (!reject.has_value()) {
+      // Both samples are taken before mu_: the scheduler lock is rank 60,
+      // the daemon mutex rank 110 — never nested.
+      const std::size_t backlog = scheduler_->backlog();
+      const std::int64_t now = now_us();
+      const util::MutexLock lock(mu_);
+      AdmissionLoad load;
+      load.queued = queued_;
+      load.inflight = inflight_count_;
+      load.sched_backlog = backlog;
+      load.draining = draining_;
+      reject = admission_.decide(conn.tenant, submit->deadline_us, now, load);
+      if (!reject.has_value()) {
+        switch (service_->try_charge_request(conn.tenant)) {
+          case service::RevtrService::QuotaDecision::kCharged:
+            break;
+          case service::RevtrService::QuotaDecision::kUnknownUser:
+            reject = RejectReason::kBadRequest;
+            break;
+          case service::RevtrService::QuotaDecision::kQuotaExhausted:
+            reject = RejectReason::kQuotaExhausted;
+            break;
+          case service::RevtrService::QuotaDecision::kProbeBudgetExhausted:
+            reject = RejectReason::kProbeBudgetExhausted;
+            break;
+        }
+      }
+      if (!reject.has_value()) {
+        QueuedRequest queued;
+        queued.index = next_request_index_++;
+        queued.conn_id = conn.id;
+        queued.request_id = submit->request_id;
+        queued.tenant = conn.tenant;
+        queued.destination = lab_->topo.probe_hosts()[submit->dest_index];
+        queued.source = source_hosts_[submit->source_index];
+        queued.priority = submit->priority;
+        queued.deadline_us = submit->deadline_us;
+        queued.accepted_us = now;
+        queue_[static_cast<std::size_t>(submit->priority)].push_back(queued);
+        ++queued_;
+        ++counters_.accepted;
+        queue_depth_->set(static_cast<std::int64_t>(queued_));
+      } else {
+        ++counters_.rejected;
+      }
+    } else {
+      const util::MutexLock lock(mu_);
+      ++counters_.rejected;
+    }
+    if (reject.has_value()) {
+      reject_reasons_[static_cast<std::size_t>(*reject)]->add();
+      append_frame(conn.out, SubmitErr{submit->request_id, *reject});
+    } else {
+      requests_total_->add();
+      tenant_metrics_[conn.tenant].requests->add();
+      work_cv_.notify_one();
+      append_frame(conn.out, SubmitOk{submit->request_id});
+    }
+    return;
+  }
+
+  if (const Poll* poll_msg = std::get_if<Poll>(&message)) {
+    std::uint32_t returned = 0;
+    while (returned < poll_msg->max_results && !conn.pull_queue.empty()) {
+      conn.out.insert(conn.out.end(), conn.pull_queue.front().begin(),
+                      conn.pull_queue.front().end());
+      conn.pull_queue.pop_front();
+      ++returned;
+    }
+    PollDone done;
+    done.returned = returned;
+    done.pending = static_cast<std::uint32_t>(
+        std::min<std::size_t>(conn.pull_queue.size(), UINT32_MAX));
+    append_frame(conn.out, done);
+    return;
+  }
+
+  if (std::holds_alternative<Stats>(message)) {
+    append_frame(conn.out, StatsReply{build_stats_json()});
+    return;
+  }
+
+  if (std::holds_alternative<Drain>(message)) {
+    {
+      const util::MutexLock lock(mu_);
+      draining_ = true;
+      if (queued_ == 0 && inflight_count_ == 0 && !drained_) {
+        drained_ = true;
+        drained_cv_.notify_all();
+      }
+    }
+    work_cv_.notify_all();
+    conn.awaiting_drain = true;
+    return;
+  }
+
+  // Server->client message types arriving at the server are a protocol
+  // violation, same as undecodable bytes.
+  {
+    const util::MutexLock lock(mu_);
+    ++counters_.protocol_errors;
+  }
+  protocol_errors_total_->add();
+  conn.closed = true;
+}
+
+void ServerDaemon::net_loop() {
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = 1;
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn_ids;
+  std::array<std::uint8_t, 65536> buf;
+
+  const auto protocol_error = [this](Conn& conn) {
+    {
+      const util::MutexLock lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    protocol_errors_total_->add();
+    conn.closed = true;
+  };
+
+  const auto try_flush = [](Conn& conn) {
+    std::size_t written = 0;
+    while (written < conn.out.size()) {
+      const ssize_t n = write(conn.fd, conn.out.data() + written,
+                              conn.out.size() - written);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn.closed = true;
+      break;
+    }
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(written));
+  };
+
+  for (;;) {
+    // Convert a (possibly signal-context) drain request into the guarded
+    // draining transition.
+    if (drain_requested_.load(std::memory_order_acquire)) {
+      {
+        const util::MutexLock lock(mu_);
+        draining_ = true;
+        if (queued_ == 0 && inflight_count_ == 0 && !drained_) {
+          drained_ = true;
+          drained_cv_.notify_all();
+        }
+      }
+      work_cv_.notify_all();
+    }
+
+    // Route completions produced by the workers to their connections.
+    std::deque<Completion> completions;
+    bool drained_now = false;
+    bool stopping_now = false;
+    {
+      const util::MutexLock lock(mu_);
+      std::swap(completions, completions_);
+      drained_now = drained_;
+      stopping_now = stopping_;
+    }
+    for (Completion& completion : completions) {
+      const auto it = conns.find(completion.conn_id);
+      if (it == conns.end() || it->second.closed) continue;  // Client left.
+      Conn& conn = it->second;
+      if (conn.push) {
+        conn.out.insert(conn.out.end(), completion.frame.begin(),
+                        completion.frame.end());
+      } else {
+        conn.pull_queue.push_back(std::move(completion.frame));
+      }
+    }
+    if (drained_now) {
+      ServerCounters c;
+      {
+        const util::MutexLock lock(mu_);
+        c = counters_;
+      }
+      for (auto& [id, conn] : conns) {
+        if (!conn.awaiting_drain || conn.closed) continue;
+        append_frame(conn.out, DrainDone{c.completed, c.shed_queued});
+        conn.awaiting_drain = false;
+      }
+    }
+    if (stopping_now) break;
+
+    for (auto& [id, conn] : conns) {
+      if (!conn.out.empty() && !conn.closed) try_flush(conn);
+    }
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second.closed) {
+        close(it->second.fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& [id, conn] : conns) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events = static_cast<short>(events | POLLOUT);
+      fds.push_back(pollfd{conn.fd, events, 0});
+      fd_conn_ids.push_back(id);
+    }
+    const int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), 250);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      // Drain the self-pipe; the actual work happens at the loop top.
+      while (read(wake_pipe_[0], buf.data(), buf.size()) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        Conn conn;
+        conn.fd = fd;
+        conn.id = next_conn_id++;
+        conns.emplace(conn.id, std::move(conn));
+        {
+          const util::MutexLock lock(mu_);
+          ++counters_.connections;
+        }
+        connections_total_->add();
+      }
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const auto it = conns.find(fd_conn_ids[i - 2]);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (fds[i].revents & POLLIN) == 0) {
+        conn.closed = true;
+        continue;
+      }
+      if ((fds[i].revents & POLLIN) != 0) {
+        for (;;) {
+          const ssize_t n = read(conn.fd, buf.data(), buf.size());
+          if (n > 0) {
+            conn.in.insert(conn.in.end(), buf.data(), buf.data() + n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          conn.closed = true;  // EOF or hard error.
+          break;
+        }
+        // Decode every complete frame in the input buffer; partial frames
+        // wait for more bytes (stream reassembly is not an error).
+        std::size_t consumed = 0;
+        while (!conn.closed) {
+          const auto avail =
+              std::span<const std::uint8_t>(conn.in).subspan(consumed);
+          if (avail.size() < kFrameHeaderSize) break;
+          FrameError error = FrameError::kNone;
+          const auto header = decode_frame_header(avail, &error);
+          if (!header.has_value()) {
+            protocol_error(conn);
+            break;
+          }
+          if (avail.size() < kFrameHeaderSize + header->payload_len) break;
+          auto decoded = decode_payload(
+              header->type,
+              avail.subspan(kFrameHeaderSize, header->payload_len), &error);
+          consumed += kFrameHeaderSize + header->payload_len;
+          if (!decoded.has_value()) {
+            protocol_error(conn);
+            break;
+          }
+          handle_message(conn, *std::move(decoded));
+        }
+        if (consumed > 0) {
+          conn.in.erase(conn.in.begin(),
+                        conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+        }
+      }
+      if (!conn.closed && !conn.out.empty()) try_flush(conn);
+    }
+  }
+
+  for (auto& [id, conn] : conns) close(conn.fd);
+}
+
+// --- Workers. ---------------------------------------------------------------
+
+void ServerDaemon::worker_loop(std::size_t w) {
+  WorkerStack& stack = *stacks_[w];
+
+  // A task holds references into its ActiveRequest for the whole
+  // measurement; unordered_map keeps element addresses stable.
+  struct ActiveRequest {
+    QueuedRequest meta;
+    util::SimClock clock;
+    util::Rng rng;
+    std::unique_ptr<core::RequestTask> task;
+    explicit ActiveRequest(std::uint64_t rng_seed) : rng(rng_seed) {}
+  };
+  std::unordered_map<std::uint64_t, ActiveRequest> active;
+
+  // Folds one finished request into the daemon state and queues its RESULT
+  // frame. Everything passed in is computed outside mu_.
+  const auto deliver = [this](const QueuedRequest& meta, Message result,
+                              bool shed, bool refund, bool missed,
+                              const core::ReverseTraceroute* measured,
+                              std::int64_t wall_us) {
+    auto frame = encode_frame(result);
+    {
+      const util::MutexLock lock(mu_);
+      if (refund) service_->refund_request(meta.tenant);
+      if (measured != nullptr) {
+        service_->charge_probes_for(meta.tenant, *measured);
+        admission_.observe_latency(wall_us);
+      }
+      if (shed) {
+        ++counters_.shed_queued;
+      } else {
+        ++counters_.completed;
+        if (missed) ++counters_.deadline_missed;
+      }
+      --inflight_count_;
+      inflight_->set(static_cast<std::int64_t>(inflight_count_));
+      completions_.push_back(Completion{meta.conn_id, std::move(frame)});
+      if (draining_ && queued_ == 0 && inflight_count_ == 0 && !drained_) {
+        drained_ = true;
+        drained_cv_.notify_all();
+      }
+    }
+    if (shed) {
+      sheds_total_->add();
+    } else {
+      completed_total_->add();
+      if (missed) deadline_miss_total_->add();
+      wall_latency_us_->record(
+          static_cast<std::uint64_t>(std::max<std::int64_t>(wall_us, 0)));
+    }
+    wake_net();
+  };
+
+  const auto finalize = [this, &deliver](ActiveRequest& request) {
+    const core::ReverseTraceroute measured = request.task->take_result();
+    const std::int64_t done_us = now_us();
+    const std::int64_t wall_us = done_us - request.meta.accepted_us;
+    const bool missed = request.meta.deadline_us != 0 &&
+                        done_us > request.meta.deadline_us;
+    Result result;
+    result.request_id = request.meta.request_id;
+    result.status = measured.status;
+    result.deadline_missed = missed;
+    result.sim_latency_us = measured.span.duration();
+    result.probes = measured.probes.total();
+    result.coalesced_probes = measured.coalesced_probes;
+    for (const auto& hop : measured.hops) {
+      if (result.hops.size() >= kMaxResultHops) break;
+      ResultHop out_hop;
+      out_hop.addr = hop.addr;
+      out_hop.source = hop.source;
+      result.hops.push_back(out_hop);
+    }
+    sim_latency_us_->record(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            measured.span.duration(), 0)));
+    deliver(request.meta, std::move(result), /*shed=*/false,
+            /*refund=*/!measured.complete(), missed, &measured, wall_us);
+  };
+
+  for (;;) {
+    std::vector<QueuedRequest> popped;
+    {
+      util::MutexLock lock(mu_);
+      for (;;) {
+        if (!worker_hold_) {
+          while (queued_ > 0 && active.size() + popped.size() <
+                                    options_.max_inflight_per_worker) {
+            bool took = false;
+            for (auto& level : queue_) {
+              if (level.empty()) continue;
+              popped.push_back(level.front());
+              level.pop_front();
+              --queued_;
+              took = true;
+              break;
+            }
+            if (!took) break;
+          }
+        }
+        if (!popped.empty() || !active.empty()) break;
+        if (stopping_) return;
+        if (draining_ && queued_ == 0) return;
+        work_cv_.wait(lock);
+      }
+      inflight_count_ += popped.size();
+      queue_depth_->set(static_cast<std::int64_t>(queued_));
+      inflight_->set(static_cast<std::int64_t>(inflight_count_));
+    }
+
+    for (QueuedRequest& meta : popped) {
+      const std::int64_t now = now_us();
+      if (meta.deadline_us != 0 && now >= meta.deadline_us) {
+        // Deadline expired while queued: shed without measuring and hand
+        // the request-count charge back (no probes were spent).
+        Result result;
+        result.request_id = meta.request_id;
+        result.status = core::RevtrStatus::kUnreachable;
+        result.shed = true;
+        deliver(meta, std::move(result), /*shed=*/true, /*refund=*/true,
+                /*missed=*/false, nullptr, 0);
+        continue;
+      }
+      auto [it, inserted] = active.try_emplace(
+          meta.index, util::mix_hash(options_.seed, meta.index, 0xca3aULL));
+      REVTR_CHECK(inserted);
+      ActiveRequest& request = it->second;
+      request.meta = meta;
+      request.task = stack.engine.start_request(meta.destination, meta.source,
+                                                request.clock, request.rng);
+      const auto demands = request.task->advance();
+      if (request.task->done()) {  // Atlas hit or trivial request.
+        finalize(request);
+        active.erase(it);
+        continue;
+      }
+      scheduler_->submit(meta.index, w, {demands.begin(), demands.end()});
+    }
+
+    if (active.empty()) continue;
+    const auto pumped = scheduler_->pump(stack.prober);
+    auto ready = scheduler_->collect_ready(w);
+    for (auto& resolved : ready) {
+      const auto it = active.find(resolved.task);
+      REVTR_CHECK(it != active.end());
+      ActiveRequest& request = it->second;
+      request.task->supply(resolved.outcomes);
+      const auto demands = request.task->advance();
+      if (request.task->done()) {
+        finalize(request);
+        active.erase(it);
+        continue;
+      }
+      scheduler_->submit(resolved.task, w, {demands.begin(), demands.end()});
+    }
+    if (ready.empty() && pumped.issued == 0) {
+      // Our outcomes are in another worker's pump or throttled until the
+      // next round's token refill. Yield rather than spin hot.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace revtr::server

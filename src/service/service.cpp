@@ -85,24 +85,53 @@ bool RevtrService::add_source(topology::HostId host, std::size_t atlas_size,
   return true;
 }
 
-std::optional<ServedMeasurement> RevtrService::request_with_options(
-    UserId user, topology::HostId destination, topology::HostId source,
-    const RequestOptions& options, util::Rng& rng) {
+RevtrService::QuotaDecision RevtrService::try_charge_request(UserId user) {
   const auto user_it = users_.find(user);
-  if (user_it == users_.end()) return std::nullopt;
-  const auto source_it = sources_.find(source);
-  if (source_it == sources_.end()) return std::nullopt;
+  if (user_it == users_.end()) return QuotaDecision::kUnknownUser;
   UserState& state = user_it->second;
   if (state.issued_today >= state.limits.daily_limit) {
     if (metrics_ != nullptr) metrics_->quota_rejections->add();
-    return std::nullopt;
+    return QuotaDecision::kQuotaExhausted;
   }
   if (state.probes_charged_today >= state.limits.daily_probe_budget) {
     if (metrics_ != nullptr) metrics_->probe_quota_rejections->add();
-    return std::nullopt;
+    return QuotaDecision::kProbeBudgetExhausted;
   }
+  // Charge up front so a re-entrant caller cannot overshoot the limit; the
+  // caller refunds when no path is delivered (see request()).
   ++state.issued_today;
   if (metrics_ != nullptr) metrics_->quota_charges->add();
+  return QuotaDecision::kCharged;
+}
+
+void RevtrService::refund_request(UserId user) {
+  const auto user_it = users_.find(user);
+  if (user_it == users_.end()) return;
+  UserState& state = user_it->second;
+  if (state.issued_today == 0) return;
+  --state.issued_today;
+  if (metrics_ != nullptr) metrics_->quota_refunds->add();
+}
+
+void RevtrService::charge_probes_for(UserId user,
+                                     const core::ReverseTraceroute& result) {
+  const auto user_it = users_.find(user);
+  if (user_it == users_.end()) return;
+  charge_probes(user_it->second, result);
+}
+
+std::size_t RevtrService::requests_charged_today(UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.issued_today;
+}
+
+std::optional<ServedMeasurement> RevtrService::request_with_options(
+    UserId user, topology::HostId destination, topology::HostId source,
+    const RequestOptions& options, util::Rng& rng) {
+  const auto source_it = sources_.find(source);
+  if (source_it == sources_.end()) return std::nullopt;
+  if (try_charge_request(user) != QuotaDecision::kCharged) return std::nullopt;
+  UserState& state = users_.find(user)->second;
 
   ServedMeasurement served;
   // Quota charges only stick for completed measurements (see request()).
@@ -120,10 +149,7 @@ std::optional<ServedMeasurement> RevtrService::request_with_options(
   }
 
   served.reverse = engine_.measure(destination, source, clock_);
-  if (!served.reverse.complete()) {
-    --state.issued_today;
-    if (metrics_ != nullptr) metrics_->quota_refunds->add();
-  }
+  if (!served.reverse.complete()) refund_request(user);
   charge_probes(state, served.reverse);
   archive(served.reverse);
   if (options.with_forward_traceroute) {
@@ -177,29 +203,15 @@ const SourceRecord* RevtrService::source_record(topology::HostId host) const {
 
 std::optional<core::ReverseTraceroute> RevtrService::request(
     UserId user, topology::HostId destination, topology::HostId source) {
-  const auto user_it = users_.find(user);
-  if (user_it == users_.end()) return std::nullopt;
   if (!sources_.contains(source)) return std::nullopt;
-  UserState& state = user_it->second;
-  if (state.issued_today >= state.limits.daily_limit) {
-    if (metrics_ != nullptr) metrics_->quota_rejections->add();
-    return std::nullopt;
-  }
-  if (state.probes_charged_today >= state.limits.daily_probe_budget) {
-    if (metrics_ != nullptr) metrics_->probe_quota_rejections->add();
-    return std::nullopt;
-  }
   // Charge up front so a re-entrant caller cannot overshoot the limit, but
   // refund when the engine fails to deliver a path: a user whose requests
   // abort or come back unreachable has received nothing, and burning their
   // daily limit on service-side failures would lock them out (Appx A).
-  ++state.issued_today;
-  if (metrics_ != nullptr) metrics_->quota_charges->add();
+  if (try_charge_request(user) != QuotaDecision::kCharged) return std::nullopt;
+  UserState& state = users_.find(user)->second;
   auto result = engine_.measure(destination, source, clock_);
-  if (!result.complete()) {
-    --state.issued_today;
-    if (metrics_ != nullptr) metrics_->quota_refunds->add();
-  }
+  if (!result.complete()) refund_request(user);
   charge_probes(state, result);
   archive(result);
   return result;

@@ -158,6 +158,31 @@ class RevtrService {
   }
   const SourceRecord* source_record(topology::HostId host) const;
 
+  // --- Quota surface (used directly by revtr_serverd, which runs the
+  // measurement itself on its own staged workers and only needs the
+  // tenant accounting). All three mirror exactly what request() does
+  // around its engine call. Not thread-safe; the daemon serializes calls
+  // under its own mutex. ---
+  // Outcome of a try_charge_request() admission check.
+  enum class QuotaDecision : std::uint8_t {
+    kCharged,               // One request charged; pair with refund_request
+                            // if no path is delivered.
+    kUnknownUser,
+    kQuotaExhausted,        // Daily request-count limit spent.
+    kProbeBudgetExhausted,  // Daily probe budget spent.
+  };
+  // Charges one request against `user`'s daily limit (counted up front, the
+  // same pre-charge request() performs).
+  QuotaDecision try_charge_request(UserId user);
+  // Hands back one pre-charged request that delivered no path (shed, or a
+  // measurement that came back without a complete reverse route).
+  void refund_request(UserId user);
+  // Charges a finished measurement's probe cost (net of coalescing refunds)
+  // against `user`'s daily probe budget.
+  void charge_probes_for(UserId user, const core::ReverseTraceroute& result);
+  // Requests currently charged against the daily limit. 0 for unknown users.
+  std::size_t requests_charged_today(UserId user) const;
+
   // --- Measurements. ---
   // On-demand request. Fails (nullopt) on unknown user, unregistered
   // source, or exceeded daily quota.

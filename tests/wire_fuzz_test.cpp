@@ -22,10 +22,13 @@
 #include <span>
 #include <vector>
 
+#include <string>
+
 #include "net/checksum.h"
 #include "net/ip_options.h"
 #include "net/packet.h"
 #include "net/wire.h"
+#include "server/frame.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -302,3 +305,292 @@ TEST(WireFuzz, SeedCorpusRoundTripsExactly) {
 
 }  // namespace
 }  // namespace revtr::net
+
+// --- Frame-decoder fuzz: the daemon's trust boundary (server/frame.h). ----
+//
+// decode_frame consumes bytes a client wrote to the daemon's socket, so the
+// same contract as decode_packet applies: total (every byte string either
+// decodes or yields a typed FrameError — never a crash or over-read) and
+// normalizing (decode(encode(decoded)) == decoded).
+namespace revtr::server {
+namespace {
+
+constexpr std::uint64_t kFrameSeed = 0xf4a3e5eedULL;
+constexpr std::size_t kFrameMutationIters = 6000;
+constexpr std::size_t kFrameRandomIters = 2000;
+constexpr std::size_t kFrameAuthGarbageIters = 2000;
+
+// One valid message per frame type, with every enum and flag exercised.
+std::vector<Message> frame_corpus() {
+  std::vector<Message> corpus;
+  Hello hello;
+  hello.push_results = false;
+  hello.api_key = "demo-key";
+  corpus.push_back(hello);
+  HelloOk hello_ok;
+  hello_ok.tenant = 3;
+  hello_ok.server_now_us = 123456789;
+  hello_ok.tenant_name = "measurement-lab";
+  corpus.push_back(hello_ok);
+  corpus.push_back(HelloErr{RejectReason::kBadApiKey});
+  Submit submit;
+  submit.request_id = 0x0123456789abcdefULL;
+  submit.dest_index = 42;
+  submit.source_index = 1;
+  submit.priority = Priority::kLow;
+  submit.deadline_us = 30'000'000;
+  corpus.push_back(submit);
+  corpus.push_back(SubmitOk{7});
+  corpus.push_back(SubmitErr{9, RejectReason::kQueueFull});
+  Result result;
+  result.request_id = 11;
+  result.status = core::RevtrStatus::kComplete;
+  result.shed = false;
+  result.deadline_missed = true;
+  result.sim_latency_us = 57'270'000;
+  result.probes = 45;
+  result.coalesced_probes = 3;
+  for (std::uint8_t s = 0; s <= 6; ++s) {  // Every HopSource enumerator.
+    ResultHop hop;
+    hop.addr = net::Ipv4Addr(10, 0, 0, s);
+    hop.source = static_cast<core::HopSource>(s);
+    result.hops.push_back(hop);
+  }
+  corpus.push_back(result);
+  corpus.push_back(Poll{16});
+  corpus.push_back(PollDone{2, 5});
+  corpus.push_back(Stats{});
+  corpus.push_back(StatsReply{"{\"accepted\": 200}"});
+  corpus.push_back(Drain{});
+  corpus.push_back(DrainDone{100, 7});
+  return corpus;
+}
+
+std::vector<std::vector<std::uint8_t>> encoded_frame_corpus() {
+  std::vector<std::vector<std::uint8_t>> encoded;
+  for (const auto& message : frame_corpus()) {
+    encoded.push_back(encode_frame(message));
+  }
+  return encoded;
+}
+
+// Mutation step for frames. Strategies 0-2 are generic; 3-5 lie in the
+// header fields the decoder trusts least: magic/version/type (bytes 0-3)
+// and the payload length (bytes 4-7).
+void mutate_frame(std::vector<std::uint8_t>& bytes, util::Rng& rng) {
+  if (bytes.empty()) {
+    bytes.push_back(util::truncate_cast<std::uint8_t>(rng()));
+    return;
+  }
+  switch (rng.below(6)) {
+    case 0: {  // Single bit flip.
+      const std::size_t i = rng.below(bytes.size());
+      bytes[i] ^= util::truncate_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // Byte overwrite.
+      bytes[rng.below(bytes.size())] =
+          util::truncate_cast<std::uint8_t>(rng());
+      break;
+    }
+    case 2: {  // Truncate or extend with junk.
+      if (rng.chance(0.5)) {
+        bytes.resize(rng.below(bytes.size() + 1));
+      } else {
+        const std::size_t extra = 1 + rng.below(16);
+        for (std::size_t i = 0; i < extra; ++i) {
+          bytes.push_back(util::truncate_cast<std::uint8_t>(rng()));
+        }
+      }
+      break;
+    }
+    case 3: {  // Magic/version lies.
+      if (bytes.size() >= 3) {
+        bytes[rng.below(3)] = util::truncate_cast<std::uint8_t>(rng());
+      }
+      break;
+    }
+    case 4: {  // Frame-type lies (unknown and server/client confusions).
+      if (bytes.size() >= 4) {
+        bytes[3] = util::truncate_cast<std::uint8_t>(rng());
+      }
+      break;
+    }
+    case 5: {  // Length lies: oversized, undersized, or huge.
+      if (bytes.size() >= 8) {
+        const std::uint32_t lie =
+            rng.chance(0.3) ? util::truncate_cast<std::uint32_t>(rng())
+                            : util::truncate_cast<std::uint32_t>(
+                                  rng.below(2 * kMaxFramePayload));
+        bytes[4] = util::truncate_cast<std::uint8_t>(lie >> 24);
+        bytes[5] = util::truncate_cast<std::uint8_t>(lie >> 16);
+        bytes[6] = util::truncate_cast<std::uint8_t>(lie >> 8);
+        bytes[7] = util::truncate_cast<std::uint8_t>(lie);
+      }
+      break;
+    }
+  }
+}
+
+// Totality + normalizing round-trip, the frame analogue of
+// check_totality_and_round_trip above.
+void check_frame_properties(std::span<const std::uint8_t> bytes,
+                            std::size_t iteration) {
+  FrameError error = FrameError::kNone;
+  const auto decoded = decode_frame(bytes, &error);
+  if (!decoded.has_value()) {
+    EXPECT_NE(error, FrameError::kNone)
+        << "rejection must carry a reason (iteration " << iteration << ")";
+    return;
+  }
+  EXPECT_EQ(error, FrameError::kNone);
+  const auto reencoded = encode_frame(*decoded);
+  FrameError error2 = FrameError::kNone;
+  const auto decoded2 = decode_frame(reencoded, &error2);
+  ASSERT_TRUE(decoded2.has_value())
+      << "re-encoded frame must decode (iteration " << iteration
+      << ", reason " << to_string(error2) << ")";
+  EXPECT_TRUE(*decoded2 == *decoded)
+      << "frame round-trip diverged (iteration " << iteration << ")";
+}
+
+TEST(FrameFuzz, MutatedFramesNeverCrashAndRoundTrip) {
+  const auto corpus = encoded_frame_corpus();
+  util::Rng rng(kFrameSeed);
+  std::size_t accepted = 0;
+  for (std::size_t iter = 0; iter < kFrameMutationIters; ++iter) {
+    std::vector<std::uint8_t> bytes = corpus[rng.below(corpus.size())];
+    const std::size_t steps = 1 + rng.below(6);
+    for (std::size_t s = 0; s < steps; ++s) mutate_frame(bytes, rng);
+    FrameError error = FrameError::kNone;
+    if (decode_frame(bytes, &error).has_value()) ++accepted;
+    check_frame_properties(bytes, iter);
+  }
+  // Some mutants must survive, or the harness degenerated into a
+  // header-magic test.
+  EXPECT_GT(accepted, kFrameMutationIters / 50);
+}
+
+TEST(FrameFuzz, RandomBuffersNeverCrash) {
+  util::Rng rng(kFrameSeed ^ 0x5a5a5a5aULL);
+  for (std::size_t iter = 0; iter < kFrameRandomIters; ++iter) {
+    std::vector<std::uint8_t> bytes(rng.below(96));
+    for (auto& b : bytes) b = util::truncate_cast<std::uint8_t>(rng());
+    // Half the time, dress the buffer up with a valid magic/version and a
+    // consistent length so it reaches the payload decoders.
+    if (bytes.size() >= kFrameHeaderSize && rng.chance(0.5)) {
+      bytes[0] = util::truncate_cast<std::uint8_t>(kFrameMagic >> 8);
+      bytes[1] = util::truncate_cast<std::uint8_t>(kFrameMagic);
+      bytes[2] = kProtoVersion;
+      bytes[3] = util::truncate_cast<std::uint8_t>(1 + rng.below(13));
+      const auto len =
+          static_cast<std::uint32_t>(bytes.size() - kFrameHeaderSize);
+      bytes[4] = util::truncate_cast<std::uint8_t>(len >> 24);
+      bytes[5] = util::truncate_cast<std::uint8_t>(len >> 16);
+      bytes[6] = util::truncate_cast<std::uint8_t>(len >> 8);
+      bytes[7] = util::truncate_cast<std::uint8_t>(len);
+    }
+    check_frame_properties(bytes, iter);
+  }
+}
+
+TEST(FrameFuzz, GarbageAuthPayloadsRejectTyped) {
+  // The HELLO payload is the pre-auth attack surface: random key bytes,
+  // lying key lengths, embedded NULs, and oversized keys must all come back
+  // as typed errors (or decode to a key the daemon then rejects) — never
+  // crash or over-read.
+  util::Rng rng(kFrameSeed ^ 0xau);
+  for (std::size_t iter = 0; iter < kFrameAuthGarbageIters; ++iter) {
+    Hello hello;
+    hello.push_results = rng.chance(0.5);
+    const std::size_t key_len = rng.below(kMaxApiKeyLen + 1);
+    hello.api_key.resize(key_len);
+    for (auto& c : hello.api_key) {
+      c = static_cast<char>(rng.below(256));
+    }
+    std::vector<std::uint8_t> bytes = encode_frame(hello);
+    // Corrupt the encoded key-length byte (after the u32 proto_version and
+    // the flags byte) half the time so the declared and actual lengths
+    // disagree.
+    if (rng.chance(0.5) && bytes.size() > kFrameHeaderSize + 5) {
+      bytes[kFrameHeaderSize + 5] =
+          util::truncate_cast<std::uint8_t>(rng());
+    }
+    check_frame_properties(bytes, iter);
+  }
+}
+
+TEST(FrameFuzz, SeedCorpusRoundTripsExactly) {
+  for (const auto& message : frame_corpus()) {
+    const auto bytes = encode_frame(message);
+    FrameError error = FrameError::kNone;
+    const auto decoded = decode_frame(bytes, &error);
+    ASSERT_TRUE(decoded.has_value()) << to_string(error);
+    EXPECT_TRUE(*decoded == message)
+        << "frame type " << to_string(frame_type_of(message));
+  }
+}
+
+TEST(FrameFuzz, TypedErrorsMatchTheLie) {
+  const auto valid = encode_frame(Poll{8});
+  FrameError error = FrameError::kNone;
+
+  // Truncated header: every prefix shorter than the fixed header.
+  for (std::size_t n = 0; n < kFrameHeaderSize; ++n) {
+    EXPECT_FALSE(
+        decode_frame(std::span(valid).first(n), &error).has_value());
+    EXPECT_EQ(error, FrameError::kTruncatedHeader) << "prefix " << n;
+  }
+
+  auto bad_magic = valid;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(decode_frame(bad_magic, &error).has_value());
+  EXPECT_EQ(error, FrameError::kBadMagic);
+
+  auto bad_version = valid;
+  bad_version[2] = kProtoVersion + 1;
+  EXPECT_FALSE(decode_frame(bad_version, &error).has_value());
+  EXPECT_EQ(error, FrameError::kBadVersion);
+
+  auto bad_type = valid;
+  bad_type[3] = 0;
+  EXPECT_FALSE(decode_frame(bad_type, &error).has_value());
+  EXPECT_EQ(error, FrameError::kUnknownType);
+  bad_type[3] = 14;
+  EXPECT_FALSE(decode_frame(bad_type, &error).has_value());
+  EXPECT_EQ(error, FrameError::kUnknownType);
+
+  auto oversized = valid;
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  oversized[4] = util::truncate_cast<std::uint8_t>(huge >> 24);
+  oversized[5] = util::truncate_cast<std::uint8_t>(huge >> 16);
+  oversized[6] = util::truncate_cast<std::uint8_t>(huge >> 8);
+  oversized[7] = util::truncate_cast<std::uint8_t>(huge);
+  EXPECT_FALSE(decode_frame(oversized, &error).has_value());
+  EXPECT_EQ(error, FrameError::kOversizedPayload);
+
+  // Truncated payload: header promises more bytes than the buffer holds.
+  EXPECT_FALSE(decode_frame(std::span(valid).first(valid.size() - 1), &error)
+                   .has_value());
+  EXPECT_EQ(error, FrameError::kTruncatedPayload);
+
+  auto trailing = valid;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_frame(trailing, &error).has_value());
+  EXPECT_EQ(error, FrameError::kTrailingBytes);
+
+  // A lying hop count in a RESULT payload (claims more hops than bytes).
+  Result result;
+  result.request_id = 1;
+  auto lying = encode_frame(result);
+  // hop_count is the last two bytes of the fixed Result prefix; bump it.
+  REVTR_CHECK(lying.size() >= 2);
+  lying[lying.size() - 1] = 0xff;
+  // Re-stamp nothing else: payload length still matches the buffer, so the
+  // decoder must fail on payload grounds, not length grounds.
+  EXPECT_FALSE(decode_frame(lying, &error).has_value());
+  EXPECT_EQ(error, FrameError::kBadPayload);
+}
+
+}  // namespace
+}  // namespace revtr::server

@@ -12,6 +12,12 @@
 //              [--sched-pacing=TOKENS] [--sched-no-coalesce])
 //   atlas      show a source's traceroute atlas (--source=K)
 //   ingress    show a prefix's ingress plan (--prefix=K)
+//   client     submit one request to a running revtr_serverd
+//              (--socket=PATH --dest=K [--source=K] [--key=S]
+//              [--deadline-ms=N] [--priority=high|normal|low] [--pull])
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 daemon rejected the
+// request, 4 campaign finished with incomplete measurements.
 //
 // Everything runs against the simulated Internet; the same binary on the
 // real system would differ only in the probing backend.
@@ -22,6 +28,7 @@
 
 #include "core/serialize.h"
 #include "eval/harness.h"
+#include "server/client.h"
 #include "service/archive.h"
 #include "service/parallel.h"
 #include "service/service.h"
@@ -218,6 +225,10 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
   const auto archive_stats = archive.stats();
   std::printf("archive: %zu measurements, %zu flagged\n",
               archive_stats.total, archive_stats.flagged);
+  // Partial campaigns exit 4 (after all the reporting below) so scripted
+  // callers can distinguish "ran but some measurements fell short" from
+  // clean runs instead of always seeing 0.
+  const int exit_code = stats.completed < stats.requested ? 4 : 0;
   if (!archive_path.empty()) {
     std::ofstream out(archive_path);
     out << archive.export_ndjson();
@@ -244,6 +255,108 @@ int cmd_campaign(eval::Lab& lab, const util::Flags& flags) {
       std::printf("traces written to %s\n", trace_path.c_str());
     }
   }
+  return exit_code;
+}
+
+// Talks to a running revtr_serverd: HELLO, one SUBMIT, wait for the RESULT,
+// print the path. Needs no Lab of its own — the daemon owns the topology.
+int cmd_client(const util::Flags& flags) {
+  const std::string socket_path =
+      flags.get_string("socket", "/tmp/revtr_serverd.sock");
+  const std::string api_key = flags.get_string("key", "demo-key");
+  const std::string priority_name = flags.get_string("priority", "normal");
+  const bool pull = flags.get_bool("pull", false);
+
+  server::Submit request;
+  request.request_id = 1;
+  request.dest_index =
+      static_cast<std::uint32_t>(flags.get_int("dest", 0));
+  request.source_index =
+      static_cast<std::uint32_t>(flags.get_int("source", 0));
+  if (priority_name == "high") {
+    request.priority = server::Priority::kHigh;
+  } else if (priority_name == "low") {
+    request.priority = server::Priority::kLow;
+  } else if (priority_name == "normal") {
+    request.priority = server::Priority::kNormal;
+  } else {
+    std::fprintf(stderr, "bad --priority: %s\n", priority_name.c_str());
+    return 2;
+  }
+
+  server::DaemonClient client;
+  if (!client.connect(socket_path, /*retries=*/10)) {
+    std::fprintf(stderr, "cannot connect to %s\n", socket_path.c_str());
+    return 1;
+  }
+  const auto welcome = client.hello(api_key, /*push_results=*/!pull);
+  if (!welcome.has_value()) {
+    if (client.reject_reason().has_value()) {
+      std::fprintf(stderr, "hello rejected: %s\n",
+                   std::string(to_string(*client.reject_reason())).c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "hello failed (daemon gone?)\n");
+    return 1;
+  }
+  const auto deadline_ms = flags.get_int("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    request.deadline_us = welcome->server_now_us + deadline_ms * 1000;
+  }
+
+  if (!client.submit(request)) {
+    if (client.reject_reason().has_value()) {
+      std::fprintf(stderr, "submit rejected: %s\n",
+                   std::string(to_string(*client.reject_reason())).c_str());
+      return 3;
+    }
+    std::fprintf(stderr, "submit failed (daemon gone?)\n");
+    return 1;
+  }
+  std::optional<server::Result> result;
+  if (pull) {
+    while (!result.has_value()) {
+      if (client.stashed_results() > 0) {
+        result = client.next_result();
+        break;
+      }
+      if (!client.poll_results().has_value()) {
+        std::fprintf(stderr, "poll failed (daemon gone?)\n");
+        return 1;
+      }
+    }
+  } else {
+    result = client.next_result();
+  }
+  if (!result.has_value()) {
+    std::fprintf(stderr, "no result (daemon gone?)\n");
+    return 1;
+  }
+
+  std::printf("tenant %s (id %u), request %llu: %s%s%s\n",
+              welcome->tenant_name.c_str(), welcome->tenant,
+              static_cast<unsigned long long>(result->request_id),
+              result->shed ? "shed"
+                           : core::to_string(result->status).c_str(),
+              result->deadline_missed ? " (deadline missed)" : "",
+              result->shed ? " (not measured)" : "");
+  if (!result->shed) {
+    std::printf("latency: %.3f s simulated; probes: %llu (%llu coalesced)\n",
+                static_cast<double>(result->sim_latency_us) / 1e6,
+                static_cast<unsigned long long>(result->probes),
+                static_cast<unsigned long long>(result->coalesced_probes));
+    int index = 0;
+    for (const auto& hop : result->hops) {
+      if (hop.source == core::HopSource::kSuspiciousGap) {
+        std::printf("  %2d  *\n", index++);
+        continue;
+      }
+      std::printf("  %2d  %-15s %s\n", index++, hop.addr.to_string().c_str(),
+                  core::to_string(hop.source).c_str());
+    }
+  }
+  // A shed or incomplete measurement is still a successful client exchange;
+  // scripted callers key off the printed status.
   return 0;
 }
 
@@ -308,14 +421,19 @@ int cmd_ingress(eval::Lab& lab, const util::Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: revtr_cli <topology|measure|campaign|atlas|ingress> "
+                 "usage: revtr_cli "
+                 "<topology|measure|campaign|atlas|ingress|client> "
                  "[--ases=N --seed=N ...]\n");
     return 2;
   }
   const std::string command = argv[1];
   const util::Flags flags(argc, argv);
-  eval::Lab lab(config_from(flags));
 
+  // `client` talks to a daemon that already owns the simulated Internet —
+  // don't spend seconds building a second one here.
+  if (command == "client") return cmd_client(flags);
+
+  eval::Lab lab(config_from(flags));
   if (command == "topology") return cmd_topology(lab);
   if (command == "measure") return cmd_measure(lab, flags);
   if (command == "campaign") return cmd_campaign(lab, flags);

@@ -255,6 +255,7 @@ const std::map<std::string, int, std::less<>>& module_ranks() {
       {"routing", 3}, {"sim", 4},    {"probing", 5},  {"alias", 6},
       {"asmap", 6}, {"sched", 6},    {"atlas", 7},    {"vpselect", 7},
       {"core", 8},  {"analysis", 9}, {"eval", 10},    {"service", 10},
+      {"server", 11},  // The daemon sits on the whole stack.
   };
   return kRanks;
 }
@@ -385,6 +386,9 @@ const std::map<std::pair<std::string, std::string>, int>& lock_order_table() {
       {{"atlas", "sources_mu_"}, 70},  // TracerouteAtlas source map.
       {{"atlas", "stripe_of"}, 71},    // A stripe nests inside sources_mu_;
                                        // never two stripes at once.
+      {{"server", "mu_"}, 110},        // ServerDaemon: above everything —
+                                       // registry lookups and scheduler
+                                       // reads happen before, never under.
   };
   return kOrder;
 }
@@ -2921,6 +2925,50 @@ int run_self_test() {
         "}\n");
     expect(count_rule(linter, "stage-graph") == 0,
            "stage-graph waiver honored");
+  }
+
+  // --- Server module fixtures (DESIGN.md §14). ------------------------------
+
+  {  // The daemon sits above the whole stack: server -> service/sched/eval
+     // are all downward edges.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/server/daemon.cpp",
+                       "#include \"service/service.h\"\n"
+                       "#include \"sched/scheduler.h\"\n"
+                       "#include \"eval/harness.h\"\n");
+    expect(count_rule(linter, "layering") == 0,
+           "server includes the stack below it");
+  }
+  {  // Nothing below may reach back up into the daemon.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/service/service.cpp",
+                       "#include \"server/frame.h\"\n");
+    linter.lint_source("src/eval/harness.cpp",
+                       "#include \"server/daemon.h\"\n");
+    expect(count_rule(linter, "layering") == 2,
+           "includes of server from lower modules rejected");
+  }
+  {  // The daemon mutex has a declared rank (110); plain sequential use is
+     // fine.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/server/daemon.cpp",
+                       "void f() {\n"
+                       "  { const util::MutexLock a(mu_); }\n"
+                       "  const util::MutexLock b(mu_);\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 0,
+           "server mu_ rank declared; sequential guards accepted");
+  }
+  {  // Re-acquiring the daemon mutex under itself is a self-deadlock; the
+     // rank table makes server mu_ the top rank, so nothing nests inside it.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/server/daemon.cpp",
+                       "void f() {\n"
+                       "  const util::MutexLock a(mu_);\n"
+                       "  { const util::MutexLock b(mu_); }\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 1,
+           "nesting under server mu_ rejected");
   }
 
   if (failures != 0) {

@@ -1,0 +1,418 @@
+// revtr_replay — traffic replayer for revtr_serverd (the tentpole load
+// harness). Drives the daemon with an open- or closed-loop arrival process
+// over a Zipf destination popularity distribution, at up to million-request
+// scale, and records accept/shed/deadline-miss rates plus client-observed
+// p50/p99/p999 wall latency into BENCH_serverd.json.
+//
+//   revtr_replay [--socket=PATH] [--requests=N] [--conns=K]
+//                [--mode=closed|open] [--inflight=N] [--rate=R]
+//                [--zipf=S] [--deadline-ms=N] [--seed=N] [--key=S]
+//                [--bench-name=S] [--metrics-out=FILE]
+//                [in-process daemon: --workers --ases --vps --probes
+//                 --sources --atlas --queue-cap --tenant-rate --tenant-burst]
+//
+// With --socket the replayer targets an already-running daemon; without it,
+// it hosts a ServerDaemon in-process (caches and atlas stay hot across the
+// whole run) and can dump that daemon's Prometheus metrics via
+// --metrics-out.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+using namespace revtr;
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Zipf(s) popularity over `n` destinations: CDF table sampled by binary
+// search, so a million draws cost one uniform + log2(n) compares each.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+      cdf_[rank] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::uint32_t sample(util::Rng& rng) const {
+    const double r = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    const auto rank = static_cast<std::size_t>(it - cdf_.begin());
+    return static_cast<std::uint32_t>(std::min(rank, cdf_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// What one connection thread observed; summed after the join.
+struct ConnTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;  // Measured results received.
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+  bool transport_error = false;
+};
+
+struct ReplayConfig {
+  std::string socket_path;
+  std::string api_key;
+  std::uint64_t requests = 0;  // Total across all connections.
+  std::size_t conns = 1;
+  bool open_loop = false;
+  std::size_t inflight = 8;    // Closed loop: outstanding per connection.
+  double rate_per_conn = 0;    // Open loop: arrivals/sec per connection.
+  std::int64_t deadline_budget_us = 0;  // 0 = no deadline.
+  std::uint64_t seed = 7;
+};
+
+// One connection thread: HELLO, then replay its share of the request
+// stream, recording client-observed wall latency per measured result.
+void run_conn(const ReplayConfig& config, std::size_t conn_index,
+              std::uint64_t quota, const ZipfSampler& zipf,
+              obs::Histogram* wall_us, ConnTotals* totals) {
+  util::Rng rng(util::mix_hash(config.seed, conn_index, 0x4e71ULL));
+  server::DaemonClient client;
+  if (!client.connect(config.socket_path)) {
+    totals->transport_error = true;
+    return;
+  }
+  const auto welcome = client.hello(config.api_key, /*push_results=*/true);
+  if (!welcome.has_value()) {
+    totals->transport_error = true;
+    return;
+  }
+  // SUBMIT deadlines are absolute on the server's clock: anchor its HELLO
+  // timestamp to ours once and extrapolate.
+  const std::int64_t local_t0 = steady_now_us();
+  const std::int64_t server_t0 = welcome->server_now_us;
+
+  std::unordered_map<std::uint64_t, std::int64_t> submit_time;
+  submit_time.reserve(config.inflight * 2);
+  std::uint64_t next_seq = 0;
+  std::uint64_t outstanding = 0;
+
+  const auto consume = [&](const server::Result& result) {
+    --outstanding;
+    const auto it = submit_time.find(result.request_id);
+    if (it != submit_time.end()) {
+      const std::int64_t wall = steady_now_us() - it->second;
+      wall_us->record(static_cast<std::uint64_t>(std::max<std::int64_t>(
+          wall, 0)));
+      submit_time.erase(it);
+    }
+    if (result.shed) {
+      ++totals->shed;
+    } else {
+      ++totals->completed;
+      if (result.deadline_missed) ++totals->deadline_missed;
+    }
+  };
+
+  const auto submit_one = [&]() -> bool {
+    server::Submit request;
+    request.request_id =
+        (static_cast<std::uint64_t>(conn_index) << 48) | next_seq++;
+    request.dest_index = zipf.sample(rng);
+    request.source_index = 0;
+    const double p = rng.uniform();
+    request.priority = p < 0.1   ? server::Priority::kHigh
+                       : p < 0.8 ? server::Priority::kNormal
+                                 : server::Priority::kLow;
+    const std::int64_t now = steady_now_us();
+    if (config.deadline_budget_us > 0) {
+      request.deadline_us =
+          server_t0 + (now - local_t0) + config.deadline_budget_us;
+    }
+    ++totals->submitted;
+    if (client.submit(request)) {
+      ++totals->accepted;
+      ++outstanding;
+      submit_time.emplace(request.request_id, now);
+      return true;
+    }
+    if (!client.reject_reason().has_value()) {
+      totals->transport_error = true;
+      return false;
+    }
+    ++totals->rejected;
+    return true;
+  };
+
+  if (config.open_loop) {
+    // Open loop: arrivals fire on schedule whether or not earlier requests
+    // finished; results are consumed opportunistically (the client stashes
+    // any that interleave with SUBMIT acks).
+    const double mean_gap_us =
+        config.rate_per_conn > 0 ? 1e6 / config.rate_per_conn : 0;
+    std::int64_t next_arrival = steady_now_us();
+    while (totals->submitted < quota) {
+      if (mean_gap_us > 0) {
+        next_arrival += static_cast<std::int64_t>(
+            rng.exponential(mean_gap_us));
+        const std::int64_t wait = next_arrival - steady_now_us();
+        if (wait > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(wait));
+        }
+      }
+      if (!submit_one()) return;
+      while (client.stashed_results() > 0) {
+        auto result = client.next_result();
+        if (!result.has_value()) {
+          totals->transport_error = true;
+          return;
+        }
+        consume(*result);
+      }
+    }
+  } else {
+    // Closed loop: a fixed window of outstanding requests per connection;
+    // every completion immediately funds the next submission.
+    while (totals->submitted < quota || outstanding > 0) {
+      while (outstanding < config.inflight && totals->submitted < quota) {
+        if (!submit_one()) return;
+      }
+      if (outstanding == 0) continue;  // Everything rejected; keep going.
+      auto result = client.next_result();
+      if (!result.has_value()) {
+        totals->transport_error = true;
+        return;
+      }
+      consume(*result);
+    }
+    return;
+  }
+  // Open loop tail: collect what is still in flight.
+  while (outstanding > 0) {
+    auto result = client.next_result();
+    if (!result.has_value()) {
+      totals->transport_error = true;
+      return;
+    }
+    consume(*result);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  ReplayConfig config;
+  config.socket_path = flags.get_string("socket", "");
+  config.api_key = flags.get_string("key", "demo-key");
+  config.requests =
+      static_cast<std::uint64_t>(flags.get_int("requests", 10000));
+  config.conns = static_cast<std::size_t>(flags.get_int("conns", 4));
+  if (config.conns == 0) config.conns = 1;
+  const std::string mode = flags.get_string("mode", "closed");
+  config.open_loop = mode == "open";
+  if (!config.open_loop && mode != "closed") {
+    std::fprintf(stderr, "bad --mode: %s (closed|open)\n", mode.c_str());
+    return 2;
+  }
+  config.inflight =
+      static_cast<std::size_t>(flags.get_int("inflight", 8));
+  config.rate_per_conn = flags.get_double("rate", 2000.0) /
+                         static_cast<double>(config.conns);
+  config.deadline_budget_us = flags.get_int("deadline-ms", 30000) * 1000;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+
+  const auto num_dests =
+      static_cast<std::size_t>(flags.get_int("probes", 150));
+  const ZipfSampler zipf(num_dests, flags.get_double("zipf", 1.1));
+
+  // No --socket: host the daemon in this process so one binary carries the
+  // whole bench (and the check.sh smoke needs no process juggling).
+  std::unique_ptr<server::ServerDaemon> daemon;
+  const bool in_process = config.socket_path.empty();
+  if (in_process) {
+    server::ServerOptions options;
+    options.socket_path = flags.get_string(
+        "daemon-socket", "/tmp/revtr_replay_daemon.sock");
+    options.topo.seed = config.seed;
+    options.topo.num_ases =
+        static_cast<std::size_t>(flags.get_int("ases", 400));
+    options.topo.num_vps =
+        static_cast<std::size_t>(flags.get_int("vps", 20));
+    options.topo.num_probe_hosts = num_dests;
+    options.seed = config.seed;
+    options.workers =
+        static_cast<std::size_t>(flags.get_int("workers", 2));
+    options.sources =
+        static_cast<std::size_t>(flags.get_int("sources", 1));
+    options.atlas_size =
+        static_cast<std::size_t>(flags.get_int("atlas", 50));
+    options.admission.queue_capacity =
+        static_cast<std::size_t>(flags.get_int("queue-cap", 4096));
+    options.admission.workers = options.workers;
+    server::TenantConfig tenant;
+    tenant.api_key = config.api_key;
+    // The replayer studies scheduling and shedding, not quota policy:
+    // provision the tenant so neither daily cap binds unless asked to.
+    tenant.limits.daily_limit = static_cast<std::size_t>(
+        flags.get_int("daily-limit", 1 << 30));
+    tenant.limits.daily_probe_budget = static_cast<std::uint64_t>(
+        flags.get_int("probe-budget", 1LL << 50));
+    tenant.bucket.rate_per_sec = flags.get_double("tenant-rate", 1e9);
+    tenant.bucket.burst = flags.get_double("tenant-burst", 1e9);
+    options.tenants.push_back(tenant);
+    daemon = std::make_unique<server::ServerDaemon>(options);
+    if (!daemon->start()) {
+      std::fprintf(stderr, "revtr_replay: daemon start failed\n");
+      return 1;
+    }
+    config.socket_path = options.socket_path;
+  }
+
+  std::printf("replay: %llu requests over %zu conns, %s loop%s\n",
+              static_cast<unsigned long long>(config.requests), config.conns,
+              config.open_loop ? "open" : "closed",
+              in_process ? " (in-process daemon)" : "");
+  std::fflush(stdout);
+
+  // Client-observed wall latency, shared across connection threads (the
+  // histogram's cells are sharded atomics).
+  obs::MetricsRegistry replay_registry;
+  obs::Histogram& wall_us = replay_registry.histogram("replay_wall_us");
+
+  std::vector<ConnTotals> totals(config.conns);
+  std::vector<std::thread> threads;
+  const std::int64_t t0 = steady_now_us();
+  for (std::size_t c = 0; c < config.conns; ++c) {
+    const std::uint64_t quota = config.requests / config.conns +
+                                (c < config.requests % config.conns ? 1 : 0);
+    threads.emplace_back(run_conn, std::cref(config), c, quota,
+                         std::cref(zipf), &wall_us, &totals[c]);
+  }
+  for (auto& thread : threads) thread.join();
+  const double wall_seconds =
+      static_cast<double>(steady_now_us() - t0) / 1e6;
+
+  ConnTotals sum;
+  bool transport_error = false;
+  for (const ConnTotals& t : totals) {
+    sum.submitted += t.submitted;
+    sum.accepted += t.accepted;
+    sum.rejected += t.rejected;
+    sum.completed += t.completed;
+    sum.shed += t.shed;
+    sum.deadline_missed += t.deadline_missed;
+    transport_error = transport_error || t.transport_error;
+  }
+
+  // Drain through a control connection so the daemon finishes everything
+  // before we read its stats (and, in-process, before we dump metrics).
+  std::string server_stats = "{}";
+  {
+    server::DaemonClient control;
+    if (control.connect(config.socket_path) &&
+        control.hello(config.api_key).has_value()) {
+      if (auto stats = control.stats(); stats.has_value()) {
+        server_stats = *stats;
+      }
+      control.drain();
+    }
+  }
+
+  const auto snapshot = replay_registry.snapshot();
+  const auto* wall = snapshot.find_histogram("replay_wall_us");
+  const double p50 = wall != nullptr ? obs::histogram_quantile(*wall, 0.5) : 0;
+  const double p99 =
+      wall != nullptr ? obs::histogram_quantile(*wall, 0.99) : 0;
+  const double p999 =
+      wall != nullptr ? obs::histogram_quantile(*wall, 0.999) : 0;
+  const double denom =
+      sum.submitted > 0 ? static_cast<double>(sum.submitted) : 1;
+
+  util::Json payload = util::Json::object();
+  payload["requests"] = sum.submitted;
+  payload["accepted"] = sum.accepted;
+  payload["rejected"] = sum.rejected;
+  payload["completed"] = sum.completed;
+  payload["shed"] = sum.shed;
+  payload["deadline_missed"] = sum.deadline_missed;
+  payload["accept_rate"] = static_cast<double>(sum.accepted) / denom;
+  payload["shed_rate"] = static_cast<double>(sum.shed) / denom;
+  payload["deadline_miss_rate"] =
+      static_cast<double>(sum.deadline_missed) / denom;
+  payload["wall_p50_us"] = p50;
+  payload["wall_p99_us"] = p99;
+  payload["wall_p999_us"] = p999;
+  payload["replay_wall_seconds"] = wall_seconds;
+  payload["replay_requests_per_second"] =
+      wall_seconds > 0 ? static_cast<double>(sum.completed + sum.shed) /
+                             wall_seconds
+                       : 0.0;
+  payload["conns"] = static_cast<std::uint64_t>(config.conns);
+  payload["mode"] = std::string(config.open_loop ? "open" : "closed");
+  payload["peak_rss_bytes"] = bench::peak_rss_bytes();
+  if (auto parsed = util::Json::parse(server_stats); parsed.has_value()) {
+    payload["server"] = *parsed;
+  }
+  bench::write_bench_artifact(flags.get_string("bench-name", "serverd"),
+                              payload);
+
+  std::printf(
+      "replay: %llu submitted, %llu accepted, %llu rejected; "
+      "%llu completed, %llu shed, %llu deadline-missed in %.2f s\n",
+      static_cast<unsigned long long>(sum.submitted),
+      static_cast<unsigned long long>(sum.accepted),
+      static_cast<unsigned long long>(sum.rejected),
+      static_cast<unsigned long long>(sum.completed),
+      static_cast<unsigned long long>(sum.shed),
+      static_cast<unsigned long long>(sum.deadline_missed), wall_seconds);
+  std::printf("latency: p50 %.0f us, p99 %.0f us, p99.9 %.0f us\n", p50, p99,
+              p999);
+
+  if (in_process) {
+    const std::string metrics_path = flags.get_string("metrics-out", "");
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f != nullptr) {
+        const std::string text =
+            daemon->registry().snapshot().to_prometheus();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("daemon metrics written to %s\n", metrics_path.c_str());
+      }
+    }
+    daemon->stop();
+  }
+  if (transport_error) {
+    std::fprintf(stderr, "replay: transport error on some connection\n");
+    return 1;
+  }
+  // Accounting must balance: every accepted request came back exactly once.
+  if (sum.completed + sum.shed != sum.accepted) {
+    std::fprintf(stderr, "replay: lost results (%llu accepted, %llu back)\n",
+                 static_cast<unsigned long long>(sum.accepted),
+                 static_cast<unsigned long long>(sum.completed + sum.shed));
+    return 1;
+  }
+  return 0;
+}
