@@ -26,7 +26,10 @@
 # revtr_replay (BENCH_serverd.json schema + zero deadline misses +
 # revtr_server_requests_total > 0), then an external revtr_serverd serving
 # one revtr_cli client over its AF_UNIX socket and draining cleanly on
-# SIGTERM.
+# SIGTERM — and an agent smoke: the same client requests through a
+# controller (--remote-probing) plus two revtr_agentd processes must print
+# byte-identical output to the monolith, with both sides draining cleanly
+# on SIGTERM (DESIGN.md §15).
 #
 # --quick: inner-loop mode — default preset only, and only the fast
 # correctness tiers: revtr_lint (lint + layering + self-test) and the unit
@@ -153,7 +156,7 @@ bench_smoke() {
 # baseline is the check count at the last PR that touched the linter. A
 # lower count means fixtures were deleted without replacement — fail rather
 # than silently shrink the corpus.
-LINT_SELFTEST_BASELINE=69
+LINT_SELFTEST_BASELINE=73
 lint_selftest_guard() {
     out="$(./build/tools/revtr_lint --self-test)"
     echo "$out"
@@ -233,6 +236,83 @@ serverd_smoke() {
     echo "serverd smoke: ok ($total daemon requests; SIGTERM drain clean)"
 }
 
+# Agent smoke: the distributed controller/agent deployment (DESIGN.md §15)
+# against the monolith, end-to-end over real processes and sockets. The
+# same three client requests must print byte-identical output both ways —
+# probe outcomes are content-addressed, so where they execute must not be
+# observable — and SIGTERM must drain cleanly on both sides (agents first,
+# then the controller). --window=2 keeps the per-agent in-flight window
+# small enough that both agents actually execute probes.
+agent_smoke() {
+    echo "==> [default] agent smoke (controller + 2 agents vs monolith)"
+    topo="--ases=100 --vps=6 --probes=24 --seed=7"
+    sock="build/agent_smoke_mono.sock"
+    rm -f "$sock"
+    ./build/tools/revtr_serverd --socket="$sock" $topo --workers=2 \
+        --sources=2 --atlas=20 >build/agent_smoke_mono.log 2>&1 &
+    daemon_pid=$!
+    i=0
+    while [ ! -S "$sock" ] && [ "$i" -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+    : >build/agent_smoke_mono.out
+    for dest in 3 4 7; do
+        ./build/tools/revtr_cli client --socket="$sock" --dest="$dest" \
+            --deadline-ms=30000 >>build/agent_smoke_mono.out || [ $? -eq 4 ]
+    done
+    kill -TERM "$daemon_pid"
+    if ! wait "$daemon_pid"; then
+        echo "agent smoke: monolith daemon did not drain on SIGTERM" >&2
+        exit 1
+    fi
+
+    sock="build/agent_smoke_remote.sock"
+    rm -f "$sock"
+    ./build/tools/revtr_serverd --socket="$sock" $topo --workers=2 \
+        --sources=2 --atlas=20 --remote-probing \
+        >build/agent_smoke_remote.log 2>&1 &
+    daemon_pid=$!
+    i=0
+    while [ ! -S "$sock" ] && [ "$i" -lt 300 ]; do sleep 0.1; i=$((i+1)); done
+    ./build/tools/revtr_agentd --socket="$sock" $topo --name=vp-a \
+        --window=2 >build/agent_smoke_a.log 2>&1 &
+    agent_a=$!
+    ./build/tools/revtr_agentd --socket="$sock" $topo --name=vp-b \
+        --window=2 >build/agent_smoke_b.log 2>&1 &
+    agent_b=$!
+    : >build/agent_smoke_remote.out
+    for dest in 3 4 7; do
+        ./build/tools/revtr_cli client --socket="$sock" --dest="$dest" \
+            --deadline-ms=30000 >>build/agent_smoke_remote.out || [ $? -eq 4 ]
+    done
+    kill -TERM "$agent_a" "$agent_b"
+    if ! wait "$agent_a"; then
+        echo "agent smoke: agent a did not drain on SIGTERM" \
+             "(see build/agent_smoke_a.log)" >&2
+        exit 1
+    fi
+    if ! wait "$agent_b"; then
+        echo "agent smoke: agent b did not drain on SIGTERM" \
+             "(see build/agent_smoke_b.log)" >&2
+        exit 1
+    fi
+    kill -TERM "$daemon_pid"
+    if ! wait "$daemon_pid"; then
+        echo "agent smoke: remote daemon did not drain on SIGTERM" >&2
+        exit 1
+    fi
+    if ! cmp -s build/agent_smoke_mono.out build/agent_smoke_remote.out; then
+        echo "agent smoke: remote client output differs from monolith" >&2
+        diff build/agent_smoke_mono.out build/agent_smoke_remote.out >&2 ||
+            true
+        exit 1
+    fi
+    if ! grep -q 'drained' build/agent_smoke_a.log ||
+       ! grep -q 'drained' build/agent_smoke_b.log; then
+        echo "agent smoke: an agent exited without reporting a drain" >&2
+        exit 1
+    fi
+    echo "agent smoke: ok (remote == monolith; clean SIGTERM drains)"
+}
+
 run_config() {
     name="$1"
     echo "==> [$name] configure"
@@ -265,6 +345,7 @@ lint_selftest_guard
 obs_smoke
 sched_smoke
 serverd_smoke
+agent_smoke
 bench_smoke
 run_config asan
 run_config ubsan
@@ -281,7 +362,7 @@ case "${REVTR_CHECK_TSAN:-1}" in
         echo "==> [tsan] build"
         cmake --build --preset tsan -j "$JOBS"
         echo "==> [tsan] concurrency suite"
-        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign|Atlas|Ingress|ServerDaemon'
+        ctest --preset tsan -R 'ThreadPool|Distribution|StripedMap|ShardedMetrics|ParallelCampaign|Atlas|Ingress|ServerDaemon|AgentSplit'
         ;;
 esac
 

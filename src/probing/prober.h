@@ -133,12 +133,16 @@ struct TsProbeResult {
 struct TracerouteHop {
   std::optional<net::Ipv4Addr> addr;  // nullopt = "*" (no reply).
   util::SimClock::Micros rtt_us = 0;
+
+  bool operator==(const TracerouteHop&) const = default;
 };
 
 struct TracerouteResult {
   std::vector<TracerouteHop> hops;
   bool reached = false;  // Destination answered the final probe.
   util::SimClock::Micros duration_us = 0;
+
+  bool operator==(const TracerouteResult&) const = default;
 
   // Responsive hop addresses in order (skipping "*").
   std::vector<net::Ipv4Addr> responsive_hops() const;

@@ -45,53 +45,41 @@ std::uint64_t ProbeOutcome::digest() const {
   return h;
 }
 
-ProbeOutcome execute_demand(probing::Prober& prober,
-                            const ProbeDemand& demand) {
+probing::ProbeSpec spec_of(const ProbeDemand& demand) {
+  probing::ProbeSpec spec;
+  spec.type = demand.type;
+  spec.from = demand.from;
+  spec.target = demand.target;
+  spec.spoof_as = demand.spoof_as;
+  spec.prespec = demand.prespec;
+  return spec;
+}
+
+ProbeOutcome outcome_of(const probing::ProbeReply& reply) {
   ProbeOutcome outcome;
+  outcome.responded = reply.responded;
+  outcome.slots = reply.slots;
+  outcome.stamped = reply.stamped;
+  outcome.traceroute = reply.traceroute;
+  outcome.duration_us = reply.duration_us;
+  outcome.packets = reply.packets;
+  return outcome;
+}
+
+ProbeOutcome execute_demand(probing::ProbeTransport& transport,
+                            const ProbeDemand& demand) {
   if (demand.offline()) {
+    ProbeOutcome outcome;
     outcome.offline_probes = demand.offline_work();
     return outcome;
   }
-  switch (demand.type) {
-    case probing::ProbeType::kPing: {
-      const auto result = prober.ping(demand.from, demand.target);
-      outcome.responded = result.responded;
-      outcome.duration_us = result.duration_us;
-      outcome.packets = 1;
-      break;
-    }
-    case probing::ProbeType::kRecordRoute:
-    case probing::ProbeType::kSpoofedRecordRoute: {
-      const auto result =
-          prober.rr_ping(demand.from, demand.target, demand.spoof_as);
-      outcome.responded = result.responded;
-      outcome.slots = result.slots;
-      outcome.duration_us = result.duration_us;
-      outcome.packets = 1;
-      break;
-    }
-    case probing::ProbeType::kTimestamp:
-    case probing::ProbeType::kSpoofedTimestamp: {
-      const auto result = prober.ts_ping(demand.from, demand.target,
-                                         demand.prespec, demand.spoof_as);
-      outcome.responded = result.responded;
-      outcome.stamped = result.stamped;
-      outcome.duration_us = result.duration_us;
-      outcome.packets = 1;
-      break;
-    }
-    case probing::ProbeType::kTraceroute: {
-      auto result = prober.traceroute(demand.from, demand.target);
-      outcome.responded = result.reached;
-      outcome.duration_us = result.duration_us;
-      // One wire packet per TTL tried (the Prober charges exactly one
-      // traceroute packet per recorded hop).
-      outcome.packets = result.hops.size();
-      outcome.traceroute = std::move(result);
-      break;
-    }
-  }
-  return outcome;
+  return outcome_of(transport.execute(spec_of(demand)));
+}
+
+ProbeOutcome execute_demand(probing::Prober& prober,
+                            const ProbeDemand& demand) {
+  probing::LocalProbeTransport transport(prober);
+  return execute_demand(transport, demand);
 }
 
 SchedMetrics::SchedMetrics(obs::MetricsRegistry& registry) {
@@ -224,7 +212,8 @@ ProbeScheduler::Pending ProbeScheduler::detach_pending_locked(
 
 void ProbeScheduler::account_and_deliver_locked(Pending pending,
                                                 ProbeOutcome outcome,
-                                                PumpResult& result) {
+                                                PumpResult& result,
+                                                std::uint64_t issue_round) {
   const std::uint64_t issue_id = next_issue_++;
   const std::uint64_t digest = outcome.digest();
   if (pending.demand.offline()) {
@@ -238,7 +227,7 @@ void ProbeScheduler::account_and_deliver_locked(Pending pending,
   }
   if (audit_ != nullptr) {
     audit_->issues.push_back(SchedulerAudit::Issue{
-        issue_id, pending.key, round_, pending.demand.from,
+        issue_id, pending.key, issue_round, pending.demand.from,
         pending.demand.offline(), digest});
   }
 
@@ -259,16 +248,17 @@ void ProbeScheduler::account_and_deliver_locked(Pending pending,
                  std::move(outcome));
 }
 
-void ProbeScheduler::issue_locked(probing::Prober& prober,
+void ProbeScheduler::issue_locked(probing::ProbeTransport& transport,
                                   std::uint64_t pending_id,
                                   PumpResult& result) {
   Pending pending = detach_pending_locked(pending_id);
-  ProbeOutcome outcome = execute_demand(prober, pending.demand);
-  account_and_deliver_locked(std::move(pending), std::move(outcome), result);
+  ProbeOutcome outcome = execute_demand(transport, pending.demand);
+  account_and_deliver_locked(std::move(pending), std::move(outcome), result,
+                             round_);
 }
 
 void ProbeScheduler::issue_spoof_batch_locked(
-    probing::Prober& prober, std::span<const std::uint64_t> batch,
+    probing::ProbeTransport& transport, std::span<const std::uint64_t> batch,
     PumpResult& result) {
   batch_pendings_.clear();
   batch_items_.clear();
@@ -280,7 +270,7 @@ void ProbeScheduler::issue_spoof_batch_locked(
   }
   // The whole batch steps through the simulator in one pass; outcomes are
   // byte-identical to issuing each probe alone (Prober::rr_ping_batch).
-  prober.rr_ping_batch(batch_items_, batch_results_);
+  transport.execute_batch(batch_items_, batch_results_);
   for (std::size_t i = 0; i < batch_pendings_.size(); ++i) {
     probing::RrProbeResult& probe = batch_results_[i];
     ProbeOutcome outcome;
@@ -289,11 +279,17 @@ void ProbeScheduler::issue_spoof_batch_locked(
     outcome.duration_us = probe.duration_us;
     outcome.packets = 1;
     account_and_deliver_locked(std::move(batch_pendings_[i]),
-                               std::move(outcome), result);
+                               std::move(outcome), result, round_);
   }
 }
 
 ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
+  probing::LocalProbeTransport transport(prober);
+  return pump(transport);
+}
+
+ProbeScheduler::PumpResult ProbeScheduler::pump(
+    probing::ProbeTransport& transport) {
   const util::MutexLock lock(mu_);
   PumpResult result;
   if (queue_.empty()) return result;
@@ -323,7 +319,7 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
       group.push_back(pending_id);
       continue;
     }
-    issue_locked(prober, pending_id, result);
+    issue_locked(transport, pending_id, result);
   }
   for (const net::Ipv4Addr ingress : group_order) {
     const auto& group = groups.at(ingress.value());
@@ -334,7 +330,7 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
       const std::size_t len =
           std::min(options_.spoof_batch_size, group.size() - start);
       issue_spoof_batch_locked(
-          prober, std::span(group).subspan(start, len), result);
+          transport, std::span(group).subspan(start, len), result);
     }
   }
   queue_ = std::move(deferred);
@@ -342,6 +338,157 @@ ProbeScheduler::PumpResult ProbeScheduler::pump(probing::Prober& prober) {
     metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
   }
   return result;
+}
+
+ProbeScheduler::AgentId ProbeScheduler::attach_agent(std::size_t window,
+                                                     std::int64_t now_us) {
+  const util::MutexLock lock(mu_);
+  const AgentId id = next_agent_++;
+  AgentState& state = agents_[id];
+  state.window = std::max<std::size_t>(window, 1);
+  state.inflight = 0;
+  state.last_heartbeat_us = now_us;
+  return id;
+}
+
+std::size_t ProbeScheduler::requeue_agent_locked(AgentId agent) {
+  // Requeue in ticket order at the head of the queue, so a dead agent's
+  // probes reissue before anything newer (they have been waiting longest).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> requeue;
+  for (const auto& [ticket, assigned] : assigned_) {
+    if (assigned.agent == agent) {
+      requeue.emplace_back(ticket, assigned.pending_id);
+    }
+  }
+  std::sort(requeue.begin(), requeue.end());
+  for (std::size_t i = requeue.size(); i-- > 0;) {
+    assigned_.erase(requeue[i].first);
+    queue_.push_front(requeue[i].second);
+  }
+  stats_.reassigned += requeue.size();
+  return requeue.size();
+}
+
+std::size_t ProbeScheduler::detach_agent(AgentId agent) {
+  const util::MutexLock lock(mu_);
+  if (agents_.find(agent) == agents_.end()) return 0;
+  agents_.erase(agent);
+  return requeue_agent_locked(agent);
+}
+
+void ProbeScheduler::agent_heartbeat(AgentId agent, std::int64_t now_us) {
+  const util::MutexLock lock(mu_);
+  if (const auto it = agents_.find(agent); it != agents_.end()) {
+    it->second.last_heartbeat_us =
+        std::max(it->second.last_heartbeat_us, now_us);
+  }
+}
+
+std::vector<ProbeScheduler::AgentId> ProbeScheduler::expire_agents(
+    std::int64_t now_us, std::int64_t timeout_us) {
+  const util::MutexLock lock(mu_);
+  std::vector<AgentId> expired;
+  for (const auto& [id, state] : agents_) {
+    if (now_us - state.last_heartbeat_us > timeout_us) expired.push_back(id);
+  }
+  for (const AgentId id : expired) {
+    agents_.erase(id);
+    requeue_agent_locked(id);
+    ++stats_.agents_expired;
+  }
+  return expired;
+}
+
+std::vector<ProbeScheduler::Assignment> ProbeScheduler::next_assignments(
+    AgentId agent) {
+  const util::MutexLock lock(mu_);
+  std::vector<Assignment> out;
+  const auto agent_it = agents_.find(agent);
+  if (agent_it == agents_.end() || queue_.empty()) return out;
+  AgentState& state = agent_it->second;
+  if (state.inflight >= state.window) return out;
+  ++round_;
+  ++stats_.rounds;
+
+  // One FIFO pass with the same eligibility rules as a local pump round
+  // (each dispatch call IS a round — the audit records it, so I7's
+  // per-round VP window check is exactly as strict as in the monolith).
+  // Offline jobs never cross the wire (run_offline_jobs steals them) and
+  // the agent-window check comes first so a full agent costs no VP tokens.
+  std::deque<std::uint64_t> deferred;
+  for (const std::uint64_t pending_id : queue_) {
+    const Pending& pending = pending_.at(pending_id);
+    if (pending.demand.offline() || state.inflight >= state.window) {
+      deferred.push_back(pending_id);
+      continue;
+    }
+    if (!issuable_locked(pending)) {
+      ++stats_.throttled;
+      if (metrics_ != nullptr) metrics_->throttled->add();
+      deferred.push_back(pending_id);
+      continue;
+    }
+    const std::uint64_t ticket = next_ticket_++;
+    assigned_[ticket] = Assigned{pending_id, agent, round_};
+    ++state.inflight;
+    out.push_back(Assignment{ticket, spec_of(pending.demand)});
+  }
+  queue_ = std::move(deferred);
+  if (metrics_ != nullptr) {
+    metrics_->queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+  }
+  return out;
+}
+
+bool ProbeScheduler::deliver_assignment(AgentId agent, std::uint64_t ticket,
+                                        const probing::ProbeReply& reply) {
+  const util::MutexLock lock(mu_);
+  const auto it = assigned_.find(ticket);
+  if (it == assigned_.end() || it->second.agent != agent) {
+    // Requeued off a detached agent (or already delivered): dropping the
+    // late duplicate is what keeps fan-out and quota single-charged.
+    ++stats_.stale_results;
+    return false;
+  }
+  const Assigned assigned = it->second;
+  assigned_.erase(ticket);
+  if (const auto agent_it = agents_.find(agent); agent_it != agents_.end()) {
+    REVTR_CHECK(agent_it->second.inflight > 0);
+    --agent_it->second.inflight;
+  }
+  Pending pending = detach_pending_locked(assigned.pending_id);
+  PumpResult ignored;
+  account_and_deliver_locked(std::move(pending), outcome_of(reply), ignored,
+                             assigned.round);
+  return true;
+}
+
+std::size_t ProbeScheduler::run_offline_jobs(std::size_t max_jobs) {
+  const util::MutexLock lock(mu_);
+  std::size_t run = 0;
+  std::deque<std::uint64_t> keep;
+  while (!queue_.empty()) {
+    const std::uint64_t pending_id = queue_.front();
+    queue_.pop_front();
+    if (run < max_jobs && pending_.at(pending_id).demand.offline()) {
+      Pending pending = detach_pending_locked(pending_id);
+      ProbeOutcome outcome;
+      outcome.offline_probes = pending.demand.offline_work();
+      PumpResult ignored;
+      account_and_deliver_locked(std::move(pending), std::move(outcome),
+                                 ignored, round_);
+      ++run;
+    } else {
+      keep.push_back(pending_id);
+    }
+  }
+  queue_ = std::move(keep);
+  return run;
+}
+
+std::size_t ProbeScheduler::assigned_in_flight() const {
+  const util::MutexLock lock(mu_);
+  return assigned_.size();
 }
 
 std::vector<ProbeScheduler::Ready> ProbeScheduler::collect_ready(

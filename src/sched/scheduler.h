@@ -38,6 +38,7 @@
 #include "net/ipv4.h"
 #include "obs/metrics.h"
 #include "probing/prober.h"
+#include "probing/transport.h"
 #include "topology/topology.h"
 #include "util/annotate.h"
 #include "util/flat_map.h"
@@ -87,11 +88,23 @@ struct ProbeOutcome {
   std::uint64_t digest() const;
 };
 
+// The wire-complete subset of a demand, in the shape that crosses the
+// transport seam (scheduling-only fields — batch_ingress, offline closures —
+// stay on the controller).
+probing::ProbeSpec spec_of(const ProbeDemand& demand);
+
+// Lifts a transport reply into the outcome shape the stages consume
+// (coalesced=false, no offline counters — scheduler-side bookkeeping).
+ProbeOutcome outcome_of(const probing::ProbeReply& reply);
+
 // Executes one demand synchronously. The only place outside the simulator
 // where probes are issued on behalf of the engine — src/core/ stage code is
 // lint-forbidden from calling the Prober directly (revtr_lint
 // core-probe-issue), so the blocking executor inside RevtrEngine::measure()
-// funnels through here too.
+// funnels through here too. The transport overload is the seam; the Prober
+// overload wraps it in a LocalProbeTransport (bit-for-bit the old behavior).
+ProbeOutcome execute_demand(probing::ProbeTransport& transport,
+                            const ProbeDemand& demand);
 ProbeOutcome execute_demand(probing::Prober& prober, const ProbeDemand& demand);
 
 struct SchedOptions {
@@ -131,6 +144,10 @@ struct SchedulerStats {
   std::uint64_t offline_jobs = 0;
   std::uint64_t rounds = 0;
   std::uint64_t max_queue_depth = 0;
+  // Remote dispatch (distributed controller mode, DESIGN.md §15).
+  std::uint64_t reassigned = 0;      // Assignments requeued off dead agents.
+  std::uint64_t stale_results = 0;   // Results for already-requeued tickets.
+  std::uint64_t agents_expired = 0;  // Agents detached for missed heartbeats.
 };
 
 // Raw facts for invariant I7 (analysis::check_scheduler): every issued wire
@@ -189,7 +206,72 @@ class ProbeScheduler {
 
   // Issues eligible queued demands on `prober` (any worker's — outcomes are
   // content-addressed, so who issues is irrelevant) and fans results out.
+  // The transport overload is the seam remote mode shares; the Prober
+  // overload wraps a LocalProbeTransport and is bit-for-bit the old path.
   PumpResult pump(probing::Prober& prober);
+  PumpResult pump(probing::ProbeTransport& transport);
+
+  // ---- Distributed dispatch (DESIGN.md §15) ----------------------------
+  //
+  // In remote mode the scheduler is a dispatcher: wire probes leave as
+  // ticketed assignments to registered VP agents instead of executing on
+  // the pumping worker's prober. A pending demand keeps its place in the
+  // coalescing tables while assigned, so cross-request coalescing — and
+  // invariant I7 over the audit — hold across process boundaries. Offline
+  // jobs never cross the wire; any controller worker steals them via
+  // run_offline_jobs().
+
+  using AgentId = std::uint64_t;
+
+  struct Assignment {
+    std::uint64_t ticket = 0;  // Unique per dispatch; stale after requeue.
+    probing::ProbeSpec spec;
+  };
+
+  // Registers an agent with a per-agent in-flight window (clamped >= 1).
+  // `now_us` seeds the heartbeat clock so a fresh agent is not instantly
+  // expirable. Ids are never reused.
+  AgentId attach_agent(std::size_t window, std::int64_t now_us = 0)
+      REVTR_EXCLUDES(mu_);
+
+  // Detaches an agent (disconnect or heartbeat timeout): every assignment
+  // still in flight on it is requeued at the head of the probe queue for
+  // reassignment. Returns the number requeued. Idempotent.
+  std::size_t detach_agent(AgentId agent) REVTR_EXCLUDES(mu_);
+
+  void agent_heartbeat(AgentId agent, std::int64_t now_us)
+      REVTR_EXCLUDES(mu_);
+
+  // Detaches every agent whose last heartbeat is older than `timeout_us`
+  // (their assignments requeue) and returns the detached ids.
+  std::vector<AgentId> expire_agents(std::int64_t now_us,
+                                     std::int64_t timeout_us)
+      REVTR_EXCLUDES(mu_);
+
+  // One dispatch round for `agent`: moves eligible queued wire demands into
+  // its in-flight set, honoring the per-VP window/token pacing (each call is
+  // a scheduler round, exactly like a pump) and the agent's own window.
+  // Offline jobs are skipped. Unknown agents get nothing.
+  std::vector<Assignment> next_assignments(AgentId agent)
+      REVTR_EXCLUDES(mu_);
+
+  // Delivers an agent's reply for `ticket`. Returns false — and drops the
+  // reply — when the ticket is stale (requeued off a detached agent, or
+  // already delivered), so a slow agent's late duplicate can never fan out
+  // twice or double-charge a request. The audit Issue records the round the
+  // assignment was dispatched in, keeping I7's per-round window check exact.
+  bool deliver_assignment(AgentId agent, std::uint64_t ticket,
+                          const probing::ProbeReply& reply)
+      REVTR_EXCLUDES(mu_);
+
+  // Runs up to `max_jobs` queued offline closures on the calling thread
+  // (work stealing: atlas-refresh jobs run on whichever controller worker
+  // gets here first). Returns the number run.
+  std::size_t run_offline_jobs(std::size_t max_jobs = SIZE_MAX)
+      REVTR_EXCLUDES(mu_);
+
+  // Assignments currently in flight across all agents.
+  std::size_t assigned_in_flight() const REVTR_EXCLUDES(mu_);
 
   // Tasks of `owner` whose whole demand set resolved since the last call.
   std::vector<Ready> collect_ready(std::size_t owner);
@@ -225,23 +307,42 @@ class ProbeScheduler {
     std::uint64_t last_refill_round = 0;
   };
 
+  struct AgentState {
+    std::size_t window = 1;       // Max assignments in flight at once.
+    std::size_t inflight = 0;     // Currently assigned, result not back.
+    std::int64_t last_heartbeat_us = 0;
+  };
+  struct Assigned {
+    std::uint64_t pending_id = 0;
+    AgentId agent = 0;
+    std::uint64_t round = 0;  // Dispatch round, recorded in the audit Issue.
+  };
+
   // All private helpers run with mu_ held (declared by REVTR_REQUIRES).
   bool issuable_locked(const Pending& pending) REVTR_REQUIRES(mu_);
-  void issue_locked(probing::Prober& prober, std::uint64_t pending_id,
-                    PumpResult& result) REVTR_REQUIRES(mu_);
-  // Issues a whole same-ingress spoofed-RR batch through the prober's batch
-  // path. Equivalent to issue_locked per id in order (same issue ids, same
-  // outcomes, same deliveries) — the batch only shares simulator scratch.
-  void issue_spoof_batch_locked(probing::Prober& prober,
+  void issue_locked(probing::ProbeTransport& transport,
+                    std::uint64_t pending_id, PumpResult& result)
+      REVTR_REQUIRES(mu_);
+  // Issues a whole same-ingress spoofed-RR batch through the transport's
+  // batch path. Equivalent to issue_locked per id in order (same issue ids,
+  // same outcomes, same deliveries) — the batch only shares simulator
+  // scratch.
+  void issue_spoof_batch_locked(probing::ProbeTransport& transport,
                                 std::span<const std::uint64_t> batch,
                                 PumpResult& result) REVTR_REQUIRES(mu_);
   // Detaches the pending entry from the tables (erase + in-flight cleanup).
   Pending detach_pending_locked(std::uint64_t pending_id) REVTR_REQUIRES(mu_);
   // Accounting, audit, and waiter fan-out for one issued wire probe.
+  // `issue_round` is the round the probe was issued/assigned in (remote
+  // delivery happens rounds later; the audit must record the dispatch round
+  // for I7's per-round window check).
   void account_and_deliver_locked(Pending pending, ProbeOutcome outcome,
-                                  PumpResult& result) REVTR_REQUIRES(mu_);
+                                  PumpResult& result, std::uint64_t issue_round)
+      REVTR_REQUIRES(mu_);
   void deliver_locked(std::uint64_t set_id, std::size_t slot,
                       ProbeOutcome outcome) REVTR_REQUIRES(mu_);
+  // Requeues every assignment in flight on `agent` (detach/expiry path).
+  std::size_t requeue_agent_locked(AgentId agent) REVTR_REQUIRES(mu_);
 
   // Liveness clamps applied once, so options_ can be const (a zero window
   // or zero refill would park queued demands forever).
@@ -276,6 +377,11 @@ class ProbeScheduler {
       REVTR_GUARDED_BY(mu_);
   // Completed set ids awaiting collection.
   std::deque<std::uint64_t> ready_ REVTR_GUARDED_BY(mu_);
+  // Remote dispatch state: registered agents and ticketed assignments.
+  util::FlatMap<AgentId, AgentState> agents_ REVTR_GUARDED_BY(mu_);
+  util::FlatMap<std::uint64_t, Assigned> assigned_ REVTR_GUARDED_BY(mu_);
+  std::uint64_t next_agent_ REVTR_GUARDED_BY(mu_) = 1;
+  std::uint64_t next_ticket_ REVTR_GUARDED_BY(mu_) = 1;
   SchedulerStats stats_ REVTR_GUARDED_BY(mu_);
   // issue_spoof_batch_locked scratch, reused across batches.
   std::vector<Pending> batch_pendings_ REVTR_GUARDED_BY(mu_);

@@ -14,8 +14,12 @@
 // can take the request, the service decides whether the *tenant* may.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "server/frame.h"
@@ -65,6 +69,84 @@ struct AdmissionLoad {
   std::size_t inflight = 0;       // Requests being measured right now.
   std::size_t sched_backlog = 0;  // ProbeScheduler::backlog().
   bool draining = false;
+};
+
+// Weighted fair queue over (priority level, tenant): strict priority across
+// levels, start-time fair queuing across the tenants within one level. Each
+// pushed item gets a finish tag `max(level virtual time, flow's last tag) +
+// 1/weight`; pop takes the minimum head tag in the highest non-empty level
+// (ties break toward the smaller flow id, keeping pops deterministic). A
+// flooding tenant therefore interleaves ~weight-proportionally with everyone
+// else at its level instead of starving them (tests/server_test.cpp pins
+// this). Not thread-safe; the daemon holds its mutex around every call.
+template <typename T>
+class FairQueue {
+ public:
+  // Weight for a flow (tenant) id; clamped to a small positive floor so a
+  // zero/negative weight cannot park a flow forever. Flows never registered
+  // get weight 1.
+  void set_weight(std::uint32_t flow, double weight) {
+    if (weights_.size() <= flow) weights_.resize(flow + 1, 1.0);
+    weights_[flow] = weight > 1e-6 ? weight : 1e-6;
+  }
+
+  void push(std::size_t level, std::uint32_t flow, T item) {
+    Level& lvl = levels_[level];
+    Flow& f = lvl.flows[flow];
+    const double tag =
+        (f.last_tag > lvl.vtime ? f.last_tag : lvl.vtime) + 1.0 / weight(flow);
+    f.last_tag = tag;
+    f.items.emplace_back(tag, std::move(item));
+    ++lvl.size;
+    ++size_;
+  }
+
+  // Pops the next item, or nullopt when empty.
+  std::optional<T> pop() {
+    for (Level& lvl : levels_) {
+      if (lvl.size == 0) continue;
+      auto best = lvl.flows.end();
+      for (auto it = lvl.flows.begin(); it != lvl.flows.end(); ++it) {
+        if (it->second.items.empty()) continue;
+        if (best == lvl.flows.end() ||
+            it->second.items.front().first < best->second.items.front().first) {
+          best = it;
+        }
+      }
+      auto [tag, item] = std::move(best->second.items.front());
+      best->second.items.pop_front();
+      if (tag > lvl.vtime) lvl.vtime = tag;
+      // Idle flows are dropped so tag state cannot grow unboundedly; their
+      // next push restarts at the level's virtual time.
+      if (best->second.items.empty()) lvl.flows.erase(best);
+      --lvl.size;
+      --size_;
+      return std::move(item);
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Flow {
+    std::deque<std::pair<double, T>> items;  // (finish tag, item), FIFO.
+    double last_tag = 0.0;
+  };
+  struct Level {
+    std::map<std::uint32_t, Flow> flows;
+    double vtime = 0.0;
+    std::size_t size = 0;
+  };
+
+  double weight(std::uint32_t flow) const {
+    return flow < weights_.size() ? weights_[flow] : 1.0;
+  }
+
+  std::array<Level, kPriorityLevels> levels_;
+  std::vector<double> weights_;
+  std::size_t size_ = 0;
 };
 
 class AdmissionController {

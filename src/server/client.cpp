@@ -1,13 +1,16 @@
 #include "server/client.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <thread>
 #include <utility>
@@ -143,6 +146,73 @@ std::optional<Result> DaemonClient::next_result() {
     }
     // Any other frame here is unexpected (we only read results between
     // round trips); drop it rather than desynchronize.
+  }
+}
+
+DaemonClient::WaitStatus DaemonClient::next_result_for(
+    std::optional<Result>& out, int timeout_ms) {
+  out.reset();
+  if (!results_.empty()) {
+    out = std::move(results_.front());
+    results_.pop_front();
+    return WaitStatus::kOk;
+  }
+  if (fd_ < 0) return WaitStatus::kDisconnected;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::array<std::uint8_t, 16384> buf;
+  for (;;) {
+    // Decode every whole frame already buffered before touching the socket.
+    for (;;) {
+      const std::span<const std::uint8_t> avail(in_);
+      if (avail.size() < kFrameHeaderSize) break;
+      FrameError error = FrameError::kNone;
+      const auto header = decode_frame_header(avail, &error);
+      if (!header.has_value()) {
+        close();
+        return WaitStatus::kDisconnected;
+      }
+      const std::size_t total = kFrameHeaderSize + header->payload_len;
+      if (avail.size() < total) break;
+      auto decoded = decode_payload(
+          header->type, avail.subspan(kFrameHeaderSize, header->payload_len),
+          &error);
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(total));
+      if (!decoded.has_value()) {
+        close();
+        return WaitStatus::kDisconnected;
+      }
+      if (Result* result = std::get_if<Result>(&*decoded)) {
+        out = std::move(*result);
+        return WaitStatus::kOk;
+      }
+      // Other frames between round trips are dropped, like next_result().
+    }
+    int wait_ms = -1;
+    if (timeout_ms > 0) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (left <= 0) return WaitStatus::kTimeout;
+      wait_ms = static_cast<int>(
+          std::min<long long>(left, std::numeric_limits<int>::max()));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc == 0) return WaitStatus::kTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return WaitStatus::kDisconnected;
+    }
+    const ssize_t n = read(fd_, buf.data(), buf.size());
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close();  // EOF or hard error: the daemon went away mid-wait.
+      return WaitStatus::kDisconnected;
+    }
+    in_.insert(in_.end(), buf.data(), buf.data() + n);
   }
 }
 

@@ -45,6 +45,20 @@ class DaemonClient {
   // Next RESULT: from the stash, else blocking-read until one arrives.
   std::optional<Result> next_result();
 
+  // Outcome of a bounded wait. Distinguishes "the daemon is slow" from
+  // "the daemon is gone" so callers never hang forever or conflate the two
+  // (revtr_cli client maps these to distinct exit codes).
+  enum class WaitStatus : std::uint8_t {
+    kOk = 0,        // A RESULT arrived; `out` is set.
+    kTimeout,       // timeout elapsed; connection still usable.
+    kDisconnected,  // EOF or undecodable bytes; connection closed.
+  };
+
+  // next_result() with a bounded wait: polls the socket so a vanished
+  // daemon surfaces as kDisconnected instead of a hang. timeout_ms <= 0
+  // waits forever (kTimeout is never returned).
+  WaitStatus next_result_for(std::optional<Result>& out, int timeout_ms);
+
   // Pull mode: one POLL round trip. Appends up to `max_results` stashed
   // results and returns the server's remaining-pending count (empty on
   // transport error).

@@ -70,6 +70,12 @@ struct ServerDaemon::Conn {
   bool awaiting_drain = false;
   bool closed = false;
   service::UserId tenant = 0;
+  // Remote mode: this connection is a registered VP agent (AGENT_REGISTER
+  // accepted); `agent` is its scheduler id. drain_sent keeps the drained
+  // net loop from re-sending AGENT_DRAIN every poll iteration.
+  bool is_agent = false;
+  bool drain_sent = false;
+  sched::ProbeScheduler::AgentId agent = 0;
 };
 
 ServerDaemon::ServerDaemon(ServerOptions options)
@@ -158,6 +164,10 @@ bool ServerDaemon::start() {
       const util::MutexLock lock(mu_);
       admission_.add_tenant(id, tenant.bucket);
     }
+    {
+      const util::MutexLock lock(mu_);
+      queue_.set_weight(id, tenant.weight);
+    }
     if (tenant_metrics_.size() <= id) tenant_metrics_.resize(id + 1);
     tenant_metrics_[id].requests = &registry_.counter(
         std::string("revtr_server_tenant_requests_total{tenant=\"") +
@@ -166,6 +176,9 @@ bool ServerDaemon::start() {
 
   scheduler_ = std::make_unique<sched::ProbeScheduler>(options_.sched);
   scheduler_->set_metrics(&*sched_metrics_);
+  if (options_.sched_audit != nullptr) {
+    scheduler_->set_audit(options_.sched_audit);
+  }
 
   caches_ = std::make_shared<core::EngineCaches>();
   const std::uint64_t net_seed = util::mix_hash(options_.seed, 0x6e7ULL);
@@ -272,6 +285,10 @@ bool ServerDaemon::draining() const {
 ServerCounters ServerDaemon::counters() const {
   const util::MutexLock lock(mu_);
   return counters_;
+}
+
+sched::SchedulerStats ServerDaemon::sched_stats() const {
+  return scheduler_ ? scheduler_->stats() : sched::SchedulerStats{};
 }
 
 void ServerDaemon::set_worker_hold(bool hold) {
@@ -414,7 +431,8 @@ void ServerDaemon::handle_message(Conn& conn, Message message) {
         queued.priority = submit->priority;
         queued.deadline_us = submit->deadline_us;
         queued.accepted_us = now;
-        queue_[static_cast<std::size_t>(submit->priority)].push_back(queued);
+        queue_.push(static_cast<std::size_t>(submit->priority), conn.tenant,
+                    queued);
         ++queued_;
         ++counters_.accepted;
         queue_depth_->set(static_cast<std::int64_t>(queued_));
@@ -470,6 +488,59 @@ void ServerDaemon::handle_message(Conn& conn, Message message) {
     work_cv_.notify_all();
     conn.awaiting_drain = true;
     return;
+  }
+
+  // --- Controller <-> VP-agent frames (DESIGN.md §15). ---
+
+  if (const AgentRegister* reg = std::get_if<AgentRegister>(&message)) {
+    if (!options_.remote_probing || reg->proto_version != kProtoVersion ||
+        conn.is_agent) {
+      append_frame(conn.out, HelloErr{RejectReason::kBadRequest});
+      reject_reasons_[static_cast<std::size_t>(RejectReason::kBadRequest)]
+          ->add();
+      return;
+    }
+    // Scheduler lock is rank 60, below mu_ (110): attach before taking mu_.
+    const auto agent = scheduler_->attach_agent(reg->window, now_us());
+    conn.is_agent = true;
+    conn.agent = agent;
+    {
+      const util::MutexLock lock(mu_);
+      agent_conns_.emplace_back(conn.id, agent);
+    }
+    // The REGISTER ack reuses HELLO_OK with the agent id in the tenant
+    // field (agents are not tenants; see the frame grammar).
+    HelloOk ok;
+    ok.tenant = static_cast<std::uint32_t>(agent);
+    ok.server_now_us = now_us();
+    ok.tenant_name = reg->name;
+    append_frame(conn.out, ok);
+    work_cv_.notify_all();  // Workers may have demand waiting for an agent.
+    return;
+  }
+
+  if (const AgentProbeResult* res = std::get_if<AgentProbeResult>(&message)) {
+    if (conn.is_agent) {
+      // Stale tickets (requeued off an expired agent) are dropped inside
+      // deliver_assignment; nothing to do here either way.
+      scheduler_->deliver_assignment(conn.agent, res->ticket, res->reply);
+      work_cv_.notify_all();
+      return;
+    }
+    // Fall through to the protocol-violation path below.
+  } else if (const AgentHeartbeat* hb = std::get_if<AgentHeartbeat>(&message)) {
+    (void)hb;
+    if (conn.is_agent) {
+      scheduler_->agent_heartbeat(conn.agent, now_us());
+      return;
+    }
+  } else if (std::holds_alternative<AgentDrain>(message)) {
+    if (conn.is_agent) {
+      // The agent's parting message: it has flushed every result it will
+      // ever send. Close; the net loop's close path detaches it.
+      conn.closed = true;
+      return;
+    }
   }
 
   // Server->client message types arriving at the server are a protocol
@@ -558,7 +629,14 @@ void ServerDaemon::net_loop() {
         c = counters_;
       }
       for (auto& [id, conn] : conns) {
-        if (!conn.awaiting_drain || conn.closed) continue;
+        if (conn.closed) continue;
+        // Tell each agent to finish up and part ways — once; drained_now
+        // stays true on every later iteration.
+        if (conn.is_agent && !conn.drain_sent) {
+          append_frame(conn.out, AgentDrain{});
+          conn.drain_sent = true;
+        }
+        if (!conn.awaiting_drain) continue;
         append_frame(conn.out, DrainDone{c.completed, c.shed_queued});
         conn.awaiting_drain = false;
       }
@@ -570,6 +648,18 @@ void ServerDaemon::net_loop() {
     }
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second.closed) {
+        // A departing agent's in-flight assignments requeue for
+        // reassignment (scheduler lock rank 60 — mu_ is not held here).
+        if (it->second.is_agent) {
+          scheduler_->detach_agent(it->second.agent);
+          {
+            const util::MutexLock lock(mu_);
+            std::erase_if(agent_conns_, [&](const auto& entry) {
+              return entry.first == it->first;
+            });
+          }
+          work_cv_.notify_all();
+        }
         close(it->second.fd);
         it = conns.erase(it);
       } else {
@@ -758,16 +848,10 @@ void ServerDaemon::worker_loop(std::size_t w) {
         if (!worker_hold_) {
           while (queued_ > 0 && active.size() + popped.size() <
                                     options_.max_inflight_per_worker) {
-            bool took = false;
-            for (auto& level : queue_) {
-              if (level.empty()) continue;
-              popped.push_back(level.front());
-              level.pop_front();
-              --queued_;
-              took = true;
-              break;
-            }
-            if (!took) break;
+            auto next = queue_.pop();
+            if (!next.has_value()) break;
+            popped.push_back(*std::move(next));
+            --queued_;
           }
         }
         if (!popped.empty() || !active.empty()) break;
@@ -810,7 +894,12 @@ void ServerDaemon::worker_loop(std::size_t w) {
     }
 
     if (active.empty()) continue;
-    const auto pumped = scheduler_->pump(stack.prober);
+    sched::ProbeScheduler::PumpResult pumped;
+    if (options_.remote_probing) {
+      pumped.issued = dispatch_to_agents();
+    } else {
+      pumped = scheduler_->pump(stack.prober);
+    }
     auto ready = scheduler_->collect_ready(w);
     for (auto& resolved : ready) {
       const auto it = active.find(resolved.task);
@@ -827,10 +916,54 @@ void ServerDaemon::worker_loop(std::size_t w) {
     }
     if (ready.empty() && pumped.issued == 0) {
       // Our outcomes are in another worker's pump or throttled until the
-      // next round's token refill. Yield rather than spin hot.
+      // next round's token refill (remote mode: in flight on an agent).
+      // Yield rather than spin hot.
       std::this_thread::yield();
     }
   }
+}
+
+std::size_t ServerDaemon::dispatch_to_agents() {
+  // Offline jobs (atlas refresh) never cross the wire: whichever worker
+  // gets here first steals them onto its own thread.
+  std::size_t moved = scheduler_->run_offline_jobs();
+
+  if (options_.agent_timeout_us > 0) {
+    const auto expired =
+        scheduler_->expire_agents(now_us(), options_.agent_timeout_us);
+    if (!expired.empty()) {
+      const util::MutexLock lock(mu_);
+      std::erase_if(agent_conns_, [&](const auto& entry) {
+        return std::find(expired.begin(), expired.end(), entry.second) !=
+               expired.end();
+      });
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, sched::ProbeScheduler::AgentId>> agents;
+  {
+    const util::MutexLock lock(mu_);
+    agents = agent_conns_;
+  }
+  bool sent = false;
+  for (const auto& [conn_id, agent] : agents) {
+    // Scheduler (rank 60) and frame encoding both run outside mu_.
+    const auto assignments = scheduler_->next_assignments(agent);
+    if (assignments.empty()) continue;
+    std::vector<Completion> frames;
+    frames.reserve(assignments.size());
+    for (const auto& assignment : assignments) {
+      frames.push_back(Completion{
+          conn_id, encode_frame(AgentProbe{assignment.ticket,
+                                           assignment.spec})});
+    }
+    moved += assignments.size();
+    sent = true;
+    const util::MutexLock lock(mu_);
+    for (auto& frame : frames) completions_.push_back(std::move(frame));
+  }
+  if (sent) wake_net();
+  return moved;
 }
 
 }  // namespace revtr::server

@@ -47,6 +47,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/revtr.h"
@@ -66,6 +67,10 @@ struct TenantConfig {
   std::string api_key = "demo-key";
   service::UserLimits limits;
   TokenBucketOptions bucket;
+  // WFQ share against other tenants at the same priority level (see
+  // FairQueue in server/admission.h). Relative, not absolute: 2.0 dequeues
+  // twice as often as 1.0 under contention.
+  double weight = 1.0;
 };
 
 struct ServerOptions {
@@ -84,6 +89,19 @@ struct ServerOptions {
   std::size_t max_inflight_per_worker = 16;
   // Tenants provisioned at startup; empty = one default TenantConfig{}.
   std::vector<TenantConfig> tenants;
+  // Distributed controller mode (ROADMAP item 5 / DESIGN.md §15): workers
+  // never execute probes locally; wire demands are dispatched as AGENT_PROBE
+  // frames to VP agents that joined with AGENT_REGISTER. With no agent
+  // connected, accepted requests wait in the scheduler until one registers.
+  bool remote_probing = false;
+  // Remote mode: an agent silent (no heartbeat, result, or register) for
+  // longer than this is declared dead and its in-flight assignments requeue
+  // for reassignment. 0 disables expiry (EOF still detaches).
+  std::int64_t agent_timeout_us = 2'000'000;
+  // Test hook: when set, the scheduler records its issue/delivery audit
+  // here so tests can run invariant I7 over a daemon campaign. Must outlive
+  // the daemon; the caller reads it only after stop().
+  sched::SchedulerAudit* sched_audit = nullptr;
 };
 
 // Lifetime totals, copied out under the daemon mutex. The same numbers back
@@ -126,6 +144,9 @@ class ServerDaemon {
 
   bool draining() const;
   ServerCounters counters() const;
+  // Scheduler counters (remote-mode tests assert on reassigned /
+  // stale_results). Valid between start() and stop().
+  sched::SchedulerStats sched_stats() const;
   obs::MetricsRegistry& registry() noexcept { return registry_; }
 
   // Micros since start() on the daemon's steady clock — the timebase
@@ -170,6 +191,11 @@ class ServerDaemon {
 
   void net_loop();
   void worker_loop(std::size_t w);
+  // Remote-mode pump replacement (any worker): steals queued offline jobs,
+  // expires silent agents, then encodes each live agent's next assignment
+  // batch as AGENT_PROBE completions for the net thread to flush. Returns
+  // the number of jobs + assignments moved (the workers' idle heuristic).
+  std::size_t dispatch_to_agents();
   // Handles one decoded frame from a connection. Defined in daemon.cpp on
   // the net thread's connection table.
   struct Conn;
@@ -246,9 +272,14 @@ class ServerDaemon {
   mutable util::Mutex mu_;
   std::condition_variable_any work_cv_;     // Queue became non-empty / state.
   std::condition_variable_any drained_cv_;  // drained_ flipped true.
-  std::array<std::deque<QueuedRequest>, kPriorityLevels> queue_
-      REVTR_GUARDED_BY(mu_);
+  FairQueue<QueuedRequest> queue_ REVTR_GUARDED_BY(mu_);
   std::size_t queued_ REVTR_GUARDED_BY(mu_) = 0;
+  // Remote mode: registered agents as (conn id, scheduler agent id). The
+  // net thread adds/removes entries (register / EOF / drain); workers
+  // snapshot the list under mu_, then dispatch assignments per agent via
+  // the scheduler (rank 60 — taken after mu_ is released, never under it).
+  std::vector<std::pair<std::uint64_t, sched::ProbeScheduler::AgentId>>
+      agent_conns_ REVTR_GUARDED_BY(mu_);
   std::size_t inflight_count_ REVTR_GUARDED_BY(mu_) = 0;
   std::uint64_t next_request_index_ REVTR_GUARDED_BY(mu_) = 0;
   AdmissionController admission_ REVTR_GUARDED_BY(mu_);

@@ -112,10 +112,62 @@ void encode_payload(const Message& message, std::vector<std::uint8_t>& out) {
           put_string(out, msg.json);
         } else if constexpr (std::is_same_v<T, Drain>) {
           // Empty payload.
-        } else {
-          static_assert(std::is_same_v<T, DrainDone>);
+        } else if constexpr (std::is_same_v<T, DrainDone>) {
           put_u64(out, msg.completed);
           put_u64(out, msg.shed);
+        } else if constexpr (std::is_same_v<T, AgentRegister>) {
+          REVTR_CHECK(msg.name.size() <= kMaxTenantNameLen);
+          put_u32(out, msg.proto_version);
+          put_u32(out, msg.window);
+          put_u8(out, util::checked_cast<std::uint8_t>(msg.name.size()));
+          put_string(out, msg.name);
+        } else if constexpr (std::is_same_v<T, AgentProbe>) {
+          REVTR_CHECK(msg.spec.prespec.size() <= kMaxAgentPrespec);
+          put_u64(out, msg.ticket);
+          put_u8(out, static_cast<std::uint8_t>(msg.spec.type));
+          put_u32(out, msg.spec.from);
+          put_u32(out, msg.spec.target.value());
+          put_u8(out, msg.spec.spoof_as.has_value() ? 1 : 0);
+          if (msg.spec.spoof_as.has_value()) {
+            put_u32(out, msg.spec.spoof_as->value());
+          }
+          put_u8(out,
+                 util::checked_cast<std::uint8_t>(msg.spec.prespec.size()));
+          for (const net::Ipv4Addr addr : msg.spec.prespec) {
+            put_u32(out, addr.value());
+          }
+        } else if constexpr (std::is_same_v<T, AgentProbeResult>) {
+          REVTR_CHECK(msg.reply.slots.size() <= kMaxAgentSlots);
+          REVTR_CHECK(msg.reply.stamped.size() <= kMaxAgentPrespec);
+          REVTR_CHECK(msg.reply.traceroute.hops.size() <= kMaxAgentTrHops);
+          put_u64(out, msg.ticket);
+          put_u8(out, msg.reply.responded ? 1 : 0);
+          put_u8(out, util::checked_cast<std::uint8_t>(msg.reply.slots.size()));
+          for (const net::Ipv4Addr addr : msg.reply.slots) {
+            put_u32(out, addr.value());
+          }
+          put_u8(out,
+                 util::checked_cast<std::uint8_t>(msg.reply.stamped.size()));
+          for (const bool stamp : msg.reply.stamped) {
+            put_u8(out, stamp ? 1 : 0);
+          }
+          put_u8(out, msg.reply.traceroute.reached ? 1 : 0);
+          put_i64(out, msg.reply.traceroute.duration_us);
+          put_u8(out, util::checked_cast<std::uint8_t>(
+                          msg.reply.traceroute.hops.size()));
+          for (const probing::TracerouteHop& hop : msg.reply.traceroute.hops) {
+            put_u8(out, hop.addr.has_value() ? 1 : 0);
+            if (hop.addr.has_value()) put_u32(out, hop.addr->value());
+            put_i64(out, hop.rtt_us);
+          }
+          put_i64(out, msg.reply.duration_us);
+          put_u64(out, msg.reply.packets);
+        } else if constexpr (std::is_same_v<T, AgentHeartbeat>) {
+          put_u32(out, msg.inflight);
+          put_u64(out, msg.executed);
+        } else {
+          static_assert(std::is_same_v<T, AgentDrain>);
+          put_u64(out, msg.executed);
         }
       },
       message);
@@ -186,6 +238,16 @@ std::string_view to_string(FrameType type) {
       return "DRAIN";
     case FrameType::kDrainDone:
       return "DRAIN_DONE";
+    case FrameType::kAgentRegister:
+      return "AGENT_REGISTER";
+    case FrameType::kAgentProbe:
+      return "AGENT_PROBE";
+    case FrameType::kAgentProbeResult:
+      return "AGENT_PROBE_RESULT";
+    case FrameType::kAgentHeartbeat:
+      return "AGENT_HEARTBEAT";
+    case FrameType::kAgentDrain:
+      return "AGENT_DRAIN";
   }
   return "unknown";
 }
@@ -246,9 +308,19 @@ FrameType frame_type_of(const Message& message) {
           return FrameType::kStatsReply;
         } else if constexpr (std::is_same_v<T, Drain>) {
           return FrameType::kDrain;
-        } else {
-          static_assert(std::is_same_v<T, DrainDone>);
+        } else if constexpr (std::is_same_v<T, DrainDone>) {
           return FrameType::kDrainDone;
+        } else if constexpr (std::is_same_v<T, AgentRegister>) {
+          return FrameType::kAgentRegister;
+        } else if constexpr (std::is_same_v<T, AgentProbe>) {
+          return FrameType::kAgentProbe;
+        } else if constexpr (std::is_same_v<T, AgentProbeResult>) {
+          return FrameType::kAgentProbeResult;
+        } else if constexpr (std::is_same_v<T, AgentHeartbeat>) {
+          return FrameType::kAgentHeartbeat;
+        } else {
+          static_assert(std::is_same_v<T, AgentDrain>);
+          return FrameType::kAgentDrain;
         }
       },
       message);
@@ -292,7 +364,7 @@ std::optional<FrameHeader> decode_frame_header(
     return std::nullopt;
   }
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kDrainDone)) {
+      type > static_cast<std::uint8_t>(FrameType::kAgentDrain)) {
     fail(error, FrameError::kUnknownType);
     return std::nullopt;
   }
@@ -433,6 +505,101 @@ std::optional<Message> decode_payload(FrameType type,
       msg.completed = read_u64(reader);
       msg.shed = read_u64(reader);
       decoded = msg;
+      break;
+    }
+    case FrameType::kAgentRegister: {
+      AgentRegister msg;
+      msg.proto_version = reader.u32();
+      msg.window = reader.u32();
+      const std::uint8_t name_len = reader.u8();
+      if (name_len > kMaxTenantNameLen)
+        return fail(error, FrameError::kBadPayload);
+      msg.name = read_string(reader, name_len);
+      decoded = std::move(msg);
+      break;
+    }
+    case FrameType::kAgentProbe: {
+      AgentProbe msg;
+      msg.ticket = read_u64(reader);
+      const std::uint8_t type_raw = reader.u8();
+      if (type_raw > static_cast<std::uint8_t>(probing::ProbeType::kTraceroute))
+        return fail(error, FrameError::kBadPayload);
+      msg.spec.type = static_cast<probing::ProbeType>(type_raw);
+      msg.spec.from = reader.u32();
+      msg.spec.target = net::Ipv4Addr(reader.u32());
+      const std::uint8_t has_spoof = reader.u8();
+      if (has_spoof > 1) return fail(error, FrameError::kBadPayload);
+      if (has_spoof != 0) msg.spec.spoof_as = net::Ipv4Addr(reader.u32());
+      const std::uint8_t prespec_count = reader.u8();
+      if (prespec_count > kMaxAgentPrespec ||
+          reader.remaining() < std::size_t{prespec_count} * 4)
+        return fail(error, FrameError::kBadPayload);
+      msg.spec.prespec.reserve(prespec_count);
+      for (std::uint8_t i = 0; i < prespec_count; ++i) {
+        msg.spec.prespec.push_back(net::Ipv4Addr(reader.u32()));
+      }
+      decoded = std::move(msg);
+      break;
+    }
+    case FrameType::kAgentProbeResult: {
+      AgentProbeResult msg;
+      msg.ticket = read_u64(reader);
+      const std::uint8_t responded = reader.u8();
+      if (responded > 1) return fail(error, FrameError::kBadPayload);
+      msg.reply.responded = responded != 0;
+      const std::uint8_t slot_count = reader.u8();
+      if (slot_count > kMaxAgentSlots ||
+          reader.remaining() < std::size_t{slot_count} * 4)
+        return fail(error, FrameError::kBadPayload);
+      msg.reply.slots.reserve(slot_count);
+      for (std::uint8_t i = 0; i < slot_count; ++i) {
+        msg.reply.slots.push_back(net::Ipv4Addr(reader.u32()));
+      }
+      const std::uint8_t stamp_count = reader.u8();
+      if (stamp_count > kMaxAgentPrespec)
+        return fail(error, FrameError::kBadPayload);
+      msg.reply.stamped.reserve(stamp_count);
+      for (std::uint8_t i = 0; i < stamp_count; ++i) {
+        const std::uint8_t stamp = reader.u8();
+        if (stamp > 1) return fail(error, FrameError::kBadPayload);
+        msg.reply.stamped.push_back(stamp != 0);
+      }
+      const std::uint8_t reached = reader.u8();
+      if (reached > 1) return fail(error, FrameError::kBadPayload);
+      msg.reply.traceroute.reached = reached != 0;
+      msg.reply.traceroute.duration_us = read_i64(reader);
+      const std::uint8_t hop_count = reader.u8();
+      // Bound the reserve by what the payload can actually hold (a hop is
+      // at least 9 bytes), so a lying count cannot balloon the allocation.
+      if (hop_count > kMaxAgentTrHops ||
+          reader.remaining() < std::size_t{hop_count} * 9)
+        return fail(error, FrameError::kBadPayload);
+      msg.reply.traceroute.hops.reserve(hop_count);
+      for (std::uint8_t i = 0; i < hop_count; ++i) {
+        probing::TracerouteHop hop;
+        const std::uint8_t has_addr = reader.u8();
+        if (has_addr > 1) return fail(error, FrameError::kBadPayload);
+        if (has_addr != 0) hop.addr = net::Ipv4Addr(reader.u32());
+        hop.rtt_us = read_i64(reader);
+        if (hop.rtt_us < 0) return fail(error, FrameError::kBadPayload);
+        msg.reply.traceroute.hops.push_back(hop);
+      }
+      msg.reply.duration_us = read_i64(reader);
+      msg.reply.packets = read_u64(reader);
+      if (msg.reply.duration_us < 0 || msg.reply.traceroute.duration_us < 0)
+        return fail(error, FrameError::kBadPayload);
+      decoded = std::move(msg);
+      break;
+    }
+    case FrameType::kAgentHeartbeat: {
+      AgentHeartbeat msg;
+      msg.inflight = reader.u32();
+      msg.executed = read_u64(reader);
+      decoded = msg;
+      break;
+    }
+    case FrameType::kAgentDrain: {
+      decoded = AgentDrain{read_u64(reader)};
       break;
     }
   }

@@ -26,6 +26,7 @@
 
 #include "core/revtr.h"
 #include "net/ipv4.h"
+#include "probing/transport.h"
 
 namespace revtr::server {
 
@@ -39,6 +40,12 @@ inline constexpr std::size_t kMaxFramePayload = 1u << 20;
 inline constexpr std::size_t kMaxApiKeyLen = 128;
 inline constexpr std::size_t kMaxTenantNameLen = 64;
 inline constexpr std::size_t kMaxResultHops = 1024;
+// Agent-frame caps (DESIGN.md §15). Comfortably above what the probers
+// produce (TS prespec <= 4, RR record <= 9 slots, traceroute <= 40 TTLs) so
+// the caps are a wire-safety bound, not a behavior limit.
+inline constexpr std::size_t kMaxAgentPrespec = 8;
+inline constexpr std::size_t kMaxAgentSlots = 16;
+inline constexpr std::size_t kMaxAgentTrHops = 64;
 
 enum class FrameType : std::uint8_t {
   kHello = 1,       // client -> server: auth with an API key
@@ -54,6 +61,12 @@ enum class FrameType : std::uint8_t {
   kStatsReply = 11, // server -> client: JSON stats text
   kDrain = 12,      // client -> server: stop admitting, finish in-flight
   kDrainDone = 13,  // server -> client: drain complete
+  // Controller <-> VP-agent frames (DESIGN.md §15).
+  kAgentRegister = 14,     // agent -> controller: join as a remote prober
+  kAgentProbe = 15,        // controller -> agent: one ticketed assignment
+  kAgentProbeResult = 16,  // agent -> controller: the assignment's reply
+  kAgentHeartbeat = 17,    // agent -> controller: liveness + load
+  kAgentDrain = 18,        // either way: finish in-flight, then part ways
 };
 
 // First invariant violated by a rejected buffer, in validation order.
@@ -210,9 +223,56 @@ struct DrainDone {
   bool operator==(const DrainDone&) const = default;
 };
 
+// --- Agent frames (controller <-> VP agent, DESIGN.md §15). -----------------
+
+struct AgentRegister {
+  std::uint32_t proto_version = kProtoVersion;
+  std::uint32_t window = 16;  // Requested in-flight assignment window.
+  std::string name;           // <= kMaxTenantNameLen bytes.
+
+  bool operator==(const AgentRegister&) const = default;
+};
+
+// The controller acks a REGISTER with a HELLO_OK whose `tenant` field
+// carries the scheduler-assigned agent id (agents are not tenants; reusing
+// the ack frame keeps the grammar small).
+struct AgentProbe {
+  std::uint64_t ticket = 0;  // Scheduler assignment ticket; echoed back.
+  // prespec <= kMaxAgentPrespec addresses; type within the ProbeType range.
+  probing::ProbeSpec spec;
+
+  bool operator==(const AgentProbe&) const = default;
+};
+
+struct AgentProbeResult {
+  std::uint64_t ticket = 0;
+  // slots <= kMaxAgentSlots, stamped <= kMaxAgentPrespec, traceroute hops
+  // <= kMaxAgentTrHops; durations are non-negative simulated micros.
+  probing::ProbeReply reply;
+
+  bool operator==(const AgentProbeResult&) const = default;
+};
+
+struct AgentHeartbeat {
+  std::uint32_t inflight = 0;   // Assignments held but not yet answered.
+  std::uint64_t executed = 0;   // Lifetime probes executed.
+
+  bool operator==(const AgentHeartbeat&) const = default;
+};
+
+struct AgentDrain {
+  // Agent -> controller: lifetime probes executed (a parting stats line).
+  // Controller -> agent: 0.
+  std::uint64_t executed = 0;
+
+  bool operator==(const AgentDrain&) const = default;
+};
+
 using Message = std::variant<Hello, HelloOk, HelloErr, Submit, SubmitOk,
                              SubmitErr, Result, Poll, PollDone, Stats,
-                             StatsReply, Drain, DrainDone>;
+                             StatsReply, Drain, DrainDone, AgentRegister,
+                             AgentProbe, AgentProbeResult, AgentHeartbeat,
+                             AgentDrain>;
 
 FrameType frame_type_of(const Message& message);
 

@@ -270,5 +270,176 @@ TEST_F(SchedFixture, AuditSatisfiesI7AndCatchesTampering) {
   EXPECT_FALSE(analysis::check_scheduler(overdriven, narrow).empty());
 }
 
+// --- Remote dispatcher (controller/agent split, DESIGN.md §15). ------------
+
+TEST_F(SchedFixture, DispatcherAssignsAndDeliversLikeAPump) {
+  ProbeScheduler scheduler;
+  const auto agent = scheduler.attach_agent(/*window=*/8);
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(1, 1)});
+
+  const auto assignments = scheduler.next_assignments(agent);
+  ASSERT_EQ(assignments.size(), 2u);
+  // The wire spec is exactly what a local pump would have executed.
+  EXPECT_EQ(assignments[0].spec, spec_of(ping_demand(0, 0)));
+  EXPECT_EQ(assignments[1].spec, spec_of(ping_demand(1, 1)));
+  EXPECT_EQ(scheduler.assigned_in_flight(), 2u);
+
+  // An agent executes on its own prober; here the lab's stands in (the
+  // outcome is content-addressed, so whose prober is irrelevant).
+  for (const auto& assignment : assignments) {
+    const auto reply = probing::execute_spec(lab_->prober, assignment.spec);
+    EXPECT_TRUE(scheduler.deliver_assignment(agent, assignment.ticket, reply));
+  }
+  EXPECT_EQ(scheduler.assigned_in_flight(), 0u);
+  auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].outcomes.size(), 2u);
+  EXPECT_TRUE(scheduler.idle());
+  EXPECT_EQ(scheduler.stats().issued, 2u);
+}
+
+TEST_F(SchedFixture, DispatcherHonorsAgentWindowAcrossAgents) {
+  ProbeScheduler scheduler;
+  const auto narrow = scheduler.attach_agent(/*window=*/1);
+  const auto wide = scheduler.attach_agent(/*window=*/8);
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(1, 1),
+                          ping_demand(2, 2)});
+
+  // The narrow agent holds one assignment; the rest spill to the wide one.
+  const auto first = scheduler.next_assignments(narrow);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(scheduler.next_assignments(narrow).empty());  // Window full.
+  const auto rest = scheduler.next_assignments(wide);
+  ASSERT_EQ(rest.size(), 2u);
+
+  // Delivering frees the narrow agent's slot for the next dispatch.
+  const auto reply = probing::execute_spec(lab_->prober, first[0].spec);
+  EXPECT_TRUE(scheduler.deliver_assignment(narrow, first[0].ticket, reply));
+  scheduler.submit(2, 0, {ping_demand(3, 3)});
+  EXPECT_EQ(scheduler.next_assignments(narrow).size(), 1u);
+}
+
+TEST_F(SchedFixture, DispatcherCoalescesRidersOntoAssignedProbes) {
+  ProbeScheduler scheduler;
+  const auto agent = scheduler.attach_agent(/*window=*/8);
+  scheduler.submit(1, 0, {ping_demand(0, 0)});
+  const auto assignments = scheduler.next_assignments(agent);
+  ASSERT_EQ(assignments.size(), 1u);
+
+  // A second request wants the same probe while it is in flight on the
+  // agent: it coalesces onto the assignment instead of dispatching again.
+  scheduler.submit(2, 0, {ping_demand(0, 0)});
+  EXPECT_TRUE(scheduler.next_assignments(agent).empty());
+
+  const auto reply = probing::execute_spec(lab_->prober, assignments[0].spec);
+  EXPECT_TRUE(
+      scheduler.deliver_assignment(agent, assignments[0].ticket, reply));
+  auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[0].outcomes[0].digest(), ready[1].outcomes[0].digest());
+  EXPECT_NE(ready[0].outcomes[0].coalesced, ready[1].outcomes[0].coalesced);
+  EXPECT_EQ(scheduler.stats().coalesced, 1u);
+  EXPECT_EQ(scheduler.stats().issued, 1u);
+}
+
+TEST_F(SchedFixture, DetachRequeuesInFlightForReassignmentWithI7Intact) {
+  SchedOptions options;
+  ProbeScheduler scheduler(options);
+  SchedulerAudit audit;
+  scheduler.set_audit(&audit);
+  const auto doomed = scheduler.attach_agent(/*window=*/8);
+  scheduler.submit(1, 0, {ping_demand(0, 0), ping_demand(1, 1),
+                          ping_demand(2, 2)});
+  const auto lost = scheduler.next_assignments(doomed);
+  ASSERT_EQ(lost.size(), 3u);
+
+  // The agent dies with everything in flight: detaching requeues all three
+  // at the head of the queue, in ticket order.
+  EXPECT_EQ(scheduler.detach_agent(doomed), 3u);
+  EXPECT_EQ(scheduler.stats().reassigned, 3u);
+  EXPECT_EQ(scheduler.assigned_in_flight(), 0u);
+
+  const auto heir = scheduler.attach_agent(/*window=*/8);
+  const auto retried = scheduler.next_assignments(heir);
+  ASSERT_EQ(retried.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(retried[i].spec, lost[i].spec) << "requeue reordered " << i;
+    EXPECT_NE(retried[i].ticket, lost[i].ticket);  // Tickets never reused.
+  }
+
+  // A late reply from the dead agent is stale: dropped, not double-applied.
+  const auto zombie = probing::execute_spec(lab_->prober, lost[0].spec);
+  EXPECT_FALSE(scheduler.deliver_assignment(doomed, lost[0].ticket, zombie));
+  EXPECT_EQ(scheduler.stats().stale_results, 1u);
+
+  for (const auto& assignment : retried) {
+    const auto reply = probing::execute_spec(lab_->prober, assignment.spec);
+    EXPECT_TRUE(scheduler.deliver_assignment(heir, assignment.ticket, reply));
+    // A duplicate delivery of the same ticket is also stale.
+    EXPECT_FALSE(
+        scheduler.deliver_assignment(heir, assignment.ticket, reply));
+  }
+  ASSERT_EQ(scheduler.collect_ready(0).size(), 1u);
+  EXPECT_TRUE(scheduler.idle());
+
+  // Each request resolved exactly once (no double delivery through the
+  // crash) and the audit still satisfies I7: assignment rounds respect the
+  // per-(round, VP) window even though delivery happened much later.
+  EXPECT_EQ(audit.issues.size(), 3u);
+  EXPECT_TRUE(analysis::check_scheduler(audit, options).empty());
+}
+
+TEST_F(SchedFixture, ExpireAgentsDetachesSilentOnes) {
+  ProbeScheduler scheduler;
+  const auto quiet = scheduler.attach_agent(/*window=*/8, /*now_us=*/0);
+  const auto chatty = scheduler.attach_agent(/*window=*/8, /*now_us=*/0);
+  scheduler.submit(1, 0, {ping_demand(0, 0)});
+  ASSERT_EQ(scheduler.next_assignments(quiet).size(), 1u);
+
+  scheduler.agent_heartbeat(chatty, 900'000);
+  const auto expired =
+      scheduler.expire_agents(/*now_us=*/1'000'000, /*timeout_us=*/500'000);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], quiet);
+  EXPECT_EQ(scheduler.stats().agents_expired, 1u);
+  EXPECT_EQ(scheduler.stats().reassigned, 1u);
+
+  // The expired agent's probe requeued; the survivor picks it up.
+  EXPECT_EQ(scheduler.next_assignments(chatty).size(), 1u);
+  // Expiry is idempotent — the survivor heartbeated recently.
+  EXPECT_TRUE(
+      scheduler.expire_agents(1'000'000, 500'000).empty());
+}
+
+TEST_F(SchedFixture, OfflineJobsNeverDispatchButAnyWorkerStealsThem) {
+  ProbeScheduler scheduler;
+  const auto agent = scheduler.attach_agent(/*window=*/8);
+  ProbeDemand offline;
+  offline.offline_work = [] {
+    probing::ProbeCounters counters;
+    counters.traceroutes = 3;
+    return counters;
+  };
+  scheduler.submit(1, 0, {std::move(offline), ping_demand(0, 0)});
+
+  // Offline closures never cross the wire: the agent only sees the ping.
+  const auto assignments = scheduler.next_assignments(agent);
+  ASSERT_EQ(assignments.size(), 1u);
+  EXPECT_EQ(assignments[0].spec.type, probing::ProbeType::kPing);
+
+  // Work stealing: whatever controller thread calls run_offline_jobs first
+  // executes the closure.
+  EXPECT_EQ(scheduler.run_offline_jobs(), 1u);
+  EXPECT_EQ(scheduler.stats().offline_jobs, 1u);
+
+  const auto reply = probing::execute_spec(lab_->prober, assignments[0].spec);
+  EXPECT_TRUE(
+      scheduler.deliver_assignment(agent, assignments[0].ticket, reply));
+  auto ready = scheduler.collect_ready(0);
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].outcomes.size(), 2u);
+  EXPECT_EQ(ready[0].outcomes[0].offline_probes.traceroutes, 3u);
+}
+
 }  // namespace
 }  // namespace revtr::sched

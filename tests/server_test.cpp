@@ -119,6 +119,77 @@ TEST_F(AdmissionDecide, LatencyEwmaTracksSamples) {
   EXPECT_DOUBLE_EQ(controller_.smoothed_latency_us(), 1200);
 }
 
+// --- Weighted fair queuing across tenants (FairQueue in isolation). -------
+
+TEST(FairQueuing, FloodingTenantCannotStarvePeer) {
+  // Tenant 1 floods 100 requests before tenant 2 submits 10, all at the
+  // same priority and equal weight. FIFO would make tenant 2 wait out the
+  // whole flood; start-time fair queuing interleaves instead.
+  FairQueue<std::uint32_t> queue;
+  for (std::uint32_t i = 0; i < 100; ++i) queue.push(1, /*flow=*/1, i);
+  for (std::uint32_t i = 0; i < 10; ++i) queue.push(1, /*flow=*/2, 100 + i);
+  // Within the first 30 pops, every one of tenant 2's 10 items must have
+  // been served (round-robin at equal weight drains the short flow fast).
+  std::size_t tenant2_served = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    if (*item >= 100) ++tenant2_served;
+  }
+  EXPECT_EQ(tenant2_served, 10u) << "late tenant starved behind the flood";
+  // The remaining items all belong to tenant 1 and drain in FIFO order.
+  std::uint32_t expect_next = 20;
+  while (!queue.empty()) EXPECT_EQ(*queue.pop(), expect_next++);
+}
+
+TEST(FairQueuing, WeightsSkewServiceProportionally) {
+  // Tenant 1 at weight 2, tenant 2 at weight 1, both backlogged: tenant 1
+  // should receive ~2/3 of the service while both queues are non-empty.
+  FairQueue<std::uint32_t> queue;
+  queue.set_weight(1, 2.0);
+  queue.set_weight(2, 1.0);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    queue.push(0, 1, /*tenant 1 marker=*/0);
+    queue.push(0, 2, /*tenant 2 marker=*/1);
+  }
+  std::size_t tenant1 = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (*queue.pop() == 0) ++tenant1;
+  }
+  EXPECT_GE(tenant1, 38u) << "weight-2 tenant under-served";
+  EXPECT_LE(tenant1, 42u) << "weight-2 tenant over-served";
+}
+
+TEST(FairQueuing, StrictPriorityBeatsFairnessAcrossLevels) {
+  // Fairness applies within a level; across levels, a lower level number
+  // always wins no matter how backlogged the flows below it are.
+  FairQueue<int> queue;
+  for (int i = 0; i < 50; ++i) queue.push(2, 1, 1000 + i);
+  queue.push(1, 2, 7);
+  queue.push(0, 3, 3);
+  EXPECT_EQ(queue.size(), 52u);
+  EXPECT_EQ(*queue.pop(), 3);
+  EXPECT_EQ(*queue.pop(), 7);
+  EXPECT_EQ(*queue.pop(), 1000);
+}
+
+TEST(FairQueuing, IdleFlowDoesNotBankCredit) {
+  // A flow that went idle restarts at the level's virtual time: it cannot
+  // burst ahead of an always-busy flow by "saving up" unused service.
+  FairQueue<int> queue;
+  for (int i = 0; i < 4; ++i) queue.push(0, 1, 10 + i);
+  // Flow 2 was idle while flow 1 consumed service...
+  EXPECT_EQ(*queue.pop(), 10);
+  EXPECT_EQ(*queue.pop(), 11);
+  // ...then shows up. It gets its fair share from now on, not a burst of
+  // four back-to-back pops to "catch up".
+  for (int i = 0; i < 4; ++i) queue.push(0, 2, 20 + i);
+  EXPECT_EQ(*queue.pop(), 12);
+  EXPECT_EQ(*queue.pop(), 20);
+  EXPECT_EQ(*queue.pop(), 13);
+  EXPECT_EQ(*queue.pop(), 21);
+}
+
 // --- Quota charge/refund semantics on RevtrService directly. --------------
 
 TEST(ServiceQuota, ChargeRefundRoundTrip) {

@@ -363,6 +363,42 @@ std::vector<Message> frame_corpus() {
   corpus.push_back(StatsReply{"{\"accepted\": 200}"});
   corpus.push_back(Drain{});
   corpus.push_back(DrainDone{100, 7});
+  AgentRegister agent_register;
+  agent_register.window = 8;
+  agent_register.name = "vp-agent-1";
+  corpus.push_back(agent_register);
+  AgentProbe agent_probe;
+  agent_probe.ticket = 0xfeedfaceULL;
+  agent_probe.spec.type = probing::ProbeType::kSpoofedTimestamp;
+  agent_probe.spec.from = 12;
+  agent_probe.spec.target = net::Ipv4Addr(10, 1, 2, 3);
+  agent_probe.spec.spoof_as = net::Ipv4Addr(10, 9, 9, 9);
+  agent_probe.spec.prespec = {net::Ipv4Addr(10, 1, 2, 1),
+                              net::Ipv4Addr(10, 1, 2, 2)};
+  corpus.push_back(agent_probe);
+  AgentProbe plain_probe;  // No spoof, no prespec: the other flag branch.
+  plain_probe.ticket = 1;
+  plain_probe.spec.type = probing::ProbeType::kTraceroute;
+  plain_probe.spec.from = 3;
+  plain_probe.spec.target = net::Ipv4Addr(10, 4, 5, 6);
+  corpus.push_back(plain_probe);
+  AgentProbeResult agent_result;
+  agent_result.ticket = 0xfeedfaceULL;
+  agent_result.reply.responded = true;
+  agent_result.reply.slots = {net::Ipv4Addr(10, 0, 1, 1),
+                              net::Ipv4Addr(10, 0, 1, 2)};
+  agent_result.reply.stamped = {true, false};
+  agent_result.reply.traceroute.reached = true;
+  agent_result.reply.traceroute.duration_us = 5000;
+  agent_result.reply.traceroute.hops.push_back(
+      probing::TracerouteHop{net::Ipv4Addr(10, 0, 2, 1), 1200});
+  agent_result.reply.traceroute.hops.push_back(
+      probing::TracerouteHop{std::nullopt, 2400});  // "*" hop.
+  agent_result.reply.duration_us = 7000;
+  agent_result.reply.packets = 3;
+  corpus.push_back(agent_result);
+  corpus.push_back(AgentHeartbeat{4, 512});
+  corpus.push_back(AgentDrain{99});
   return corpus;
 }
 
@@ -482,7 +518,7 @@ TEST(FrameFuzz, RandomBuffersNeverCrash) {
       bytes[0] = util::truncate_cast<std::uint8_t>(kFrameMagic >> 8);
       bytes[1] = util::truncate_cast<std::uint8_t>(kFrameMagic);
       bytes[2] = kProtoVersion;
-      bytes[3] = util::truncate_cast<std::uint8_t>(1 + rng.below(13));
+      bytes[3] = util::truncate_cast<std::uint8_t>(1 + rng.below(18));
       const auto len =
           static_cast<std::uint32_t>(bytes.size() - kFrameHeaderSize);
       bytes[4] = util::truncate_cast<std::uint8_t>(len >> 24);
@@ -556,7 +592,7 @@ TEST(FrameFuzz, TypedErrorsMatchTheLie) {
   bad_type[3] = 0;
   EXPECT_FALSE(decode_frame(bad_type, &error).has_value());
   EXPECT_EQ(error, FrameError::kUnknownType);
-  bad_type[3] = 14;
+  bad_type[3] = 19;  // First value past kAgentDrain.
   EXPECT_FALSE(decode_frame(bad_type, &error).has_value());
   EXPECT_EQ(error, FrameError::kUnknownType);
 

@@ -1,0 +1,55 @@
+// revtr_agentd — the VP-agent daemon (src/agent/), the remote half of the
+// controller/agent split (DESIGN.md §15).
+//
+//   revtr_agentd [--socket=PATH] [--name=S] [--window=N] [--pps=R]
+//                [--heartbeat-ms=N] [--ases=N --vps=N --probes=N --seed=N]
+//
+// Builds its own copy of the simulated Internet (the topology flags MUST
+// match the controller's — outcome byte-equality depends on it), connects
+// to a revtr_serverd running with --remote-probing, registers as a remote
+// prober, and executes AGENT_PROBE assignments until the controller drains
+// it or SIGTERM/SIGINT arrives. --pps rate-limits probes per vantage point
+// on the wall clock (0 = unlimited).
+//
+// Exit codes: 0 clean drain (or controller EOF), 1 connect/register failure
+// or protocol error.
+#include <cstdio>
+#include <string>
+
+#include "agent/agent.h"
+#include "util/flags.h"
+
+using namespace revtr;
+
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv);
+
+  agent::AgentOptions options;
+  options.socket_path = flags.get_string("socket", "/tmp/revtr_serverd.sock");
+  options.name = flags.get_string("name", "vp-agent");
+  options.topo.seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  options.topo.num_ases = static_cast<std::size_t>(flags.get_int("ases", 400));
+  options.topo.num_vps = static_cast<std::size_t>(flags.get_int("vps", 20));
+  options.topo.num_probe_hosts =
+      static_cast<std::size_t>(flags.get_int("probes", 150));
+  options.seed = options.topo.seed;
+  options.window = static_cast<std::size_t>(flags.get_int("window", 16));
+  options.probes_per_sec = flags.get_double("pps", 0.0);
+  options.heartbeat_interval_ms = flags.get_int("heartbeat-ms", 200);
+
+  agent::AgentDaemon daemon(options);
+  agent::AgentDaemon::install_signal_handlers(&daemon);
+  std::printf("revtr_agentd: %s joining %s (window %zu)\n",
+              options.name.c_str(), options.socket_path.c_str(),
+              options.window);
+  std::fflush(stdout);
+
+  const bool clean = daemon.run();
+  agent::AgentDaemon::install_signal_handlers(nullptr);
+  const auto counters = daemon.counters();
+  std::printf("revtr_agentd: %s; %llu probes executed, %llu heartbeats\n",
+              clean ? "drained" : "failed",
+              static_cast<unsigned long long>(counters.executed),
+              static_cast<unsigned long long>(counters.heartbeats));
+  return clean ? 0 : 1;
+}

@@ -14,13 +14,17 @@
 //   ingress    show a prefix's ingress plan (--prefix=K)
 //   client     submit one request to a running revtr_serverd
 //              (--socket=PATH --dest=K [--source=K] [--key=S]
-//              [--deadline-ms=N] [--priority=high|normal|low] [--pull])
+//              [--deadline-ms=N] [--priority=high|normal|low] [--pull]
+//              [--timeout=MS] gives up waiting for the RESULT after MS
+//              milliseconds instead of blocking forever)
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage, 3 daemon rejected the
-// request, 4 campaign finished with incomplete measurements.
+// request, 4 campaign finished with incomplete measurements, 5 daemon
+// disconnected while waiting for the result, 6 --timeout expired.
 //
 // Everything runs against the simulated Internet; the same binary on the
 // real system would differ only in the probing backend.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -313,20 +317,40 @@ int cmd_client(const util::Flags& flags) {
     std::fprintf(stderr, "submit failed (daemon gone?)\n");
     return 1;
   }
+  // --timeout bounds the whole wait for the RESULT; 0 waits forever. The
+  // daemon vanishing mid-wait is exit 5 either way — distinct from the
+  // generic runtime failure so scripts can retry connect-level trouble
+  // without re-submitting a request the daemon may still be measuring.
+  const auto timeout_ms = static_cast<int>(flags.get_int("timeout", 0));
   std::optional<server::Result> result;
   if (pull) {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
     while (!result.has_value()) {
       if (client.stashed_results() > 0) {
         result = client.next_result();
         break;
       }
+      if (timeout_ms > 0 && std::chrono::steady_clock::now() >= give_up) {
+        std::fprintf(stderr, "timed out after %d ms\n", timeout_ms);
+        return 6;
+      }
       if (!client.poll_results().has_value()) {
-        std::fprintf(stderr, "poll failed (daemon gone?)\n");
-        return 1;
+        std::fprintf(stderr, "daemon disconnected while polling\n");
+        return 5;
       }
     }
   } else {
-    result = client.next_result();
+    switch (client.next_result_for(result, timeout_ms)) {
+      case server::DaemonClient::WaitStatus::kOk:
+        break;
+      case server::DaemonClient::WaitStatus::kTimeout:
+        std::fprintf(stderr, "timed out after %d ms\n", timeout_ms);
+        return 6;
+      case server::DaemonClient::WaitStatus::kDisconnected:
+        std::fprintf(stderr, "daemon disconnected while waiting\n");
+        return 5;
+    }
   }
   if (!result.has_value()) {
     std::fprintf(stderr, "no result (daemon gone?)\n");

@@ -256,6 +256,8 @@ const std::map<std::string, int, std::less<>>& module_ranks() {
       {"asmap", 6}, {"sched", 6},    {"atlas", 7},    {"vpselect", 7},
       {"core", 8},  {"analysis", 9}, {"eval", 10},    {"service", 10},
       {"server", 11},  // The daemon sits on the whole stack.
+      {"agent", 12},   // The VP agent speaks the server's frames and owns
+                       // its own eval stack, so it sits above both.
   };
   return kRanks;
 }
@@ -389,6 +391,10 @@ const std::map<std::pair<std::string, std::string>, int>& lock_order_table() {
       {{"server", "mu_"}, 110},        // ServerDaemon: above everything —
                                        // registry lookups and scheduler
                                        // reads happen before, never under.
+      {{"agent", "mu_"}, 120},         // AgentDaemon counters. Never nests
+                                       // with the server's mu_ in one
+                                       // process; ranked above it because
+                                       // in-process tests run both.
   };
   return kOrder;
 }
@@ -2969,6 +2975,49 @@ int run_self_test() {
                        "}\n");
     expect(count_rule(linter, "lock-order") == 1,
            "nesting under server mu_ rejected");
+  }
+
+  // --- Agent module fixtures (DESIGN.md §15). -------------------------------
+
+  {  // The VP agent sits above the server (it speaks server/frame.h) and
+     // owns its own eval stack: all downward edges.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/agent/agent.cpp",
+                       "#include \"server/frame.h\"\n"
+                       "#include \"eval/harness.h\"\n"
+                       "#include \"probing/prober.h\"\n");
+    expect(count_rule(linter, "layering") == 0,
+           "agent includes server frames and the stack below");
+  }
+  {  // The controller may not include the agent: the split stays one-way
+     // (the daemon knows frames, not the agent's implementation).
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/server/daemon.cpp",
+                       "#include \"agent/agent.h\"\n");
+    expect(count_rule(linter, "layering") == 1,
+           "server including agent rejected");
+  }
+  {  // The agent mutex has a declared rank (120); plain sequential use is
+     // fine, and nesting under it is a self-deadlock like the daemon's.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/agent/agent.cpp",
+                       "void f() {\n"
+                       "  { const util::MutexLock a(mu_); }\n"
+                       "  const util::MutexLock b(mu_);\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 0,
+           "agent mu_ rank declared; sequential guards accepted");
+  }
+  {  // Re-acquiring the agent mutex under itself is a self-deadlock; rank
+     // 120 is the top of the table, so nothing nests inside it.
+    Linter linter{fs::path(".")};
+    linter.lint_source("src/agent/agent.cpp",
+                       "void f() {\n"
+                       "  const util::MutexLock a(mu_);\n"
+                       "  { const util::MutexLock b(mu_); }\n"
+                       "}\n");
+    expect(count_rule(linter, "lock-order") == 1,
+           "nesting under agent mu_ rejected");
   }
 
   if (failures != 0) {

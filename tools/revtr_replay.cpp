@@ -7,7 +7,7 @@
 //   revtr_replay [--socket=PATH] [--requests=N] [--conns=K]
 //                [--mode=closed|open] [--inflight=N] [--rate=R]
 //                [--zipf=S] [--deadline-ms=N] [--seed=N] [--key=S]
-//                [--bench-name=S] [--metrics-out=FILE]
+//                [--bench-name=S] [--metrics-out=FILE] [--agents=N]
 //                [in-process daemon: --workers --ases --vps --probes
 //                 --sources --atlas --queue-cap --tenant-rate --tenant-burst]
 //
@@ -15,6 +15,12 @@
 // it hosts a ServerDaemon in-process (caches and atlas stay hot across the
 // whole run) and can dump that daemon's Prometheus metrics via
 // --metrics-out.
+//
+// --agents=N (in-process only) benches the distributed deployment: the
+// hosted daemon runs with --remote-probing and N AgentDaemon threads join
+// as VP agents, so every wire probe crosses the framed protocol. The
+// artifact records the agent count and defaults to the serverd_agents
+// bench name, keeping the monolith baseline separate.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -25,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "agent/agent.h"
 #include "bench/bench_common.h"
 #include "obs/metrics.h"
 #include "server/client.h"
@@ -246,10 +253,20 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("probes", 150));
   const ZipfSampler zipf(num_dests, flags.get_double("zipf", 1.1));
 
+  const auto num_agents =
+      static_cast<std::size_t>(flags.get_int("agents", 0));
+
   // No --socket: host the daemon in this process so one binary carries the
   // whole bench (and the check.sh smoke needs no process juggling).
   std::unique_ptr<server::ServerDaemon> daemon;
   const bool in_process = config.socket_path.empty();
+  if (!in_process && num_agents > 0) {
+    std::fprintf(stderr,
+                 "--agents needs the in-process daemon (drop --socket)\n");
+    return 2;
+  }
+  std::vector<std::unique_ptr<agent::AgentDaemon>> agents;
+  std::vector<std::thread> agent_threads;
   if (in_process) {
     server::ServerOptions options;
     options.socket_path = flags.get_string(
@@ -281,18 +298,33 @@ int main(int argc, char** argv) {
     tenant.bucket.rate_per_sec = flags.get_double("tenant-rate", 1e9);
     tenant.bucket.burst = flags.get_double("tenant-burst", 1e9);
     options.tenants.push_back(tenant);
+    options.remote_probing = num_agents > 0;
     daemon = std::make_unique<server::ServerDaemon>(options);
     if (!daemon->start()) {
       std::fprintf(stderr, "revtr_replay: daemon start failed\n");
       return 1;
     }
     config.socket_path = options.socket_path;
+    // Distributed bench: N VP agents join over the same socket and execute
+    // every wire probe; the daemon's workers only plan and dispatch.
+    for (std::size_t a = 0; a < num_agents; ++a) {
+      agent::AgentOptions agent_options;
+      agent_options.socket_path = options.socket_path;
+      agent_options.name = "replay-agent-" + std::to_string(a);
+      agent_options.topo = options.topo;
+      agent_options.seed = options.seed;
+      agents.push_back(
+          std::make_unique<agent::AgentDaemon>(agent_options));
+      agent_threads.emplace_back(
+          [raw = agents.back().get()] { raw->run(); });
+    }
   }
 
-  std::printf("replay: %llu requests over %zu conns, %s loop%s\n",
+  std::printf("replay: %llu requests over %zu conns, %s loop%s%s\n",
               static_cast<unsigned long long>(config.requests), config.conns,
               config.open_loop ? "open" : "closed",
-              in_process ? " (in-process daemon)" : "");
+              in_process ? " (in-process daemon)" : "",
+              num_agents > 0 ? ", remote probing" : "");
   std::fflush(stdout);
 
   // Client-observed wall latency, shared across connection threads (the
@@ -338,6 +370,9 @@ int main(int argc, char** argv) {
       control.drain();
     }
   }
+  // The drain above made the daemon send AGENT_DRAIN to every agent; they
+  // answer and exit their run loops, so the joins below cannot hang.
+  for (auto& thread : agent_threads) thread.join();
 
   const auto snapshot = replay_registry.snapshot();
   const auto* wall = snapshot.find_histogram("replay_wall_us");
@@ -370,12 +405,20 @@ int main(int argc, char** argv) {
                        : 0.0;
   payload["conns"] = static_cast<std::uint64_t>(config.conns);
   payload["mode"] = std::string(config.open_loop ? "open" : "closed");
+  payload["agents"] = static_cast<std::uint64_t>(num_agents);
+  if (num_agents > 0) {
+    std::uint64_t agent_probes = 0;
+    for (const auto& a : agents) agent_probes += a->counters().executed;
+    payload["agent_probes_executed"] = agent_probes;
+  }
   payload["peak_rss_bytes"] = bench::peak_rss_bytes();
   if (auto parsed = util::Json::parse(server_stats); parsed.has_value()) {
     payload["server"] = *parsed;
   }
-  bench::write_bench_artifact(flags.get_string("bench-name", "serverd"),
-                              payload);
+  bench::write_bench_artifact(
+      flags.get_string("bench-name",
+                       num_agents > 0 ? "serverd_agents" : "serverd"),
+      payload);
 
   std::printf(
       "replay: %llu submitted, %llu accepted, %llu rejected; "

@@ -4,10 +4,15 @@
 //                  --seed=N] [--sources=N] [--atlas=N] [--name=S --key=S]
 //                  [--daily-limit=N] [--probe-budget=N] [--rate=R --burst=B]
 //                  [--queue-cap=N] [--backlog-limit=N] [--max-inflight=N]
+//                  [--weight=W] [--remote-probing] [--agent-timeout-ms=N]
 //
 // Builds the simulated Internet once, binds the AF_UNIX socket, and serves
 // framed requests (server/frame.h) until SIGTERM/SIGINT, which drain
 // gracefully: every accepted request finishes before exit.
+//
+// --remote-probing runs the daemon as a distributed controller (DESIGN.md
+// §15): probes are dispatched to revtr_agentd processes that register over
+// the same socket, and nothing executes until at least one agent joins.
 #include <cstdio>
 #include <string>
 
@@ -35,6 +40,11 @@ int main(int argc, char** argv) {
   options.max_inflight_per_worker =
       static_cast<std::size_t>(flags.get_int("max-inflight", 16));
 
+  options.remote_probing = flags.get_bool("remote-probing", false);
+  options.agent_timeout_us =
+      static_cast<std::int64_t>(flags.get_int("agent-timeout-ms", 2000)) *
+      1000;
+
   options.admission.queue_capacity =
       static_cast<std::size_t>(flags.get_int("queue-cap", 1024));
   options.admission.sched_backlog_limit =
@@ -50,6 +60,7 @@ int main(int argc, char** argv) {
       flags.get_int("probe-budget", 1'000'000'000));
   tenant.bucket.rate_per_sec = flags.get_double("rate", 100000.0);
   tenant.bucket.burst = flags.get_double("burst", 10000.0);
+  tenant.weight = flags.get_double("weight", 1.0);
   options.tenants.push_back(tenant);
 
   server::ServerDaemon daemon(options);
@@ -58,9 +69,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   server::ServerDaemon::install_signal_handlers(&daemon);
-  std::printf("revtr_serverd: listening on %s (%zu workers, tenant %s)\n",
+  std::printf("revtr_serverd: listening on %s (%zu workers, tenant %s%s)\n",
               options.socket_path.c_str(), options.workers,
-              tenant.name.c_str());
+              tenant.name.c_str(),
+              options.remote_probing ? ", remote probing" : "");
   std::fflush(stdout);
 
   daemon.wait_until_drained();
